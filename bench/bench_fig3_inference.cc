@@ -1,0 +1,36 @@
+// Figure 3a: normalized inference execution time for nine networks under
+// GuardNN_C, GuardNN_CI and the Intel-MEE-style baseline protection (BP),
+// relative to no protection. Paper result: BP averages ~1.25x; GuardNN_CI
+// ~1.0105x; GuardNN_C slightly lower still.
+#include "bench/bench_util.h"
+
+#include "common/stats.h"
+
+int main() {
+  using namespace guardnn;
+  bench::print_header("Figure 3a — normalized DNN inference execution time",
+                      "GuardNN (DAC'22) Fig. 3a; BP avg 1.25x, GuardNN_CI avg "
+                      "1.0105x, GuardNN_C avg 1.0104x");
+
+  ConsoleTable table({"Network", "GuardNN_C", "GuardNN_CI", "BP"});
+  GeoMean gm_c, gm_ci, gm_bp;
+
+  for (const auto& net : dnn::inference_benchmark_suite()) {
+    const auto schedule = dnn::inference_schedule(net);
+    const bench::SchemeRuns runs = bench::run_all_schemes(net, schedule);
+    const double c = bench::normalized(runs.guardnn_c, runs.np);
+    const double ci = bench::normalized(runs.guardnn_ci, runs.np);
+    const double bp = bench::normalized(runs.bp, runs.np);
+    gm_c.add(c);
+    gm_ci.add(ci);
+    gm_bp.add(bp);
+    table.add_row({net.name, fmt_fixed(c, 4), fmt_fixed(ci, 4), fmt_fixed(bp, 4)});
+  }
+  table.add_row({"geomean", fmt_fixed(gm_c.value(), 4), fmt_fixed(gm_ci.value(), 4),
+                 fmt_fixed(gm_bp.value(), 4)});
+  table.print();
+
+  std::cout << "\nPaper shape check: GuardNN_C <= GuardNN_CI << BP; BP in the "
+               "1.2-1.3x band on average.\n";
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Figure 3b: normalized training-step execution time for eight networks
+// (DLRM excluded, as in the paper). Paper result: BP ~1.29x average,
+// GuardNN_CI ~1.0107x, GuardNN_C ~1.0105x.
+#include "bench/bench_util.h"
+
+#include "common/stats.h"
+
+int main() {
+  using namespace guardnn;
+  bench::print_header("Figure 3b — normalized DNN training execution time",
+                      "GuardNN (DAC'22) Fig. 3b; BP avg 1.29x, GuardNN_CI avg "
+                      "1.0107x, GuardNN_C avg 1.0105x");
+
+  ConsoleTable table({"Network", "GuardNN_C", "GuardNN_CI", "BP"});
+  GeoMean gm_c, gm_ci, gm_bp;
+
+  for (const auto& net : dnn::training_benchmark_suite()) {
+    const auto schedule = dnn::training_schedule(net);
+    const bench::SchemeRuns runs = bench::run_all_schemes(net, schedule);
+    const double c = bench::normalized(runs.guardnn_c, runs.np);
+    const double ci = bench::normalized(runs.guardnn_ci, runs.np);
+    const double bp = bench::normalized(runs.bp, runs.np);
+    gm_c.add(c);
+    gm_ci.add(ci);
+    gm_bp.add(bp);
+    table.add_row({net.name, fmt_fixed(c, 4), fmt_fixed(ci, 4), fmt_fixed(bp, 4)});
+  }
+  table.add_row({"geomean", fmt_fixed(gm_c.value(), 4), fmt_fixed(gm_ci.value(), 4),
+                 fmt_fixed(gm_bp.value(), 4)});
+  table.print();
+
+  std::cout << "\nPaper shape check: training BP overhead slightly above the "
+               "inference one (more traffic, more metadata-cache pressure).\n";
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Microbenchmarks for the crypto substrate (google-benchmark): AES-128
+// block/CTR throughput, SHA-256, CMAC memory-MAC, and the public-key
+// operations behind InitSession/SignOutput.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "crypto/aes128.h"
+#include "crypto/drbg.h"
+#include "crypto/ecdh.h"
+#include "crypto/ecdsa.h"
+#include "crypto/mem_mac.h"
+#include "crypto/sha256.h"
+
+namespace guardnn::crypto {
+namespace {
+
+Aes128 bench_aes() {
+  AesKey key{};
+  for (std::size_t i = 0; i < key.size(); ++i) key[i] = static_cast<u8>(i);
+  return Aes128(key);
+}
+
+void BM_AesBlockEncrypt(benchmark::State& state) {
+  const Aes128 aes = bench_aes();
+  AesBlock block{};
+  for (auto _ : state) {
+    aes.encrypt_block(block.data());
+    benchmark::DoNotOptimize(block);
+  }
+  state.SetBytesProcessed(static_cast<i64>(state.iterations()) * 16);
+}
+BENCHMARK(BM_AesBlockEncrypt);
+
+void BM_AesCtr(benchmark::State& state) {
+  const Aes128 aes = bench_aes();
+  Bytes data(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    ctr_xcrypt(aes, make_counter_block(0, 1), data);
+    benchmark::DoNotOptimize(data);
+  }
+  state.SetBytesProcessed(static_cast<i64>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_AesCtr)->Arg(512)->Arg(4096)->Arg(65536);
+
+void BM_Sha256(benchmark::State& state) {
+  Bytes data(static_cast<std::size_t>(state.range(0)));
+  Xoshiro256 rng(1);
+  rng.fill(data);
+  for (auto _ : state) {
+    auto digest = Sha256::hash(data);
+    benchmark::DoNotOptimize(digest);
+  }
+  state.SetBytesProcessed(static_cast<i64>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(4096)->Arg(65536);
+
+void BM_MemoryMac512B(benchmark::State& state) {
+  const Aes128 aes = bench_aes();
+  Bytes chunk(512);
+  Xoshiro256 rng(2);
+  rng.fill(chunk);
+  u64 version = 0;
+  for (auto _ : state) {
+    const u64 tag = memory_mac(aes, 0x1000, ++version, chunk);
+    benchmark::DoNotOptimize(tag);
+  }
+  state.SetBytesProcessed(static_cast<i64>(state.iterations()) * 512);
+}
+BENCHMARK(BM_MemoryMac512B);
+
+void BM_EcdsaSign(benchmark::State& state) {
+  HmacDrbg drbg(Bytes{1, 2, 3});
+  const EcdsaKeyPair kp = ecdsa_generate_key(drbg);
+  const Bytes message = {'r', 'e', 'p', 'o', 'r', 't'};
+  for (auto _ : state) {
+    auto sig = ecdsa_sign(kp.private_key, message);
+    benchmark::DoNotOptimize(sig);
+  }
+}
+BENCHMARK(BM_EcdsaSign)->Unit(benchmark::kMillisecond);
+
+void BM_EcdsaVerify(benchmark::State& state) {
+  HmacDrbg drbg(Bytes{4, 5});
+  const EcdsaKeyPair kp = ecdsa_generate_key(drbg);
+  const Bytes message = {'r', 'e', 'p', 'o', 'r', 't'};
+  const EcdsaSignature sig = ecdsa_sign(kp.private_key, message);
+  for (auto _ : state) {
+    const bool ok = ecdsa_verify(kp.public_key, message, sig);
+    benchmark::DoNotOptimize(ok);
+  }
+}
+BENCHMARK(BM_EcdsaVerify)->Unit(benchmark::kMillisecond);
+
+void BM_EcdhAgreement(benchmark::State& state) {
+  HmacDrbg drbg(Bytes{6});
+  const EcdhKeyPair a = ecdh_generate_key(drbg);
+  const EcdhKeyPair b = ecdh_generate_key(drbg);
+  for (auto _ : state) {
+    auto secret = ecdh_shared_secret(a.private_key, b.public_key);
+    benchmark::DoNotOptimize(secret);
+  }
+}
+BENCHMARK(BM_EcdhAgreement)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace guardnn::crypto
+
+BENCHMARK_MAIN();

@@ -1,0 +1,55 @@
+// Microbenchmarks for the DDR4 simulator and the protection engines
+// (google-benchmark): simulated-bandwidth probes and engine stream
+// processing rates.
+#include <benchmark/benchmark.h>
+
+#include "dram/bandwidth_probe.h"
+#include "memprot/engine.h"
+
+namespace guardnn {
+namespace {
+
+void BM_DramStreamingProbe(benchmark::State& state) {
+  const dram::DramConfig cfg = dram::DramConfig::ddr4_2400_16gb();
+  for (auto _ : state) {
+    const auto result = dram::probe_streaming(cfg, 1 * MiB);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetLabel("simulated streaming efficiency");
+}
+BENCHMARK(BM_DramStreamingProbe)->Unit(benchmark::kMillisecond);
+
+void BM_DramRandomProbe(benchmark::State& state) {
+  const dram::DramConfig cfg = dram::DramConfig::ddr4_2400_16gb();
+  for (auto _ : state) {
+    const auto result = dram::probe_random(cfg, 512 * KiB, 1 * GiB);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_DramRandomProbe)->Unit(benchmark::kMillisecond);
+
+void BM_EngineStream(benchmark::State& state) {
+  const auto scheme = static_cast<memprot::Scheme>(state.range(0));
+  auto engine = memprot::make_engine(scheme);
+  memprot::AccessStream stream;
+  stream.bytes = 16 * MiB;
+  stream.footprint_bytes = 1 * GiB;
+  for (auto _ : state) {
+    const auto traffic = engine->process(stream);
+    benchmark::DoNotOptimize(traffic);
+    stream.base += stream.bytes;
+  }
+  state.SetBytesProcessed(static_cast<i64>(state.iterations()) *
+                          static_cast<i64>(stream.bytes));
+  state.SetLabel(memprot::scheme_name(scheme));
+}
+BENCHMARK(BM_EngineStream)
+    ->Arg(static_cast<int>(memprot::Scheme::kNone))
+    ->Arg(static_cast<int>(memprot::Scheme::kGuardNnC))
+    ->Arg(static_cast<int>(memprot::Scheme::kGuardNnCI))
+    ->Arg(static_cast<int>(memprot::Scheme::kBaselineMee));
+
+}  // namespace
+}  // namespace guardnn
+
+BENCHMARK_MAIN();

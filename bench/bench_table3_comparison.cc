@@ -1,0 +1,73 @@
+// Table III: comparison of privacy-preserving ML approaches — simulated CPU
+// TEE, DELPHI and CrypTFLOW2 MPC, GuardNN_CI (simulated ASIC) and GuardNN_C
+// (FPGA prototype). Throughput in GOPs, overhead vs the same platform
+// unprotected, power, energy efficiency, and TCB size.
+#include "bench/bench_util.h"
+
+#include "functional/fpga_model.h"
+#include "tee_cpu/cpu_tee.h"
+#include "tee_cpu/mpc_model.h"
+
+int main() {
+  using namespace guardnn;
+  bench::print_header("Table III — privacy-preserving ML comparison",
+                      "GuardNN (DAC'22) Table III");
+
+  // CPU TEE (simulated) on VGG-16.
+  const tee_cpu::CpuTeeResult cpu = tee_cpu::simulate_cpu_tee(dnn::vgg16());
+
+  // MPC analytic estimates on ResNet-50 (paper cites ResNet-32/CIFAR values
+  // from the original publications; both are printed).
+  const tee_cpu::MpcResult mpc = tee_cpu::estimate_mpc(dnn::resnet50());
+
+  // GuardNN_CI on the TPU-like ASIC (VGG-16, ImageNet).
+  const dnn::Network vgg = dnn::vgg16();
+  const auto schedule = dnn::inference_schedule(vgg);
+  const bench::SchemeRuns runs = bench::run_all_schemes(vgg, schedule);
+  const double asic_gops = vgg.total_gops() / runs.guardnn_ci.seconds;
+  const double asic_overhead = bench::normalized(runs.guardnn_ci, runs.np);
+  const double asic_power_w = 40.0;  // paper's TPU-v1-based estimate
+
+  // GuardNN_C on the FPGA prototype (512 DSPs, 8-bit, VGG-16).
+  functional::FpgaConfig fpga_cfg;
+  fpga_cfg.dsps = 512;
+  const auto fpga = functional::fpga_throughput(vgg, fpga_cfg);
+  const double fpga_gops = vgg.total_gops() * fpga.guardnn_fps;
+  const double fpga_overhead = 1.0 + fpga.overhead_percent / 100.0;
+  const double fpga_power_w = 15.0;  // paper's board estimate
+
+  ConsoleTable table({"Metric", "CPU TEE (sim)", "DELPHI MPC", "CrypTFLOW2 MPC",
+                      "GuardNN_CI (sim)", "GuardNN_C (FPGA)"});
+  table.add_row({"Workload", "VGG-16/ImageNet", "ResNet-32/CIFAR",
+                 "ResNet-32/CIFAR", "VGG-16/ImageNet", "VGG-16/ImageNet"});
+  table.add_row({"Throughput (GOPs) ours",
+                 fmt_fixed(cpu.throughput_gops, 2),
+                 fmt_fixed(mpc.throughput_gops, 3) + " (model)",
+                 fmt_fixed(mpc.throughput_gops * 4.0, 3) + " (model)",
+                 fmt_fixed(asic_gops, 0), fmt_fixed(fpga_gops, 1)});
+  table.add_row({"Throughput (GOPs) paper", "0.81", "0.02", "0.18", "3221.57",
+                 "139.23"});
+  table.add_row({"Overhead (x) ours", fmt_fixed(cpu.overhead, 2), "~1000 (cited)",
+                 "~100 (cited)", fmt_fixed(asic_overhead, 3),
+                 fmt_fixed(fpga_overhead, 3)});
+  table.add_row({"Overhead (x) paper", "1.61", "~1000", "~100", "1.05", "1.01"});
+  table.add_row({"Power (W)", "~60", "130", "130", fmt_fixed(asic_power_w, 0),
+                 fmt_fixed(fpga_power_w, 0)});
+  table.add_row({"Energy eff. (GOPs/W) ours",
+                 fmt_fixed(cpu.throughput_gops / 60.0, 3),
+                 fmt_fixed(mpc.throughput_gops / 130.0, 5),
+                 fmt_fixed(mpc.throughput_gops * 4.0 / 130.0, 5),
+                 fmt_fixed(asic_gops / asic_power_w, 1),
+                 fmt_fixed(fpga_gops / fpga_power_w, 1)});
+  table.add_row({"Energy eff. paper", "0.01", "0.002", "0.0001", "80.5", "9.3"});
+  table.add_row({"TCB", "CPU (millions LoC)", "MPC 35.1k LoC", "MPC 53.7k LoC",
+                 "accelerator", "accelerator 21.8k LoC"});
+  table.print();
+
+  std::cout << "\nShape check: GuardNN is ~3 orders of magnitude above MPC in "
+               "both GOPs and GOPs/W; CPU TEE overhead >= 1.6x vs GuardNN's "
+               "~1.05x / ~1.01x.\n";
+  const bool shape_ok = asic_gops > 1000.0 * mpc.throughput_gops &&
+                        cpu.overhead > 1.4 && asic_overhead < 1.1;
+  return shape_ok ? 0 : 1;
+}

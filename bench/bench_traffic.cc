@@ -1,0 +1,44 @@
+// Section III-C memory-traffic increase: the ratio of total (data +
+// metadata) DRAM accesses with protection to accesses without. Paper:
+// BP +35.3% inference / +37.8% training; GuardNN_CI +2.4% / +2.3%;
+// GuardNN_C adds none.
+#include "bench/bench_util.h"
+
+#include "common/stats.h"
+
+int main() {
+  using namespace guardnn;
+  bench::print_header("Memory traffic increase",
+                      "GuardNN (DAC'22) Section III-C: BP +35.3%/+37.8% "
+                      "(inference/training), GuardNN_CI +2.4%/+2.3%");
+
+  for (const bool training : {false, true}) {
+    std::cout << (training ? "Training:\n" : "Inference:\n");
+    ConsoleTable table({"Network", "GuardNN_C", "GuardNN_CI", "BP"});
+    RunningStats avg_c, avg_ci, avg_bp;
+    const auto suite =
+        training ? dnn::training_benchmark_suite() : dnn::inference_benchmark_suite();
+    for (const auto& net : suite) {
+      const auto schedule =
+          training ? dnn::training_schedule(net) : dnn::inference_schedule(net);
+      const bench::SchemeRuns runs = bench::run_all_schemes(net, schedule);
+      const double c = (runs.guardnn_c.traffic_increase() - 1.0) * 100.0;
+      const double ci = (runs.guardnn_ci.traffic_increase() - 1.0) * 100.0;
+      const double bp = (runs.bp.traffic_increase() - 1.0) * 100.0;
+      avg_c.add(c);
+      avg_ci.add(ci);
+      avg_bp.add(bp);
+      table.add_row({net.name, "+" + fmt_fixed(c, 2) + "%",
+                     "+" + fmt_fixed(ci, 2) + "%", "+" + fmt_fixed(bp, 2) + "%"});
+    }
+    table.add_row({"average", "+" + fmt_fixed(avg_c.mean(), 2) + "%",
+                   "+" + fmt_fixed(avg_ci.mean(), 2) + "%",
+                   "+" + fmt_fixed(avg_bp.mean(), 2) + "%"});
+    table.print();
+    std::cout << "\n";
+  }
+
+  std::cout << "Shape checks: BP tens of percent, CI low single digits, C "
+               "exactly zero; BP training > BP inference.\n";
+  return 0;
+}

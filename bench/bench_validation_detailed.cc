@@ -1,0 +1,59 @@
+// Validation: the fast bandwidth-calibrated performance model against the
+// request-accurate detailed mode (every 64 B transaction through the DDR4
+// simulator). Run on representative layers; the two models should agree on
+// memory time within ~25% and rank protection schemes identically.
+#include "bench/bench_util.h"
+
+#include "sim/detailed.h"
+
+int main() {
+  using namespace guardnn;
+  using memprot::Scheme;
+  bench::print_header("Validation — fast model vs request-accurate DDR4 replay",
+                      "methodology check (DESIGN.md two-level model)");
+
+  const dnn::Network net = dnn::alexnet();
+  const sim::SimConfig cfg;
+  const sim::AddressLayout layout = sim::build_layout(net, cfg.bits);
+
+  ConsoleTable table({"Layer", "Scheme", "fast mem (cyc@DDR)", "detailed (cyc)",
+                      "ratio", "row-hit"});
+
+  // Representative layers: an early conv (activation heavy) and a mid conv.
+  for (std::size_t layer_index : {0u, 4u}) {
+    dnn::WorkItem item;
+    item.layer = net.layers[layer_index];
+    for (Scheme scheme : {Scheme::kNone, Scheme::kGuardNnCI, Scheme::kBaselineMee}) {
+      // Fast model: bytes / calibrated bandwidth, converted to DDR cycles.
+      auto engine = memprot::make_engine(scheme, cfg.protection);
+      const auto streams =
+          sim::generate_streams(item, layer_index, layout, cfg.accel, cfg.bits);
+      u64 bytes = 0;
+      for (const auto& s : streams) bytes += engine->process(s).total_bytes();
+      const double accel_cycles =
+          static_cast<double>(bytes) /
+          bench::calibration().seq_bytes_per_accel_cycle;
+      const double fast_ddr_cycles =
+          accel_cycles * cfg.dram.clock_ghz / cfg.accel.clock_ghz;
+
+      const sim::DetailedResult detailed = sim::run_detailed(
+          item, layer_index, layout, cfg.accel, cfg.dram, scheme, cfg.bits);
+
+      table.add_row({item.layer.name, memprot::scheme_name(scheme),
+                     fmt_fixed(fast_ddr_cycles, 0),
+                     std::to_string(detailed.dram_cycles),
+                     fmt_fixed(fast_ddr_cycles /
+                                   static_cast<double>(detailed.dram_cycles),
+                               3),
+                     fmt_fixed(detailed.row_hit_rate, 3)});
+    }
+  }
+  table.print();
+
+  std::cout << "\nShape check: ratios near 1.0 on large layers; on small "
+               "layers the detailed replay charges extra row conflicts "
+               "between data and metadata regions that the fast model folds "
+               "into its calibration. The NP < GuardNN_CI < BP ordering must "
+               "hold in both models.\n";
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Performance study using the cycle-level simulation API — how a systems
+// researcher would use this library to evaluate a new protection scheme or
+// accelerator configuration (the paper's Section III-C methodology).
+//
+// Sweeps one network (ResNet-50) across protection schemes, precisions and
+// array sizes, printing absolute latency, traffic and overhead.
+//
+// Build & run:  ./build/examples/perf_study
+#include <cstdio>
+
+#include "dnn/models.h"
+#include "sim/perf_model.h"
+#include "common/table.h"
+
+using namespace guardnn;
+
+int main() {
+  const dnn::Network net = dnn::resnet50();
+  const auto inference = dnn::inference_schedule(net);
+  const auto training = dnn::training_schedule(net);
+
+  std::printf("Network: %s — %.2f GMACs, %.1f M params\n\n", net.name.c_str(),
+              static_cast<double>(net.total_macs()) / 1e9,
+              static_cast<double>(net.total_params()) / 1e6);
+
+  // One calibration of the DDR4 model is shared by every run.
+  const sim::SimConfig base_cfg;
+  const sim::BandwidthCalibration calib =
+      sim::BandwidthCalibration::measure(base_cfg.dram, base_cfg.accel);
+  std::printf("DDR4 calibration: %.1f B/cycle streaming, %.1f B/cycle random "
+              "(at the 0.7 GHz accelerator clock)\n\n",
+              calib.seq_bytes_per_accel_cycle, calib.rand_bytes_per_accel_cycle);
+
+  // --- Scheme sweep, inference vs training --------------------------------
+  ConsoleTable scheme_table({"Scheme", "inference (ms)", "overhead",
+                             "training step (ms)", "overhead", "traffic"});
+  sim::RunResult inf_base, train_base;
+  for (const auto scheme :
+       {memprot::Scheme::kNone, memprot::Scheme::kGuardNnC,
+        memprot::Scheme::kGuardNnCI, memprot::Scheme::kBaselineMee}) {
+    const sim::RunResult inf = sim::simulate(net, inference, scheme, base_cfg, calib);
+    const sim::RunResult train = sim::simulate(net, training, scheme, base_cfg, calib);
+    if (scheme == memprot::Scheme::kNone) {
+      inf_base = inf;
+      train_base = train;
+    }
+    scheme_table.add_row(
+        {memprot::scheme_name(scheme), fmt_fixed(inf.seconds * 1e3, 3),
+         fmt_overhead_pct(static_cast<double>(inf.total_cycles) /
+                          static_cast<double>(inf_base.total_cycles)),
+         fmt_fixed(train.seconds * 1e3, 3),
+         fmt_overhead_pct(static_cast<double>(train.total_cycles) /
+                          static_cast<double>(train_base.total_cycles)),
+         fmt_overhead_pct(inf.traffic_increase())});
+  }
+  std::puts("Protection scheme sweep (TPU-like: 256x256 PEs, 24 MB, 0.7 GHz):");
+  scheme_table.print();
+
+  // --- Array size sweep under GuardNN_CI ----------------------------------
+  std::puts("\nSystolic array sweep (GuardNN_CI inference):");
+  ConsoleTable array_table({"Array", "PEs", "latency (ms)", "utilization-bound"});
+  for (int dim : {64, 128, 256, 512}) {
+    sim::SimConfig cfg = base_cfg;
+    cfg.accel.array_rows = cfg.accel.array_cols = dim;
+    const sim::BandwidthCalibration c =
+        sim::BandwidthCalibration::measure(cfg.dram, cfg.accel);
+    const sim::RunResult run =
+        sim::simulate(net, inference, memprot::Scheme::kGuardNnCI, cfg, c);
+    u64 compute = 0, memory = 0;
+    for (const auto& layer : run.layers) {
+      compute += layer.compute_cycles;
+      memory += layer.memory_cycles;
+    }
+    array_table.add_row({std::to_string(dim) + "x" + std::to_string(dim),
+                         std::to_string(cfg.accel.total_pes()),
+                         fmt_fixed(run.seconds * 1e3, 3),
+                         compute > memory ? "compute" : "memory"});
+  }
+  array_table.print();
+
+  // --- Precision sweep ------------------------------------------------------
+  std::puts("\nPrecision sweep (GuardNN_CI inference):");
+  ConsoleTable bits_table({"Bits", "latency (ms)", "traffic (MB)"});
+  for (int bits : {16, 8, 6}) {
+    sim::SimConfig cfg = base_cfg;
+    cfg.bits = bits;
+    const sim::RunResult run =
+        sim::simulate(net, inference, memprot::Scheme::kGuardNnCI, cfg, calib);
+    bits_table.add_row({std::to_string(bits), fmt_fixed(run.seconds * 1e3, 3),
+                        fmt_fixed(static_cast<double>(run.data_bytes + run.meta_bytes) /
+                                      1e6,
+                                  1)});
+  }
+  bits_table.print();
+  return 0;
+}

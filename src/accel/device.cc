@@ -1,0 +1,437 @@
+#include "accel/device.h"
+
+#include "functional/train_ops.h"
+
+#include <stdexcept>
+
+namespace guardnn::accel {
+namespace {
+
+crypto::AesKey key_from_bytes(BytesView raw) {
+  if (raw.size() < crypto::kAesKeyBytes)
+    throw std::invalid_argument("key_from_bytes: insufficient material");
+  crypto::AesKey key{};
+  std::copy(raw.begin(), raw.begin() + crypto::kAesKeyBytes, key.begin());
+  return key;
+}
+
+}  // namespace
+
+crypto::Sha256Digest SignOutputResponse::report_digest() const {
+  crypto::Sha256 hasher;
+  hasher.update(BytesView(input_hash.data(), input_hash.size()));
+  hasher.update(BytesView(weight_hash.data(), weight_hash.size()));
+  hasher.update(BytesView(output_hash.data(), output_hash.size()));
+  hasher.update(BytesView(instruction_hash.data(), instruction_hash.size()));
+  return hasher.finalize();
+}
+
+GuardNnDevice::GuardNnDevice(std::string device_id, const crypto::ManufacturerCa& ca,
+                             UntrustedMemory& memory, BytesView entropy)
+    : device_id_(std::move(device_id)),
+      drbg_(entropy, Bytes{'g', 'u', 'a', 'r', 'd', 'n', 'n'}),
+      identity_(crypto::ecdsa_generate_key(drbg_)),
+      certificate_(ca.issue(device_id_, identity_.public_key)),
+      memory_(memory) {}
+
+GetPkResponse GuardNnDevice::get_pk() {
+  latency_.add_command();
+  return GetPkResponse{identity_.public_key, certificate_};
+}
+
+InitSessionResponse GuardNnDevice::init_session(
+    const crypto::AffinePoint& user_ephemeral, bool integrity) {
+  latency_.add_key_exchange();
+
+  // Fresh ephemeral share and transcript-bound session keys.
+  const crypto::EcdhKeyPair ephemeral = crypto::ecdh_generate_key(drbg_);
+  const crypto::U256 shared =
+      crypto::ecdh_shared_secret(ephemeral.private_key, user_ephemeral);
+  const crypto::SessionKeys keys =
+      crypto::derive_session_keys(shared, user_ephemeral, ephemeral.public_key);
+
+  // Fresh random memory-protection keys: data from a previous session is
+  // unreadable afterwards, even by the same user.
+  const crypto::AesKey mem_enc_key = key_from_bytes(drbg_.generate(16));
+  const crypto::AesKey mem_mac_key = key_from_bytes(drbg_.generate(16));
+
+  // Clear all state: counters, hashes, session keys (paper: InitSession
+  // "clears all states ... resets all counters to zero").
+  vn_.reset();
+  session_.emplace(Session{
+      keys,
+      crypto::ChannelReceiver(keys),
+      crypto::ChannelSender(keys),
+      MemoryProtectionUnit(memory_, mem_enc_key, mem_mac_key, integrity),
+      {}, {}, {}, AttestationChain{}, false});
+  session_->chain.reset();
+
+  // Sign (user share || device share) with the certified identity key.
+  Bytes transcript = crypto::encode_point(user_ephemeral);
+  const Bytes device_share = crypto::encode_point(ephemeral.public_key);
+  transcript.insert(transcript.end(), device_share.begin(), device_share.end());
+  InitSessionResponse response;
+  response.device_ephemeral = ephemeral.public_key;
+  response.signature = crypto::ecdsa_sign(identity_.private_key, transcript);
+  return response;
+}
+
+DeviceStatus GuardNnDevice::import_region(const crypto::SealedRecord& record,
+                                          u64 addr, u64 vn,
+                                          crypto::Sha256Digest& data_hash,
+                                          Opcode op) {
+  if (!session_) return DeviceStatus::kNoSession;
+  if (session_->dead) return DeviceStatus::kIntegrityFailure;
+  auto plaintext = session_->from_user.open(record);
+  if (!plaintext) return DeviceStatus::kBadRecord;
+  if (plaintext->empty()) return DeviceStatus::kBadOperand;
+
+  // Hash the imported data for remote attestation.
+  data_hash = crypto::Sha256::hash(*plaintext);
+
+  // Pad to an AES-block multiple and store through the MPU.
+  plaintext->resize(pad_region(plaintext->size()), 0);
+  session_->mpu.write(addr, *plaintext, vn);
+  latency_.add_import(plaintext->size());
+
+  u8 addr_bytes[8];
+  store_be64(addr_bytes, addr);
+  session_->chain.absorb(op, BytesView(addr_bytes, 8));
+  return DeviceStatus::kOk;
+}
+
+DeviceStatus GuardNnDevice::set_weight(const crypto::SealedRecord& record,
+                                       u64 weight_addr) {
+  if (!session_) return DeviceStatus::kNoSession;
+  vn_.on_set_weight();
+  return import_region(record, weight_addr, vn_.weight_vn(),
+                       session_->weight_hash, Opcode::kSetWeight);
+}
+
+DeviceStatus GuardNnDevice::set_input(const crypto::SealedRecord& record,
+                                      u64 input_addr) {
+  if (!session_) return DeviceStatus::kNoSession;
+  vn_.on_set_input();
+  return import_region(record, input_addr, vn_.feature_write_vn(),
+                       session_->input_hash, Opcode::kSetInput);
+}
+
+DeviceStatus GuardNnDevice::set_read_ctr(u64 base, u64 bytes, u64 vn) {
+  if (!session_) return DeviceStatus::kNoSession;
+  latency_.add_command();
+  vn_.set_read_ctr(base, bytes, vn);
+  // SetReadCTR is *not* hashed into the attestation chain: it only affects
+  // decryption and carries no integrity obligation (Section II-E).
+  return DeviceStatus::kOk;
+}
+
+DeviceStatus GuardNnDevice::forward(const ForwardOp& op) {
+  using functional::ConvWeights;
+  using functional::FcWeights;
+  using functional::Tensor;
+
+  if (!session_) return DeviceStatus::kNoSession;
+  if (session_->dead) return DeviceStatus::kIntegrityFailure;
+  if (op.in_c <= 0 || op.in_h <= 0 || op.in_w <= 0) return DeviceStatus::kBadOperand;
+  if (op.bits != 6 && op.bits != 8) return DeviceStatus::kBadOperand;
+  latency_.add_command();
+
+  // SGD update is special: it reads the gradient blob chunk-by-chunk (each
+  // layer's dW was written with a different CTR_F,W, so the host supplies a
+  // read counter per range), updates the whole weight blob, bumps CTR_W and
+  // re-encrypts the blob under the new counter (Section II-D.2).
+  if (op.kind == ForwardOp::Kind::kSgdUpdate) {
+    const u64 elems = static_cast<u64>(op.in_c) * op.in_h * op.in_w;
+    const u64 span = pad_region(elems);
+    Bytes weights(span);
+    if (!session_->mpu.read(op.weight_addr, weights, vn_.weight_vn())) {
+      session_->dead = true;
+      return DeviceStatus::kIntegrityFailure;
+    }
+    Bytes grads(span);
+    for (u64 off = 0; off < span; off += MemoryProtectionUnit::kChunkBytes) {
+      const u64 chunk_vn = vn_.feature_read_vn(op.input_addr + off).value_or(0);
+      if (!session_->mpu.read(op.input_addr + off,
+                              MutBytesView(grads.data() + off,
+                                           MemoryProtectionUnit::kChunkBytes),
+                              chunk_vn)) {
+        session_->dead = true;
+        return DeviceStatus::kIntegrityFailure;
+      }
+    }
+    std::vector<i8> w(weights.begin(), weights.end());
+    const std::vector<i8> g(grads.begin(), grads.end());
+    functional::sgd_update(w, g, op.requant_shift, op.bits);
+    Bytes updated(reinterpret_cast<const u8*>(w.data()),
+                  reinterpret_cast<const u8*>(w.data()) + w.size());
+    vn_.on_set_weight();
+    session_->mpu.write(op.weight_addr, updated, vn_.weight_vn());
+    session_->chain.absorb(Opcode::kForward, op.serialize());
+    return DeviceStatus::kOk;
+  }
+
+  // Read the input with the host-supplied read counter; a missing or wrong
+  // value decrypts to garbage but never leaks (Section II-D.2).
+  const u64 input_vn = vn_.feature_read_vn(op.input_addr).value_or(0);
+  Tensor input(op.in_c, op.in_h, op.in_w, op.bits);
+  {
+    Bytes buffer(pad_region(input.size()));
+    if (!session_->mpu.read(op.input_addr, buffer, input_vn)) {
+      session_->dead = true;
+      return DeviceStatus::kIntegrityFailure;
+    }
+    std::copy(buffer.begin(), buffer.begin() + static_cast<long>(input.size()),
+              reinterpret_cast<u8*>(input.data().data()));
+  }
+
+  Tensor result;
+  std::vector<i8> fc_result;
+  bool is_fc = false;
+
+  // Operand combinations the base accelerator cannot execute (kernel larger
+  // than the tensor, mismatched gradient shapes, ...) are rejected as
+  // kBadOperand: the functional ops throw std::invalid_argument, which a
+  // hardware implementation maps to an error response. Nothing is written.
+  try {
+  switch (op.kind) {
+    case ForwardOp::Kind::kConv: {
+      if (op.out_c <= 0 || op.kernel <= 0) return DeviceStatus::kBadOperand;
+      ConvWeights weights(op.out_c, op.in_c, op.kernel, op.bits);
+      Bytes buffer(pad_region(weights.data.size()));
+      const u64 wvn = vn_.weight_vn();
+      if (!session_->mpu.read(op.weight_addr, buffer, wvn)) {
+        session_->dead = true;
+        return DeviceStatus::kIntegrityFailure;
+      }
+      std::copy(buffer.begin(), buffer.begin() + static_cast<long>(weights.data.size()),
+                reinterpret_cast<u8*>(weights.data.data()));
+      result = functional::conv2d_gemm(input, weights, op.stride, op.pad,
+                                       op.requant_shift);
+      break;
+    }
+    case ForwardOp::Kind::kFc: {
+      if (op.out_c <= 0) return DeviceStatus::kBadOperand;
+      const int in_features = op.in_c * op.in_h * op.in_w;
+      FcWeights weights(op.out_c, in_features, op.bits);
+      Bytes buffer(pad_region(weights.data.size()));
+      const u64 wvn = vn_.weight_vn();
+      if (!session_->mpu.read(op.weight_addr, buffer, wvn)) {
+        session_->dead = true;
+        return DeviceStatus::kIntegrityFailure;
+      }
+      std::copy(buffer.begin(), buffer.begin() + static_cast<long>(weights.data.size()),
+                reinterpret_cast<u8*>(weights.data.data()));
+      std::vector<i8> flat(input.data().begin(), input.data().end());
+      fc_result = functional::fully_connected(flat, weights, op.requant_shift, op.bits);
+      is_fc = true;
+      break;
+    }
+    case ForwardOp::Kind::kRelu:
+      result = input;
+      functional::relu(result);
+      break;
+    case ForwardOp::Kind::kMaxPool:
+      if (op.kernel <= 0 || op.stride <= 0) return DeviceStatus::kBadOperand;
+      result = functional::maxpool2d(input, op.kernel, op.stride);
+      break;
+    case ForwardOp::Kind::kGlobalAvgPool:
+      result = functional::global_avgpool(input);
+      break;
+    case ForwardOp::Kind::kDepthwiseConv: {
+      if (op.kernel <= 0) return DeviceStatus::kBadOperand;
+      ConvWeights weights(op.in_c, 1, op.kernel, op.bits);
+      Bytes buffer(pad_region(weights.data.size()));
+      const u64 wvn = vn_.weight_vn();
+      if (!session_->mpu.read(op.weight_addr, buffer, wvn)) {
+        session_->dead = true;
+        return DeviceStatus::kIntegrityFailure;
+      }
+      std::copy(buffer.begin(), buffer.begin() + static_cast<long>(weights.data.size()),
+                reinterpret_cast<u8*>(weights.data.data()));
+      result = functional::depthwise_conv2d(input, weights, op.stride, op.pad,
+                                            op.requant_shift);
+      break;
+    }
+    case ForwardOp::Kind::kAdd: {
+      // Second operand: same geometry, host-supplied read counter.
+      Tensor second(op.in_c, op.in_h, op.in_w, op.bits);
+      const u64 vn2 = vn_.feature_read_vn(op.input2_addr).value_or(0);
+      Bytes buffer(pad_region(second.size()));
+      if (!session_->mpu.read(op.input2_addr, buffer, vn2)) {
+        session_->dead = true;
+        return DeviceStatus::kIntegrityFailure;
+      }
+      std::copy(buffer.begin(), buffer.begin() + static_cast<long>(second.size()),
+                reinterpret_cast<u8*>(second.data().data()));
+      result = functional::tensor_add(input, second);
+      break;
+    }
+    case ForwardOp::Kind::kFcDx: {
+      // input = dY (out_features vector), aux = forward input shape.
+      if (op.aux_c <= 0 || op.aux_h <= 0 || op.aux_w <= 0)
+        return DeviceStatus::kBadOperand;
+      const int in_features = op.aux_c * op.aux_h * op.aux_w;
+      const int out_features = op.in_c * op.in_h * op.in_w;
+      FcWeights weights(out_features, in_features, op.bits);
+      Bytes buffer(pad_region(weights.data.size()));
+      if (!session_->mpu.read(op.weight_addr, buffer, vn_.weight_vn())) {
+        session_->dead = true;
+        return DeviceStatus::kIntegrityFailure;
+      }
+      std::copy(buffer.begin(), buffer.begin() + static_cast<long>(weights.data.size()),
+                reinterpret_cast<u8*>(weights.data.data()));
+      const std::vector<i8> d_out(input.data().begin(), input.data().end());
+      const std::vector<i8> d_in = functional::fc_backward_input(
+          d_out, weights, op.requant_shift, op.bits);
+      result = Tensor(op.aux_c, op.aux_h, op.aux_w, op.bits);
+      std::copy(d_in.begin(), d_in.end(), result.data().begin());
+      break;
+    }
+    case ForwardOp::Kind::kFcDw: {
+      // input = dY, input2 = forward input X (aux shape).
+      if (op.aux_c <= 0 || op.aux_h <= 0 || op.aux_w <= 0)
+        return DeviceStatus::kBadOperand;
+      Tensor x(op.aux_c, op.aux_h, op.aux_w, op.bits);
+      const u64 vn2 = vn_.feature_read_vn(op.input2_addr).value_or(0);
+      Bytes buffer(pad_region(x.size()));
+      if (!session_->mpu.read(op.input2_addr, buffer, vn2)) {
+        session_->dead = true;
+        return DeviceStatus::kIntegrityFailure;
+      }
+      std::copy(buffer.begin(), buffer.begin() + static_cast<long>(x.size()),
+                reinterpret_cast<u8*>(x.data().data()));
+      const std::vector<i8> d_out(input.data().begin(), input.data().end());
+      const std::vector<i8> flat_x(x.data().begin(), x.data().end());
+      const FcWeights grads = functional::fc_backward_weights(
+          d_out, flat_x, op.requant_shift, op.bits);
+      result = Tensor(1, 1, static_cast<int>(grads.data.size()), op.bits);
+      std::copy(grads.data.begin(), grads.data.end(), result.data().begin());
+      break;
+    }
+    case ForwardOp::Kind::kConvDx: {
+      // input = dY (forward output shape), aux = forward input shape.
+      if (op.aux_c <= 0 || op.aux_h <= 0 || op.aux_w <= 0 || op.kernel <= 0)
+        return DeviceStatus::kBadOperand;
+      ConvWeights weights(op.in_c, op.aux_c, op.kernel, op.bits);
+      Bytes buffer(pad_region(weights.data.size()));
+      if (!session_->mpu.read(op.weight_addr, buffer, vn_.weight_vn())) {
+        session_->dead = true;
+        return DeviceStatus::kIntegrityFailure;
+      }
+      std::copy(buffer.begin(), buffer.begin() + static_cast<long>(weights.data.size()),
+                reinterpret_cast<u8*>(weights.data.data()));
+      result = functional::conv2d_backward_input(input, weights, op.aux_h,
+                                                 op.aux_w, op.stride, op.pad,
+                                                 op.requant_shift);
+      break;
+    }
+    case ForwardOp::Kind::kConvDw: {
+      // input = dY, input2 = forward input X (aux shape).
+      if (op.aux_c <= 0 || op.aux_h <= 0 || op.aux_w <= 0 || op.kernel <= 0)
+        return DeviceStatus::kBadOperand;
+      Tensor x(op.aux_c, op.aux_h, op.aux_w, op.bits);
+      const u64 vn2 = vn_.feature_read_vn(op.input2_addr).value_or(0);
+      Bytes buffer(pad_region(x.size()));
+      if (!session_->mpu.read(op.input2_addr, buffer, vn2)) {
+        session_->dead = true;
+        return DeviceStatus::kIntegrityFailure;
+      }
+      std::copy(buffer.begin(), buffer.begin() + static_cast<long>(x.size()),
+                reinterpret_cast<u8*>(x.data().data()));
+      const ConvWeights grads = functional::conv2d_backward_weights(
+          input, x, op.kernel, op.stride, op.pad, op.requant_shift);
+      result = Tensor(1, 1, static_cast<int>(grads.data.size()), op.bits);
+      std::copy(grads.data.begin(), grads.data.end(), result.data().begin());
+      break;
+    }
+    case ForwardOp::Kind::kReluDx:
+    case ForwardOp::Kind::kMaxPoolDx: {
+      // input = dY; input2 = the forward input (aux shape).
+      if (op.aux_c <= 0 || op.aux_h <= 0 || op.aux_w <= 0)
+        return DeviceStatus::kBadOperand;
+      Tensor x(op.aux_c, op.aux_h, op.aux_w, op.bits);
+      const u64 vn2 = vn_.feature_read_vn(op.input2_addr).value_or(0);
+      Bytes buffer(pad_region(x.size()));
+      if (!session_->mpu.read(op.input2_addr, buffer, vn2)) {
+        session_->dead = true;
+        return DeviceStatus::kIntegrityFailure;
+      }
+      std::copy(buffer.begin(), buffer.begin() + static_cast<long>(x.size()),
+                reinterpret_cast<u8*>(x.data().data()));
+      result = op.kind == ForwardOp::Kind::kReluDx
+                   ? functional::relu_backward(input, x)
+                   : functional::maxpool_backward(input, x, op.kernel, op.stride);
+      break;
+    }
+    case ForwardOp::Kind::kSgdUpdate:
+      return DeviceStatus::kBadOperand;  // handled above; unreachable
+  }
+  } catch (const std::invalid_argument&) {
+    return DeviceStatus::kBadOperand;
+  } catch (const std::out_of_range&) {
+    return DeviceStatus::kBadOperand;
+  }
+
+  // Write the output with the on-chip feature-write VN, then advance CTR_F,W.
+  const u64 out_vn = vn_.feature_write_vn();
+  if (is_fc) {
+    Bytes buffer(pad_region(fc_result.size()), 0);
+    std::copy(fc_result.begin(), fc_result.end(),
+              reinterpret_cast<i8*>(buffer.data()));
+    session_->mpu.write(op.output_addr, buffer, out_vn);
+  } else {
+    Bytes buffer(pad_region(result.size()), 0);
+    std::copy(result.data().begin(), result.data().end(),
+              reinterpret_cast<i8*>(buffer.data()));
+    session_->mpu.write(op.output_addr, buffer, out_vn);
+  }
+  vn_.on_forward_write();
+
+  session_->chain.absorb(Opcode::kForward, op.serialize());
+  return DeviceStatus::kOk;
+}
+
+DeviceStatus GuardNnDevice::export_output(u64 addr, u64 bytes,
+                                          crypto::SealedRecord& out) {
+  if (!session_) return DeviceStatus::kNoSession;
+  if (session_->dead) return DeviceStatus::kIntegrityFailure;
+  if (bytes == 0) return DeviceStatus::kBadOperand;
+  latency_.add_command();
+
+  const u64 vn = vn_.feature_read_vn(addr).value_or(0);
+  Bytes plaintext(pad_region(bytes));
+  if (!session_->mpu.read(addr, plaintext, vn)) {
+    session_->dead = true;
+    return DeviceStatus::kIntegrityFailure;
+  }
+  plaintext.resize(bytes);
+  session_->output_hash = crypto::Sha256::hash(plaintext);
+  out = session_->to_user.seal(plaintext);
+
+  u8 operand[16];
+  store_be64(operand, addr);
+  store_be64(operand + 8, bytes);
+  session_->chain.absorb(Opcode::kExportOutput, BytesView(operand, 16));
+  return DeviceStatus::kOk;
+}
+
+DeviceStatus GuardNnDevice::sign_output(SignOutputResponse& out) {
+  if (!session_) return DeviceStatus::kNoSession;
+  if (session_->dead) return DeviceStatus::kIntegrityFailure;
+  latency_.add_sign();
+
+  out.input_hash = session_->input_hash;
+  out.weight_hash = session_->weight_hash;
+  out.output_hash = session_->output_hash;
+  out.instruction_hash = session_->chain.value();
+  out.signature =
+      crypto::ecdsa_sign_digest(identity_.private_key, out.report_digest());
+  return DeviceStatus::kOk;
+}
+
+const std::vector<std::pair<u64, bool>>& GuardNnDevice::access_trace() const {
+  static const std::vector<std::pair<u64, bool>> empty;
+  return session_ ? session_->mpu.access_trace() : empty;
+}
+
+}  // namespace guardnn::accel

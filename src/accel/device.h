@@ -1,0 +1,143 @@
+// The GuardNN secure accelerator device (Figure 1).
+//
+// Trusted boundary: everything inside this class. The device holds the
+// per-device identity key (SK_Accel, certified by the manufacturer CA), a
+// DRBG standing in for the TRNG, the on-chip counters of the VN generator,
+// the attestation hash chain, and — per session — the ECDHE-derived session
+// keys and a fresh random memory-encryption key (K_MEnc).
+//
+// Untrusted: the UntrustedMemory it is attached to, and every caller. The
+// public methods *are* the instruction set; by construction none of them
+// returns plaintext secrets, so any instruction sequence preserves
+// confidentiality (Section II-B "Small TCB").
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "accel/isa.h"
+#include "accel/memory.h"
+#include "accel/microcontroller.h"
+#include "accel/mpu.h"
+#include "crypto/cert.h"
+#include "crypto/ecdh.h"
+#include "crypto/secure_channel.h"
+#include "functional/quant_ops.h"
+#include "memprot/vn_generator.h"
+
+namespace guardnn::accel {
+
+/// GetPK response: the device public key and its manufacturer certificate.
+struct GetPkResponse {
+  crypto::AffinePoint public_key;
+  crypto::DeviceCertificate certificate;
+};
+
+/// InitSession response: the device's ephemeral ECDH share, signed together
+/// with the user's share by SK_Accel (ECDHE-ECDSA, MITM-resistant).
+struct InitSessionResponse {
+  crypto::AffinePoint device_ephemeral;
+  crypto::EcdsaSignature signature;  ///< over (user_pub || device_pub)
+};
+
+/// SignOutput response: attestation report + signature.
+struct SignOutputResponse {
+  crypto::Sha256Digest input_hash;
+  crypto::Sha256Digest weight_hash;
+  crypto::Sha256Digest output_hash;
+  crypto::Sha256Digest instruction_hash;
+  crypto::EcdsaSignature signature;
+
+  /// The digest the signature covers.
+  crypto::Sha256Digest report_digest() const;
+};
+
+/// Error codes surfaced to the (untrusted) host. Deliberately coarse: no
+/// error reveals secret-dependent information.
+enum class DeviceStatus : u8 {
+  kOk,
+  kNoSession,
+  kBadRecord,        ///< Secure-channel authentication failed.
+  kIntegrityFailure, ///< Off-chip integrity verification failed; session dead.
+  kBadOperand,
+};
+
+class GuardNnDevice {
+ public:
+  /// "Fabrication": generates the device identity from `entropy` and has the
+  /// manufacturer CA certify it.
+  GuardNnDevice(std::string device_id, const crypto::ManufacturerCa& ca,
+                UntrustedMemory& memory, BytesView entropy);
+
+  // --- Instruction set -----------------------------------------------------
+
+  GetPkResponse get_pk();
+
+  /// Establishes a session. `integrity` selects GuardNN_CI vs GuardNN_C.
+  InitSessionResponse init_session(const crypto::AffinePoint& user_ephemeral,
+                                   bool integrity);
+
+  /// Imports session-encrypted weights to `weight_addr` (512 B aligned).
+  DeviceStatus set_weight(const crypto::SealedRecord& record, u64 weight_addr);
+
+  /// Imports a session-encrypted input to `input_addr` (512 B aligned).
+  DeviceStatus set_input(const crypto::SealedRecord& record, u64 input_addr);
+
+  /// Host-supplied read counter for a feature address range.
+  DeviceStatus set_read_ctr(u64 base, u64 bytes, u64 vn);
+
+  /// Executes one DNN operation on protected memory.
+  DeviceStatus forward(const ForwardOp& op);
+
+  /// Reads `bytes` plaintext bytes at `addr` through the MPU and re-encrypts
+  /// them under the session key for the remote user.
+  DeviceStatus export_output(u64 addr, u64 bytes, crypto::SealedRecord& out);
+
+  /// Signs the attestation hashes with SK_Accel.
+  DeviceStatus sign_output(SignOutputResponse& out);
+
+  // --- Introspection (trusted-side test hooks) -----------------------------
+
+  bool session_active() const { return session_.has_value(); }
+  bool integrity_enabled() const {
+    return session_ && session_->mpu.integrity_enabled();
+  }
+  const memprot::VnGenerator& vn_generator() const { return vn_; }
+  double elapsed_ms() const { return latency_.total_ms(); }
+  /// Memory access trace of the current session (the observable side channel).
+  const std::vector<std::pair<u64, bool>>& access_trace() const;
+
+ private:
+  struct Session {
+    crypto::SessionKeys keys;
+    crypto::ChannelReceiver from_user;
+    crypto::ChannelSender to_user;
+    MemoryProtectionUnit mpu;
+    crypto::Sha256Digest input_hash{};
+    crypto::Sha256Digest weight_hash{};
+    crypto::Sha256Digest output_hash{};
+    AttestationChain chain;
+    bool dead = false;  ///< Set on integrity failure.
+  };
+
+  /// Rounds a byte count up to a whole number of MAC chunks (512 B), so
+  /// integrity chunk boundaries always align between writes and reads.
+  static u64 pad_region(u64 bytes) {
+    return (bytes + MemoryProtectionUnit::kChunkBytes - 1) /
+           MemoryProtectionUnit::kChunkBytes * MemoryProtectionUnit::kChunkBytes;
+  }
+
+  DeviceStatus import_region(const crypto::SealedRecord& record, u64 addr, u64 vn,
+                             crypto::Sha256Digest& data_hash, Opcode op);
+
+  std::string device_id_;
+  crypto::HmacDrbg drbg_;
+  crypto::EcdsaKeyPair identity_;
+  crypto::DeviceCertificate certificate_;
+  UntrustedMemory& memory_;
+  memprot::VnGenerator vn_;
+  LatencyAccumulator latency_;
+  std::optional<Session> session_;
+};
+
+}  // namespace guardnn::accel

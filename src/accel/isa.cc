@@ -1,0 +1,63 @@
+#include "accel/isa.h"
+
+#include <stdexcept>
+
+namespace guardnn::accel {
+
+std::string opcode_name(Opcode op) {
+  switch (op) {
+    case Opcode::kGetPk: return "GetPK";
+    case Opcode::kInitSession: return "InitSession";
+    case Opcode::kSetWeight: return "SetWeight";
+    case Opcode::kSetInput: return "SetInput";
+    case Opcode::kForward: return "Forward";
+    case Opcode::kSetReadCtr: return "SetReadCTR";
+    case Opcode::kExportOutput: return "ExportOutput";
+    case Opcode::kSignOutput: return "SignOutput";
+  }
+  throw std::invalid_argument("opcode_name: bad opcode");
+}
+
+Bytes ForwardOp::serialize() const {
+  Bytes out;
+  out.reserve(64);
+  out.push_back(static_cast<u8>(kind));
+  auto push32 = [&](i32 v) {
+    u8 buf[4];
+    store_be32(buf, static_cast<u32>(v));
+    out.insert(out.end(), buf, buf + 4);
+  };
+  auto push64 = [&](u64 v) {
+    u8 buf[8];
+    store_be64(buf, v);
+    out.insert(out.end(), buf, buf + 8);
+  };
+  push32(in_c);
+  push32(in_h);
+  push32(in_w);
+  push32(out_c);
+  push32(kernel);
+  push32(stride);
+  push32(pad);
+  push32(requant_shift);
+  push32(bits);
+  push32(aux_c);
+  push32(aux_h);
+  push32(aux_w);
+  push64(input_addr);
+  push64(input2_addr);
+  push64(weight_addr);
+  push64(output_addr);
+  return out;
+}
+
+void AttestationChain::absorb(Opcode op, BytesView operands) {
+  crypto::Sha256 hasher;
+  hasher.update(BytesView(state_.data(), state_.size()));
+  const u8 tag = static_cast<u8>(op);
+  hasher.update(BytesView(&tag, 1));
+  hasher.update(operands);
+  state_ = hasher.finalize();
+}
+
+}  // namespace guardnn::accel

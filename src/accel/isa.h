@@ -1,0 +1,90 @@
+// The GuardNN instruction set (paper Section II-E).
+//
+// The ISA is an *extension* to a DNN accelerator's base instructions,
+// designed so that no instruction — in any order, with any operands — can
+// make the accelerator emit plaintext secrets. The untrusted host schedules
+// these freely; confidentiality never depends on it behaving.
+#pragma once
+
+#include <string>
+
+#include "common/types.h"
+#include "crypto/sha256.h"
+
+namespace guardnn::accel {
+
+enum class Opcode : u8 {
+  kGetPk,         ///< Return PK_Accel + certificate.
+  kInitSession,   ///< ECDHE key exchange; reset all state and counters.
+  kSetWeight,     ///< Import session-encrypted weights into protected DRAM.
+  kSetInput,      ///< Import a session-encrypted input.
+  kForward,       ///< Run one DNN operation (base-accelerator instruction).
+  kSetReadCtr,    ///< Host supplies CTR_F,R for an address range.
+  kExportOutput,  ///< Re-encrypt an output region with K_Session.
+  kSignOutput,    ///< Sign the attestation hashes with SK_Accel.
+};
+
+std::string opcode_name(Opcode op);
+
+/// The DNN operation a Forward instruction executes. Shapes are public
+/// (the paper does not hide network structure); values are not.
+struct ForwardOp {
+  enum class Kind : u8 {
+    kConv,
+    kFc,
+    kRelu,
+    kMaxPool,
+    kGlobalAvgPool,
+    kDepthwiseConv,  ///< One k x k filter per channel (MobileNet).
+    kAdd,            ///< Elementwise residual add of two feature tensors.
+    // Training kinds (paper Section II-A: the accelerator runs training too;
+    // gradients are features in protected memory, Figure 2b):
+    kFcDx,        ///< dX = W^T dY.     input=dY, weights=W, aux=forward-X shape.
+    kFcDw,        ///< dW = dY X^T.     input=dY, input2=X (aux shape).
+    kConvDx,      ///< transposed conv. input=dY, weights=W, aux=forward-X shape.
+    kConvDw,      ///< dW correlation.  input=dY, input2=X (aux shape).
+    kReluDx,      ///< mask by X > 0.   input=dY, input2=forward X.
+    kMaxPoolDx,   ///< route to argmax. input=dY, input2=forward X (aux shape).
+    kSgdUpdate,   ///< W -= dW >> shift over the whole weight blob;
+                  ///< bumps CTR_W and re-encrypts (paper Section II-D.2).
+  };
+  Kind kind = Kind::kConv;
+
+  // Input tensor geometry (CHW) — the tensor at input_addr.
+  int in_c = 0, in_h = 0, in_w = 0;
+  // Conv/FC parameters.
+  int out_c = 0, kernel = 0, stride = 1, pad = 0;
+  int requant_shift = 0;  ///< Requant shift; learning-rate shift for kSgdUpdate.
+  int bits = 8;
+  // Auxiliary geometry: the tensor at input2_addr, or for the *Dx kinds the
+  // shape of the forward input (= the dX output shape).
+  int aux_c = 0, aux_h = 0, aux_w = 0;
+
+  // DRAM placement (all 512 B aligned by the host).
+  u64 input_addr = 0;
+  u64 input2_addr = 0;  ///< Second operand (kAdd, kFcDw, kConvDw, k*Dx masks).
+  u64 weight_addr = 0;
+  u64 output_addr = 0;
+
+  u64 input_bytes() const {
+    return static_cast<u64>(in_c) * in_h * in_w;
+  }
+
+  /// Canonical serialization — hashed into the attestation chain by the
+  /// device and mirrored by the remote user.
+  Bytes serialize() const;
+};
+
+/// Attestation hash chain: H' = SHA256(H || opcode || operand-bytes).
+/// Both the device and the remote user maintain one and must agree.
+class AttestationChain {
+ public:
+  void reset() { state_.fill(0); }
+  void absorb(Opcode op, BytesView operands);
+  const crypto::Sha256Digest& value() const { return state_; }
+
+ private:
+  crypto::Sha256Digest state_{};
+};
+
+}  // namespace guardnn::accel

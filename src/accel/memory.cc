@@ -1,0 +1,61 @@
+#include "accel/memory.h"
+
+#include <cstring>
+
+namespace guardnn::accel {
+
+UntrustedMemory::Page& UntrustedMemory::page_for(u64 address) {
+  auto [it, inserted] = pages_.try_emplace(address / kPageBytes);
+  if (inserted) it->second.fill(0);
+  return it->second;
+}
+
+const UntrustedMemory::Page* UntrustedMemory::page_for(u64 address) const {
+  const auto it = pages_.find(address / kPageBytes);
+  return it == pages_.end() ? nullptr : &it->second;
+}
+
+void UntrustedMemory::write(u64 address, BytesView data) {
+  std::size_t offset = 0;
+  while (offset < data.size()) {
+    Page& page = page_for(address + offset);
+    const u64 in_page = (address + offset) % kPageBytes;
+    const std::size_t n =
+        std::min<std::size_t>(kPageBytes - in_page, data.size() - offset);
+    std::memcpy(page.data() + in_page, data.data() + offset, n);
+    offset += n;
+  }
+}
+
+void UntrustedMemory::read(u64 address, MutBytesView out) const {
+  std::size_t offset = 0;
+  while (offset < out.size()) {
+    const Page* page = page_for(address + offset);
+    const u64 in_page = (address + offset) % kPageBytes;
+    const std::size_t n =
+        std::min<std::size_t>(kPageBytes - in_page, out.size() - offset);
+    if (page)
+      std::memcpy(out.data() + offset, page->data() + in_page, n);
+    else
+      std::memset(out.data() + offset, 0, n);
+    offset += n;
+  }
+}
+
+Bytes UntrustedMemory::read(u64 address, std::size_t size) const {
+  Bytes out(size);
+  read(address, out);
+  return out;
+}
+
+void UntrustedMemory::tamper(u64 address, u8 xor_mask) {
+  Page& page = page_for(address);
+  page[address % kPageBytes] ^= xor_mask;
+}
+
+void UntrustedMemory::copy(u64 dst, u64 src, std::size_t size) {
+  Bytes buffer = read(src, size);
+  write(dst, buffer);
+}
+
+}  // namespace guardnn::accel

@@ -1,0 +1,43 @@
+// Untrusted off-chip memory.
+//
+// Everything outside the accelerator chip is attacker-visible and
+// attacker-writable (paper threat model, Section II-A). This byte-addressable
+// sparse memory is shared between the GuardNN device (which only ever stores
+// ciphertext + MACs in it) and the adversarial host (which may read, tamper
+// and replay at will). Tests exercise exactly those attacks.
+#pragma once
+
+#include <array>
+#include <unordered_map>
+
+#include "common/types.h"
+
+namespace guardnn::accel {
+
+class UntrustedMemory {
+ public:
+  static constexpr u64 kPageBytes = 4096;
+
+  void write(u64 address, BytesView data);
+  void read(u64 address, MutBytesView out) const;
+  Bytes read(u64 address, std::size_t size) const;
+
+  /// Adversary helper: XORs a byte (bit-flip attack).
+  void tamper(u64 address, u8 xor_mask);
+
+  /// Adversary helper: copies `size` bytes from `src` to `dst` (replay /
+  /// relocation attack).
+  void copy(u64 dst, u64 src, std::size_t size);
+
+  /// Number of resident pages (for tests).
+  std::size_t resident_pages() const { return pages_.size(); }
+
+ private:
+  using Page = std::array<u8, kPageBytes>;
+  Page& page_for(u64 address);
+  const Page* page_for(u64 address) const;
+
+  std::unordered_map<u64, Page> pages_;
+};
+
+}  // namespace guardnn::accel

@@ -1,0 +1,71 @@
+#include "accel/mpu.h"
+
+#include <stdexcept>
+
+namespace guardnn::accel {
+
+MemoryProtectionUnit::MemoryProtectionUnit(UntrustedMemory& memory,
+                                           const crypto::AesKey& enc_key,
+                                           const crypto::AesKey& mac_key,
+                                           bool integrity_enabled)
+    : memory_(memory), enc_(enc_key), mac_(mac_key),
+      integrity_enabled_(integrity_enabled) {}
+
+void MemoryProtectionUnit::write(u64 address, BytesView plaintext, u64 version) {
+  if (address % 16 != 0)
+    throw std::invalid_argument("MPU::write: address must be 16 B aligned");
+  if (plaintext.size() % 16 != 0)
+    throw std::invalid_argument("MPU::write: size must be a multiple of 16");
+  if (integrity_enabled_ && address % kChunkBytes != 0)
+    throw std::invalid_argument("MPU::write: integrity requires 512 B alignment");
+
+  Bytes ciphertext(plaintext.begin(), plaintext.end());
+  crypto::memory_xcrypt(enc_, address / crypto::kAesBlockBytes, version, ciphertext);
+  memory_.write(address, ciphertext);
+  trace_.emplace_back(address, true);
+
+  if (integrity_enabled_) {
+    for (std::size_t off = 0; off < ciphertext.size(); off += kChunkBytes) {
+      const std::size_t n = std::min<std::size_t>(kChunkBytes, ciphertext.size() - off);
+      const u64 chunk_addr = address + off;
+      const u64 tag = crypto::memory_mac(
+          mac_, chunk_addr, version, BytesView(ciphertext.data() + off, n));
+      u8 tag_bytes[8];
+      store_be64(tag_bytes, tag);
+      memory_.write(mac_slot_address(chunk_addr), BytesView(tag_bytes, 8));
+      trace_.emplace_back(mac_slot_address(chunk_addr), true);
+    }
+  }
+}
+
+bool MemoryProtectionUnit::read(u64 address, MutBytesView out, u64 version) {
+  if (poisoned_) return false;
+  if (address % 16 != 0 || out.size() % 16 != 0)
+    throw std::invalid_argument("MPU::read: alignment");
+  if (integrity_enabled_ && address % kChunkBytes != 0)
+    throw std::invalid_argument("MPU::read: integrity requires 512 B alignment");
+
+  memory_.read(address, out);
+  trace_.emplace_back(address, false);
+
+  if (integrity_enabled_) {
+    for (std::size_t off = 0; off < out.size(); off += kChunkBytes) {
+      const std::size_t n = std::min<std::size_t>(kChunkBytes, out.size() - off);
+      const u64 chunk_addr = address + off;
+      const u64 expected = crypto::memory_mac(
+          mac_, chunk_addr, version, BytesView(out.data() + off, n));
+      u8 stored[8];
+      memory_.read(mac_slot_address(chunk_addr), MutBytesView(stored, 8));
+      trace_.emplace_back(mac_slot_address(chunk_addr), false);
+      if (load_be64(stored) != expected) {
+        poisoned_ = true;
+        return false;
+      }
+    }
+  }
+
+  crypto::memory_xcrypt(enc_, address / crypto::kAesBlockBytes, version, out);
+  return true;
+}
+
+}  // namespace guardnn::accel

@@ -1,0 +1,65 @@
+// Memory Protection Unit: the Enc/IV engine of Figure 1.
+//
+// Every device access to untrusted memory flows through here:
+//  * writes are AES-CTR encrypted with a counter formed from the 128-bit
+//    block address and the caller-supplied version number (Section II-D.2);
+//  * with integrity enabled, a 64-bit MAC over (address, VN, ciphertext) is
+//    stored per 512 B chunk in a dedicated MAC region — the data-movement-
+//    granularity MACs that let GuardNN skip the counter tree;
+//  * reads decrypt with the caller's VN and, when integrity is on, verify
+//    the chunk MACs; verification failure poisons the MPU, after which all
+//    further reads fail (the device aborts the session).
+//
+// Confidentiality never depends on the VN being *correct* — a wrong read VN
+// just yields garbage plaintext — which is why GuardNN can let the untrusted
+// host supply CTR_F,R.
+#pragma once
+
+#include <vector>
+
+#include "accel/memory.h"
+#include "crypto/aes128.h"
+#include "crypto/mem_mac.h"
+
+namespace guardnn::accel {
+
+class MemoryProtectionUnit {
+ public:
+  static constexpr u64 kChunkBytes = 512;
+  /// MAC table lives in untrusted memory above the data space.
+  static constexpr u64 kMacRegionBase = 0x80'0000'0000ULL;
+
+  MemoryProtectionUnit(UntrustedMemory& memory, const crypto::AesKey& enc_key,
+                       const crypto::AesKey& mac_key, bool integrity_enabled);
+
+  /// Encrypts and stores `plaintext` at `address` (16 B aligned; the start
+  /// must be 512 B aligned when integrity is enabled).
+  void write(u64 address, BytesView plaintext, u64 version);
+
+  /// Decrypts `out.size()` bytes from `address` using `version`. Returns
+  /// false when integrity verification fails (or the MPU is poisoned).
+  [[nodiscard]] bool read(u64 address, MutBytesView out, u64 version);
+
+  bool integrity_enabled() const { return integrity_enabled_; }
+  bool poisoned() const { return poisoned_; }
+
+  /// Sequence of (address, is_write) the MPU issued — the memory side
+  /// channel an adversary can observe. Tests assert it is independent of
+  /// data values.
+  const std::vector<std::pair<u64, bool>>& access_trace() const { return trace_; }
+  void clear_trace() { trace_.clear(); }
+
+ private:
+  u64 mac_slot_address(u64 chunk_address) const {
+    return kMacRegionBase + chunk_address / kChunkBytes * 8;
+  }
+
+  UntrustedMemory& memory_;
+  crypto::Aes128 enc_;
+  crypto::Aes128 mac_;
+  bool integrity_enabled_;
+  bool poisoned_ = false;
+  std::vector<std::pair<u64, bool>> trace_;
+};
+
+}  // namespace guardnn::accel

@@ -1,0 +1,66 @@
+// Deterministic pseudo-random number generation for simulation and tests.
+//
+// The *secure* randomness used by the accelerator TEE comes from
+// crypto::HmacDrbg (the "TRNG" stand-in); this xoshiro-based generator is for
+// workload generation, fault injection and property tests where
+// reproducibility matters more than unpredictability.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace guardnn {
+
+/// splitmix64: used to expand a single seed into xoshiro state.
+inline u64 splitmix64(u64& state) {
+  u64 z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** — fast, high-quality deterministic PRNG.
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(u64 seed = 0x1234abcdULL) {
+    u64 sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  u64 next() {
+    const u64 result = rotl(state_[1] * 5, 7) * 9;
+    const u64 t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  u64 next_below(u64 bound) { return next() % bound; }
+
+  /// Uniform double in [0, 1).
+  double next_double() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  /// Fills `out` with pseudo-random bytes.
+  void fill(MutBytesView out) {
+    std::size_t i = 0;
+    while (i < out.size()) {
+      u64 v = next();
+      for (int b = 0; b < 8 && i < out.size(); ++b, ++i) {
+        out[i] = static_cast<u8>(v & 0xff);
+        v >>= 8;
+      }
+    }
+  }
+
+ private:
+  static u64 rotl(u64 x, int k) { return (x << k) | (x >> (64 - k)); }
+  u64 state_[4]{};
+};
+
+}  // namespace guardnn

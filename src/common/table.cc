@@ -1,0 +1,19 @@
+#include "common/table.h"
+
+#include <cstdio>
+
+namespace guardnn {
+
+std::string fmt_fixed(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+std::string fmt_overhead_pct(double normalized) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%+.1f%%", (normalized - 1.0) * 100.0);
+  return buf;
+}
+
+}  // namespace guardnn

@@ -1,0 +1,58 @@
+// Minimal fixed-width console table printer used by the benchmark harnesses
+// to emit rows in the same layout as the paper's tables.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace guardnn {
+
+class ConsoleTable {
+ public:
+  explicit ConsoleTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  void print(std::ostream& os = std::cout) const {
+    std::vector<std::size_t> widths(header_.size(), 0);
+    auto widen = [&](const std::vector<std::string>& row) {
+      for (std::size_t i = 0; i < row.size() && i < widths.size(); ++i)
+        widths[i] = std::max(widths[i], row[i].size());
+    };
+    widen(header_);
+    for (const auto& row : rows_) widen(row);
+
+    auto print_row = [&](const std::vector<std::string>& row) {
+      os << "|";
+      for (std::size_t i = 0; i < widths.size(); ++i) {
+        std::string cell = i < row.size() ? row[i] : "";
+        os << " " << cell << std::string(widths[i] - cell.size(), ' ') << " |";
+      }
+      os << "\n";
+    };
+    auto print_sep = [&]() {
+      os << "+";
+      for (std::size_t w : widths) os << std::string(w + 2, '-') << "+";
+      os << "\n";
+    };
+
+    print_sep();
+    print_row(header_);
+    print_sep();
+    for (const auto& row : rows_) print_row(row);
+    print_sep();
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` decimal places.
+std::string fmt_fixed(double v, int digits);
+
+/// Formats a ratio like `1.053` as `+5.3%` overhead.
+std::string fmt_overhead_pct(double normalized);
+
+}  // namespace guardnn

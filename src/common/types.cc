@@ -1,0 +1,48 @@
+#include "common/types.h"
+
+#include <stdexcept>
+
+namespace guardnn {
+
+bool ct_equal(BytesView a, BytesView b) {
+  if (a.size() != b.size()) return false;
+  u8 diff = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) diff |= static_cast<u8>(a[i] ^ b[i]);
+  return diff == 0;
+}
+
+std::string to_hex(BytesView data) {
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (u8 b : data) {
+    out.push_back(digits[b >> 4]);
+    out.push_back(digits[b & 0xf]);
+  }
+  return out;
+}
+
+namespace {
+int hex_nibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  throw std::invalid_argument("from_hex: invalid hex character");
+}
+}  // namespace
+
+Bytes from_hex(const std::string& hex) {
+  if (hex.size() % 2 != 0) throw std::invalid_argument("from_hex: odd length");
+  Bytes out(hex.size() / 2);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = static_cast<u8>((hex_nibble(hex[2 * i]) << 4) | hex_nibble(hex[2 * i + 1]));
+  }
+  return out;
+}
+
+void xor_into(MutBytesView dst, BytesView src) {
+  if (dst.size() != src.size()) throw std::invalid_argument("xor_into: size mismatch");
+  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] ^= src[i];
+}
+
+}  // namespace guardnn

@@ -1,0 +1,80 @@
+// Fundamental type aliases and byte utilities shared by every GuardNN module.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace guardnn {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/// Owned byte buffer used for keys, ciphertext, hashes and wire messages.
+using Bytes = std::vector<u8>;
+/// Non-owning view over bytes (read-only).
+using BytesView = std::span<const u8>;
+/// Non-owning mutable view over bytes.
+using MutBytesView = std::span<u8>;
+
+/// Loads a little-endian 64-bit value from `p` (which must have >= 8 bytes).
+inline u64 load_le64(const u8* p) {
+  u64 v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+/// Stores `v` little-endian into `p` (which must have >= 8 bytes).
+inline void store_le64(u8* p, u64 v) {
+  for (int i = 0; i < 8; ++i) {
+    p[i] = static_cast<u8>(v & 0xff);
+    v >>= 8;
+  }
+}
+
+/// Loads a big-endian 32-bit value.
+inline u32 load_be32(const u8* p) {
+  return (u32(p[0]) << 24) | (u32(p[1]) << 16) | (u32(p[2]) << 8) | u32(p[3]);
+}
+
+/// Stores a big-endian 32-bit value.
+inline void store_be32(u8* p, u32 v) {
+  p[0] = static_cast<u8>(v >> 24);
+  p[1] = static_cast<u8>(v >> 16);
+  p[2] = static_cast<u8>(v >> 8);
+  p[3] = static_cast<u8>(v);
+}
+
+/// Stores a big-endian 64-bit value.
+inline void store_be64(u8* p, u64 v) {
+  store_be32(p, static_cast<u32>(v >> 32));
+  store_be32(p + 4, static_cast<u32>(v));
+}
+
+/// Loads a big-endian 64-bit value.
+inline u64 load_be64(const u8* p) {
+  return (u64(load_be32(p)) << 32) | load_be32(p + 4);
+}
+
+/// Constant-time byte comparison; returns true when equal. Used for MAC and
+/// signature checks so that comparison timing does not leak the match prefix.
+bool ct_equal(BytesView a, BytesView b);
+
+/// Hex encoding, for logs, attestation reports and test diagnostics.
+std::string to_hex(BytesView data);
+
+/// Hex decoding; throws std::invalid_argument on malformed input.
+Bytes from_hex(const std::string& hex);
+
+/// XOR `src` into `dst` (sizes must match).
+void xor_into(MutBytesView dst, BytesView src);
+
+}  // namespace guardnn

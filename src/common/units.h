@@ -1,0 +1,26 @@
+// Unit constants and conversions used throughout the simulators.
+#pragma once
+
+#include <cstdint>
+
+namespace guardnn {
+
+inline constexpr std::uint64_t KiB = 1024;
+inline constexpr std::uint64_t MiB = 1024 * KiB;
+inline constexpr std::uint64_t GiB = 1024 * MiB;
+
+inline constexpr double kKilo = 1e3;
+inline constexpr double kMega = 1e6;
+inline constexpr double kGiga = 1e9;
+
+/// Converts a cycle count at `freq_hz` to seconds.
+inline double cycles_to_seconds(std::uint64_t cycles, double freq_hz) {
+  return static_cast<double>(cycles) / freq_hz;
+}
+
+/// Converts a cycle count at `freq_hz` to milliseconds.
+inline double cycles_to_ms(std::uint64_t cycles, double freq_hz) {
+  return cycles_to_seconds(cycles, freq_hz) * 1e3;
+}
+
+}  // namespace guardnn

@@ -1,0 +1,63 @@
+// AES-128 block cipher and the CTR mode used by the GuardNN memory
+// encryption engine (Section II-D of the paper).
+//
+// The hardware AES engines in GuardNN are pipelined with a 12-cycle latency;
+// this module provides the *functional* behaviour, while the latency model
+// lives in memprot::AesPipelineModel.
+#pragma once
+
+#include <array>
+
+#include "common/types.h"
+
+namespace guardnn::crypto {
+
+inline constexpr std::size_t kAesBlockBytes = 16;
+inline constexpr std::size_t kAesKeyBytes = 16;
+
+using AesBlock = std::array<u8, kAesBlockBytes>;
+using AesKey = std::array<u8, kAesKeyBytes>;
+
+/// AES-128 with precomputed round keys. Copyable value type.
+class Aes128 {
+ public:
+  explicit Aes128(const AesKey& key);
+
+  /// Encrypts one 16-byte block in place.
+  void encrypt_block(u8* block) const;
+  /// Decrypts one 16-byte block in place.
+  void decrypt_block(u8* block) const;
+
+  AesBlock encrypt(const AesBlock& in) const {
+    AesBlock out = in;
+    encrypt_block(out.data());
+    return out;
+  }
+  AesBlock decrypt(const AesBlock& in) const {
+    AesBlock out = in;
+    decrypt_block(out.data());
+    return out;
+  }
+
+ private:
+  // 11 round keys x 16 bytes.
+  std::array<u8, 176> round_keys_{};
+};
+
+/// Counter block layout used by GuardNN's memory encryption: the 128-bit
+/// counter is the concatenation of the 64-bit physical block address and the
+/// 64-bit version number (paper Section II-D.2).
+AesBlock make_counter_block(u64 block_address, u64 version_number);
+
+/// AES-CTR keystream XOR: encrypt == decrypt. `counter0` is the first counter
+/// block; subsequent blocks increment the low 64 bits (the VN field is held
+/// in the high half by callers that follow the GuardNN layout).
+void ctr_xcrypt(const Aes128& aes, const AesBlock& counter0, MutBytesView data);
+
+/// GuardNN-style memory-block encryption: every 16-byte AES block inside
+/// `data` is keyed by (base_block_address + i, version_number). This mirrors
+/// the hardware, where the counter is formed per 128-bit memory block.
+void memory_xcrypt(const Aes128& aes, u64 base_block_address, u64 version_number,
+                   MutBytesView data);
+
+}  // namespace guardnn::crypto

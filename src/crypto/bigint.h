@@ -1,0 +1,79 @@
+// Fixed-width 256-bit unsigned integer arithmetic with modular operations,
+// sized exactly for the NIST P-256 group used by GuardNN's device identity
+// (ECDSA) and session key exchange (ECDHE).
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "common/types.h"
+
+namespace guardnn::crypto {
+
+/// 256-bit unsigned integer; limbs are little-endian 64-bit words.
+struct U256 {
+  std::array<u64, 4> limb{};
+
+  static U256 zero() { return {}; }
+  static U256 one() {
+    U256 v;
+    v.limb[0] = 1;
+    return v;
+  }
+  static U256 from_u64(u64 x) {
+    U256 v;
+    v.limb[0] = x;
+    return v;
+  }
+  /// Parses a big-endian hex string (up to 64 hex digits).
+  static U256 from_hex(const std::string& hex);
+  /// Parses 32 big-endian bytes.
+  static U256 from_bytes(BytesView bytes);
+
+  /// Serializes to 32 big-endian bytes.
+  Bytes to_bytes() const;
+  std::string to_hex() const;
+
+  bool is_zero() const { return (limb[0] | limb[1] | limb[2] | limb[3]) == 0; }
+  bool is_odd() const { return limb[0] & 1; }
+  bool bit(unsigned i) const { return (limb[i / 64] >> (i % 64)) & 1; }
+  /// Index of the highest set bit, or -1 when zero.
+  int bit_length() const;
+
+  friend bool operator==(const U256& a, const U256& b) { return a.limb == b.limb; }
+};
+
+/// Three-way comparison: -1, 0 or +1.
+int cmp(const U256& a, const U256& b);
+
+/// a + b; returns the carry-out (0 or 1).
+u64 add(U256& out, const U256& a, const U256& b);
+/// a - b; returns the borrow-out (0 or 1).
+u64 sub(U256& out, const U256& a, const U256& b);
+
+/// Right shift by one bit.
+U256 shr1(const U256& a);
+
+/// 512-bit product container for the multiply-then-reduce path.
+struct U512 {
+  std::array<u64, 8> limb{};
+  bool bit(unsigned i) const { return (limb[i / 64] >> (i % 64)) & 1; }
+  int bit_length() const;
+};
+
+/// Full 256x256 -> 512-bit schoolbook multiply.
+U512 mul_wide(const U256& a, const U256& b);
+
+/// x mod m via binary long division. m must be non-zero.
+U256 mod_reduce(const U512& x, const U256& m);
+
+/// Modular arithmetic helpers; all operands must already be < m.
+U256 add_mod(const U256& a, const U256& b, const U256& m);
+U256 sub_mod(const U256& a, const U256& b, const U256& m);
+U256 mul_mod(const U256& a, const U256& b, const U256& m);
+/// a^e mod m (square-and-multiply).
+U256 pow_mod(const U256& a, const U256& e, const U256& m);
+/// a^-1 mod m for prime m (Fermat's little theorem). a must be non-zero.
+U256 inv_mod_prime(const U256& a, const U256& m);
+
+}  // namespace guardnn::crypto

@@ -1,0 +1,27 @@
+#include "crypto/cert.h"
+
+namespace guardnn::crypto {
+
+Bytes DeviceCertificate::tbs_bytes() const {
+  Bytes out(device_id.begin(), device_id.end());
+  out.push_back(0x00);  // Separator so id/key boundaries are unambiguous.
+  const Bytes pub = encode_point(device_public);
+  out.insert(out.end(), pub.begin(), pub.end());
+  return out;
+}
+
+DeviceCertificate ManufacturerCa::issue(const std::string& device_id,
+                                        const AffinePoint& device_public) const {
+  DeviceCertificate cert;
+  cert.device_id = device_id;
+  cert.device_public = device_public;
+  cert.ca_signature = ecdsa_sign(key_.private_key, cert.tbs_bytes());
+  return cert;
+}
+
+bool verify_certificate(const DeviceCertificate& cert, const AffinePoint& ca_public) {
+  if (cert.device_public.infinity || !on_curve(cert.device_public)) return false;
+  return ecdsa_verify(ca_public, cert.tbs_bytes(), cert.ca_signature);
+}
+
+}  // namespace guardnn::crypto

@@ -1,0 +1,43 @@
+// Minimal device-certificate infrastructure.
+//
+// The paper assumes "the user obtains the corresponding public key using a
+// public key infrastructure as in Intel SGX or TPMs". We model the smallest
+// faithful PKI: a manufacturer CA signs (device_id || device public key); the
+// remote user pins the CA public key and validates the certificate returned
+// by GetPK before starting a session.
+#pragma once
+
+#include <string>
+
+#include "crypto/ecdsa.h"
+
+namespace guardnn::crypto {
+
+struct DeviceCertificate {
+  std::string device_id;       ///< Manufacturer-assigned identifier.
+  AffinePoint device_public;   ///< PK_Accel.
+  EcdsaSignature ca_signature; ///< CA signature over the TBS bytes.
+
+  /// The "to-be-signed" serialization the CA signs.
+  Bytes tbs_bytes() const;
+};
+
+/// Manufacturer certificate authority. Owns the CA signing key and issues
+/// device certificates at "fabrication" time.
+class ManufacturerCa {
+ public:
+  explicit ManufacturerCa(HmacDrbg& drbg) : key_(ecdsa_generate_key(drbg)) {}
+
+  const AffinePoint& public_key() const { return key_.public_key; }
+
+  DeviceCertificate issue(const std::string& device_id,
+                          const AffinePoint& device_public) const;
+
+ private:
+  EcdsaKeyPair key_;
+};
+
+/// Validates a device certificate against the pinned CA public key.
+bool verify_certificate(const DeviceCertificate& cert, const AffinePoint& ca_public);
+
+}  // namespace guardnn::crypto

@@ -1,0 +1,54 @@
+#include "crypto/drbg.h"
+
+#include "crypto/hmac.h"
+
+namespace guardnn::crypto {
+
+HmacDrbg::HmacDrbg(BytesView entropy, BytesView personalization) {
+  key_.fill(0x00);
+  value_.fill(0x01);
+  Bytes seed(entropy.begin(), entropy.end());
+  seed.insert(seed.end(), personalization.begin(), personalization.end());
+  update(seed);
+}
+
+void HmacDrbg::update(BytesView data) {
+  // K = HMAC(K, V || 0x00 || data); V = HMAC(K, V)
+  Bytes input(value_.begin(), value_.end());
+  input.push_back(0x00);
+  input.insert(input.end(), data.begin(), data.end());
+  Sha256Digest k = hmac_sha256(BytesView(key_.data(), key_.size()), input);
+  std::copy(k.begin(), k.end(), key_.begin());
+  Sha256Digest v = hmac_sha256(BytesView(key_.data(), key_.size()),
+                               BytesView(value_.data(), value_.size()));
+  std::copy(v.begin(), v.end(), value_.begin());
+
+  if (data.empty()) return;
+  // Second round with 0x01 separator.
+  input.assign(value_.begin(), value_.end());
+  input.push_back(0x01);
+  input.insert(input.end(), data.begin(), data.end());
+  k = hmac_sha256(BytesView(key_.data(), key_.size()), input);
+  std::copy(k.begin(), k.end(), key_.begin());
+  v = hmac_sha256(BytesView(key_.data(), key_.size()),
+                  BytesView(value_.data(), value_.size()));
+  std::copy(v.begin(), v.end(), value_.begin());
+}
+
+Bytes HmacDrbg::generate(std::size_t length) {
+  Bytes out;
+  out.reserve(length);
+  while (out.size() < length) {
+    const Sha256Digest v = hmac_sha256(BytesView(key_.data(), key_.size()),
+                                       BytesView(value_.data(), value_.size()));
+    std::copy(v.begin(), v.end(), value_.begin());
+    const std::size_t take = std::min(v.size(), length - out.size());
+    out.insert(out.end(), v.begin(), v.begin() + static_cast<long>(take));
+  }
+  update({});
+  return out;
+}
+
+void HmacDrbg::reseed(BytesView entropy) { update(entropy); }
+
+}  // namespace guardnn::crypto

@@ -1,0 +1,32 @@
+// HMAC-DRBG (SP 800-90A style), standing in for the accelerator's true
+// random number generator (paper Table I "Key Generation").
+//
+// The physical TRNG cannot be reproduced in simulation; a deterministic DRBG
+// seeded per-device exercises exactly the same key-generation code paths
+// while keeping tests reproducible (see DESIGN.md substitution table).
+#pragma once
+
+#include "common/types.h"
+#include "crypto/sha256.h"
+
+namespace guardnn::crypto {
+
+class HmacDrbg {
+ public:
+  /// Instantiates the DRBG from entropy (and optional personalization).
+  explicit HmacDrbg(BytesView entropy, BytesView personalization = {});
+
+  /// Generates `length` pseudo-random bytes.
+  Bytes generate(std::size_t length);
+
+  /// Mixes additional entropy into the state.
+  void reseed(BytesView entropy);
+
+ private:
+  void update(BytesView data);
+
+  std::array<u8, 32> key_{};
+  std::array<u8, 32> value_{};
+};
+
+}  // namespace guardnn::crypto

@@ -1,0 +1,115 @@
+#include "crypto/ecdsa.h"
+
+#include <stdexcept>
+
+#include "crypto/hmac.h"
+
+namespace guardnn::crypto {
+namespace {
+
+// Reduces a 32-byte digest into a scalar mod n (simple truncation + reduce,
+// adequate for a 256-bit curve with a 256-bit hash).
+U256 digest_to_scalar(const Sha256Digest& digest) {
+  const U256 z = U256::from_bytes(BytesView(digest.data(), digest.size()));
+  U512 wide;
+  for (int i = 0; i < 4; ++i) wide.limb[i] = z.limb[i];
+  return mod_reduce(wide, p256().n);
+}
+
+// Deterministic nonce derivation in the spirit of RFC 6979: an HMAC-DRBG
+// keyed by (private key || digest) generates candidate nonces.
+U256 derive_nonce(const U256& private_key, const Sha256Digest& digest) {
+  Bytes seed = private_key.to_bytes();
+  seed.insert(seed.end(), digest.begin(), digest.end());
+  HmacDrbg drbg(seed, Bytes{'e', 'c', 'd', 's', 'a', '-', 'k'});
+  const U256& n = p256().n;
+  for (;;) {
+    const Bytes candidate = drbg.generate(32);
+    U256 k = U256::from_bytes(candidate);
+    if (!k.is_zero() && cmp(k, n) < 0) return k;
+  }
+}
+
+}  // namespace
+
+Bytes EcdsaSignature::to_bytes() const {
+  Bytes out = r.to_bytes();
+  const Bytes sb = s.to_bytes();
+  out.insert(out.end(), sb.begin(), sb.end());
+  return out;
+}
+
+std::optional<EcdsaSignature> EcdsaSignature::from_bytes(BytesView bytes) {
+  if (bytes.size() != 64) return std::nullopt;
+  EcdsaSignature sig;
+  sig.r = U256::from_bytes(bytes.subspan(0, 32));
+  sig.s = U256::from_bytes(bytes.subspan(32, 32));
+  return sig;
+}
+
+EcdsaKeyPair ecdsa_generate_key(HmacDrbg& drbg) {
+  const U256& n = p256().n;
+  for (;;) {
+    const Bytes raw = drbg.generate(32);
+    U256 d = U256::from_bytes(raw);
+    if (d.is_zero() || cmp(d, n) >= 0) continue;
+    EcdsaKeyPair kp;
+    kp.private_key = d;
+    kp.public_key = ec_scalar_base_mult(d);
+    return kp;
+  }
+}
+
+EcdsaSignature ecdsa_sign_digest(const U256& private_key, const Sha256Digest& digest) {
+  const U256& n = p256().n;
+  const U256 z = digest_to_scalar(digest);
+  Sha256Digest tweaked = digest;
+  for (;;) {
+    const U256 k = derive_nonce(private_key, tweaked);
+    const AffinePoint kg = ec_scalar_base_mult(k);
+    U512 rx_wide;
+    for (int i = 0; i < 4; ++i) rx_wide.limb[i] = kg.x.limb[i];
+    const U256 r = mod_reduce(rx_wide, n);
+    if (r.is_zero()) {
+      tweaked[0] ^= 0x01;  // Extremely unlikely; re-derive with a tweak.
+      continue;
+    }
+    const U256 k_inv = inv_mod_prime(k, n);
+    const U256 s = mul_mod(k_inv, add_mod(z, mul_mod(r, private_key, n), n), n);
+    if (s.is_zero()) {
+      tweaked[0] ^= 0x02;
+      continue;
+    }
+    return EcdsaSignature{r, s};
+  }
+}
+
+EcdsaSignature ecdsa_sign(const U256& private_key, BytesView message) {
+  return ecdsa_sign_digest(private_key, Sha256::hash(message));
+}
+
+bool ecdsa_verify_digest(const AffinePoint& public_key, const Sha256Digest& digest,
+                         const EcdsaSignature& sig) {
+  const U256& n = p256().n;
+  if (public_key.infinity || !on_curve(public_key)) return false;
+  if (sig.r.is_zero() || sig.s.is_zero()) return false;
+  if (cmp(sig.r, n) >= 0 || cmp(sig.s, n) >= 0) return false;
+
+  const U256 z = digest_to_scalar(digest);
+  const U256 s_inv = inv_mod_prime(sig.s, n);
+  const U256 u1 = mul_mod(z, s_inv, n);
+  const U256 u2 = mul_mod(sig.r, s_inv, n);
+  const AffinePoint point =
+      ec_add(ec_scalar_base_mult(u1), ec_scalar_mult(u2, public_key));
+  if (point.infinity) return false;
+  U512 x_wide;
+  for (int i = 0; i < 4; ++i) x_wide.limb[i] = point.x.limb[i];
+  return mod_reduce(x_wide, n) == sig.r;
+}
+
+bool ecdsa_verify(const AffinePoint& public_key, BytesView message,
+                  const EcdsaSignature& sig) {
+  return ecdsa_verify_digest(public_key, Sha256::hash(message), sig);
+}
+
+}  // namespace guardnn::crypto

@@ -1,0 +1,42 @@
+// ECDSA over P-256 with SHA-256 digests and deterministic (RFC 6979-style)
+// nonces. GuardNN uses ECDSA for the device certificate chain and for the
+// SignOutput instruction that attests an output to the remote user.
+#pragma once
+
+#include "crypto/drbg.h"
+#include "crypto/p256.h"
+#include "crypto/sha256.h"
+
+namespace guardnn::crypto {
+
+struct EcdsaKeyPair {
+  U256 private_key;       ///< Scalar d, 1 <= d < n.
+  AffinePoint public_key; ///< Q = d*G.
+};
+
+struct EcdsaSignature {
+  U256 r;
+  U256 s;
+
+  Bytes to_bytes() const;  ///< 64 bytes: r || s, big-endian.
+  static std::optional<EcdsaSignature> from_bytes(BytesView bytes);
+};
+
+/// Generates a key pair from the supplied DRBG (the device "TRNG").
+EcdsaKeyPair ecdsa_generate_key(HmacDrbg& drbg);
+
+/// Signs a message (SHA-256 is applied internally).
+EcdsaSignature ecdsa_sign(const U256& private_key, BytesView message);
+
+/// Signs a precomputed 32-byte digest.
+EcdsaSignature ecdsa_sign_digest(const U256& private_key, const Sha256Digest& digest);
+
+/// Verifies a signature over a message.
+bool ecdsa_verify(const AffinePoint& public_key, BytesView message,
+                  const EcdsaSignature& sig);
+
+/// Verifies a signature over a precomputed digest.
+bool ecdsa_verify_digest(const AffinePoint& public_key, const Sha256Digest& digest,
+                         const EcdsaSignature& sig);
+
+}  // namespace guardnn::crypto

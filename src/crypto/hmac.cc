@@ -1,0 +1,60 @@
+#include "crypto/hmac.h"
+
+#include <stdexcept>
+
+namespace guardnn::crypto {
+
+Sha256Digest hmac_sha256(BytesView key, BytesView message) {
+  std::array<u8, 64> block_key{};
+  if (key.size() > 64) {
+    const Sha256Digest hashed = Sha256::hash(key);
+    std::copy(hashed.begin(), hashed.end(), block_key.begin());
+  } else {
+    std::copy(key.begin(), key.end(), block_key.begin());
+  }
+
+  std::array<u8, 64> ipad, opad;
+  for (int i = 0; i < 64; ++i) {
+    ipad[i] = block_key[i] ^ 0x36;
+    opad[i] = block_key[i] ^ 0x5c;
+  }
+
+  Sha256 inner;
+  inner.update(BytesView(ipad.data(), ipad.size()));
+  inner.update(message);
+  const Sha256Digest inner_digest = inner.finalize();
+
+  Sha256 outer;
+  outer.update(BytesView(opad.data(), opad.size()));
+  outer.update(BytesView(inner_digest.data(), inner_digest.size()));
+  return outer.finalize();
+}
+
+Sha256Digest hkdf_extract(BytesView salt, BytesView ikm) {
+  return hmac_sha256(salt, ikm);
+}
+
+Bytes hkdf_expand(const Sha256Digest& prk, BytesView info, std::size_t length) {
+  if (length > 255 * kSha256DigestBytes)
+    throw std::invalid_argument("hkdf_expand: length too large");
+  Bytes okm;
+  okm.reserve(length);
+  Bytes t;
+  u8 counter = 1;
+  while (okm.size() < length) {
+    Bytes input = t;
+    input.insert(input.end(), info.begin(), info.end());
+    input.push_back(counter++);
+    const Sha256Digest block = hmac_sha256(BytesView(prk.data(), prk.size()), input);
+    t.assign(block.begin(), block.end());
+    const std::size_t take = std::min(t.size(), length - okm.size());
+    okm.insert(okm.end(), t.begin(), t.begin() + static_cast<long>(take));
+  }
+  return okm;
+}
+
+Bytes hkdf(BytesView salt, BytesView ikm, BytesView info, std::size_t length) {
+  return hkdf_expand(hkdf_extract(salt, ikm), info, length);
+}
+
+}  // namespace guardnn::crypto

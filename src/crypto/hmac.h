@@ -1,0 +1,23 @@
+// HMAC-SHA256 and HKDF. Used for session-key derivation after ECDHE and for
+// the authenticated secure channel between the remote user and the
+// accelerator (paper Section II-C / Table I "Key Exchange").
+#pragma once
+
+#include "common/types.h"
+#include "crypto/sha256.h"
+
+namespace guardnn::crypto {
+
+/// HMAC-SHA256(key, message).
+Sha256Digest hmac_sha256(BytesView key, BytesView message);
+
+/// HKDF-Extract: PRK = HMAC(salt, ikm).
+Sha256Digest hkdf_extract(BytesView salt, BytesView ikm);
+
+/// HKDF-Expand: derives `length` bytes of output keying material from PRK.
+Bytes hkdf_expand(const Sha256Digest& prk, BytesView info, std::size_t length);
+
+/// Convenience: extract-then-expand.
+Bytes hkdf(BytesView salt, BytesView ikm, BytesView info, std::size_t length);
+
+}  // namespace guardnn::crypto

@@ -1,0 +1,64 @@
+#include "crypto/mem_mac.h"
+
+#include <cstring>
+
+namespace guardnn::crypto {
+namespace {
+
+// Doubles a 128-bit value in GF(2^128) per the CMAC subkey derivation.
+AesBlock gf_double(const AesBlock& in) {
+  AesBlock out{};
+  u8 carry = 0;
+  for (int i = 15; i >= 0; --i) {
+    const u8 next_carry = static_cast<u8>(in[i] >> 7);
+    out[i] = static_cast<u8>((in[i] << 1) | carry);
+    carry = next_carry;
+  }
+  if (carry) out[15] ^= 0x87;
+  return out;
+}
+
+}  // namespace
+
+AesBlock cmac_aes128(const Aes128& aes, BytesView message) {
+  AesBlock zero{};
+  const AesBlock l = aes.encrypt(zero);
+  const AesBlock k1 = gf_double(l);
+  const AesBlock k2 = gf_double(k1);
+
+  const std::size_t n_blocks =
+      message.empty() ? 1 : (message.size() + kAesBlockBytes - 1) / kAesBlockBytes;
+  const bool last_complete = !message.empty() && message.size() % kAesBlockBytes == 0;
+
+  AesBlock x{};
+  for (std::size_t b = 0; b + 1 < n_blocks; ++b) {
+    for (std::size_t i = 0; i < kAesBlockBytes; ++i)
+      x[i] ^= message[b * kAesBlockBytes + i];
+    x = aes.encrypt(x);
+  }
+
+  AesBlock last{};
+  const std::size_t tail_offset = (n_blocks - 1) * kAesBlockBytes;
+  const std::size_t tail_len = message.size() - tail_offset;
+  if (last_complete) {
+    for (std::size_t i = 0; i < kAesBlockBytes; ++i)
+      last[i] = static_cast<u8>(message[tail_offset + i] ^ k1[i]);
+  } else {
+    for (std::size_t i = 0; i < tail_len; ++i) last[i] = message[tail_offset + i];
+    last[tail_len] = 0x80;
+    for (std::size_t i = 0; i < kAesBlockBytes; ++i) last[i] ^= k2[i];
+  }
+  for (std::size_t i = 0; i < kAesBlockBytes; ++i) x[i] ^= last[i];
+  return aes.encrypt(x);
+}
+
+u64 memory_mac(const Aes128& aes, u64 address, u64 version, BytesView data) {
+  Bytes message(16 + data.size());
+  store_be64(message.data(), address);
+  store_be64(message.data() + 8, version);
+  std::memcpy(message.data() + 16, data.data(), data.size());
+  const AesBlock tag = cmac_aes128(aes, message);
+  return load_be64(tag.data());
+}
+
+}  // namespace guardnn::crypto

@@ -1,0 +1,20 @@
+// 64-bit memory MAC (AES-CMAC truncated), used by the integrity-verification
+// engines. The MAC binds (data value, physical address, version number) so a
+// block moved to a different address or replayed from an older version fails
+// verification (paper Section II-D.1).
+#pragma once
+
+#include "common/types.h"
+#include "crypto/aes128.h"
+
+namespace guardnn::crypto {
+
+/// AES-CMAC per RFC 4493, producing the full 128-bit tag.
+AesBlock cmac_aes128(const Aes128& aes, BytesView message);
+
+/// Memory MAC: 64-bit tag over (address || version || data).
+/// GuardNN_CI stores one such tag per protection chunk (512 B by default);
+/// the Intel-MEE baseline stores one per 64 B block.
+u64 memory_mac(const Aes128& aes, u64 address, u64 version, BytesView data);
+
+}  // namespace guardnn::crypto

@@ -1,0 +1,53 @@
+#include "crypto/secure_channel.h"
+
+namespace guardnn::crypto {
+namespace {
+
+std::array<u8, 16> compute_tag(BytesView mac_key, u64 sequence, BytesView ciphertext) {
+  Bytes message(8 + ciphertext.size());
+  store_be64(message.data(), sequence);
+  std::copy(ciphertext.begin(), ciphertext.end(), message.begin() + 8);
+  const Sha256Digest full = hmac_sha256(mac_key, message);
+  std::array<u8, 16> tag{};
+  std::copy(full.begin(), full.begin() + 16, tag.begin());
+  return tag;
+}
+
+AesBlock sequence_nonce(u64 sequence) {
+  AesBlock nonce{};
+  store_be64(nonce.data(), sequence);
+  return nonce;
+}
+
+}  // namespace
+
+ChannelSender::ChannelSender(const SessionKeys& keys)
+    : aes_(keys.enc_key), mac_key_(keys.mac_key) {}
+
+SealedRecord ChannelSender::seal(BytesView plaintext) {
+  SealedRecord record;
+  record.sequence = next_sequence_++;
+  record.ciphertext.assign(plaintext.begin(), plaintext.end());
+  ctr_xcrypt(aes_, sequence_nonce(record.sequence), record.ciphertext);
+  record.tag = compute_tag(BytesView(mac_key_.data(), mac_key_.size()),
+                           record.sequence, record.ciphertext);
+  return record;
+}
+
+ChannelReceiver::ChannelReceiver(const SessionKeys& keys)
+    : aes_(keys.enc_key), mac_key_(keys.mac_key) {}
+
+std::optional<Bytes> ChannelReceiver::open(const SealedRecord& record) {
+  if (record.sequence != expected_sequence_) return std::nullopt;
+  const auto tag = compute_tag(BytesView(mac_key_.data(), mac_key_.size()),
+                               record.sequence, record.ciphertext);
+  if (!ct_equal(BytesView(tag.data(), tag.size()),
+                BytesView(record.tag.data(), record.tag.size())))
+    return std::nullopt;
+  ++expected_sequence_;
+  Bytes plaintext = record.ciphertext;
+  ctr_xcrypt(aes_, sequence_nonce(record.sequence), plaintext);
+  return plaintext;
+}
+
+}  // namespace guardnn::crypto

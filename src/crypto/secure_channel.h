@@ -1,0 +1,53 @@
+// Authenticated secure channel (encrypt-then-MAC) over the session keys from
+// ECDHE. This carries SetWeight/SetInput payloads from the remote user to the
+// accelerator and ExportOutput payloads back (paper Section II-C).
+//
+// Construction: AES-128-CTR with an explicit 64-bit sequence number as the
+// nonce, then HMAC-SHA256 over (seq || ciphertext) truncated to 16 bytes.
+// Sequence numbers make replayed or reordered records fail verification.
+#pragma once
+
+#include <optional>
+
+#include "crypto/aes128.h"
+#include "crypto/ecdh.h"
+#include "crypto/hmac.h"
+
+namespace guardnn::crypto {
+
+/// A sealed record: sequence number, ciphertext and truncated MAC tag.
+struct SealedRecord {
+  u64 sequence = 0;
+  Bytes ciphertext;
+  std::array<u8, 16> tag{};
+};
+
+/// One direction of a secure channel. Each endpoint owns a sender (its own
+/// outgoing sequence counter) and a receiver (the expected incoming one).
+class ChannelSender {
+ public:
+  explicit ChannelSender(const SessionKeys& keys);
+
+  SealedRecord seal(BytesView plaintext);
+
+ private:
+  Aes128 aes_;
+  std::array<u8, 32> mac_key_;
+  u64 next_sequence_ = 0;
+};
+
+class ChannelReceiver {
+ public:
+  explicit ChannelReceiver(const SessionKeys& keys);
+
+  /// Returns the plaintext, or nullopt when the tag is invalid or the
+  /// sequence number is not the next expected one (replay/reorder defense).
+  std::optional<Bytes> open(const SealedRecord& record);
+
+ private:
+  Aes128 aes_;
+  std::array<u8, 32> mac_key_;
+  u64 expected_sequence_ = 0;
+};
+
+}  // namespace guardnn::crypto

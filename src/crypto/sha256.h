@@ -1,0 +1,39 @@
+// SHA-256, used by GuardNN for remote attestation hash chains, HMAC, HKDF
+// and ECDSA message digests.
+#pragma once
+
+#include <array>
+
+#include "common/types.h"
+
+namespace guardnn::crypto {
+
+inline constexpr std::size_t kSha256DigestBytes = 32;
+using Sha256Digest = std::array<u8, kSha256DigestBytes>;
+
+/// Incremental SHA-256. `update` may be called any number of times.
+class Sha256 {
+ public:
+  Sha256() { reset(); }
+
+  void reset();
+  void update(BytesView data);
+  Sha256Digest finalize();
+
+  /// One-shot convenience.
+  static Sha256Digest hash(BytesView data) {
+    Sha256 h;
+    h.update(data);
+    return h.finalize();
+  }
+
+ private:
+  void process_block(const u8* block);
+
+  std::array<u32, 8> state_{};
+  std::array<u8, 64> buffer_{};
+  std::size_t buffer_len_ = 0;
+  u64 total_len_ = 0;
+};
+
+}  // namespace guardnn::crypto

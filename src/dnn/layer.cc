@@ -1,0 +1,118 @@
+#include "dnn/layer.h"
+
+#include <stdexcept>
+
+namespace guardnn::dnn {
+namespace {
+
+int out_dim(int in, int kernel, int stride, int pad) {
+  const int out = (in + 2 * pad - kernel) / stride + 1;
+  if (out <= 0) throw std::invalid_argument("layer: non-positive output dimension");
+  return out;
+}
+
+}  // namespace
+
+LayerSpec conv2d(const std::string& name, int in_c, int in_h, int in_w, int out_c,
+                 int kernel, int stride, int pad) {
+  const int oh = out_dim(in_h, kernel, stride, pad);
+  const int ow = out_dim(in_w, kernel, stride, pad);
+  LayerSpec l;
+  l.name = name;
+  l.type = LayerType::kConv2d;
+  l.m = static_cast<u64>(oh) * ow;
+  l.k = static_cast<u64>(kernel) * kernel * in_c;
+  l.n = static_cast<u64>(out_c);
+  l.input_elems = static_cast<u64>(in_c) * in_h * in_w;
+  l.weight_elems = static_cast<u64>(kernel) * kernel * in_c * out_c;
+  l.output_elems = static_cast<u64>(out_c) * oh * ow;
+  l.macs = l.m * l.k * l.n;
+  return l;
+}
+
+LayerSpec depthwise_conv2d(const std::string& name, int channels, int in_h, int in_w,
+                           int kernel, int stride, int pad) {
+  const int oh = out_dim(in_h, kernel, stride, pad);
+  const int ow = out_dim(in_w, kernel, stride, pad);
+  LayerSpec l;
+  l.name = name;
+  l.type = LayerType::kDepthwiseConv2d;
+  // Per-channel GEMM view; the array runs channels sequentially with K = k*k.
+  l.m = static_cast<u64>(oh) * ow;
+  l.k = static_cast<u64>(kernel) * kernel;
+  l.n = static_cast<u64>(channels);
+  l.input_elems = static_cast<u64>(channels) * in_h * in_w;
+  l.weight_elems = static_cast<u64>(kernel) * kernel * channels;
+  l.output_elems = static_cast<u64>(channels) * oh * ow;
+  l.macs = static_cast<u64>(oh) * ow * kernel * kernel * channels;
+  return l;
+}
+
+LayerSpec fully_connected(const std::string& name, u64 in_features, u64 out_features) {
+  LayerSpec l;
+  l.name = name;
+  l.type = LayerType::kFullyConnected;
+  l.m = 1;
+  l.k = in_features;
+  l.n = out_features;
+  l.input_elems = in_features;
+  l.weight_elems = in_features * out_features;
+  l.output_elems = out_features;
+  l.macs = in_features * out_features;
+  return l;
+}
+
+LayerSpec matmul(const std::string& name, u64 m, u64 k, u64 n) {
+  LayerSpec l;
+  l.name = name;
+  l.type = LayerType::kMatMul;
+  l.m = m;
+  l.k = k;
+  l.n = n;
+  l.input_elems = m * k;
+  l.weight_elems = k * n;
+  l.output_elems = m * n;
+  l.macs = m * k * n;
+  return l;
+}
+
+LayerSpec pool(const std::string& name, int channels, int in_h, int in_w, int kernel,
+               int stride) {
+  const int oh = out_dim(in_h, kernel, stride, 0);
+  const int ow = out_dim(in_w, kernel, stride, 0);
+  LayerSpec l;
+  l.name = name;
+  l.type = LayerType::kPool;
+  l.input_elems = static_cast<u64>(channels) * in_h * in_w;
+  l.output_elems = static_cast<u64>(channels) * oh * ow;
+  l.macs = l.input_elems;  // one compare/add per input element
+  return l;
+}
+
+LayerSpec elementwise(const std::string& name, u64 elems) {
+  LayerSpec l;
+  l.name = name;
+  l.type = LayerType::kElementwise;
+  l.input_elems = elems;
+  l.output_elems = elems;
+  l.macs = elems;
+  return l;
+}
+
+LayerSpec embedding(const std::string& name, u64 num_lookups, u64 dim,
+                    u64 table_rows) {
+  LayerSpec l;
+  l.name = name;
+  l.type = LayerType::kEmbedding;
+  l.m = num_lookups;
+  l.n = dim;
+  l.k = 1;
+  l.input_elems = num_lookups;  // indices
+  l.weight_elems = table_rows * dim;
+  l.output_elems = num_lookups * dim;
+  l.macs = num_lookups * dim;  // gather + reduce
+  l.random_access = true;
+  return l;
+}
+
+}  // namespace guardnn::dnn

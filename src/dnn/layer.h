@@ -1,0 +1,72 @@
+// Layer intermediate representation.
+//
+// The paper's ML frameworks represent networks as static data-flow graphs
+// (Figure 2); the accelerator sees each node as a GEMM-shaped operation plus
+// DRAM traffic for its inputs, weights and outputs. Every layer here carries
+// both its architectural parameters and its GEMM view (M x K x N), which is
+// what the systolic-array cycle model consumes.
+#pragma once
+
+#include <string>
+
+#include "common/types.h"
+
+namespace guardnn::dnn {
+
+enum class LayerType : u8 {
+  kConv2d,
+  kDepthwiseConv2d,
+  kFullyConnected,
+  kMatMul,       ///< Attention score/context products and other raw GEMMs.
+  kPool,
+  kElementwise,  ///< Activations, residual adds, normalization.
+  kEmbedding,    ///< Sparse table lookup (DLRM, BERT token embedding).
+};
+
+/// One node of the static data-flow graph.
+struct LayerSpec {
+  std::string name;
+  LayerType type = LayerType::kConv2d;
+
+  // GEMM view: output is M x N, reduction dimension K.
+  // For conv: M = out_h*out_w, K = kh*kw*in_c, N = out_c.
+  u64 m = 0;
+  u64 n = 0;
+  u64 k = 0;
+
+  // Element counts (independent of precision).
+  u64 input_elems = 0;
+  u64 weight_elems = 0;
+  u64 output_elems = 0;
+  u64 macs = 0;
+
+  /// Sparse/random weight access (embedding gather). Protection metadata
+  /// caches behave very differently on this traffic.
+  bool random_access = false;
+
+  u64 input_bytes(int bits) const { return (input_elems * bits + 7) / 8; }
+  u64 weight_bytes(int bits) const { return (weight_elems * bits + 7) / 8; }
+  u64 output_bytes(int bits) const { return (output_elems * bits + 7) / 8; }
+
+  /// True for layers the systolic array executes as a GEMM.
+  bool is_gemm() const {
+    return type == LayerType::kConv2d || type == LayerType::kDepthwiseConv2d ||
+           type == LayerType::kFullyConnected || type == LayerType::kMatMul;
+  }
+};
+
+/// Builders for the common layer shapes. `bits`-independent: byte sizes are
+/// resolved when traffic is generated.
+LayerSpec conv2d(const std::string& name, int in_c, int in_h, int in_w, int out_c,
+                 int kernel, int stride, int pad);
+LayerSpec depthwise_conv2d(const std::string& name, int channels, int in_h, int in_w,
+                           int kernel, int stride, int pad);
+LayerSpec fully_connected(const std::string& name, u64 in_features, u64 out_features);
+LayerSpec matmul(const std::string& name, u64 m, u64 k, u64 n);
+LayerSpec pool(const std::string& name, int channels, int in_h, int in_w, int kernel,
+               int stride);
+LayerSpec elementwise(const std::string& name, u64 elems);
+LayerSpec embedding(const std::string& name, u64 num_lookups, u64 dim,
+                    u64 table_rows);
+
+}  // namespace guardnn::dnn

@@ -1,0 +1,418 @@
+#include "dnn/models.h"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+namespace guardnn::dnn {
+namespace {
+
+/// 1-D convolution expressed in the GEMM view (wav2vec2 feature encoder).
+LayerSpec conv1d(const std::string& name, int in_c, int length, int out_c,
+                 int kernel, int stride) {
+  const int out_len = (length - kernel) / stride + 1;
+  if (out_len <= 0) throw std::invalid_argument("conv1d: non-positive output");
+  LayerSpec l;
+  l.name = name;
+  l.type = LayerType::kConv2d;
+  l.m = static_cast<u64>(out_len);
+  l.k = static_cast<u64>(kernel) * in_c;
+  l.n = static_cast<u64>(out_c);
+  l.input_elems = static_cast<u64>(in_c) * length;
+  l.weight_elems = static_cast<u64>(kernel) * in_c * out_c;
+  l.output_elems = static_cast<u64>(out_c) * out_len;
+  l.macs = l.m * l.k * l.n;
+  return l;
+}
+
+/// Appends one transformer encoder block (multi-head self-attention + MLP).
+void transformer_block(Network& net, const std::string& prefix, int seq, int hidden,
+                       int heads, int mlp_dim) {
+  const int head_dim = hidden / heads;
+  net.layers.push_back(matmul(prefix + ".qkv", static_cast<u64>(seq), static_cast<u64>(hidden),
+                              static_cast<u64>(3 * hidden)));
+  // Attention scores and context, batched over heads: weights here are
+  // activations (no stored parameters), so zero out weight_elems.
+  LayerSpec scores = matmul(prefix + ".scores", static_cast<u64>(heads) * seq,
+                            static_cast<u64>(head_dim), static_cast<u64>(seq));
+  scores.weight_elems = 0;
+  net.layers.push_back(scores);
+  LayerSpec context = matmul(prefix + ".context", static_cast<u64>(heads) * seq,
+                             static_cast<u64>(seq), static_cast<u64>(head_dim));
+  context.weight_elems = 0;
+  net.layers.push_back(context);
+  net.layers.push_back(matmul(prefix + ".proj", static_cast<u64>(seq),
+                              static_cast<u64>(hidden), static_cast<u64>(hidden)));
+  net.layers.push_back(
+      elementwise(prefix + ".norm1", static_cast<u64>(seq) * hidden));
+  net.layers.push_back(matmul(prefix + ".mlp1", static_cast<u64>(seq),
+                              static_cast<u64>(hidden), static_cast<u64>(mlp_dim)));
+  net.layers.push_back(matmul(prefix + ".mlp2", static_cast<u64>(seq),
+                              static_cast<u64>(mlp_dim), static_cast<u64>(hidden)));
+  net.layers.push_back(
+      elementwise(prefix + ".norm2", static_cast<u64>(seq) * hidden));
+}
+
+/// Appends a GoogleNet inception module; returns the output channel count.
+int inception(Network& net, const std::string& prefix, int in_c, int hw, int c1,
+              int c3r, int c3, int c5r, int c5, int pool_proj) {
+  net.layers.push_back(conv2d(prefix + ".1x1", in_c, hw, hw, c1, 1, 1, 0));
+  net.layers.push_back(conv2d(prefix + ".3x3r", in_c, hw, hw, c3r, 1, 1, 0));
+  net.layers.push_back(conv2d(prefix + ".3x3", c3r, hw, hw, c3, 3, 1, 1));
+  net.layers.push_back(conv2d(prefix + ".5x5r", in_c, hw, hw, c5r, 1, 1, 0));
+  net.layers.push_back(conv2d(prefix + ".5x5", c5r, hw, hw, c5, 5, 1, 2));
+  net.layers.push_back(conv2d(prefix + ".pool_proj", in_c, hw, hw, pool_proj, 1, 1, 0));
+  return c1 + c3 + c5 + pool_proj;
+}
+
+/// Appends a ResNet bottleneck block; returns the output channel count.
+int bottleneck(Network& net, const std::string& prefix, int in_c, int mid_c,
+               int out_c, int in_hw, int stride) {
+  const int out_hw = in_hw / stride;
+  net.layers.push_back(conv2d(prefix + ".c1", in_c, in_hw, in_hw, mid_c, 1, 1, 0));
+  net.layers.push_back(
+      conv2d(prefix + ".c2", mid_c, in_hw, in_hw, mid_c, 3, stride, 1));
+  net.layers.push_back(conv2d(prefix + ".c3", mid_c, out_hw, out_hw, out_c, 1, 1, 0));
+  if (in_c != out_c || stride != 1) {
+    net.layers.push_back(
+        conv2d(prefix + ".proj", in_c, in_hw, in_hw, out_c, 1, stride, 0));
+  }
+  net.layers.push_back(elementwise(prefix + ".add",
+                                   static_cast<u64>(out_c) * out_hw * out_hw));
+  return out_c;
+}
+
+/// Appends a MobileNet depthwise-separable pair; returns output channels.
+int dw_separable(Network& net, const std::string& prefix, int in_c, int out_c,
+                 int in_hw, int stride) {
+  const int out_hw = in_hw / stride;
+  net.layers.push_back(
+      depthwise_conv2d(prefix + ".dw", in_c, in_hw, in_hw, 3, stride, 1));
+  net.layers.push_back(conv2d(prefix + ".pw", in_c, out_hw, out_hw, out_c, 1, 1, 0));
+  return out_c;
+}
+
+}  // namespace
+
+Network alexnet() {
+  Network net;
+  net.name = "AlexNet";
+  net.layers.push_back(conv2d("conv1", 3, 224, 224, 96, 11, 4, 2));
+  net.layers.push_back(pool("pool1", 96, 55, 55, 3, 2));
+  net.layers.push_back(conv2d("conv2", 96, 27, 27, 256, 5, 1, 2));
+  net.layers.push_back(pool("pool2", 256, 27, 27, 3, 2));
+  net.layers.push_back(conv2d("conv3", 256, 13, 13, 384, 3, 1, 1));
+  net.layers.push_back(conv2d("conv4", 384, 13, 13, 384, 3, 1, 1));
+  net.layers.push_back(conv2d("conv5", 384, 13, 13, 256, 3, 1, 1));
+  net.layers.push_back(pool("pool5", 256, 13, 13, 3, 2));
+  net.layers.push_back(fully_connected("fc6", 256 * 6 * 6, 4096));
+  net.layers.push_back(fully_connected("fc7", 4096, 4096));
+  net.layers.push_back(fully_connected("fc8", 4096, 1000));
+  return net;
+}
+
+Network vgg16() {
+  Network net;
+  net.name = "VGG";
+  int hw = 224;
+  int in_c = 3;
+  const int stage_channels[5] = {64, 128, 256, 512, 512};
+  const int stage_convs[5] = {2, 2, 3, 3, 3};
+  for (int s = 0; s < 5; ++s) {
+    for (int c = 0; c < stage_convs[s]; ++c) {
+      net.layers.push_back(conv2d("conv" + std::to_string(s + 1) + "_" +
+                                      std::to_string(c + 1),
+                                  in_c, hw, hw, stage_channels[s], 3, 1, 1));
+      in_c = stage_channels[s];
+    }
+    net.layers.push_back(pool("pool" + std::to_string(s + 1), in_c, hw, hw, 2, 2));
+    hw /= 2;
+  }
+  net.layers.push_back(fully_connected("fc6", 512ULL * 7 * 7, 4096));
+  net.layers.push_back(fully_connected("fc7", 4096, 4096));
+  net.layers.push_back(fully_connected("fc8", 4096, 1000));
+  return net;
+}
+
+Network googlenet() {
+  Network net;
+  net.name = "GoogleNet";
+  net.layers.push_back(conv2d("conv1", 3, 224, 224, 64, 7, 2, 3));
+  net.layers.push_back(pool("pool1", 64, 112, 112, 2, 2));
+  net.layers.push_back(conv2d("conv2r", 64, 56, 56, 64, 1, 1, 0));
+  net.layers.push_back(conv2d("conv2", 64, 56, 56, 192, 3, 1, 1));
+  net.layers.push_back(pool("pool2", 192, 56, 56, 2, 2));
+  int c = 192;
+  c = inception(net, "3a", c, 28, 64, 96, 128, 16, 32, 32);
+  c = inception(net, "3b", c, 28, 128, 128, 192, 32, 96, 64);
+  net.layers.push_back(pool("pool3", c, 28, 28, 2, 2));
+  c = inception(net, "4a", c, 14, 192, 96, 208, 16, 48, 64);
+  c = inception(net, "4b", c, 14, 160, 112, 224, 24, 64, 64);
+  c = inception(net, "4c", c, 14, 128, 128, 256, 24, 64, 64);
+  c = inception(net, "4d", c, 14, 112, 144, 288, 32, 64, 64);
+  c = inception(net, "4e", c, 14, 256, 160, 320, 32, 128, 128);
+  net.layers.push_back(pool("pool4", c, 14, 14, 2, 2));
+  c = inception(net, "5a", c, 7, 256, 160, 320, 32, 128, 128);
+  c = inception(net, "5b", c, 7, 384, 192, 384, 48, 128, 128);
+  net.layers.push_back(pool("pool5", c, 7, 7, 7, 7));
+  net.layers.push_back(fully_connected("fc", static_cast<u64>(c), 1000));
+  return net;
+}
+
+Network resnet50() {
+  Network net;
+  net.name = "ResNet";
+  net.layers.push_back(conv2d("conv1", 3, 224, 224, 64, 7, 2, 3));
+  net.layers.push_back(pool("pool1", 64, 112, 112, 2, 2));
+  int c = 64;
+  const int stage_mid[4] = {64, 128, 256, 512};
+  const int stage_blocks[4] = {3, 4, 6, 3};
+  int hw = 56;
+  for (int s = 0; s < 4; ++s) {
+    for (int b = 0; b < stage_blocks[s]; ++b) {
+      const int stride = (b == 0 && s > 0) ? 2 : 1;
+      const std::string prefix =
+          "s" + std::to_string(s + 2) + "b" + std::to_string(b + 1);
+      if (stride == 2) hw *= 1;  // stride applied inside bottleneck
+      c = bottleneck(net, prefix, c, stage_mid[s], stage_mid[s] * 4, hw, stride);
+      if (stride == 2) hw /= 2;
+    }
+  }
+  net.layers.push_back(pool("avgpool", c, 7, 7, 7, 7));
+  net.layers.push_back(fully_connected("fc", static_cast<u64>(c), 1000));
+  return net;
+}
+
+Network mobilenet_v1() {
+  Network net;
+  net.name = "MobileNet";
+  net.layers.push_back(conv2d("conv1", 3, 224, 224, 32, 3, 2, 1));
+  int c = 32;
+  int hw = 112;
+  c = dw_separable(net, "b1", c, 64, hw, 1);
+  c = dw_separable(net, "b2", c, 128, hw, 2);
+  hw /= 2;
+  c = dw_separable(net, "b3", c, 128, hw, 1);
+  c = dw_separable(net, "b4", c, 256, hw, 2);
+  hw /= 2;
+  c = dw_separable(net, "b5", c, 256, hw, 1);
+  c = dw_separable(net, "b6", c, 512, hw, 2);
+  hw /= 2;
+  for (int i = 0; i < 5; ++i)
+    c = dw_separable(net, "b" + std::to_string(7 + i), c, 512, hw, 1);
+  c = dw_separable(net, "b12", c, 1024, hw, 2);
+  hw /= 2;
+  c = dw_separable(net, "b13", c, 1024, hw, 1);
+  net.layers.push_back(pool("avgpool", c, hw, hw, hw, hw));
+  net.layers.push_back(fully_connected("fc", static_cast<u64>(c), 1000));
+  return net;
+}
+
+Network resnet18() {
+  Network net;
+  net.name = "ResNet18";
+  net.layers.push_back(conv2d("conv1", 3, 224, 224, 64, 7, 2, 3));
+  net.layers.push_back(pool("pool1", 64, 112, 112, 2, 2));
+  int c = 64;
+  int hw = 56;
+  const int stage_c[4] = {64, 128, 256, 512};
+  for (int s = 0; s < 4; ++s) {
+    for (int b = 0; b < 2; ++b) {
+      const int stride = (b == 0 && s > 0) ? 2 : 1;
+      const int out_hw = hw / stride;
+      const std::string p = "s" + std::to_string(s + 2) + "b" + std::to_string(b + 1);
+      net.layers.push_back(conv2d(p + ".c1", c, hw, hw, stage_c[s], 3, stride, 1));
+      net.layers.push_back(
+          conv2d(p + ".c2", stage_c[s], out_hw, out_hw, stage_c[s], 3, 1, 1));
+      if (stride != 1 || c != stage_c[s])
+        net.layers.push_back(conv2d(p + ".proj", c, hw, hw, stage_c[s], 1, stride, 0));
+      net.layers.push_back(elementwise(p + ".add",
+                                       static_cast<u64>(stage_c[s]) * out_hw * out_hw));
+      c = stage_c[s];
+      hw = out_hw;
+    }
+  }
+  net.layers.push_back(pool("avgpool", c, 7, 7, 7, 7));
+  net.layers.push_back(fully_connected("fc", static_cast<u64>(c), 1000));
+  return net;
+}
+
+Network vgg19() {
+  Network net;
+  net.name = "VGG19";
+  int hw = 224;
+  int in_c = 3;
+  const int stage_channels[5] = {64, 128, 256, 512, 512};
+  const int stage_convs[5] = {2, 2, 4, 4, 4};
+  for (int s = 0; s < 5; ++s) {
+    for (int cidx = 0; cidx < stage_convs[s]; ++cidx) {
+      net.layers.push_back(conv2d("conv" + std::to_string(s + 1) + "_" +
+                                      std::to_string(cidx + 1),
+                                  in_c, hw, hw, stage_channels[s], 3, 1, 1));
+      in_c = stage_channels[s];
+    }
+    net.layers.push_back(pool("pool" + std::to_string(s + 1), in_c, hw, hw, 2, 2));
+    hw /= 2;
+  }
+  net.layers.push_back(fully_connected("fc6", 512ULL * 7 * 7, 4096));
+  net.layers.push_back(fully_connected("fc7", 4096, 4096));
+  net.layers.push_back(fully_connected("fc8", 4096, 1000));
+  return net;
+}
+
+Network gpt2_small(int seq_len) {
+  // Decoder-only transformer, 12 layers, hidden 768 — same block shape as
+  // BERT but with the LM head over a 50257-token vocabulary.
+  Network net;
+  net.name = "GPT2";
+  const int hidden = 768;
+  net.layers.push_back(embedding("tok_embed", static_cast<u64>(seq_len), hidden,
+                                 50257));
+  for (int i = 0; i < 12; ++i)
+    transformer_block(net, "h" + std::to_string(i), seq_len, hidden, 12, 3072);
+  net.layers.push_back(matmul("lm_head", static_cast<u64>(seq_len), hidden, 50257));
+  return net;
+}
+
+Network efficientnet_b0() {
+  // Simplified MBConv stack: expansion pointwise + depthwise + projection
+  // per block, following the published stage widths/strides.
+  Network net;
+  net.name = "EfficientNetB0";
+  net.layers.push_back(conv2d("stem", 3, 224, 224, 32, 3, 2, 1));
+  struct Stage { int expand, out_c, kernel, stride, repeat; };
+  const Stage stages[] = {{1, 16, 3, 1, 1},  {6, 24, 3, 2, 2},  {6, 40, 5, 2, 2},
+                          {6, 80, 3, 2, 3},  {6, 112, 5, 1, 3}, {6, 192, 5, 2, 4},
+                          {6, 320, 3, 1, 1}};
+  int c = 32;
+  int hw = 112;
+  int block = 0;
+  for (const Stage& st : stages) {
+    for (int r = 0; r < st.repeat; ++r) {
+      const int stride = r == 0 ? st.stride : 1;
+      const int mid = c * st.expand;
+      const std::string p = "mb" + std::to_string(block++);
+      if (st.expand != 1)
+        net.layers.push_back(conv2d(p + ".expand", c, hw, hw, mid, 1, 1, 0));
+      net.layers.push_back(
+          depthwise_conv2d(p + ".dw", mid, hw, hw, st.kernel, stride, st.kernel / 2));
+      const int out_hw = hw / stride;
+      net.layers.push_back(conv2d(p + ".proj", mid, out_hw, out_hw, st.out_c, 1, 1, 0));
+      c = st.out_c;
+      hw = out_hw;
+    }
+  }
+  net.layers.push_back(conv2d("head", c, hw, hw, 1280, 1, 1, 0));
+  net.layers.push_back(pool("avgpool", 1280, hw, hw, hw, hw));
+  net.layers.push_back(fully_connected("fc", 1280, 1000));
+  return net;
+}
+
+Network vit_b16() {
+  Network net;
+  net.name = "ViT";
+  const int seq = 197;  // 196 patches + [CLS]
+  const int hidden = 768;
+  // Patch embedding: 16x16x3 -> 768 per patch, i.e. a 196x768 GEMM.
+  net.layers.push_back(matmul("patch_embed", 196, 16 * 16 * 3, hidden));
+  for (int i = 0; i < 12; ++i)
+    transformer_block(net, "blk" + std::to_string(i), seq, hidden, 12, 3072);
+  net.layers.push_back(fully_connected("head", hidden, 1000));
+  return net;
+}
+
+Network bert_base(int seq_len) {
+  Network net;
+  net.name = "BERT";
+  const int hidden = 768;
+  net.layers.push_back(embedding("tok_embed", static_cast<u64>(seq_len), hidden,
+                                 30522));
+  for (int i = 0; i < 12; ++i)
+    transformer_block(net, "layer" + std::to_string(i), seq_len, hidden, 12, 3072);
+  // Masked-LM head over the vocabulary (pretraining workload).
+  net.layers.push_back(matmul("mlm_head", static_cast<u64>(seq_len), hidden, 30522));
+  return net;
+}
+
+Network dlrm(int batch) {
+  Network net;
+  net.name = "DLRM";
+  const u64 b = static_cast<u64>(batch);
+  const int embed_dim = 64;
+  const int num_tables = 26;
+  // Bottom MLP over 13 dense features.
+  net.layers.push_back(matmul("bot_mlp1", b, 13, 512));
+  net.layers.push_back(matmul("bot_mlp2", b, 512, 256));
+  net.layers.push_back(matmul("bot_mlp3", b, 256, embed_dim));
+  // Sparse embedding lookups: one row per table per query, ~1M rows/table.
+  net.layers.push_back(embedding("sparse_embed", b * num_tables, embed_dim,
+                                 1000000ULL * num_tables));
+  // Pairwise feature interaction (27 vectors of dim 64 per query).
+  LayerSpec interact = matmul("interact", b * 27, embed_dim, 27);
+  interact.weight_elems = 0;  // activation-by-activation product
+  net.layers.push_back(interact);
+  // Top MLP over concatenated interactions (~479 -> rounded to 512 inputs).
+  net.layers.push_back(matmul("top_mlp1", b, 512, 512));
+  net.layers.push_back(matmul("top_mlp2", b, 512, 256));
+  net.layers.push_back(matmul("top_mlp3", b, 256, 1));
+  return net;
+}
+
+Network wav2vec2() {
+  Network net;
+  net.name = "wav2vec2";
+  // Feature encoder over 10 s of 16 kHz audio.
+  const int kernels[7] = {10, 3, 3, 3, 3, 2, 2};
+  const int strides[7] = {5, 2, 2, 2, 2, 2, 2};
+  int length = 160000;
+  int in_c = 1;
+  for (int i = 0; i < 7; ++i) {
+    net.layers.push_back(conv1d("feat" + std::to_string(i), in_c, length, 512,
+                                kernels[i], strides[i]));
+    length = (length - kernels[i]) / strides[i] + 1;
+    in_c = 512;
+  }
+  // Project 512 -> 768 and run 12 transformer layers.
+  net.layers.push_back(matmul("proj", static_cast<u64>(length), 512, 768));
+  for (int i = 0; i < 12; ++i)
+    transformer_block(net, "enc" + std::to_string(i), length, 768, 12, 3072);
+  return net;
+}
+
+std::vector<Network> fpga_benchmark_suite() {
+  return {alexnet(), googlenet(), resnet50(), vgg16()};
+}
+
+std::vector<Network> inference_benchmark_suite() {
+  return {vgg16(),  alexnet(),   googlenet(), resnet50(), mobilenet_v1(),
+          vit_b16(), bert_base(), dlrm(),      wav2vec2()};
+}
+
+std::vector<Network> training_benchmark_suite() {
+  return {vgg16(),   alexnet(),  googlenet(), resnet50(),
+          mobilenet_v1(), vit_b16(), bert_base(), wav2vec2()};
+}
+
+Network model_by_name(const std::string& name) {
+  std::string lower = name;
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (lower == "alexnet") return alexnet();
+  if (lower == "vgg" || lower == "vgg16" || lower == "vgg-16") return vgg16();
+  if (lower == "googlenet") return googlenet();
+  if (lower == "resnet" || lower == "resnet50" || lower == "resnet-50")
+    return resnet50();
+  if (lower == "mobilenet" || lower == "mobilenet_v1") return mobilenet_v1();
+  if (lower == "vit" || lower == "vit_b16") return vit_b16();
+  if (lower == "bert" || lower == "bert_base") return bert_base();
+  if (lower == "dlrm") return dlrm();
+  if (lower == "wav2vec2" || lower == "wave2vec2") return wav2vec2();
+  if (lower == "resnet18" || lower == "resnet-18") return resnet18();
+  if (lower == "vgg19" || lower == "vgg-19") return vgg19();
+  if (lower == "gpt2" || lower == "gpt2_small") return gpt2_small();
+  if (lower == "efficientnet" || lower == "efficientnet_b0")
+    return efficientnet_b0();
+  throw std::invalid_argument("model_by_name: unknown model " + name);
+}
+
+}  // namespace guardnn::dnn

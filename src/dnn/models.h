@@ -1,0 +1,44 @@
+// Model zoo: builders for every network in the paper's evaluation
+// (Section III-A Benchmarks): AlexNet, VGG-16, GoogleNet, ResNet-50,
+// MobileNet-v1, ViT-B/16, BERT-base, DLRM, and wav2vec2-base.
+//
+// All CNNs use 224x224x3 ImageNet inputs. Transformer models use their
+// standard sequence lengths (ViT: 197 tokens, BERT: 512, wav2vec2: 499
+// frames for 10 s of 16 kHz audio). DLRM uses a batch of 128 queries with 26
+// sparse features, which is what makes it the memory-bound outlier in Fig. 3.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "dnn/network.h"
+
+namespace guardnn::dnn {
+
+Network alexnet();
+Network resnet18();
+Network vgg19();
+Network gpt2_small(int seq_len = 1024);
+Network efficientnet_b0();
+Network vgg16();
+Network googlenet();
+Network resnet50();
+Network mobilenet_v1();
+Network vit_b16();
+Network bert_base(int seq_len = 512);
+Network dlrm(int batch = 128);
+Network wav2vec2();
+
+/// The four CNNs evaluated on the FPGA prototype (Table II).
+std::vector<Network> fpga_benchmark_suite();
+
+/// All nine models of Figure 3a (inference).
+std::vector<Network> inference_benchmark_suite();
+
+/// The eight models of Figure 3b (training; DLRM is excluded as in the paper).
+std::vector<Network> training_benchmark_suite();
+
+/// Looks a model up by case-insensitive name; throws std::invalid_argument.
+Network model_by_name(const std::string& name);
+
+}  // namespace guardnn::dnn

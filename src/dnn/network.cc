@@ -1,0 +1,99 @@
+#include "dnn/network.h"
+
+namespace guardnn::dnn {
+
+u64 Network::total_macs() const {
+  u64 total = 0;
+  for (const auto& l : layers) total += l.macs;
+  return total;
+}
+
+u64 Network::total_params() const {
+  u64 total = 0;
+  for (const auto& l : layers) total += l.weight_elems;
+  return total;
+}
+
+u64 Network::total_input_bytes(int bits) const {
+  u64 total = 0;
+  for (const auto& l : layers) total += l.input_bytes(bits);
+  return total;
+}
+
+u64 Network::total_weight_bytes(int bits) const {
+  u64 total = 0;
+  for (const auto& l : layers) total += l.weight_bytes(bits);
+  return total;
+}
+
+u64 Network::total_output_bytes(int bits) const {
+  u64 total = 0;
+  for (const auto& l : layers) total += l.output_bytes(bits);
+  return total;
+}
+
+Network batched(const Network& net, int batch) {
+  Network out = net;
+  if (batch <= 1) return out;
+  const u64 b = static_cast<u64>(batch);
+  out.name = net.name + "/b" + std::to_string(batch);
+  for (auto& layer : out.layers) {
+    layer.m *= b;
+    layer.input_elems *= b;
+    layer.output_elems *= b;
+    layer.macs *= b;
+  }
+  return out;
+}
+
+std::vector<WorkItem> inference_schedule(const Network& net) {
+  std::vector<WorkItem> items;
+  items.reserve(net.layers.size());
+  for (const auto& layer : net.layers) {
+    WorkItem item;
+    item.layer = layer;
+    items.push_back(std::move(item));
+  }
+  return items;
+}
+
+std::vector<WorkItem> training_schedule(const Network& net) {
+  std::vector<WorkItem> items;
+  // Forward pass (features retained for the backward pass).
+  for (const auto& layer : net.layers) {
+    WorkItem fwd;
+    fwd.layer = layer;
+    items.push_back(std::move(fwd));
+  }
+  // Backward pass in reverse order.
+  for (auto it = net.layers.rbegin(); it != net.layers.rend(); ++it) {
+    // Input-gradient step: same GEMM shape with weights transposed.
+    WorkItem dx;
+    dx.layer = *it;
+    dx.layer.name = it->name + ".dX";
+    dx.pass = Pass::kBackward;
+    items.push_back(std::move(dx));
+    // Weight-gradient step, only for layers that have weights.
+    if (it->weight_elems > 0) {
+      WorkItem dw;
+      dw.layer = *it;
+      dw.layer.name = it->name + ".dW";
+      dw.pass = Pass::kBackward;
+      dw.is_weight_gradient = true;
+      items.push_back(std::move(dw));
+    }
+  }
+  // Weight updates.
+  for (const auto& layer : net.layers) {
+    if (layer.weight_elems == 0) continue;
+    WorkItem upd;
+    upd.layer = layer;
+    upd.layer.name = layer.name + ".update";
+    upd.pass = Pass::kBackward;
+    upd.is_weight_update = true;
+    items.push_back(std::move(upd));
+  }
+  return items;
+}
+
+}  // namespace guardnn::dnn

@@ -1,0 +1,52 @@
+// A network is an ordered static data-flow graph of layers, as produced by
+// the ML framework and scheduled by the (untrusted) host in the paper.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dnn/layer.h"
+
+namespace guardnn::dnn {
+
+struct Network {
+  std::string name;
+  std::vector<LayerSpec> layers;
+
+  u64 total_macs() const;
+  u64 total_params() const;
+
+  u64 total_input_bytes(int bits) const;
+  u64 total_weight_bytes(int bits) const;
+  u64 total_output_bytes(int bits) const;
+
+  /// Total operations (2 * MACs), the GOPs unit used by Table III.
+  double total_gops() const { return 2.0 * static_cast<double>(total_macs()) / 1e9; }
+};
+
+/// Returns a copy of `net` executing a minibatch of `batch` samples: GEMM
+/// M dimensions and activation element counts scale by the batch size while
+/// weights are shared (their DRAM traffic amortizes across the batch).
+Network batched(const Network& net, int batch);
+
+/// Pass direction for traffic/cycle modelling.
+enum class Pass : u8 { kForward, kBackward };
+
+/// A unit of accelerator work: one layer in one direction. Training expands
+/// each GEMM layer into forward, input-gradient and weight-gradient steps
+/// (paper Figure 2b), plus the weight update.
+struct WorkItem {
+  LayerSpec layer;
+  Pass pass = Pass::kForward;
+  bool is_weight_gradient = false;  ///< dW GEMM (writes gradients, reads features).
+  bool is_weight_update = false;    ///< Optimizer step (reads W + dW, writes W).
+};
+
+/// Inference schedule: every layer once, forward.
+std::vector<WorkItem> inference_schedule(const Network& net);
+
+/// Training schedule for one minibatch step: forward for all layers, then
+/// backward (dX and dW) in reverse order, then weight updates.
+std::vector<WorkItem> training_schedule(const Network& net);
+
+}  // namespace guardnn::dnn

@@ -1,0 +1,63 @@
+#include "dram/bandwidth_probe.h"
+
+#include "common/rng.h"
+
+namespace guardnn::dram {
+namespace {
+
+ProbeResult run_pattern(const DramConfig& cfg, const std::vector<Request>& pattern) {
+  DramSim sim(cfg);
+  std::size_t next = 0;
+  while (next < pattern.size() || !sim.idle()) {
+    while (next < pattern.size() && sim.enqueue(pattern[next])) ++next;
+    sim.tick();
+  }
+  const u64 cycles = sim.run_to_completion();
+  ProbeResult result;
+  result.bytes_per_cycle =
+      static_cast<double>(pattern.size() * cfg.burst_bytes()) /
+      static_cast<double>(cycles);
+  const double peak_bytes_per_cycle =
+      static_cast<double>(cfg.channels) * cfg.bus_bytes * 2.0;
+  result.efficiency = result.bytes_per_cycle / peak_bytes_per_cycle;
+  result.avg_read_latency = sim.stats().read_latency.mean();
+  return result;
+}
+
+}  // namespace
+
+ProbeResult probe_streaming(const DramConfig& cfg, u64 bytes, double write_fraction) {
+  const u64 n = bytes / 64;
+  std::vector<Request> pattern;
+  pattern.reserve(n);
+  const u64 write_every =
+      write_fraction > 0.0 ? static_cast<u64>(1.0 / write_fraction) : 0;
+  for (u64 i = 0; i < n; ++i) {
+    Request req;
+    req.address = i * 64;
+    req.id = i;
+    req.type = (write_every && i % write_every == write_every - 1)
+                   ? RequestType::kWrite
+                   : RequestType::kRead;
+    pattern.push_back(req);
+  }
+  return run_pattern(cfg, pattern);
+}
+
+ProbeResult probe_random(const DramConfig& cfg, u64 bytes, u64 footprint_bytes,
+                         u64 seed) {
+  const u64 n = bytes / 64;
+  const u64 blocks = footprint_bytes / 64;
+  Xoshiro256 rng(seed);
+  std::vector<Request> pattern;
+  pattern.reserve(n);
+  for (u64 i = 0; i < n; ++i) {
+    Request req;
+    req.address = rng.next_below(blocks) * 64;
+    req.id = i;
+    pattern.push_back(req);
+  }
+  return run_pattern(cfg, pattern);
+}
+
+}  // namespace guardnn::dram

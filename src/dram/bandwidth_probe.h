@@ -1,0 +1,29 @@
+// Bandwidth calibration probes.
+//
+// The full-network performance model (src/sim) converts per-layer DRAM
+// traffic into cycles using the *sustained* bandwidth of the DDR4 model, not
+// its theoretical peak. These probes measure sustained bandwidth for the
+// access patterns a DNN accelerator produces (long sequential streams, and a
+// strided metadata-mixed pattern), by driving the event-driven simulator.
+#pragma once
+
+#include "dram/dram_sim.h"
+
+namespace guardnn::dram {
+
+struct ProbeResult {
+  double bytes_per_cycle = 0.0;  ///< Sustained bytes per controller cycle.
+  double efficiency = 0.0;       ///< Fraction of theoretical peak.
+  double avg_read_latency = 0.0; ///< Average read latency in cycles.
+};
+
+/// Streams `bytes` of sequential reads (or a read/write mix) and measures
+/// sustained bandwidth. `write_fraction` in [0,1].
+ProbeResult probe_streaming(const DramConfig& cfg, u64 bytes,
+                            double write_fraction = 0.0);
+
+/// Random 64 B accesses across `footprint_bytes` — worst-case row locality.
+ProbeResult probe_random(const DramConfig& cfg, u64 bytes, u64 footprint_bytes,
+                         u64 seed = 1);
+
+}  // namespace guardnn::dram

@@ -1,0 +1,101 @@
+// DDR4 device/channel configuration and timing parameters.
+//
+// This is the Ramulator stand-in from DESIGN.md: the paper simulates a 16 GB
+// DDR4 main memory behind the accelerator. Timing parameters follow the
+// standard DDR4 datasheet structure; the defaults model DDR4-2400 with an
+// 8 KiB row buffer.
+#pragma once
+
+#include <string>
+
+#include "common/types.h"
+#include "common/units.h"
+
+namespace guardnn::dram {
+
+/// All timings are in memory-controller clock cycles (one cycle per two data
+/// transfers, i.e. 1200 MHz for DDR4-2400).
+struct DramTiming {
+  int tCL = 16;    ///< CAS latency (READ to data).
+  int tRCD = 16;   ///< ACT to READ/WRITE.
+  int tRP = 16;    ///< PRE to ACT.
+  int tRAS = 39;   ///< ACT to PRE.
+  int tRC = 55;    ///< ACT to ACT, same bank.
+  int tCCD = 6;    ///< READ to READ (same bank group, long version).
+  int tBurst = 4;  ///< Data-bus occupancy of one BL8 burst (BL/2).
+  int tWR = 18;    ///< Write recovery (end of write data to PRE).
+  int tWTR = 9;    ///< Write-to-read turnaround.
+  int tCWL = 12;   ///< Write latency (WRITE to data).
+  int tRTP = 9;    ///< READ to PRE.
+  int tRFC = 420;  ///< Refresh cycle time (8 Gb device).
+  int tREFI = 9360;///< Refresh interval (7.8 us @ 1200 MHz).
+};
+
+struct DramConfig {
+  std::string name = "DDR4-2400";
+  int channels = 2;        ///< Paper's TPU-like config: ~34 GB/s peak needs 2 ch.
+  int ranks = 2;           ///< Ranks per channel.
+  int banks = 16;          ///< Banks per rank (4 bank groups x 4).
+  u64 row_bytes = 8 * KiB; ///< Row-buffer size.
+  u64 capacity_bytes = 16 * GiB;
+  int bus_bytes = 8;       ///< 64-bit data bus per channel.
+  double clock_ghz = 1.2;  ///< Controller clock (data rate = 2x).
+  DramTiming timing;
+
+  /// Bytes transferred per burst (one 64 B transaction).
+  u64 burst_bytes() const { return static_cast<u64>(bus_bytes) * 8; }
+
+  /// Theoretical peak bandwidth in bytes/second across all channels.
+  double peak_bandwidth_bytes_per_s() const {
+    return static_cast<double>(channels) * bus_bytes * 2.0 * clock_ghz * kGiga;
+  }
+
+  /// 64 B blocks per row.
+  u64 blocks_per_row() const { return row_bytes / 64; }
+
+  /// The paper's evaluation config: 16 GB DDR4 behind a TPU-v1-like chip.
+  static DramConfig ddr4_2400_16gb() { return DramConfig{}; }
+
+  /// Single-channel variant used by the FPGA prototype model.
+  static DramConfig ddr4_2400_fpga() {
+    DramConfig cfg;
+    cfg.channels = 1;
+    cfg.ranks = 1;
+    cfg.capacity_bytes = 4 * GiB;
+    cfg.name = "DDR4-2400-FPGA";
+    return cfg;
+  }
+
+  /// Slower speed grade (timings scale with the clock; CL stays ~13.3 ns).
+  static DramConfig ddr4_2133_16gb() {
+    DramConfig cfg;
+    cfg.name = "DDR4-2133";
+    cfg.clock_ghz = 1.067;
+    cfg.timing.tCL = 14;
+    cfg.timing.tRCD = 14;
+    cfg.timing.tRP = 14;
+    cfg.timing.tRAS = 36;
+    cfg.timing.tRC = 50;
+    cfg.timing.tRFC = 374;
+    cfg.timing.tREFI = 8320;
+    return cfg;
+  }
+
+  /// Faster speed grade.
+  static DramConfig ddr4_3200_16gb() {
+    DramConfig cfg;
+    cfg.name = "DDR4-3200";
+    cfg.clock_ghz = 1.6;
+    cfg.timing.tCL = 22;
+    cfg.timing.tRCD = 22;
+    cfg.timing.tRP = 22;
+    cfg.timing.tRAS = 52;
+    cfg.timing.tRC = 74;
+    cfg.timing.tCCD = 8;
+    cfg.timing.tRFC = 560;
+    cfg.timing.tREFI = 12480;
+    return cfg;
+  }
+};
+
+}  // namespace guardnn::dram

@@ -1,0 +1,173 @@
+#include "dram/dram_sim.h"
+
+#include <algorithm>
+
+namespace guardnn::dram {
+
+DramSim::DramSim(const DramConfig& cfg) : cfg_(cfg), map_(cfg) {
+  channels_.resize(static_cast<std::size_t>(cfg_.channels));
+  for (auto& ch : channels_) {
+    ch.banks.resize(static_cast<std::size_t>(cfg_.ranks) * cfg_.banks);
+    ch.next_refresh.resize(static_cast<std::size_t>(cfg_.ranks));
+    for (int r = 0; r < cfg_.ranks; ++r)
+      ch.next_refresh[static_cast<std::size_t>(r)] =
+          static_cast<u64>(cfg_.timing.tREFI) * (static_cast<u64>(r) + 1) /
+          static_cast<u64>(cfg_.ranks);
+  }
+}
+
+bool DramSim::enqueue(const Request& req) {
+  const DecodedAddress decoded = map_.decode(req.address);
+  ChannelState& ch = channels_[static_cast<std::size_t>(decoded.channel)];
+  if (ch.queue.size() >= queue_capacity_) return false;
+  ch.queue.push_back(PendingRequest{req, decoded, cycle_});
+  return true;
+}
+
+void DramSim::maybe_refresh(ChannelState& ch, int rank) {
+  auto& next = ch.next_refresh[static_cast<std::size_t>(rank)];
+  if (cycle_ < next) return;
+  // All banks of this rank: close rows and block for tRFC.
+  const u64 done = cycle_ + static_cast<u64>(cfg_.timing.tRFC);
+  for (int b = 0; b < cfg_.banks; ++b) {
+    BankState& bank = ch.banks[static_cast<std::size_t>(rank) * cfg_.banks + b];
+    bank.row_open = false;
+    bank.earliest_act = std::max(bank.earliest_act, done);
+  }
+  next += static_cast<u64>(cfg_.timing.tREFI);
+  ++stats_.refreshes;
+}
+
+void DramSim::service_channel(int ch_index) {
+  ChannelState& ch = channels_[static_cast<std::size_t>(ch_index)];
+  for (int rank = 0; rank < cfg_.ranks; ++rank) maybe_refresh(ch, rank);
+  if (ch.queue.empty()) return;
+  const DramTiming& t = cfg_.timing;
+
+  // FR-FCFS: prefer the oldest request whose row is already open and whose
+  // CAS may issue now; otherwise the oldest request that can make *any*
+  // progress (PRE or ACT) this cycle, preserving age order.
+  auto ready_hit = ch.queue.end();
+  auto ready_other = ch.queue.end();
+  for (auto it = ch.queue.begin(); it != ch.queue.end(); ++it) {
+    const BankState& bank =
+        ch.banks[static_cast<std::size_t>(it->decoded.rank) * cfg_.banks +
+                 it->decoded.bank];
+    const bool open_match = bank.row_open && bank.open_row == it->decoded.row;
+    if (open_match && cycle_ >= bank.earliest_cas) {
+      ready_hit = it;
+      break;
+    }
+    if (ready_other == ch.queue.end() && !open_match) {
+      const bool can_pre = bank.row_open && cycle_ >= bank.earliest_pre;
+      const bool can_act = !bank.row_open && cycle_ >= bank.earliest_act;
+      if (can_pre || can_act) ready_other = it;
+    }
+  }
+
+  auto chosen = ready_hit != ch.queue.end() ? ready_hit : ready_other;
+  if (chosen == ch.queue.end()) return;
+  PendingRequest& pending = *chosen;
+  BankState& bank = bank_of(ch, pending.decoded);
+
+  const bool row_match = bank.row_open && bank.open_row == pending.decoded.row;
+  if (!row_match) {
+    // Row miss: issue PRE (if another row is open) then ACT; CAS retries on a
+    // later cycle once tRCD elapses.
+    pending.caused_miss = true;
+    if (bank.row_open) {
+      if (cycle_ < bank.earliest_pre) return;
+      bank.row_open = false;
+      bank.earliest_act = std::max(bank.earliest_act,
+                                   cycle_ + static_cast<u64>(t.tRP));
+      return;
+    }
+    if (cycle_ < bank.earliest_act) return;
+    bank.row_open = true;
+    bank.open_row = pending.decoded.row;
+    bank.earliest_cas = cycle_ + static_cast<u64>(t.tRCD);
+    bank.earliest_pre = cycle_ + static_cast<u64>(t.tRAS);
+    bank.earliest_act = cycle_ + static_cast<u64>(t.tRC);
+    return;
+  }
+
+  if (cycle_ < bank.earliest_cas) return;
+
+  // Write-to-read turnaround on the shared bus.
+  const bool is_read = pending.req.is_read();
+  if (is_read && cycle_ < ch.last_write_data_end + static_cast<u64>(t.tWTR) &&
+      ch.last_write_data_end > 0)
+    return;
+
+  // Data bus must be free for the burst.
+  const u64 data_start =
+      std::max(cycle_ + static_cast<u64>(is_read ? t.tCL : t.tCWL), ch.bus_free_at);
+  const u64 data_end = data_start + static_cast<u64>(t.tBurst);
+  ch.bus_free_at = data_end;
+  bank.earliest_cas = cycle_ + static_cast<u64>(t.tCCD);
+  if (is_read) {
+    bank.earliest_pre = std::max(bank.earliest_pre,
+                                 cycle_ + static_cast<u64>(t.tRTP));
+  } else {
+    bank.earliest_pre = std::max(bank.earliest_pre,
+                                 data_end + static_cast<u64>(t.tWR));
+    ch.last_write_data_end = data_end;
+  }
+
+  if (pending.caused_miss)
+    ++stats_.row_misses;
+  else
+    ++stats_.row_hits;
+  if (is_read) {
+    ++stats_.reads;
+    stats_.read_latency.add(static_cast<double>(data_end - pending.enqueue_cycle));
+  } else {
+    ++stats_.writes;
+  }
+
+  if (on_complete_) {
+    Completion completion;
+    completion.id = pending.req.id;
+    completion.address = pending.req.address;
+    completion.type = pending.req.type;
+    completion.traffic = pending.req.traffic;
+    completion.enqueue_cycle = pending.enqueue_cycle;
+    completion.finish_cycle = data_end;
+    on_complete_(completion);
+  }
+  ch.queue.erase(chosen);
+}
+
+void DramSim::tick() {
+  for (int ch = 0; ch < cfg_.channels; ++ch) service_channel(ch);
+  ++cycle_;
+}
+
+bool DramSim::idle() const {
+  for (const auto& ch : channels_) {
+    if (!ch.queue.empty()) return false;
+    if (ch.bus_free_at > cycle_) return false;
+  }
+  return true;
+}
+
+u64 DramSim::run_to_completion() {
+  while (!idle()) tick();
+  return cycle_;
+}
+
+std::size_t DramSim::outstanding() const {
+  std::size_t total = 0;
+  for (const auto& ch : channels_) total += ch.queue.size();
+  return total;
+}
+
+double DramSim::achieved_bandwidth_bytes_per_s() const {
+  if (cycle_ == 0) return 0.0;
+  const double bytes =
+      static_cast<double>((stats_.reads + stats_.writes) * cfg_.burst_bytes());
+  const double seconds = static_cast<double>(cycle_) / (cfg_.clock_ghz * kGiga);
+  return bytes / seconds;
+}
+
+}  // namespace guardnn::dram

@@ -1,0 +1,104 @@
+// Event-driven DDR4 channel/rank/bank timing simulator with FR-FCFS
+// scheduling and periodic refresh — the Ramulator substitute used to model
+// the 16 GB DDR4 main memory in the paper's evaluation (Section III-A).
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "common/stats.h"
+#include "dram/address_map.h"
+#include "dram/request.h"
+
+namespace guardnn::dram {
+
+/// Aggregate statistics over a simulation run.
+struct DramStats {
+  u64 reads = 0;
+  u64 writes = 0;
+  u64 row_hits = 0;
+  u64 row_misses = 0;
+  u64 refreshes = 0;
+  RunningStats read_latency;
+
+  double row_hit_rate() const {
+    const u64 total = row_hits + row_misses;
+    return total ? static_cast<double>(row_hits) / static_cast<double>(total) : 0.0;
+  }
+};
+
+/// Cycle-stepped DDR4 simulator. Drive with enqueue()/tick(); completed
+/// requests are delivered through the completion callback (if set) and
+/// counted in stats().
+class DramSim {
+ public:
+  explicit DramSim(const DramConfig& cfg);
+
+  /// Attempts to enqueue a request; returns false when the target channel
+  /// queue is full (caller must retry next cycle — models backpressure).
+  bool enqueue(const Request& req);
+
+  /// Advances one memory-controller cycle.
+  void tick();
+
+  /// True when every queue is empty and all in-flight bursts completed.
+  bool idle() const;
+
+  /// Runs until idle; returns the cycle count at completion.
+  u64 run_to_completion();
+
+  u64 now() const { return cycle_; }
+  const DramStats& stats() const { return stats_; }
+  const DramConfig& config() const { return cfg_; }
+
+  /// Pending + in-flight request count.
+  std::size_t outstanding() const;
+
+  using CompletionCallback = std::function<void(const Completion&)>;
+  void set_completion_callback(CompletionCallback cb) { on_complete_ = std::move(cb); }
+
+  /// Achieved data bandwidth so far, in bytes per second.
+  double achieved_bandwidth_bytes_per_s() const;
+
+ private:
+  struct BankState {
+    bool row_open = false;
+    u64 open_row = 0;
+    u64 earliest_act = 0;   ///< Next cycle an ACT may issue.
+    u64 earliest_cas = 0;   ///< Next cycle a RD/WR may issue (row open).
+    u64 earliest_pre = 0;   ///< Next cycle a PRE may issue.
+  };
+
+  struct PendingRequest {
+    Request req;
+    DecodedAddress decoded;
+    u64 enqueue_cycle = 0;
+    bool caused_miss = false;  ///< An ACT was issued on this request's behalf.
+  };
+
+  struct ChannelState {
+    std::deque<PendingRequest> queue;
+    std::vector<BankState> banks;            // ranks * banks entries
+    std::vector<u64> next_refresh;           // per rank
+    u64 bus_free_at = 0;
+    u64 last_write_data_end = 0;             // for write-to-read turnaround
+  };
+
+  BankState& bank_of(ChannelState& ch, const DecodedAddress& d) {
+    return ch.banks[static_cast<std::size_t>(d.rank) * cfg_.banks + d.bank];
+  }
+
+  void service_channel(int ch_index);
+  void maybe_refresh(ChannelState& ch, int rank);
+
+  DramConfig cfg_;
+  AddressMap map_;
+  std::vector<ChannelState> channels_;
+  u64 cycle_ = 0;
+  std::size_t queue_capacity_ = 64;
+  DramStats stats_;
+  CompletionCallback on_complete_;
+};
+
+}  // namespace guardnn::dram

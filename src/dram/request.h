@@ -1,0 +1,44 @@
+// Memory request/response types exchanged between the accelerator's memory
+// protection unit and the DRAM simulator.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace guardnn::dram {
+
+enum class RequestType : u8 { kRead, kWrite };
+
+/// Classifies what a request carries, so protection engines and statistics
+/// can separate data traffic from metadata (VN/MAC/tree) traffic.
+enum class TrafficClass : u8 {
+  kData,       ///< Feature/weight/gradient payload.
+  kVersion,    ///< Off-chip version-number line (baseline protection only).
+  kMac,        ///< Integrity MAC line.
+  kTree,       ///< Counter-tree (Merkle) node line.
+};
+
+/// A 64-byte memory transaction.
+struct Request {
+  u64 address = 0;  ///< Byte address, 64 B aligned.
+  RequestType type = RequestType::kRead;
+  TrafficClass traffic = TrafficClass::kData;
+  u64 id = 0;       ///< Caller-assigned identifier.
+
+  bool is_read() const { return type == RequestType::kRead; }
+};
+
+/// Completion record emitted by the simulator.
+struct Completion {
+  u64 id = 0;
+  u64 address = 0;
+  RequestType type = RequestType::kRead;
+  TrafficClass traffic = TrafficClass::kData;
+  u64 enqueue_cycle = 0;
+  u64 finish_cycle = 0;
+
+  u64 latency() const { return finish_cycle - enqueue_cycle; }
+};
+
+}  // namespace guardnn::dram

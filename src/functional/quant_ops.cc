@@ -1,0 +1,184 @@
+#include "functional/quant_ops.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace guardnn::functional {
+namespace {
+
+int conv_out_dim(int in, int kernel, int stride, int pad) {
+  const int out = (in + 2 * pad - kernel) / stride + 1;
+  if (out <= 0) throw std::invalid_argument("conv: non-positive output dim");
+  return out;
+}
+
+}  // namespace
+
+i8 requantize(i32 acc, int shift, int bits) {
+  const i32 shifted = shift > 0 ? (acc >> shift) : acc;
+  const i32 hi = (1 << (bits - 1)) - 1;
+  const i32 lo = -(1 << (bits - 1));
+  return static_cast<i8>(std::clamp(shifted, lo, hi));
+}
+
+Tensor conv2d_direct(const Tensor& input, const ConvWeights& weights, int stride,
+                     int pad, int requant_shift) {
+  if (weights.in_c != input.channels())
+    throw std::invalid_argument("conv2d: channel mismatch");
+  const int oh = conv_out_dim(input.height(), weights.kernel, stride, pad);
+  const int ow = conv_out_dim(input.width(), weights.kernel, stride, pad);
+  Tensor out(weights.out_c, oh, ow, input.bits());
+  for (int oc = 0; oc < weights.out_c; ++oc) {
+    for (int oy = 0; oy < oh; ++oy) {
+      for (int ox = 0; ox < ow; ++ox) {
+        i32 acc = 0;
+        for (int ic = 0; ic < weights.in_c; ++ic) {
+          for (int ky = 0; ky < weights.kernel; ++ky) {
+            for (int kx = 0; kx < weights.kernel; ++kx) {
+              const int iy = oy * stride + ky - pad;
+              const int ix = ox * stride + kx - pad;
+              acc += static_cast<i32>(input.at_padded(ic, iy, ix)) *
+                     static_cast<i32>(weights.at(oc, ic, ky, kx));
+            }
+          }
+        }
+        out.at(oc, oy, ox) = requantize(acc, requant_shift, input.bits());
+      }
+    }
+  }
+  return out;
+}
+
+Tensor conv2d_gemm(const Tensor& input, const ConvWeights& weights, int stride,
+                   int pad, int requant_shift) {
+  if (weights.in_c != input.channels())
+    throw std::invalid_argument("conv2d: channel mismatch");
+  const int oh = conv_out_dim(input.height(), weights.kernel, stride, pad);
+  const int ow = conv_out_dim(input.width(), weights.kernel, stride, pad);
+  const int k2 = weights.kernel * weights.kernel;
+  const std::size_t cols = static_cast<std::size_t>(oh) * ow;       // M
+  const std::size_t rows = static_cast<std::size_t>(weights.in_c) * k2;  // K
+
+  // im2col: patch matrix [K x M].
+  std::vector<i8> patches(rows * cols);
+  std::size_t r = 0;
+  for (int ic = 0; ic < weights.in_c; ++ic) {
+    for (int ky = 0; ky < weights.kernel; ++ky) {
+      for (int kx = 0; kx < weights.kernel; ++kx, ++r) {
+        std::size_t m = 0;
+        for (int oy = 0; oy < oh; ++oy) {
+          for (int ox = 0; ox < ow; ++ox, ++m) {
+            patches[r * cols + m] =
+                input.at_padded(ic, oy * stride + ky - pad, ox * stride + kx - pad);
+          }
+        }
+      }
+    }
+  }
+
+  // GEMM: out[oc, m] = sum_k W[oc, k] * patches[k, m].
+  Tensor out(weights.out_c, oh, ow, input.bits());
+  for (int oc = 0; oc < weights.out_c; ++oc) {
+    const i8* wrow = weights.data.data() + static_cast<std::size_t>(oc) * rows;
+    for (std::size_t m = 0; m < cols; ++m) {
+      i32 acc = 0;
+      for (std::size_t k = 0; k < rows; ++k)
+        acc += static_cast<i32>(wrow[k]) * static_cast<i32>(patches[k * cols + m]);
+      out.data()[static_cast<std::size_t>(oc) * cols + m] =
+          requantize(acc, requant_shift, input.bits());
+    }
+  }
+  return out;
+}
+
+std::vector<i8> fully_connected(const std::vector<i8>& input, const FcWeights& weights,
+                                int requant_shift, int bits) {
+  if (static_cast<int>(input.size()) != weights.in_features)
+    throw std::invalid_argument("fully_connected: dimension mismatch");
+  std::vector<i8> out(static_cast<std::size_t>(weights.out_features));
+  for (int o = 0; o < weights.out_features; ++o) {
+    i32 acc = 0;
+    for (int i = 0; i < weights.in_features; ++i)
+      acc += static_cast<i32>(weights.at(o, i)) * static_cast<i32>(input[static_cast<std::size_t>(i)]);
+    out[static_cast<std::size_t>(o)] = requantize(acc, requant_shift, bits);
+  }
+  return out;
+}
+
+Tensor depthwise_conv2d(const Tensor& input, const ConvWeights& weights, int stride,
+                        int pad, int requant_shift) {
+  if (weights.out_c != input.channels() || weights.in_c != 1)
+    throw std::invalid_argument("depthwise_conv2d: weights must be C x 1 x k x k");
+  const int oh = conv_out_dim(input.height(), weights.kernel, stride, pad);
+  const int ow = conv_out_dim(input.width(), weights.kernel, stride, pad);
+  Tensor out(input.channels(), oh, ow, input.bits());
+  for (int c = 0; c < input.channels(); ++c) {
+    for (int oy = 0; oy < oh; ++oy) {
+      for (int ox = 0; ox < ow; ++ox) {
+        i32 acc = 0;
+        for (int ky = 0; ky < weights.kernel; ++ky) {
+          for (int kx = 0; kx < weights.kernel; ++kx) {
+            acc += static_cast<i32>(input.at_padded(c, oy * stride + ky - pad,
+                                                    ox * stride + kx - pad)) *
+                   static_cast<i32>(weights.at(c, 0, ky, kx));
+          }
+        }
+        out.at(c, oy, ox) = requantize(acc, requant_shift, input.bits());
+      }
+    }
+  }
+  return out;
+}
+
+Tensor tensor_add(const Tensor& a, const Tensor& b) {
+  if (a.channels() != b.channels() || a.height() != b.height() ||
+      a.width() != b.width())
+    throw std::invalid_argument("tensor_add: shape mismatch");
+  Tensor out(a.channels(), a.height(), a.width(), a.bits());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const i32 sum = static_cast<i32>(a.data()[i]) + static_cast<i32>(b.data()[i]);
+    out.data()[i] = static_cast<i8>(
+        std::clamp(sum, static_cast<i32>(out.min_value()),
+                   static_cast<i32>(out.max_value())));
+  }
+  return out;
+}
+
+void relu(Tensor& tensor) {
+  for (i8& v : tensor.data()) v = std::max<i8>(v, 0);
+}
+
+Tensor maxpool2d(const Tensor& input, int kernel, int stride) {
+  const int oh = (input.height() - kernel) / stride + 1;
+  const int ow = (input.width() - kernel) / stride + 1;
+  if (oh <= 0 || ow <= 0) throw std::invalid_argument("maxpool: bad dims");
+  Tensor out(input.channels(), oh, ow, input.bits());
+  for (int c = 0; c < input.channels(); ++c) {
+    for (int oy = 0; oy < oh; ++oy) {
+      for (int ox = 0; ox < ow; ++ox) {
+        i8 best = input.at(c, oy * stride, ox * stride);
+        for (int ky = 0; ky < kernel; ++ky)
+          for (int kx = 0; kx < kernel; ++kx)
+            best = std::max(best, input.at(c, oy * stride + ky, ox * stride + kx));
+        out.at(c, oy, ox) = best;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor global_avgpool(const Tensor& input) {
+  Tensor out(input.channels(), 1, 1, input.bits());
+  const i32 count = input.height() * input.width();
+  for (int c = 0; c < input.channels(); ++c) {
+    i32 acc = 0;
+    for (int y = 0; y < input.height(); ++y)
+      for (int x = 0; x < input.width(); ++x) acc += input.at(c, y, x);
+    out.at(c, 0, 0) = static_cast<i8>(
+        std::clamp(acc / count, static_cast<i32>(out.min_value()),
+                   static_cast<i32>(out.max_value())));
+  }
+  return out;
+}
+
+}  // namespace guardnn::functional

@@ -1,0 +1,44 @@
+// Quantized DNN operators (int8/int6 with 32-bit accumulation), the compute
+// substrate of the functional accelerator. Two convolution paths are
+// provided — direct and im2col+GEMM — which must agree bit-exactly; the GEMM
+// path mirrors how the systolic array actually executes convolutions.
+#pragma once
+
+#include "functional/tensor.h"
+
+namespace guardnn::functional {
+
+/// Requantization: arithmetic right shift with clamping to the tensor range.
+i8 requantize(i32 acc, int shift, int bits);
+
+/// Direct convolution (reference implementation).
+Tensor conv2d_direct(const Tensor& input, const ConvWeights& weights, int stride,
+                     int pad, int requant_shift);
+
+/// im2col + GEMM convolution (accelerator-shaped implementation).
+Tensor conv2d_gemm(const Tensor& input, const ConvWeights& weights, int stride,
+                   int pad, int requant_shift);
+
+/// Fully connected layer over a flattened input.
+std::vector<i8> fully_connected(const std::vector<i8>& input, const FcWeights& weights,
+                                int requant_shift, int bits);
+
+/// Depthwise convolution: one k x k filter per channel (MobileNet-style).
+/// `weights` must have out_c == in_c == input channels and is indexed as
+/// ConvWeights with in_c == 1 per group.
+Tensor depthwise_conv2d(const Tensor& input, const ConvWeights& weights, int stride,
+                        int pad, int requant_shift);
+
+/// Elementwise saturating add (residual connections). Shapes must match.
+Tensor tensor_add(const Tensor& a, const Tensor& b);
+
+/// In-place ReLU.
+void relu(Tensor& tensor);
+
+/// 2-D max pooling.
+Tensor maxpool2d(const Tensor& input, int kernel, int stride);
+
+/// Global average pooling to a 1x1 spatial map.
+Tensor global_avgpool(const Tensor& input);
+
+}  // namespace guardnn::functional

@@ -1,0 +1,112 @@
+// Minimal quantized tensor type for the functional accelerator model
+// (the CHaiDNN substitute used to demonstrate end-to-end correctness of
+// encrypted execution — see DESIGN.md substitution table).
+#pragma once
+
+#include <stdexcept>
+#include <vector>
+
+#include "common/types.h"
+
+namespace guardnn::functional {
+
+/// CHW-layout signed-integer tensor. `bits` (6 or 8) bounds the value range,
+/// matching the two CHaiDNN precisions in Table II; storage is one byte per
+/// element either way, as on the FPGA's 8-bit datapath.
+class Tensor {
+ public:
+  Tensor() = default;
+  Tensor(int c, int h, int w, int bits = 8)
+      : c_(c), h_(h), w_(w), bits_(bits),
+        data_(static_cast<std::size_t>(c) * h * w, 0) {
+    if (c <= 0 || h <= 0 || w <= 0) throw std::invalid_argument("Tensor: bad shape");
+    if (bits != 6 && bits != 8) throw std::invalid_argument("Tensor: bits must be 6 or 8");
+  }
+
+  int channels() const { return c_; }
+  int height() const { return h_; }
+  int width() const { return w_; }
+  int bits() const { return bits_; }
+  std::size_t size() const { return data_.size(); }
+
+  i8& at(int c, int y, int x) {
+    return data_[(static_cast<std::size_t>(c) * h_ + y) * w_ + x];
+  }
+  i8 at(int c, int y, int x) const {
+    return data_[(static_cast<std::size_t>(c) * h_ + y) * w_ + x];
+  }
+
+  /// Zero-padded read used by convolution.
+  i8 at_padded(int c, int y, int x) const {
+    if (y < 0 || y >= h_ || x < 0 || x >= w_) return 0;
+    return at(c, y, x);
+  }
+
+  std::vector<i8>& data() { return data_; }
+  const std::vector<i8>& data() const { return data_; }
+
+  /// Raw bytes (for DMA into the encrypted memory image).
+  BytesView bytes() const {
+    return BytesView(reinterpret_cast<const u8*>(data_.data()), data_.size());
+  }
+  MutBytesView mutable_bytes() {
+    return MutBytesView(reinterpret_cast<u8*>(data_.data()), data_.size());
+  }
+
+  /// Clamp bound for this precision: [-2^(bits-1), 2^(bits-1)-1].
+  int max_value() const { return (1 << (bits_ - 1)) - 1; }
+  int min_value() const { return -(1 << (bits_ - 1)); }
+
+  friend bool operator==(const Tensor& a, const Tensor& b) {
+    return a.c_ == b.c_ && a.h_ == b.h_ && a.w_ == b.w_ && a.data_ == b.data_;
+  }
+
+ private:
+  int c_ = 0, h_ = 0, w_ = 0;
+  int bits_ = 8;
+  std::vector<i8> data_;
+};
+
+/// Convolution weights: OC x IC x KH x KW.
+struct ConvWeights {
+  int out_c = 0, in_c = 0, kernel = 0;
+  int bits = 8;
+  std::vector<i8> data;
+
+  ConvWeights(int oc, int ic, int k, int b = 8)
+      : out_c(oc), in_c(ic), kernel(k), bits(b),
+        data(static_cast<std::size_t>(oc) * ic * k * k, 0) {}
+
+  i8& at(int oc, int ic, int ky, int kx) {
+    return data[((static_cast<std::size_t>(oc) * in_c + ic) * kernel + ky) * kernel + kx];
+  }
+  i8 at(int oc, int ic, int ky, int kx) const {
+    return data[((static_cast<std::size_t>(oc) * in_c + ic) * kernel + ky) * kernel + kx];
+  }
+
+  BytesView bytes() const {
+    return BytesView(reinterpret_cast<const u8*>(data.data()), data.size());
+  }
+};
+
+/// Fully-connected weights: OUT x IN, row-major.
+struct FcWeights {
+  int out_features = 0, in_features = 0;
+  int bits = 8;
+  std::vector<i8> data;
+
+  FcWeights(int out, int in, int b = 8)
+      : out_features(out), in_features(in), bits(b),
+        data(static_cast<std::size_t>(out) * in, 0) {}
+
+  i8& at(int o, int i) { return data[static_cast<std::size_t>(o) * in_features + i]; }
+  i8 at(int o, int i) const {
+    return data[static_cast<std::size_t>(o) * in_features + i];
+  }
+
+  BytesView bytes() const {
+    return BytesView(reinterpret_cast<const u8*>(data.data()), data.size());
+  }
+};
+
+}  // namespace guardnn::functional

@@ -1,0 +1,159 @@
+#include "functional/train_ops.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "functional/quant_ops.h"
+
+namespace guardnn::functional {
+
+std::vector<i8> fc_backward_input(const std::vector<i8>& d_out,
+                                  const FcWeights& weights, int requant_shift,
+                                  int bits) {
+  if (static_cast<int>(d_out.size()) != weights.out_features)
+    throw std::invalid_argument("fc_backward_input: gradient size mismatch");
+  std::vector<i8> d_in(static_cast<std::size_t>(weights.in_features));
+  for (int i = 0; i < weights.in_features; ++i) {
+    i32 acc = 0;
+    for (int o = 0; o < weights.out_features; ++o)
+      acc += static_cast<i32>(weights.at(o, i)) *
+             static_cast<i32>(d_out[static_cast<std::size_t>(o)]);
+    d_in[static_cast<std::size_t>(i)] = requantize(acc, requant_shift, bits);
+  }
+  return d_in;
+}
+
+FcWeights fc_backward_weights(const std::vector<i8>& d_out,
+                              const std::vector<i8>& input, int requant_shift,
+                              int bits) {
+  FcWeights grads(static_cast<int>(d_out.size()), static_cast<int>(input.size()),
+                  bits);
+  for (int o = 0; o < grads.out_features; ++o) {
+    for (int i = 0; i < grads.in_features; ++i) {
+      const i32 prod = static_cast<i32>(d_out[static_cast<std::size_t>(o)]) *
+                       static_cast<i32>(input[static_cast<std::size_t>(i)]);
+      grads.at(o, i) = requantize(prod, requant_shift, bits);
+    }
+  }
+  return grads;
+}
+
+Tensor conv2d_backward_input(const Tensor& d_out, const ConvWeights& weights,
+                             int in_h, int in_w, int stride, int pad,
+                             int requant_shift) {
+  if (d_out.channels() != weights.out_c)
+    throw std::invalid_argument("conv2d_backward_input: channel mismatch");
+  Tensor d_in(weights.in_c, in_h, in_w, d_out.bits());
+  for (int ic = 0; ic < weights.in_c; ++ic) {
+    for (int iy = 0; iy < in_h; ++iy) {
+      for (int ix = 0; ix < in_w; ++ix) {
+        i32 acc = 0;
+        for (int oc = 0; oc < weights.out_c; ++oc) {
+          for (int ky = 0; ky < weights.kernel; ++ky) {
+            for (int kx = 0; kx < weights.kernel; ++kx) {
+              const int num_y = iy + pad - ky;
+              const int num_x = ix + pad - kx;
+              if (num_y < 0 || num_x < 0) continue;
+              if (num_y % stride || num_x % stride) continue;
+              const int oy = num_y / stride;
+              const int ox = num_x / stride;
+              if (oy >= d_out.height() || ox >= d_out.width()) continue;
+              acc += static_cast<i32>(d_out.at(oc, oy, ox)) *
+                     static_cast<i32>(weights.at(oc, ic, ky, kx));
+            }
+          }
+        }
+        d_in.at(ic, iy, ix) = requantize(acc, requant_shift, d_out.bits());
+      }
+    }
+  }
+  return d_in;
+}
+
+ConvWeights conv2d_backward_weights(const Tensor& d_out, const Tensor& input,
+                                    int kernel, int stride, int pad,
+                                    int requant_shift) {
+  ConvWeights grads(d_out.channels(), input.channels(), kernel, input.bits());
+  for (int oc = 0; oc < d_out.channels(); ++oc) {
+    for (int ic = 0; ic < input.channels(); ++ic) {
+      for (int ky = 0; ky < kernel; ++ky) {
+        for (int kx = 0; kx < kernel; ++kx) {
+          i32 acc = 0;
+          for (int oy = 0; oy < d_out.height(); ++oy) {
+            for (int ox = 0; ox < d_out.width(); ++ox) {
+              acc += static_cast<i32>(d_out.at(oc, oy, ox)) *
+                     static_cast<i32>(input.at_padded(ic, oy * stride + ky - pad,
+                                                      ox * stride + kx - pad));
+            }
+          }
+          grads.at(oc, ic, ky, kx) = requantize(acc, requant_shift, input.bits());
+        }
+      }
+    }
+  }
+  return grads;
+}
+
+Tensor relu_backward(const Tensor& d_out, const Tensor& forward_input) {
+  if (d_out.size() != forward_input.size())
+    throw std::invalid_argument("relu_backward: shape mismatch");
+  Tensor d_in = d_out;
+  for (std::size_t i = 0; i < d_in.size(); ++i)
+    if (forward_input.data()[i] <= 0) d_in.data()[i] = 0;
+  return d_in;
+}
+
+Tensor maxpool_backward(const Tensor& d_out, const Tensor& forward_input,
+                        int kernel, int stride) {
+  if (kernel <= 0 || stride <= 0)
+    throw std::invalid_argument("maxpool_backward: bad kernel/stride");
+  if (d_out.channels() != forward_input.channels())
+    throw std::invalid_argument("maxpool_backward: channel mismatch");
+  // Every pooling window the gradient references must fit in the forward
+  // tensor, or the argmax search would index out of bounds.
+  if ((d_out.height() - 1) * stride + kernel > forward_input.height() ||
+      (d_out.width() - 1) * stride + kernel > forward_input.width())
+    throw std::invalid_argument("maxpool_backward: window exceeds input");
+  Tensor d_in(forward_input.channels(), forward_input.height(),
+              forward_input.width(), d_out.bits());
+  for (int c = 0; c < d_out.channels(); ++c) {
+    for (int oy = 0; oy < d_out.height(); ++oy) {
+      for (int ox = 0; ox < d_out.width(); ++ox) {
+        // Find the argmax of the forward window; gradient routes there.
+        int best_y = oy * stride, best_x = ox * stride;
+        i8 best = forward_input.at(c, best_y, best_x);
+        for (int ky = 0; ky < kernel; ++ky) {
+          for (int kx = 0; kx < kernel; ++kx) {
+            const i8 v = forward_input.at(c, oy * stride + ky, ox * stride + kx);
+            if (v > best) {
+              best = v;
+              best_y = oy * stride + ky;
+              best_x = ox * stride + kx;
+            }
+          }
+        }
+        const i32 sum = static_cast<i32>(d_in.at(c, best_y, best_x)) +
+                        static_cast<i32>(d_out.at(c, oy, ox));
+        d_in.at(c, best_y, best_x) = static_cast<i8>(
+            std::clamp(sum, static_cast<i32>(d_in.min_value()),
+                       static_cast<i32>(d_in.max_value())));
+      }
+    }
+  }
+  return d_in;
+}
+
+void sgd_update(std::vector<i8>& weights, const std::vector<i8>& gradients,
+                int lr_shift, int bits) {
+  if (weights.size() != gradients.size())
+    throw std::invalid_argument("sgd_update: size mismatch");
+  const i32 hi = (1 << (bits - 1)) - 1;
+  const i32 lo = -(1 << (bits - 1));
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const i32 step = static_cast<i32>(gradients[i]) >> lr_shift;
+    weights[i] = static_cast<i8>(
+        std::clamp(static_cast<i32>(weights[i]) - step, lo, hi));
+  }
+}
+
+}  // namespace guardnn::functional

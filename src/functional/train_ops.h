@@ -1,0 +1,45 @@
+// Quantized training operators: backward passes and the SGD update.
+//
+// The paper's accelerator "can run both inference and training"
+// (Section II-A); gradients flow through the same protected memory as
+// features (Figure 2b), and weight updates advance CTR_W. These operators
+// give the functional device that capability: integer gradients with
+// 32-bit accumulation and shift requantization, mirroring the forward ops.
+#pragma once
+
+#include "functional/tensor.h"
+
+namespace guardnn::functional {
+
+/// dX = W^T * dY for a fully-connected layer.
+std::vector<i8> fc_backward_input(const std::vector<i8>& d_out,
+                                  const FcWeights& weights, int requant_shift,
+                                  int bits);
+
+/// dW[o,i] = dY[o] * X[i] (outer product), requantized.
+FcWeights fc_backward_weights(const std::vector<i8>& d_out,
+                              const std::vector<i8>& input, int requant_shift,
+                              int bits);
+
+/// dX for a convolution (transposed convolution of dY with the weights).
+Tensor conv2d_backward_input(const Tensor& d_out, const ConvWeights& weights,
+                             int in_h, int in_w, int stride, int pad,
+                             int requant_shift);
+
+/// dW for a convolution (correlation of input with dY).
+ConvWeights conv2d_backward_weights(const Tensor& d_out, const Tensor& input,
+                                    int kernel, int stride, int pad,
+                                    int requant_shift);
+
+/// dX = dY where the forward input was positive, else 0.
+Tensor relu_backward(const Tensor& d_out, const Tensor& forward_input);
+
+/// Routes each output gradient to the argmax position of its pooling window.
+Tensor maxpool_backward(const Tensor& d_out, const Tensor& forward_input,
+                        int kernel, int stride);
+
+/// SGD: W <- clamp(W - (dW >> lr_shift)). Larger lr_shift = smaller step.
+void sgd_update(std::vector<i8>& weights, const std::vector<i8>& gradients,
+                int lr_shift, int bits);
+
+}  // namespace guardnn::functional

@@ -1,0 +1,66 @@
+// Remote user client.
+//
+// The user owns the model and the private inputs. They pin the manufacturer
+// CA key, authenticate the accelerator via GetPK (certificate check), run the
+// ECDHE key exchange, ship encrypted weights/inputs over the secure channel,
+// decrypt outputs, and verify the SignOutput attestation report against
+// their own view of what should have executed (paper Sections II-C, II-E).
+#pragma once
+
+#include <optional>
+
+#include "accel/device.h"
+
+namespace guardnn::host {
+
+class RemoteUser {
+ public:
+  /// `ca_public` is the pinned manufacturer key; `entropy` seeds the user's
+  /// own randomness.
+  RemoteUser(const crypto::AffinePoint& ca_public, BytesView entropy);
+
+  /// Step 1: authenticate the device. Returns false when the certificate
+  /// does not verify under the pinned CA key.
+  [[nodiscard]] bool attest_device(const accel::GetPkResponse& response);
+
+  /// Step 2: open a session. Generates the user's ephemeral share.
+  crypto::AffinePoint begin_session();
+
+  /// Step 3: verify the device's signed key-exchange response and derive the
+  /// session keys. Returns false on any verification failure.
+  [[nodiscard]] bool complete_session(const accel::InitSessionResponse& response);
+
+  /// Encrypts a payload (weights or input) for the device.
+  crypto::SealedRecord seal(BytesView plaintext);
+
+  /// Decrypts an exported output. Returns nullopt when authentication fails.
+  std::optional<Bytes> open_output(const crypto::SealedRecord& record);
+
+  /// Mirror of the device's attestation chain: the user absorbs the
+  /// instructions *they intended*, then compares against SignOutput.
+  void expect_instruction(accel::Opcode op, BytesView operands);
+
+  /// Records the data hashes of what the user actually sent / received.
+  void expect_input(BytesView plaintext);
+  void expect_weights(BytesView plaintext);
+  void expect_output(BytesView plaintext);
+
+  /// Full attestation verification: hashes must match the user's
+  /// expectations and the signature must verify under the device key.
+  [[nodiscard]] bool verify_attestation(const accel::SignOutputResponse& report) const;
+
+ private:
+  crypto::AffinePoint ca_public_;
+  crypto::HmacDrbg drbg_;
+  std::optional<crypto::AffinePoint> device_identity_;
+  std::optional<crypto::EcdhKeyPair> ephemeral_;
+  std::optional<crypto::ChannelSender> to_device_;
+  std::optional<crypto::ChannelReceiver> from_device_;
+
+  accel::AttestationChain expected_chain_;
+  crypto::Sha256Digest expected_input_hash_{};
+  crypto::Sha256Digest expected_weight_hash_{};
+  crypto::Sha256Digest expected_output_hash_{};
+};
+
+}  // namespace guardnn::host

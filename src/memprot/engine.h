@@ -1,0 +1,99 @@
+// Off-chip memory protection engines.
+//
+// Each engine consumes the accelerator's data-access streams and reports the
+// resulting DRAM traffic — data plus whatever protection metadata (version
+// numbers, MACs, counter-tree nodes) the scheme requires. The performance
+// model (src/sim) turns those bytes into cycles.
+//
+// Four schemes, matching the paper's evaluation (Section III-C):
+//   NP          no protection;
+//   BP          baseline protection: Intel-MEE-style per-64B VNs + MACs with
+//               an arity-8 counter tree and an on-chip metadata cache;
+//   GuardNN_C   confidentiality only: AES-CTR with on-chip VN generation —
+//               zero metadata traffic;
+//   GuardNN_CI  confidentiality + integrity: adds one 8 B MAC per 512 B data
+//               chunk (the accelerator's data-movement granularity).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/types.h"
+#include "memprot/metadata_cache.h"
+
+namespace guardnn::memprot {
+
+// Protection schemes. The last two are related-work variants used by the
+// scheme-comparison bench:
+//   kBaselineSplit — Intel MEE with *split counters*: one 64 B VN line covers
+//     64 data blocks (major counter + per-block minors), cutting VN traffic
+//     8x relative to monolithic counters but keeping the tree and per-64B
+//     MACs. The strongest general-purpose baseline.
+//   kTnpuLike — tree-less protection in the spirit of TNPU (HPCA'22):
+//     on-chip tensor-granular VNs like GuardNN, but MACs at 64 B cache-line
+//     granularity rather than the accelerator's 512 B movement granularity.
+enum class Scheme : u8 {
+  kNone,
+  kBaselineMee,
+  kGuardNnC,
+  kGuardNnCI,
+  kBaselineSplit,
+  kTnpuLike,
+};
+
+std::string scheme_name(Scheme scheme);
+
+/// One contiguous (or chunk-random) access pattern issued by the DMA engine.
+struct AccessStream {
+  u64 base = 0;            ///< Start byte address (64 B aligned).
+  u64 bytes = 0;           ///< Total payload bytes.
+  bool write = false;
+  bool random = false;     ///< Chunk-granular random access (embedding gather).
+  u64 footprint_bytes = 0; ///< Region size the stream draws from (random mode
+                           ///< and counter-tree sizing).
+};
+
+/// Traffic produced by one stream after protection is applied.
+struct StreamTraffic {
+  u64 data_read_bytes = 0;
+  u64 data_write_bytes = 0;
+  u64 meta_read_bytes = 0;
+  u64 meta_write_bytes = 0;
+  u64 extra_latency_cycles = 0;  ///< Non-overlappable latency (pipeline fill).
+  bool random = false;
+
+  u64 total_bytes() const {
+    return data_read_bytes + data_write_bytes + meta_read_bytes + meta_write_bytes;
+  }
+};
+
+struct ProtectionConfig {
+  int aes_latency_cycles = 12;   ///< Pipelined AES engine depth (paper III-A).
+  u64 mac_chunk_bytes = 512;     ///< GuardNN_CI MAC granularity (paper II-D.2).
+  u64 metadata_cache_bytes = 32 * 1024;  ///< BP's on-chip VN/MAC/tree cache.
+  int metadata_cache_ways = 8;
+  int tree_arity = 8;            ///< Counter-tree fan-out (MEE uses 8).
+  u64 onchip_tree_lines = 64;    ///< Levels at or below this size live on-chip.
+  u64 mee_block_bytes = 64;      ///< BP protection block (cache-line).
+  u64 dma_chunk_bytes = 512;     ///< Accelerator data-movement granularity.
+};
+
+class ProtectionEngine {
+ public:
+  virtual ~ProtectionEngine() = default;
+
+  virtual Scheme scheme() const = 0;
+  std::string name() const { return scheme_name(scheme()); }
+
+  /// Processes one access stream, returning the DRAM traffic it generates.
+  virtual StreamTraffic process(const AccessStream& stream) = 0;
+
+  /// Clears all engine state (metadata caches) — new session.
+  virtual void reset() {}
+};
+
+/// Factory for the four schemes.
+std::unique_ptr<ProtectionEngine> make_engine(Scheme scheme,
+                                              const ProtectionConfig& cfg = {});
+
+}  // namespace guardnn::memprot

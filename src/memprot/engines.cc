@@ -1,0 +1,237 @@
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/rng.h"
+#include "memprot/engine.h"
+
+namespace guardnn::memprot {
+
+std::string scheme_name(Scheme scheme) {
+  switch (scheme) {
+    case Scheme::kNone: return "NP";
+    case Scheme::kBaselineMee: return "BP";
+    case Scheme::kGuardNnC: return "GuardNN_C";
+    case Scheme::kGuardNnCI: return "GuardNN_CI";
+    case Scheme::kBaselineSplit: return "BP_split";
+    case Scheme::kTnpuLike: return "TNPU-like";
+  }
+  throw std::invalid_argument("scheme_name: bad scheme");
+}
+
+namespace {
+
+// Metadata address-space bases, disjoint from the 16 GB data space so cache
+// indexing never aliases data regions onto each other.
+constexpr u64 kVnBase = 0x10'0000'0000ULL;
+constexpr u64 kMacBase = 0x18'0000'0000ULL;
+constexpr u64 kTreeBase = 0x20'0000'0000ULL;
+constexpr u64 kTreeLevelStride = 0x1'0000'0000ULL;
+
+void account_data(const AccessStream& stream, StreamTraffic& out) {
+  out.random = stream.random;
+  if (stream.write)
+    out.data_write_bytes += stream.bytes;
+  else
+    out.data_read_bytes += stream.bytes;
+}
+
+/// No protection: data traffic passes through untouched.
+class NoProtectionEngine final : public ProtectionEngine {
+ public:
+  Scheme scheme() const override { return Scheme::kNone; }
+
+  StreamTraffic process(const AccessStream& stream) override {
+    StreamTraffic out;
+    account_data(stream, out);
+    return out;
+  }
+};
+
+/// GuardNN confidentiality-only: AES-CTR keyed by on-chip VNs. No metadata
+/// traffic at all; the only cost is the AES pipeline fill per DMA burst.
+class GuardNnCEngine final : public ProtectionEngine {
+ public:
+  explicit GuardNnCEngine(const ProtectionConfig& cfg) : cfg_(cfg) {}
+
+  Scheme scheme() const override { return Scheme::kGuardNnC; }
+
+  StreamTraffic process(const AccessStream& stream) override {
+    StreamTraffic out;
+    account_data(stream, out);
+    out.extra_latency_cycles = static_cast<u64>(cfg_.aes_latency_cycles);
+    return out;
+  }
+
+ private:
+  ProtectionConfig cfg_;
+};
+
+/// GuardNN confidentiality + integrity: on-chip VNs plus one 8 B MAC per
+/// `mac_chunk_bytes` data chunk. MACs are packed into 64 B lines and filtered
+/// through a small on-chip cache; sequential streams touch one MAC line per
+/// (8 * chunk) bytes of data.
+class GuardNnCIEngine final : public ProtectionEngine {
+ public:
+  GuardNnCIEngine(const ProtectionConfig& cfg, Scheme scheme = Scheme::kGuardNnCI)
+      : cfg_(cfg), scheme_(scheme),
+        mac_cache_(cfg.metadata_cache_bytes, cfg.metadata_cache_ways),
+        rng_(0xC1C1ULL) {}
+
+  Scheme scheme() const override { return scheme_; }
+
+  StreamTraffic process(const AccessStream& stream) override {
+    StreamTraffic out;
+    account_data(stream, out);
+    out.extra_latency_cycles = static_cast<u64>(2 * cfg_.aes_latency_cycles);
+
+    const u64 chunk = cfg_.mac_chunk_bytes;
+    const u64 macs_per_line = 64 / 8;  // 8 B MAC each
+    const u64 chunks = (stream.bytes + chunk - 1) / chunk;
+    if (stream.random) {
+      const u64 footprint_chunks = std::max<u64>(1, stream.footprint_bytes / chunk);
+      for (u64 i = 0; i < chunks; ++i) {
+        const u64 chunk_index = rng_.next_below(footprint_chunks);
+        touch_mac(chunk_index, stream.write, out);
+      }
+    } else {
+      const u64 first_chunk = stream.base / chunk;
+      for (u64 i = 0; i < chunks; ++i)
+        touch_mac(first_chunk + i, stream.write, out);
+    }
+    (void)macs_per_line;
+    return out;
+  }
+
+  void reset() override { mac_cache_.reset(); }
+
+ private:
+  void touch_mac(u64 chunk_index, bool write, StreamTraffic& out) {
+    const u64 line_addr = kMacBase + (chunk_index / 8) * 64;
+    const CacheAccessResult r = mac_cache_.access(line_addr, write);
+    if (!r.hit) out.meta_read_bytes += 64;
+    if (r.writeback) out.meta_write_bytes += 64;
+  }
+
+  ProtectionConfig cfg_;
+  Scheme scheme_;
+  MetadataCache mac_cache_;
+  Xoshiro256 rng_;
+};
+
+/// Baseline protection (Intel MEE): per-64B-block VN and MAC stored off-chip
+/// (8 B each, packed 8 per 64 B line) plus an arity-8 counter tree over the
+/// VN lines, all filtered through the on-chip metadata cache. Every data
+/// access touches a VN line and a MAC line; tree levels are walked upward on
+/// a VN-line miss until a cached level or the on-chip root is reached.
+class BaselineMeeEngine final : public ProtectionEngine {
+ public:
+  /// `vn_blocks_per_line`: data blocks whose VNs share one 64 B line — 8 for
+  /// monolithic 56-bit counters, 64 for split counters.
+  BaselineMeeEngine(const ProtectionConfig& cfg, Scheme scheme,
+                    u64 vn_blocks_per_line)
+      : cfg_(cfg), scheme_(scheme), vn_blocks_per_line_(vn_blocks_per_line),
+        cache_(cfg.metadata_cache_bytes, cfg.metadata_cache_ways),
+        rng_(0xBEEFULL) {}
+
+  Scheme scheme() const override { return scheme_; }
+
+  StreamTraffic process(const AccessStream& stream) override {
+    StreamTraffic out;
+    account_data(stream, out);
+    out.extra_latency_cycles = static_cast<u64>(2 * cfg_.aes_latency_cycles);
+
+    // The iteration unit is one MAC line's worth of data: 8 blocks = 512 B
+    // (consecutive blocks share the MAC line; VN lines cover
+    // vn_blocks_per_line_ blocks and are touched when first reached).
+    const u64 granule = cfg_.mee_block_bytes * 8;
+    const u64 granules = (stream.bytes + granule - 1) / granule;
+    const u64 footprint_granules =
+        std::max<u64>(1, stream.footprint_bytes / granule);
+
+    for (u64 i = 0; i < granules; ++i) {
+      u64 granule_index;
+      if (stream.random) {
+        granule_index = rng_.next_below(footprint_granules);
+      } else {
+        granule_index = (stream.base + i * granule) / granule;
+      }
+      touch_metadata(granule_index, footprint_granules, stream.write, out);
+    }
+    return out;
+  }
+
+  void reset() override { cache_.reset(); }
+
+ private:
+  void touch_metadata(u64 granule_index, u64 footprint_granules, bool write,
+                      StreamTraffic& out) {
+    // VN line (dirty on write: the version number increments). With split
+    // counters several granules map onto the same VN line.
+    const u64 vn_granules_per_line = vn_blocks_per_line_ / 8;
+    const u64 vn_line = kVnBase + granule_index / vn_granules_per_line * 64;
+    const CacheAccessResult vn = cache_.access(vn_line, write);
+    if (!vn.hit) out.meta_read_bytes += 64;
+    if (vn.writeback) out.meta_write_bytes += 64;
+
+    // Counter-tree walk on VN miss: climb until a level hits in the cache or
+    // the level is small enough to live on-chip.
+    if (!vn.hit) {
+      const u64 vn_granules_per_line2 = vn_blocks_per_line_ / 8;
+      u64 index = granule_index / vn_granules_per_line2;
+      u64 level_nodes = footprint_granules / vn_granules_per_line2 + 1;
+      int level = 1;
+      while (true) {
+        index /= static_cast<u64>(cfg_.tree_arity);
+        level_nodes =
+            (level_nodes + static_cast<u64>(cfg_.tree_arity) - 1) /
+            static_cast<u64>(cfg_.tree_arity);
+        if (level_nodes <= cfg_.onchip_tree_lines) break;  // on-chip root
+        const u64 node_line =
+            kTreeBase + static_cast<u64>(level) * kTreeLevelStride + index * 64;
+        const CacheAccessResult node = cache_.access(node_line, write);
+        if (!node.hit) out.meta_read_bytes += 64;
+        if (node.writeback) out.meta_write_bytes += 64;
+        if (node.hit) break;
+        ++level;
+      }
+    }
+
+    // MAC line (read-modify-write on writes).
+    const u64 mac_line = kMacBase + granule_index * 64;
+    const CacheAccessResult mac = cache_.access(mac_line, write);
+    if (!mac.hit) out.meta_read_bytes += 64;
+    if (mac.writeback) out.meta_write_bytes += 64;
+  }
+
+  ProtectionConfig cfg_;
+  Scheme scheme_;
+  u64 vn_blocks_per_line_;
+  MetadataCache cache_;
+  Xoshiro256 rng_;
+};
+
+}  // namespace
+
+std::unique_ptr<ProtectionEngine> make_engine(Scheme scheme,
+                                              const ProtectionConfig& cfg) {
+  switch (scheme) {
+    case Scheme::kNone:
+      return std::make_unique<NoProtectionEngine>();
+    case Scheme::kGuardNnC:
+      return std::make_unique<GuardNnCEngine>(cfg);
+    case Scheme::kGuardNnCI:
+      return std::make_unique<GuardNnCIEngine>(cfg);
+    case Scheme::kTnpuLike: {
+      ProtectionConfig tnpu = cfg;
+      tnpu.mac_chunk_bytes = 64;  // cache-line MACs instead of 512 B chunks
+      return std::make_unique<GuardNnCIEngine>(tnpu, Scheme::kTnpuLike);
+    }
+    case Scheme::kBaselineMee:
+      return std::make_unique<BaselineMeeEngine>(cfg, Scheme::kBaselineMee, 8);
+    case Scheme::kBaselineSplit:
+      return std::make_unique<BaselineMeeEngine>(cfg, Scheme::kBaselineSplit, 64);
+  }
+  throw std::invalid_argument("make_engine: bad scheme");
+}
+
+}  // namespace guardnn::memprot

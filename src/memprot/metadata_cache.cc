@@ -1,0 +1,75 @@
+#include "memprot/metadata_cache.h"
+
+#include <stdexcept>
+
+namespace guardnn::memprot {
+
+MetadataCache::MetadataCache(u64 capacity_bytes, int ways) : ways_(ways) {
+  const u64 total_lines = capacity_bytes / 64;
+  if (ways <= 0 || total_lines == 0 || total_lines % static_cast<u64>(ways) != 0)
+    throw std::invalid_argument("MetadataCache: capacity not divisible by ways");
+  num_sets_ = total_lines / static_cast<u64>(ways);
+  lines_.resize(total_lines);
+}
+
+CacheAccessResult MetadataCache::access(u64 line_address, bool dirty) {
+  const u64 line_index = line_address / 64;
+  const u64 set = line_index % num_sets_;
+  const u64 tag = line_index / num_sets_;
+  Line* base = &lines_[set * static_cast<u64>(ways_)];
+  ++access_counter_;
+
+  CacheAccessResult result;
+  // Hit path.
+  for (int w = 0; w < ways_; ++w) {
+    Line& line = base[w];
+    if (line.valid && line.tag == tag) {
+      line.lru = access_counter_;
+      line.dirty = line.dirty || dirty;
+      ++stats_.hits;
+      result.hit = true;
+      return result;
+    }
+  }
+
+  // Miss: pick invalid way or LRU victim.
+  ++stats_.misses;
+  Line* victim = base;
+  for (int w = 0; w < ways_; ++w) {
+    Line& line = base[w];
+    if (!line.valid) {
+      victim = &line;
+      break;
+    }
+    if (line.lru < victim->lru) victim = &line;
+  }
+  if (victim->valid && victim->dirty) {
+    ++stats_.writebacks;
+    result.writeback = true;
+  }
+  victim->valid = true;
+  victim->tag = tag;
+  victim->dirty = dirty;
+  victim->lru = access_counter_;
+  return result;
+}
+
+u64 MetadataCache::flush() {
+  u64 writebacks = 0;
+  for (auto& line : lines_) {
+    if (line.valid && line.dirty) {
+      ++writebacks;
+      line.dirty = false;
+    }
+  }
+  stats_.writebacks += writebacks;
+  return writebacks;
+}
+
+void MetadataCache::reset() {
+  for (auto& line : lines_) line = Line{};
+  access_counter_ = 0;
+  stats_ = CacheStats{};
+}
+
+}  // namespace guardnn::memprot

@@ -1,0 +1,65 @@
+// Set-associative write-back cache for protection metadata (version-number
+// lines, MAC lines and counter-tree nodes). The Intel-MEE baseline's
+// performance hinges on this cache: on a hit the metadata access is free; on
+// a miss it becomes extra DRAM traffic (paper Section II-D.1, III-C).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace guardnn::memprot {
+
+struct CacheStats {
+  u64 hits = 0;
+  u64 misses = 0;
+  u64 writebacks = 0;
+
+  double hit_rate() const {
+    const u64 total = hits + misses;
+    return total ? static_cast<double>(hits) / static_cast<double>(total) : 0.0;
+  }
+};
+
+/// Result of a single cache access.
+struct CacheAccessResult {
+  bool hit = false;
+  bool writeback = false;  ///< A dirty victim line was evicted.
+};
+
+class MetadataCache {
+ public:
+  /// `capacity_bytes` / 64 B lines, `ways`-associative, LRU replacement.
+  MetadataCache(u64 capacity_bytes, int ways);
+
+  /// Accesses the 64 B line containing `line_address` (must be line-aligned
+  /// by the caller). `dirty` marks the line modified (VN increment / MAC
+  /// update on a write).
+  CacheAccessResult access(u64 line_address, bool dirty);
+
+  /// Flushes all dirty lines; returns how many writebacks that caused.
+  u64 flush();
+
+  void reset();
+
+  const CacheStats& stats() const { return stats_; }
+  u64 num_sets() const { return num_sets_; }
+  int ways() const { return ways_; }
+
+ private:
+  struct Line {
+    u64 tag = 0;
+    bool valid = false;
+    bool dirty = false;
+    u64 lru = 0;  ///< Last-access stamp.
+  };
+
+  u64 num_sets_;
+  int ways_;
+  std::vector<Line> lines_;  // num_sets * ways
+  u64 access_counter_ = 0;
+  CacheStats stats_;
+};
+
+}  // namespace guardnn::memprot

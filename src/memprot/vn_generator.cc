@@ -1,0 +1,61 @@
+#include "memprot/vn_generator.h"
+
+namespace guardnn::memprot {
+
+void VnGenerator::reset() {
+  ctr_in_ = 0;
+  ctr_fw_ = 0;
+  ctr_w_ = 0;
+  read_ctrs_.clear();
+}
+
+void VnGenerator::on_set_input() {
+  ++ctr_in_;
+  ctr_fw_ = 0;
+}
+
+void VnGenerator::on_forward_write() { ++ctr_fw_; }
+
+void VnGenerator::on_set_weight() { ++ctr_w_; }
+
+u64 VnGenerator::feature_write_vn() const { return (ctr_in_ << 32) | ctr_fw_; }
+
+u64 VnGenerator::weight_vn() const { return ctr_w_; }
+
+void VnGenerator::set_read_ctr(u64 base, u64 bytes, u64 vn) {
+  if (bytes == 0) return;
+  const u64 end = base + bytes;
+
+  // Trim or split any existing ranges that overlap [base, end).
+  auto it = read_ctrs_.lower_bound(base);
+  if (it != read_ctrs_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second.first > base) {
+      // prev overlaps from the left; trim it and keep a right fragment if any.
+      const u64 prev_end = prev->second.first;
+      const u64 prev_vn = prev->second.second;
+      prev->second.first = base;
+      if (prev_end > end) read_ctrs_[end] = {prev_end, prev_vn};
+    }
+  }
+  while (it != read_ctrs_.end() && it->first < end) {
+    const u64 it_end = it->second.first;
+    const u64 it_vn = it->second.second;
+    it = read_ctrs_.erase(it);
+    if (it_end > end) {
+      read_ctrs_[end] = {it_end, it_vn};
+      break;
+    }
+  }
+  read_ctrs_[base] = {end, vn};
+}
+
+std::optional<u64> VnGenerator::feature_read_vn(u64 address) const {
+  auto it = read_ctrs_.upper_bound(address);
+  if (it == read_ctrs_.begin()) return std::nullopt;
+  --it;
+  if (address >= it->first && address < it->second.first) return it->second.second;
+  return std::nullopt;
+}
+
+}  // namespace guardnn::memprot

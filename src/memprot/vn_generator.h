@@ -1,0 +1,72 @@
+// On-chip version-number (VN) construction — the heart of GuardNN's
+// DNN-specific memory protection (paper Section II-D.2).
+//
+// Instead of storing a per-block VN in off-chip memory (as the Intel-MEE
+// baseline must), GuardNN derives every VN from a few on-chip counters:
+//
+//   CTR_IN   incremented on each SetInput (new inference/training input);
+//   CTR_F,W  reset on a new input, incremented after every Forward
+//            instruction that writes output features;
+//   CTR_F,R  supplied by the *untrusted* host via SetReadCTR per address
+//            range — used only for decryption, so a wrong value yields
+//            garbage, never plaintext;
+//   CTR_W    incremented on each SetWeight (weight import/update).
+//
+// Gradients reuse the VN of their corresponding features (Figure 2b), since
+// they live at different addresses the counter values never collide.
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "common/types.h"
+
+namespace guardnn::memprot {
+
+/// The data regions GuardNN distinguishes when forming VNs.
+enum class Region : u8 { kWeights, kFeatures, kGradients };
+
+class VnGenerator {
+ public:
+  /// Resets every counter to zero (InitSession).
+  void reset();
+
+  /// SetInput: new input arrives; feature-write counter restarts.
+  void on_set_input();
+
+  /// Forward instruction wrote a layer's output features.
+  void on_forward_write();
+
+  /// SetWeight: weights were imported or updated.
+  void on_set_weight();
+
+  /// VN used to *write* features produced by the next Forward.
+  /// Concatenates CTR_IN (high 32 bits) and CTR_F,W (low 32 bits) so values
+  /// never repeat across inputs.
+  u64 feature_write_vn() const;
+
+  /// VN for weights (constant between SetWeight calls).
+  u64 weight_vn() const;
+
+  /// Host-provided read counter for an address range (SetReadCTR).
+  /// Overwrites any overlapping previous range.
+  void set_read_ctr(u64 base, u64 bytes, u64 vn);
+
+  /// VN to use when *reading* features at `address`; nullopt when the host
+  /// never supplied one (decryption then proceeds with VN 0 and produces
+  /// garbage — confidentiality is unaffected).
+  std::optional<u64> feature_read_vn(u64 address) const;
+
+  u64 ctr_in() const { return ctr_in_; }
+  u64 ctr_fw() const { return ctr_fw_; }
+  u64 ctr_w() const { return ctr_w_; }
+
+ private:
+  u64 ctr_in_ = 0;
+  u64 ctr_fw_ = 0;
+  u64 ctr_w_ = 0;
+  /// Map from range start to (end, vn); ranges are non-overlapping.
+  std::map<u64, std::pair<u64, u64>> read_ctrs_;
+};
+
+}  // namespace guardnn::memprot

@@ -1,0 +1,40 @@
+// Accelerator configuration for the cycle-level performance model.
+//
+// The paper's ASIC evaluation models a TPU-v1-like chip: 64k processing
+// elements (256x256 systolic array), 24 MB of on-chip SRAM, 0.7 GHz
+// (Section III-A "Cycle-level Simulation").
+#pragma once
+
+#include "common/units.h"
+#include "common/types.h"
+
+namespace guardnn::sim {
+
+enum class Dataflow : u8 { kWeightStationary, kOutputStationary };
+
+struct AcceleratorConfig {
+  int array_rows = 256;
+  int array_cols = 256;
+  u64 sram_bytes = 24 * MiB;
+  double clock_ghz = 0.7;
+  Dataflow dataflow = Dataflow::kWeightStationary;
+  u64 dma_chunk_bytes = 512;  ///< Data-movement granularity (paper II-D.2).
+  int accumulator_bytes_per_elem = 4;  ///< 32-bit partial sums.
+
+  /// SRAM split: half for activations (double-buffered), the rest for
+  /// weights and accumulators.
+  u64 activation_sram_bytes() const { return sram_bytes / 2; }
+  u64 accumulator_sram_bytes() const { return sram_bytes / 4; }
+
+  u64 total_pes() const {
+    return static_cast<u64>(array_rows) * static_cast<u64>(array_cols);
+  }
+
+  /// Peak MACs per cycle.
+  u64 peak_macs_per_cycle() const { return total_pes(); }
+
+  /// TPU-v1-like config from the paper.
+  static AcceleratorConfig tpu_like() { return AcceleratorConfig{}; }
+};
+
+}  // namespace guardnn::sim

@@ -1,0 +1,101 @@
+#include "sim/detailed.h"
+
+#include <deque>
+
+namespace guardnn::sim {
+namespace {
+
+constexpr u64 kVnRegion = 0x10'0000'0000ULL;
+constexpr u64 kMacRegion = 0x18'0000'0000ULL;
+
+struct RequestPlan {
+  std::deque<dram::Request> queue;
+  u64 data = 0;
+  u64 meta = 0;
+};
+
+/// Expands one protected stream into 64 B requests. Metadata requests are
+/// spread through the data requests in proportion (interleaved mode) or
+/// appended afterwards.
+void expand_stream(const memprot::AccessStream& stream,
+                   const memprot::StreamTraffic& traffic, bool interleave,
+                   u64& meta_cursor, RequestPlan& plan) {
+  const u64 data_blocks = (stream.bytes + 63) / 64;
+  const u64 meta_blocks =
+      (traffic.meta_read_bytes + traffic.meta_write_bytes + 63) / 64;
+  const u64 meta_write_blocks = (traffic.meta_write_bytes + 63) / 64;
+  const u64 meta_every =
+      meta_blocks ? std::max<u64>(1, data_blocks / meta_blocks) : 0;
+
+  u64 meta_emitted = 0;
+  auto emit_meta = [&]() {
+    dram::Request req;
+    // Alternate VN/MAC regions so metadata spreads across banks like the
+    // real layout (distinct high bits per metadata type).
+    req.address = (meta_emitted % 2 ? kMacRegion : kVnRegion) + meta_cursor * 64;
+    req.traffic = meta_emitted % 2 ? dram::TrafficClass::kMac
+                                   : dram::TrafficClass::kVersion;
+    req.type = meta_emitted < meta_write_blocks ? dram::RequestType::kWrite
+                                                : dram::RequestType::kRead;
+    ++meta_cursor;
+    ++meta_emitted;
+    ++plan.meta;
+    plan.queue.push_back(req);
+  };
+
+  for (u64 i = 0; i < data_blocks; ++i) {
+    dram::Request req;
+    req.address = stream.base + i * 64;
+    req.type = stream.write ? dram::RequestType::kWrite : dram::RequestType::kRead;
+    req.traffic = dram::TrafficClass::kData;
+    plan.queue.push_back(req);
+    ++plan.data;
+    if (interleave && meta_every && i % meta_every == meta_every - 1 &&
+        meta_emitted < meta_blocks) {
+      emit_meta();
+    }
+  }
+  while (meta_emitted < meta_blocks) emit_meta();
+}
+
+}  // namespace
+
+DetailedResult run_detailed(const dnn::WorkItem& item, std::size_t layer_index,
+                            const AddressLayout& layout,
+                            const AcceleratorConfig& accel,
+                            const dram::DramConfig& dram_cfg,
+                            memprot::Scheme scheme, int bits, bool interleave) {
+  auto engine = memprot::make_engine(scheme);
+  const auto streams = generate_streams(item, layer_index, layout, accel, bits);
+
+  RequestPlan plan;
+  u64 meta_cursor = 0;
+  for (const auto& stream : streams) {
+    const memprot::StreamTraffic traffic = engine->process(stream);
+    expand_stream(stream, traffic, interleave, meta_cursor, plan);
+  }
+
+  dram::DramSim dram_sim(dram_cfg);
+  u64 issued = 0;
+  while (!plan.queue.empty()) {
+    while (!plan.queue.empty() && dram_sim.enqueue(plan.queue.front())) {
+      plan.queue.pop_front();
+      ++issued;
+    }
+    dram_sim.tick();
+  }
+  const u64 cycles = dram_sim.run_to_completion();
+
+  DetailedResult result;
+  result.dram_cycles = cycles;
+  result.data_requests = plan.data;
+  result.meta_requests = plan.meta;
+  result.row_hit_rate = dram_sim.stats().row_hit_rate();
+  result.achieved_bytes_per_cycle =
+      static_cast<double>((plan.data + plan.meta) * 64) /
+      static_cast<double>(cycles);
+  (void)issued;
+  return result;
+}
+
+}  // namespace guardnn::sim

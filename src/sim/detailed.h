@@ -1,0 +1,38 @@
+// Detailed (request-accurate) layer execution.
+//
+// The full-network performance model uses calibrated sustained bandwidths
+// (see perf_model.h). This module is the ground truth it is calibrated
+// against: it expands a layer's DMA streams into individual 64 B DDR4
+// transactions — data and protection metadata alike — and drives the
+// event-driven DramSim to completion. It is too slow for nine-network
+// sweeps but exactly right for validating the fast model and for studying
+// scheduling effects (request interleaving, bank conflicts between data and
+// metadata).
+#pragma once
+
+#include "dram/dram_sim.h"
+#include "memprot/engine.h"
+#include "sim/traffic.h"
+
+namespace guardnn::sim {
+
+struct DetailedResult {
+  u64 dram_cycles = 0;         ///< Memory-controller cycles to drain all requests.
+  u64 data_requests = 0;
+  u64 meta_requests = 0;
+  double row_hit_rate = 0.0;
+  double achieved_bytes_per_cycle = 0.0;
+};
+
+/// Runs one work item's traffic through the DDR4 simulator under a
+/// protection scheme. `interleave` controls whether metadata requests are
+/// issued adjacent to their data (true, as real engines do) or batched at
+/// the end (false, an idealized layout).
+DetailedResult run_detailed(const dnn::WorkItem& item, std::size_t layer_index,
+                            const AddressLayout& layout,
+                            const AcceleratorConfig& accel,
+                            const dram::DramConfig& dram_cfg,
+                            memprot::Scheme scheme, int bits = 8,
+                            bool interleave = true);
+
+}  // namespace guardnn::sim

@@ -1,0 +1,123 @@
+#include "sim/perf_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace guardnn::sim {
+
+BandwidthCalibration BandwidthCalibration::measure(const dram::DramConfig& dram_cfg,
+                                                   const AcceleratorConfig& accel) {
+  // 4 MiB probes are enough to reach steady state (validated in dram tests).
+  // DMA engines issue long homogeneous bursts, so pure streaming is the right
+  // calibration pattern; interleaved read/write would overstate turnaround.
+  const dram::ProbeResult seq = dram::probe_streaming(dram_cfg, 4 * MiB, 0.0);
+  const dram::ProbeResult rnd =
+      dram::probe_random(dram_cfg, 2 * MiB, 1ULL * GiB, /*seed=*/7);
+
+  // Random DNN traffic is chunk-granular (512 B = 8 consecutive blocks), so
+  // its sustained bandwidth sits between pure-random and streaming: seven of
+  // every eight blocks are row hits. Blend accordingly.
+  const double chunk_random_bpc =
+      (rnd.bytes_per_cycle + 7.0 * seq.bytes_per_cycle) / 8.0;
+
+  const double dram_clock_hz = dram_cfg.clock_ghz * kGiga;
+  const double accel_clock_hz = accel.clock_ghz * kGiga;
+  BandwidthCalibration calib;
+  calib.seq_bytes_per_accel_cycle =
+      seq.bytes_per_cycle * dram_clock_hz / accel_clock_hz;
+  calib.rand_bytes_per_accel_cycle =
+      chunk_random_bpc * dram_clock_hz / accel_clock_hz;
+  return calib;
+}
+
+RunResult simulate(const dnn::Network& net,
+                   const std::vector<dnn::WorkItem>& schedule,
+                   memprot::Scheme scheme, const SimConfig& cfg,
+                   const BandwidthCalibration& calib) {
+  RunResult result;
+  result.network = net.name;
+  result.scheme = memprot::scheme_name(scheme);
+
+  auto engine = memprot::make_engine(scheme, cfg.protection);
+  const AddressLayout layout = build_layout(net, cfg.bits);
+
+  // Map each schedule item back to its layer index for address assignment.
+  // Training schedules repeat layers; match by name prefix order.
+  std::size_t forward_cursor = 0;
+  std::vector<std::size_t> backward_indices;
+
+  for (const auto& item : schedule) {
+    // Determine the layer index this item belongs to.
+    std::size_t layer_index = 0;
+    if (item.pass == dnn::Pass::kForward && !item.is_weight_update) {
+      layer_index = forward_cursor % net.layers.size();
+      ++forward_cursor;
+    } else {
+      // Backward/update items carry the original layer name plus a suffix.
+      const std::string& base = item.layer.name;
+      const std::size_t dot = base.rfind('.');
+      const std::string stem = dot == std::string::npos ? base : base.substr(0, dot);
+      layer_index = 0;
+      for (std::size_t i = 0; i < net.layers.size(); ++i) {
+        if (net.layers[i].name == stem) {
+          layer_index = i;
+          break;
+        }
+      }
+    }
+
+    const ComputeEstimate compute = compute_cycles(item, cfg.accel);
+    const auto streams =
+        generate_streams(item, layer_index, layout, cfg.accel, cfg.bits);
+
+    u64 seq_bytes = 0, rand_bytes = 0, meta_bytes = 0, data_bytes = 0;
+    u64 extra_latency = 0;
+    for (const auto& stream : streams) {
+      const memprot::StreamTraffic t = engine->process(stream);
+      const u64 dbytes = t.data_read_bytes + t.data_write_bytes;
+      const u64 mbytes = t.meta_read_bytes + t.meta_write_bytes;
+      data_bytes += dbytes;
+      meta_bytes += mbytes;
+      if (t.random)
+        rand_bytes += dbytes;
+      else
+        seq_bytes += dbytes;
+      // Metadata lines are scattered relative to data but mostly sequential
+      // within a stream; count them at streaming bandwidth.
+      seq_bytes += mbytes;
+      extra_latency += t.extra_latency_cycles;
+    }
+
+    const double mem_cycles_f =
+        static_cast<double>(seq_bytes) / calib.seq_bytes_per_accel_cycle +
+        static_cast<double>(rand_bytes) / calib.rand_bytes_per_accel_cycle;
+    const u64 mem_cycles = static_cast<u64>(std::llround(mem_cycles_f));
+
+    LayerResult lr;
+    lr.name = item.layer.name;
+    lr.compute_cycles = compute.cycles;
+    lr.memory_cycles = mem_cycles;
+    lr.total_cycles = std::max(compute.cycles, mem_cycles) + extra_latency;
+    lr.data_bytes = data_bytes;
+    lr.meta_bytes = meta_bytes;
+
+    result.total_cycles += lr.total_cycles;
+    result.data_bytes += data_bytes;
+    result.meta_bytes += meta_bytes;
+    result.layers.push_back(std::move(lr));
+  }
+
+  result.seconds =
+      static_cast<double>(result.total_cycles) / (cfg.accel.clock_ghz * kGiga);
+  return result;
+}
+
+RunResult simulate(const dnn::Network& net,
+                   const std::vector<dnn::WorkItem>& schedule,
+                   memprot::Scheme scheme, const SimConfig& cfg) {
+  const BandwidthCalibration calib =
+      BandwidthCalibration::measure(cfg.dram, cfg.accel);
+  return simulate(net, schedule, scheme, cfg, calib);
+}
+
+}  // namespace guardnn::sim

@@ -1,0 +1,80 @@
+// Network-level performance model.
+//
+// Two-level methodology (see DESIGN.md): the event-driven DDR4 simulator is
+// probed once per configuration to obtain sustained bandwidths for
+// sequential and chunk-random access; each layer then costs
+//   max(compute_cycles, traffic_cycles) + protection latency,
+// which models perfectly double-buffered execution, the same assumption
+// SCALE-Sim makes. Protection engines transform each layer's DMA streams
+// into data + metadata traffic.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dnn/models.h"
+#include "dram/bandwidth_probe.h"
+#include "memprot/engine.h"
+#include "sim/systolic.h"
+#include "sim/traffic.h"
+
+namespace guardnn::sim {
+
+struct SimConfig {
+  AcceleratorConfig accel = AcceleratorConfig::tpu_like();
+  dram::DramConfig dram = dram::DramConfig::ddr4_2400_16gb();
+  memprot::ProtectionConfig protection;
+  int bits = 8;  ///< Weight/activation precision.
+};
+
+/// Sustained-bandwidth calibration derived from the DDR4 model.
+struct BandwidthCalibration {
+  double seq_bytes_per_accel_cycle = 0.0;
+  double rand_bytes_per_accel_cycle = 0.0;
+
+  /// Probes the DRAM simulator (streaming + random patterns) and converts to
+  /// accelerator-clock bandwidth.
+  static BandwidthCalibration measure(const dram::DramConfig& dram,
+                                      const AcceleratorConfig& accel);
+};
+
+struct LayerResult {
+  std::string name;
+  u64 compute_cycles = 0;
+  u64 memory_cycles = 0;
+  u64 total_cycles = 0;
+  u64 data_bytes = 0;
+  u64 meta_bytes = 0;
+};
+
+struct RunResult {
+  std::string network;
+  std::string scheme;
+  u64 total_cycles = 0;
+  double seconds = 0.0;
+  u64 data_bytes = 0;
+  u64 meta_bytes = 0;
+  std::vector<LayerResult> layers;
+
+  /// Ratio of protected traffic to unprotected traffic.
+  double traffic_increase() const {
+    return data_bytes
+               ? static_cast<double>(data_bytes + meta_bytes) /
+                     static_cast<double>(data_bytes)
+               : 1.0;
+  }
+};
+
+/// Simulates one schedule (inference or training step) under a protection
+/// scheme. Pass a pre-measured calibration to avoid re-probing DRAM.
+RunResult simulate(const dnn::Network& net,
+                   const std::vector<dnn::WorkItem>& schedule,
+                   memprot::Scheme scheme, const SimConfig& cfg,
+                   const BandwidthCalibration& calib);
+
+/// Convenience overload that measures calibration internally.
+RunResult simulate(const dnn::Network& net,
+                   const std::vector<dnn::WorkItem>& schedule,
+                   memprot::Scheme scheme, const SimConfig& cfg = {});
+
+}  // namespace guardnn::sim

@@ -1,0 +1,67 @@
+#include "sim/systolic.h"
+
+#include <algorithm>
+
+namespace guardnn::sim {
+namespace {
+
+u64 ceil_div(u64 a, u64 b) { return (a + b - 1) / b; }
+
+}  // namespace
+
+ComputeEstimate compute_cycles(const dnn::WorkItem& item,
+                               const AcceleratorConfig& cfg) {
+  const dnn::LayerSpec& layer = item.layer;
+  ComputeEstimate est;
+
+  if (item.is_weight_update) {
+    // Vector unit: one element per lane per cycle (read W, add scaled dW).
+    est.cycles = std::max<u64>(1, ceil_div(layer.weight_elems,
+                                           static_cast<u64>(cfg.array_cols)));
+    est.folds = 1;
+    return est;
+  }
+
+  if (layer.is_gemm()) {
+    const u64 rows = static_cast<u64>(cfg.array_rows);
+    const u64 cols = static_cast<u64>(cfg.array_cols);
+    // Backward dX runs the transposed GEMM: M x N x K. The fold structure is
+    // symmetric, so reuse the same formula with (k,n) swapped.
+    u64 m = layer.m, k = layer.k, n = layer.n;
+    if (item.pass == dnn::Pass::kBackward && !item.is_weight_gradient)
+      std::swap(k, n);
+    // dW computes a K x N result from M-deep reductions.
+    if (item.is_weight_gradient) {
+      m = layer.k;
+      k = layer.m;
+      n = layer.n;
+    }
+    u64 folds, cycles;
+    if (cfg.dataflow == Dataflow::kWeightStationary) {
+      // Weights pinned: fold over (K, N); stream M rows per fold.
+      folds = ceil_div(k, rows) * ceil_div(n, cols);
+      cycles = folds * (m + rows + cols);
+    } else {
+      // Output stationary: each fold pins an M x N output tile and streams
+      // the K-deep reduction through the array (SCALE-Sim OS formula).
+      folds = ceil_div(m, rows) * ceil_div(n, cols);
+      cycles = folds * (k + rows + cols);
+    }
+    est.folds = folds;
+    est.cycles = cycles;
+    est.utilization =
+        static_cast<double>(layer.macs) /
+        (static_cast<double>(est.cycles) *
+         static_cast<double>(cfg.peak_macs_per_cycle()));
+    return est;
+  }
+
+  // Pool / elementwise / embedding: vector-unit throughput of one element per
+  // lane per cycle.
+  const u64 work = std::max(layer.output_elems, layer.input_elems);
+  est.cycles = std::max<u64>(1, ceil_div(work, static_cast<u64>(cfg.array_cols)));
+  est.folds = 1;
+  return est;
+}
+
+}  // namespace guardnn::sim

@@ -1,0 +1,21 @@
+// Systolic-array compute-cycle model, following SCALE-Sim's analytical tile
+// methodology: a GEMM of size M x K x N on an R x C array takes
+// ceil(K/R) * ceil(N/C) folds, each costing (fill + stream + drain) cycles.
+#pragma once
+
+#include "dnn/network.h"
+#include "sim/accel_config.h"
+
+namespace guardnn::sim {
+
+struct ComputeEstimate {
+  u64 cycles = 0;
+  u64 folds = 0;
+  double utilization = 0.0;  ///< macs / (cycles * peak_macs_per_cycle)
+};
+
+/// Compute cycles for one work item (forward GEMM, backward GEMM, vector op).
+ComputeEstimate compute_cycles(const dnn::WorkItem& item,
+                               const AcceleratorConfig& cfg);
+
+}  // namespace guardnn::sim

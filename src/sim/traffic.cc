@@ -1,0 +1,129 @@
+#include "sim/traffic.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace guardnn::sim {
+namespace {
+
+u64 ceil_div(u64 a, u64 b) { return (a + b - 1) / b; }
+
+u64 align_up(u64 v, u64 a) { return ceil_div(v, a) * a; }
+
+}  // namespace
+
+AddressLayout build_layout(const dnn::Network& net, int bits) {
+  AddressLayout layout;
+  layout.weight_offsets.reserve(net.layers.size());
+  u64 offset = 0;
+  for (const auto& layer : net.layers) {
+    layout.weight_offsets.push_back(offset);
+    offset += align_up(layer.weight_bytes(bits), 512);
+  }
+  layout.total_weight_bytes = offset;
+  return layout;
+}
+
+std::vector<memprot::AccessStream> generate_streams(
+    const dnn::WorkItem& item, std::size_t layer_index, const AddressLayout& layout,
+    const AcceleratorConfig& cfg, int bits) {
+  if (layer_index >= layout.weight_offsets.size())
+    throw std::out_of_range("generate_streams: layer index outside layout");
+
+  const dnn::LayerSpec& layer = item.layer;
+  std::vector<memprot::AccessStream> streams;
+  const u64 in_bytes = layer.input_bytes(bits);
+  const u64 w_bytes = layer.weight_bytes(bits);
+  const u64 out_bytes = layer.output_bytes(bits);
+  const u64 w_addr = layout.weights_base + layout.weight_offsets[layer_index];
+
+  const bool even = layer_index % 2 == 0;
+  const u64 feat_in = even ? layout.features_a : layout.features_b;
+  const u64 feat_out = even ? layout.features_b : layout.features_a;
+  const u64 grad_in = even ? layout.gradients_b : layout.gradients_a;
+  const u64 grad_out = even ? layout.gradients_a : layout.gradients_b;
+
+  auto add = [&](u64 base, u64 bytes, bool write, bool random, u64 footprint) {
+    if (bytes == 0) return;
+    memprot::AccessStream s;
+    s.base = base;
+    s.bytes = align_up(bytes, 64);
+    s.write = write;
+    s.random = random;
+    s.footprint_bytes = std::max<u64>(footprint, s.bytes);
+    streams.push_back(s);
+  };
+
+  if (item.is_weight_update) {
+    // Optimizer step: read weights and weight-gradients, write weights back.
+    add(w_addr, w_bytes, false, false, layout.total_weight_bytes);
+    add(layout.gradients_a + w_addr, w_bytes, false, false,
+        layout.total_weight_bytes);
+    add(w_addr, w_bytes, true, false, layout.total_weight_bytes);
+    return streams;
+  }
+
+  // How many times the ifmap must be refetched: with a weight-stationary
+  // array, each group of array_cols output channels streams the whole input,
+  // so the refetch count is the number of column folds unless the input fits
+  // in on-chip activation SRAM.
+  const u64 folds_n = ceil_div(std::max<u64>(layer.n, 1),
+                               static_cast<u64>(cfg.array_cols));
+  const u64 ifmap_refetch =
+      (layer.is_gemm() && in_bytes > cfg.activation_sram_bytes())
+          ? std::max<u64>(folds_n, 1)
+          : 1;
+
+  // Partial-sum spill: with multiple K folds the accumulators hold the
+  // running output; spill only when they do not fit.
+  const u64 folds_k = ceil_div(std::max<u64>(layer.k, 1),
+                               static_cast<u64>(cfg.array_rows));
+  const u64 psum_bytes =
+      layer.output_elems * static_cast<u64>(cfg.accumulator_bytes_per_elem);
+  const bool psum_spills =
+      layer.is_gemm() && folds_k > 1 && psum_bytes > cfg.accumulator_sram_bytes();
+  const u64 spill_bytes = psum_spills ? psum_bytes * (folds_k - 1) : 0;
+
+  const bool embedding = layer.type == dnn::LayerType::kEmbedding;
+
+  if (item.pass == dnn::Pass::kForward) {
+    // Inputs.
+    add(feat_in, in_bytes * ifmap_refetch, false, false, in_bytes);
+    // Weights: embeddings gather random rows at chunk granularity; dense
+    // layers stream their weights once.
+    if (embedding) {
+      // One DMA chunk per lookup (rows are padded to the movement
+      // granularity), scattered randomly across the table region.
+      add(w_addr, layer.m * cfg.dma_chunk_bytes, false, true, w_bytes);
+    } else {
+      add(w_addr, w_bytes, false, false, layout.total_weight_bytes);
+    }
+    // Partial-sum spill round trips.
+    add(feat_out, spill_bytes, true, false, psum_bytes);
+    add(feat_out, spill_bytes, false, false, psum_bytes);
+    // Outputs.
+    add(feat_out, out_bytes, true, false, out_bytes);
+    return streams;
+  }
+
+  if (item.is_weight_gradient) {
+    // dW = f^T x dY: read saved features and output gradients, write dW.
+    add(feat_in, in_bytes, false, false, in_bytes);
+    add(grad_in, out_bytes, false, false, out_bytes);
+    add(layout.gradients_a + w_addr, w_bytes, true, false,
+        layout.total_weight_bytes);
+    return streams;
+  }
+
+  // dX = dY x W^T: read output gradients and weights, write input gradients.
+  add(grad_in, out_bytes, false, false, out_bytes);
+  if (embedding) {
+    add(w_addr, layer.m * cfg.dma_chunk_bytes, true, true, w_bytes);
+  } else {
+    add(w_addr, w_bytes * ifmap_refetch, false, false, layout.total_weight_bytes);
+  }
+  add(grad_out, in_bytes, true, false, in_bytes);
+  return streams;
+}
+
+}  // namespace guardnn::sim

@@ -1,0 +1,38 @@
+// DRAM traffic generation: expands each work item into the DMA access
+// streams the accelerator issues, with a concrete address layout so the
+// protection engines' metadata caches see realistic locality.
+#pragma once
+
+#include <vector>
+
+#include "dnn/network.h"
+#include "memprot/engine.h"
+#include "sim/accel_config.h"
+
+namespace guardnn::sim {
+
+/// Static address layout for one network execution. Weights are packed
+/// contiguously per layer; activations ping-pong between two feature regions
+/// (layer i reads region i%2, writes region (i+1)%2); gradients mirror the
+/// feature layout in their own region, as in the paper's Figure 2b.
+struct AddressLayout {
+  u64 weights_base = 0x0000'0000ULL;
+  u64 features_a = 0x4'0000'0000ULL;
+  u64 features_b = 0x5'0000'0000ULL;
+  u64 gradients_a = 0x6'0000'0000ULL;
+  u64 gradients_b = 0x7'0000'0000ULL;
+
+  std::vector<u64> weight_offsets;  ///< Per-layer offset into the weight region.
+  u64 total_weight_bytes = 0;
+};
+
+/// Builds the weight layout for a network at the given precision.
+AddressLayout build_layout(const dnn::Network& net, int bits);
+
+/// Expands one work item into its DMA streams. `layer_index` selects the
+/// ping-pong feature buffers; `bits` is the data precision.
+std::vector<memprot::AccessStream> generate_streams(
+    const dnn::WorkItem& item, std::size_t layer_index, const AddressLayout& layout,
+    const AcceleratorConfig& cfg, int bits);
+
+}  // namespace guardnn::sim

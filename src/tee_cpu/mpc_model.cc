@@ -1,0 +1,30 @@
+#include "tee_cpu/mpc_model.h"
+
+namespace guardnn::tee_cpu {
+
+MpcResult estimate_mpc(const dnn::Network& net, const MpcConfig& cfg) {
+  // Nonlinear elements: approximate one ReLU per output activation of each
+  // GEMM layer.
+  double nonlinear = 0.0;
+  double macs = 0.0;
+  std::size_t rounds = 0;
+  for (const auto& l : net.layers) {
+    macs += static_cast<double>(l.macs);
+    if (l.is_gemm()) {
+      nonlinear += static_cast<double>(l.output_elems);
+      ++rounds;
+    }
+  }
+
+  const double comm_bytes = nonlinear * cfg.bytes_per_nonlinear;
+  const double comm_s = comm_bytes * 8.0 / (cfg.lan_bandwidth_gbps * 1e9) +
+                        static_cast<double>(rounds) * cfg.lan_rtt_ms * 1e-3 * 2.0;
+  const double compute_s = macs * cfg.cipher_ops_per_mac / (cfg.cpu_gops * 1e9);
+
+  MpcResult out;
+  out.seconds_per_inference = comm_s + compute_s;
+  out.throughput_gops = net.total_gops() / out.seconds_per_inference;
+  return out;
+}
+
+}  // namespace guardnn::tee_cpu

@@ -1,0 +1,47 @@
+// Coarse cost models for the MPC comparators in Table III.
+//
+// The paper cites DELPHI (Mishra et al., USENIX Security'20) at 0.02 GOPs
+// and CrypTFLOW2 (Rathee et al., CCS'20) at 0.18 GOPs on ResNet-32 /
+// CIFAR-100 with 4-core Xeons. Reproducing full MPC stacks is out of scope
+// (see DESIGN.md); instead this analytic model captures why they are three
+// orders of magnitude slower: every nonlinear op costs kilobytes of
+// garbled-circuit/OT communication, and every linear layer a pass of
+// ciphertext arithmetic. The cited figures are also exported as constants so
+// the Table III bench can print both.
+#pragma once
+
+#include "dnn/models.h"
+
+namespace guardnn::tee_cpu {
+
+struct MpcConfig {
+  double lan_bandwidth_gbps = 1.0;   ///< 1 GbE between the two parties.
+  double lan_rtt_ms = 0.5;
+  double bytes_per_nonlinear = 2048; ///< GC/OT traffic per ReLU-equivalent.
+  double cipher_ops_per_mac = 8.0;   ///< Ciphertext work multiplier.
+  double cpu_gops = 80.0;            ///< 4-core Xeon fp32 throughput.
+};
+
+struct MpcResult {
+  double seconds_per_inference = 0.0;
+  double throughput_gops = 0.0;
+};
+
+/// Analytic two-party-inference cost for `net`.
+MpcResult estimate_mpc(const dnn::Network& net, const MpcConfig& cfg = {});
+
+/// Cited Table III constants (with provenance).
+struct CitedComparators {
+  // DELPHI, ResNet-32/CIFAR-100, 2x 4-core Xeon (paper Table III).
+  static constexpr double kDelphiGops = 0.02;
+  static constexpr double kDelphiOverhead = 1000.0;
+  static constexpr double kDelphiPowerW = 130.0;
+  static constexpr double kDelphiLoc = 35100;
+  // CrypTFLOW2, same setting.
+  static constexpr double kCryptflow2Gops = 0.18;
+  static constexpr double kCryptflow2Overhead = 100.0;
+  static constexpr double kCryptflow2PowerW = 130.0;
+  static constexpr double kCryptflow2Loc = 53700;
+};
+
+}  // namespace guardnn::tee_cpu

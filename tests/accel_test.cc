@@ -1,0 +1,306 @@
+#include <gtest/gtest.h>
+
+#include "accel/device.h"
+#include "accel/memory.h"
+#include "accel/mpu.h"
+#include "common/rng.h"
+
+namespace guardnn::accel {
+namespace {
+
+crypto::AesKey test_key(u8 tag) {
+  crypto::AesKey key{};
+  for (std::size_t i = 0; i < key.size(); ++i) key[i] = static_cast<u8>(i + tag);
+  return key;
+}
+
+// --- UntrustedMemory --------------------------------------------------------
+
+TEST(UntrustedMemory, ReadWriteRoundTrip) {
+  UntrustedMemory mem;
+  const Bytes data = {1, 2, 3, 4, 5};
+  mem.write(100, data);
+  EXPECT_EQ(mem.read(100, 5), data);
+}
+
+TEST(UntrustedMemory, CrossesPageBoundaries) {
+  UntrustedMemory mem;
+  Bytes data(10000);
+  Xoshiro256 rng(1);
+  rng.fill(data);
+  mem.write(UntrustedMemory::kPageBytes - 100, data);
+  EXPECT_EQ(mem.read(UntrustedMemory::kPageBytes - 100, data.size()), data);
+  EXPECT_GE(mem.resident_pages(), 3u);
+}
+
+TEST(UntrustedMemory, UnwrittenReadsAsZero) {
+  UntrustedMemory mem;
+  EXPECT_EQ(mem.read(0xdead000, 4), (Bytes{0, 0, 0, 0}));
+}
+
+TEST(UntrustedMemory, TamperFlipsBits) {
+  UntrustedMemory mem;
+  mem.write(0, Bytes{0xff});
+  mem.tamper(0, 0x0f);
+  EXPECT_EQ(mem.read(0, 1)[0], 0xf0);
+}
+
+TEST(UntrustedMemory, CopySupportsReplay) {
+  UntrustedMemory mem;
+  mem.write(0, Bytes{9, 8, 7});
+  mem.copy(4096, 0, 3);
+  EXPECT_EQ(mem.read(4096, 3), (Bytes{9, 8, 7}));
+}
+
+// --- MPU ---------------------------------------------------------------------
+
+class MpuTest : public ::testing::TestWithParam<bool> {
+ protected:
+  bool integrity() const { return GetParam(); }
+};
+
+TEST_P(MpuTest, WriteThenReadRoundTrip) {
+  UntrustedMemory mem;
+  MemoryProtectionUnit mpu(mem, test_key(0), test_key(1), integrity());
+  Bytes data(1024);
+  Xoshiro256 rng(2);
+  rng.fill(data);
+  mpu.write(0, data, 7);
+  Bytes out(1024);
+  ASSERT_TRUE(mpu.read(0, out, 7));
+  EXPECT_EQ(out, data);
+}
+
+TEST_P(MpuTest, CiphertextNotPlaintext) {
+  UntrustedMemory mem;
+  MemoryProtectionUnit mpu(mem, test_key(0), test_key(1), integrity());
+  const Bytes data(512, 0x5a);
+  mpu.write(0, data, 1);
+  EXPECT_NE(mem.read(0, 512), data) << "plaintext visible in untrusted memory";
+}
+
+TEST_P(MpuTest, WrongVnYieldsGarbageNotPlaintext) {
+  UntrustedMemory mem;
+  MemoryProtectionUnit mpu(mem, test_key(0), test_key(1), integrity());
+  Bytes data(512);
+  Xoshiro256 rng(3);
+  rng.fill(data);
+  mpu.write(0, data, 5);
+  Bytes out(512);
+  const bool ok = mpu.read(0, out, 6);
+  if (ok) EXPECT_NE(out, data);  // without integrity: garbage
+  // with integrity: MAC binds the VN, so the read fails outright.
+  if (integrity()) EXPECT_FALSE(ok);
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, MpuTest, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "integrity" : "confidentiality";
+                         });
+
+TEST(Mpu, DetectsTamperedCiphertext) {
+  UntrustedMemory mem;
+  MemoryProtectionUnit mpu(mem, test_key(0), test_key(1), true);
+  Bytes data(512, 0x11);
+  mpu.write(0, data, 1);
+  mem.tamper(100, 0x01);
+  Bytes out(512);
+  EXPECT_FALSE(mpu.read(0, out, 1));
+  EXPECT_TRUE(mpu.poisoned());
+}
+
+TEST(Mpu, DetectsRelocatedCiphertext) {
+  // Moving a valid (ciphertext, MAC) pair to a different address must fail:
+  // the MAC binds the physical address.
+  UntrustedMemory mem;
+  MemoryProtectionUnit mpu(mem, test_key(0), test_key(1), true);
+  Bytes data(512, 0x22);
+  mpu.write(0, data, 1);
+  mpu.write(512, data, 1);
+  // Adversary copies block 0's ciphertext AND its MAC slot over block 1's.
+  mem.copy(512, 0, 512);
+  mem.copy(MemoryProtectionUnit::kMacRegionBase + 8,
+           MemoryProtectionUnit::kMacRegionBase, 8);
+  Bytes out(512);
+  EXPECT_FALSE(mpu.read(512, out, 1));
+}
+
+TEST(Mpu, DetectsReplayedOldVersion) {
+  UntrustedMemory mem;
+  MemoryProtectionUnit mpu(mem, test_key(0), test_key(1), true);
+  Bytes old_data(512, 0x01), new_data(512, 0x02);
+  mpu.write(0, old_data, /*version=*/1);
+  const Bytes old_cipher = mem.read(0, 512);
+  const Bytes old_mac = mem.read(MemoryProtectionUnit::kMacRegionBase, 8);
+  mpu.write(0, new_data, /*version=*/2);
+  // Adversary replays the old ciphertext and old MAC.
+  mem.write(0, old_cipher);
+  mem.write(MemoryProtectionUnit::kMacRegionBase, old_mac);
+  Bytes out(512);
+  EXPECT_FALSE(mpu.read(0, out, /*version=*/2))
+      << "replay of a stale version must fail verification";
+}
+
+TEST(Mpu, PoisonedMpuRefusesAllReads) {
+  UntrustedMemory mem;
+  MemoryProtectionUnit mpu(mem, test_key(0), test_key(1), true);
+  Bytes data(512, 0x33);
+  mpu.write(0, data, 1);
+  mem.tamper(0, 0xff);
+  Bytes out(512);
+  EXPECT_FALSE(mpu.read(0, out, 1));
+  // Even an untampered region is now refused (fail-stop).
+  mpu.write(1024, data, 1);
+  EXPECT_FALSE(mpu.read(1024, out, 1));
+}
+
+TEST(Mpu, AlignmentEnforced) {
+  UntrustedMemory mem;
+  MemoryProtectionUnit mpu(mem, test_key(0), test_key(1), true);
+  Bytes data(512);
+  EXPECT_THROW(mpu.write(8, data, 0), std::invalid_argument);
+  EXPECT_THROW(mpu.write(64, data, 0), std::invalid_argument);  // 512 B for IV
+  Bytes odd(20);
+  EXPECT_THROW(mpu.write(0, odd, 0), std::invalid_argument);
+}
+
+TEST(Mpu, TraceRecordsAccesses) {
+  UntrustedMemory mem;
+  MemoryProtectionUnit mpu(mem, test_key(0), test_key(1), false);
+  Bytes data(512);
+  mpu.write(0, data, 0);
+  Bytes out(512);
+  ASSERT_TRUE(mpu.read(0, out, 0));
+  ASSERT_EQ(mpu.access_trace().size(), 2u);
+  EXPECT_TRUE(mpu.access_trace()[0].second);   // write
+  EXPECT_FALSE(mpu.access_trace()[1].second);  // read
+}
+
+// --- Device ------------------------------------------------------------------
+
+struct Fixture {
+  UntrustedMemory memory;
+  crypto::HmacDrbg ca_drbg{Bytes{1, 2, 3}};
+  crypto::ManufacturerCa ca{ca_drbg};
+  GuardNnDevice device{"dev-0", ca, memory, Bytes{4, 5, 6}};
+};
+
+crypto::SessionKeys handshake(Fixture& fx, bool integrity,
+                              crypto::HmacDrbg& user_drbg) {
+  const crypto::EcdhKeyPair user = crypto::ecdh_generate_key(user_drbg);
+  const InitSessionResponse resp = fx.device.init_session(user.public_key, integrity);
+  const crypto::U256 shared =
+      crypto::ecdh_shared_secret(user.private_key, resp.device_ephemeral);
+  return crypto::derive_session_keys(shared, user.public_key, resp.device_ephemeral);
+}
+
+TEST(Device, GetPkReturnsValidCertificate) {
+  Fixture fx;
+  const GetPkResponse resp = fx.device.get_pk();
+  EXPECT_TRUE(crypto::verify_certificate(resp.certificate, fx.ca.public_key()));
+  EXPECT_EQ(resp.certificate.device_id, "dev-0");
+  EXPECT_TRUE(resp.certificate.device_public == resp.public_key);
+}
+
+TEST(Device, InstructionsRequireSession) {
+  Fixture fx;
+  crypto::SealedRecord record;
+  EXPECT_EQ(fx.device.set_weight(record, 0), DeviceStatus::kNoSession);
+  EXPECT_EQ(fx.device.set_input(record, 0), DeviceStatus::kNoSession);
+  EXPECT_EQ(fx.device.set_read_ctr(0, 64, 0), DeviceStatus::kNoSession);
+  ForwardOp op;
+  EXPECT_EQ(fx.device.forward(op), DeviceStatus::kNoSession);
+  crypto::SealedRecord out;
+  EXPECT_EQ(fx.device.export_output(0, 64, out), DeviceStatus::kNoSession);
+  SignOutputResponse sign;
+  EXPECT_EQ(fx.device.sign_output(sign), DeviceStatus::kNoSession);
+}
+
+TEST(Device, KeyExchangeSignatureVerifies) {
+  Fixture fx;
+  crypto::HmacDrbg user_drbg(Bytes{7});
+  const crypto::EcdhKeyPair user = crypto::ecdh_generate_key(user_drbg);
+  const InitSessionResponse resp = fx.device.init_session(user.public_key, false);
+  Bytes transcript = crypto::encode_point(user.public_key);
+  const Bytes share = crypto::encode_point(resp.device_ephemeral);
+  transcript.insert(transcript.end(), share.begin(), share.end());
+  EXPECT_TRUE(
+      crypto::ecdsa_verify(fx.device.get_pk().public_key, transcript, resp.signature));
+}
+
+TEST(Device, ImportStoresCiphertextOnly) {
+  Fixture fx;
+  crypto::HmacDrbg user_drbg(Bytes{8});
+  const crypto::SessionKeys keys = handshake(fx, false, user_drbg);
+  crypto::ChannelSender to_device(keys);
+
+  Bytes weights(1024);
+  Xoshiro256 rng(4);
+  rng.fill(weights);
+  ASSERT_EQ(fx.device.set_weight(to_device.seal(weights), 0), DeviceStatus::kOk);
+
+  // Scan all of untrusted memory for the plaintext — it must not be there.
+  const Bytes stored = fx.memory.read(0, 2048);
+  auto it = std::search(stored.begin(), stored.end(), weights.begin(),
+                        weights.begin() + 64);
+  EXPECT_EQ(it, stored.end());
+}
+
+TEST(Device, RejectsForgedRecords) {
+  Fixture fx;
+  crypto::HmacDrbg user_drbg(Bytes{9});
+  const crypto::SessionKeys keys = handshake(fx, false, user_drbg);
+  crypto::ChannelSender to_device(keys);
+  crypto::SealedRecord record = to_device.seal(Bytes(512, 1));
+  record.ciphertext[0] ^= 1;
+  EXPECT_EQ(fx.device.set_weight(record, 0), DeviceStatus::kBadRecord);
+}
+
+TEST(Device, RejectsReplayedRecords) {
+  Fixture fx;
+  crypto::HmacDrbg user_drbg(Bytes{10});
+  const crypto::SessionKeys keys = handshake(fx, false, user_drbg);
+  crypto::ChannelSender to_device(keys);
+  const crypto::SealedRecord record = to_device.seal(Bytes(512, 1));
+  ASSERT_EQ(fx.device.set_weight(record, 0), DeviceStatus::kOk);
+  EXPECT_EQ(fx.device.set_weight(record, 512), DeviceStatus::kBadRecord);
+}
+
+TEST(Device, CountersFollowInstructions) {
+  Fixture fx;
+  crypto::HmacDrbg user_drbg(Bytes{11});
+  const crypto::SessionKeys keys = handshake(fx, false, user_drbg);
+  crypto::ChannelSender to_device(keys);
+  ASSERT_EQ(fx.device.set_weight(to_device.seal(Bytes(512, 1)), 0), DeviceStatus::kOk);
+  EXPECT_EQ(fx.device.vn_generator().ctr_w(), 1u);
+  ASSERT_EQ(fx.device.set_input(to_device.seal(Bytes(512, 2)), 0x4000'0000),
+            DeviceStatus::kOk);
+  EXPECT_EQ(fx.device.vn_generator().ctr_in(), 1u);
+  EXPECT_EQ(fx.device.vn_generator().ctr_fw(), 0u);
+}
+
+TEST(Device, InitSessionResetsState) {
+  Fixture fx;
+  crypto::HmacDrbg user_drbg(Bytes{12});
+  crypto::SessionKeys keys = handshake(fx, false, user_drbg);
+  crypto::ChannelSender to_device(keys);
+  ASSERT_EQ(fx.device.set_weight(to_device.seal(Bytes(512, 1)), 0), DeviceStatus::kOk);
+  EXPECT_EQ(fx.device.vn_generator().ctr_w(), 1u);
+  // New session: counters return to zero and old channel keys are invalid.
+  keys = handshake(fx, false, user_drbg);
+  EXPECT_EQ(fx.device.vn_generator().ctr_w(), 0u);
+  EXPECT_EQ(fx.device.set_weight(to_device.seal(Bytes(512, 1)), 0),
+            DeviceStatus::kBadRecord);
+}
+
+TEST(Device, LatencyModelAccumulates) {
+  Fixture fx;
+  crypto::HmacDrbg user_drbg(Bytes{13});
+  const double before = fx.device.elapsed_ms();
+  handshake(fx, false, user_drbg);
+  // Key exchange costs 23.1 ms on the MicroBlaze model.
+  EXPECT_NEAR(fx.device.elapsed_ms() - before, 23.1, 0.2);
+}
+
+}  // namespace
+}  // namespace guardnn::accel

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "common/types.h"
+
+namespace guardnn {
+namespace {
+
+TEST(Types, HexRoundTrip) {
+  const Bytes data = {0x00, 0x01, 0xab, 0xff, 0x7e};
+  EXPECT_EQ(to_hex(data), "0001abff7e");
+  EXPECT_EQ(from_hex("0001abff7e"), data);
+}
+
+TEST(Types, HexRejectsOddLength) {
+  EXPECT_THROW(from_hex("abc"), std::invalid_argument);
+}
+
+TEST(Types, HexRejectsBadChar) {
+  EXPECT_THROW(from_hex("zz"), std::invalid_argument);
+}
+
+TEST(Types, HexUppercaseAccepted) {
+  EXPECT_EQ(from_hex("AB"), Bytes{0xab});
+}
+
+TEST(Types, CtEqual) {
+  const Bytes a = {1, 2, 3};
+  const Bytes b = {1, 2, 3};
+  const Bytes c = {1, 2, 4};
+  const Bytes d = {1, 2};
+  EXPECT_TRUE(ct_equal(a, b));
+  EXPECT_FALSE(ct_equal(a, c));
+  EXPECT_FALSE(ct_equal(a, d));
+}
+
+TEST(Types, EndianHelpers) {
+  u8 buf[8];
+  store_be64(buf, 0x0102030405060708ULL);
+  EXPECT_EQ(buf[0], 0x01);
+  EXPECT_EQ(buf[7], 0x08);
+  EXPECT_EQ(load_be64(buf), 0x0102030405060708ULL);
+
+  store_le64(buf, 0x0102030405060708ULL);
+  EXPECT_EQ(buf[0], 0x08);
+  EXPECT_EQ(load_le64(buf), 0x0102030405060708ULL);
+
+  u8 b32[4];
+  store_be32(b32, 0xdeadbeef);
+  EXPECT_EQ(load_be32(b32), 0xdeadbeefu);
+}
+
+TEST(Types, XorInto) {
+  Bytes dst = {0xff, 0x0f};
+  const Bytes src = {0x0f, 0x0f};
+  xor_into(dst, src);
+  EXPECT_EQ(dst, (Bytes{0xf0, 0x00}));
+  Bytes short_src = {0x01};
+  EXPECT_THROW(xor_into(dst, short_src), std::invalid_argument);
+}
+
+TEST(Rng, Deterministic) {
+  Xoshiro256 a(42), b(42), c(43);
+  EXPECT_EQ(a.next(), b.next());
+  EXPECT_NE(a.next(), c.next());
+}
+
+TEST(Rng, NextBelowInRange) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.next_below(17), 17u);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, FillCoversBuffer) {
+  Xoshiro256 rng(11);
+  Bytes buf(37, 0);
+  rng.fill(buf);
+  int nonzero = 0;
+  for (u8 b : buf) nonzero += b != 0;
+  EXPECT_GT(nonzero, 20);  // Overwhelmingly likely for random bytes.
+}
+
+TEST(Stats, RunningStatsBasics) {
+  RunningStats s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+  EXPECT_NEAR(s.stddev(), 1.29099, 1e-4);
+}
+
+TEST(Stats, EmptyStatsAreZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(Stats, GeoMean) {
+  GeoMean g;
+  g.add(1.0);
+  g.add(4.0);
+  EXPECT_DOUBLE_EQ(g.value(), 2.0);
+}
+
+TEST(Table, FormatHelpers) {
+  EXPECT_EQ(fmt_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_overhead_pct(1.053), "+5.3%");
+  EXPECT_EQ(fmt_overhead_pct(0.98), "-2.0%");
+}
+
+TEST(Table, PrintsAllRows) {
+  ConsoleTable t({"a", "bb"});
+  t.add_row({"1", "2"});
+  t.add_row({"333", "4"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("333"), std::string::npos);
+  EXPECT_NE(out.find("bb"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace guardnn

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "crypto/secure_channel.h"
+
+namespace guardnn::crypto {
+namespace {
+
+SessionKeys test_keys(u8 tag = 0) {
+  SessionKeys keys;
+  for (std::size_t i = 0; i < keys.enc_key.size(); ++i)
+    keys.enc_key[i] = static_cast<u8>(i + tag);
+  for (std::size_t i = 0; i < keys.mac_key.size(); ++i)
+    keys.mac_key[i] = static_cast<u8>(0x80 + i + tag);
+  return keys;
+}
+
+TEST(SecureChannel, SealOpenRoundTrip) {
+  const SessionKeys keys = test_keys();
+  ChannelSender sender(keys);
+  ChannelReceiver receiver(keys);
+  const Bytes msg = {'s', 'e', 'c', 'r', 'e', 't'};
+  const auto opened = receiver.open(sender.seal(msg));
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, msg);
+}
+
+TEST(SecureChannel, MultipleRecordsInOrder) {
+  const SessionKeys keys = test_keys();
+  ChannelSender sender(keys);
+  ChannelReceiver receiver(keys);
+  for (int i = 0; i < 10; ++i) {
+    const Bytes msg(static_cast<std::size_t>(i + 1), static_cast<u8>(i));
+    const auto opened = receiver.open(sender.seal(msg));
+    ASSERT_TRUE(opened.has_value()) << "record " << i;
+    EXPECT_EQ(*opened, msg);
+  }
+}
+
+TEST(SecureChannel, CiphertextHidesPlaintext) {
+  const SessionKeys keys = test_keys();
+  ChannelSender sender(keys);
+  const Bytes msg(64, 0x41);
+  const SealedRecord rec = sender.seal(msg);
+  EXPECT_NE(rec.ciphertext, msg);
+}
+
+TEST(SecureChannel, RejectsTamperedCiphertext) {
+  const SessionKeys keys = test_keys();
+  ChannelSender sender(keys);
+  ChannelReceiver receiver(keys);
+  SealedRecord rec = sender.seal(Bytes{1, 2, 3});
+  rec.ciphertext[0] ^= 0xff;
+  EXPECT_FALSE(receiver.open(rec).has_value());
+}
+
+TEST(SecureChannel, RejectsTamperedTag) {
+  const SessionKeys keys = test_keys();
+  ChannelSender sender(keys);
+  ChannelReceiver receiver(keys);
+  SealedRecord rec = sender.seal(Bytes{1, 2, 3});
+  rec.tag[0] ^= 0x01;
+  EXPECT_FALSE(receiver.open(rec).has_value());
+}
+
+TEST(SecureChannel, RejectsReplay) {
+  const SessionKeys keys = test_keys();
+  ChannelSender sender(keys);
+  ChannelReceiver receiver(keys);
+  const SealedRecord rec = sender.seal(Bytes{7});
+  ASSERT_TRUE(receiver.open(rec).has_value());
+  EXPECT_FALSE(receiver.open(rec).has_value());  // same record again
+}
+
+TEST(SecureChannel, RejectsReordering) {
+  const SessionKeys keys = test_keys();
+  ChannelSender sender(keys);
+  ChannelReceiver receiver(keys);
+  const SealedRecord first = sender.seal(Bytes{1});
+  const SealedRecord second = sender.seal(Bytes{2});
+  EXPECT_FALSE(receiver.open(second).has_value());  // out of order
+  EXPECT_TRUE(receiver.open(first).has_value());
+}
+
+TEST(SecureChannel, RejectsWrongKeys) {
+  ChannelSender sender(test_keys(0));
+  ChannelReceiver receiver(test_keys(1));
+  EXPECT_FALSE(receiver.open(sender.seal(Bytes{9})).has_value());
+}
+
+TEST(SecureChannel, EmptyPayload) {
+  const SessionKeys keys = test_keys();
+  ChannelSender sender(keys);
+  ChannelReceiver receiver(keys);
+  const auto opened = receiver.open(sender.seal({}));
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_TRUE(opened->empty());
+}
+
+TEST(SecureChannel, LargePayload) {
+  const SessionKeys keys = test_keys();
+  ChannelSender sender(keys);
+  ChannelReceiver receiver(keys);
+  Bytes big(1 << 16);
+  for (std::size_t i = 0; i < big.size(); ++i) big[i] = static_cast<u8>(i * 31);
+  const auto opened = receiver.open(sender.seal(big));
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, big);
+}
+
+}  // namespace
+}  // namespace guardnn::crypto

@@ -1,0 +1,280 @@
+#include <gtest/gtest.h>
+
+#include "crypto/cert.h"
+#include "crypto/ecdh.h"
+#include "crypto/ecdsa.h"
+#include "crypto/p256.h"
+
+namespace guardnn::crypto {
+namespace {
+
+AffinePoint generator() {
+  AffinePoint g;
+  g.x = p256().gx;
+  g.y = p256().gy;
+  return g;
+}
+
+HmacDrbg test_drbg(u8 tag) {
+  Bytes seed = {0xde, 0xad, tag};
+  return HmacDrbg(seed);
+}
+
+TEST(P256, GeneratorOnCurve) { EXPECT_TRUE(on_curve(generator())); }
+
+TEST(P256, OffCurvePointRejected) {
+  AffinePoint bad = generator();
+  bad.y = add_mod(bad.y, U256::one(), p256().p);
+  EXPECT_FALSE(on_curve(bad));
+}
+
+TEST(P256, InfinityIsIdentity) {
+  const AffinePoint g = generator();
+  EXPECT_EQ(ec_add(g, AffinePoint::at_infinity()), g);
+  EXPECT_EQ(ec_add(AffinePoint::at_infinity(), g), g);
+}
+
+TEST(P256, InverseSumsToInfinity) {
+  AffinePoint g = generator();
+  AffinePoint neg = g;
+  neg.y = sub_mod(U256::zero(), g.y, p256().p);
+  EXPECT_TRUE(on_curve(neg));
+  EXPECT_TRUE(ec_add(g, neg).infinity);
+}
+
+TEST(P256, DoubleMatchesAdd) {
+  const AffinePoint g = generator();
+  EXPECT_EQ(ec_add(g, g), ec_scalar_mult(U256::from_u64(2), g));
+}
+
+TEST(P256, ScalarMultResultsOnCurve) {
+  for (u64 k : {1ULL, 2ULL, 3ULL, 17ULL, 123456789ULL}) {
+    const AffinePoint pt = ec_scalar_base_mult(U256::from_u64(k));
+    EXPECT_TRUE(on_curve(pt)) << "k=" << k;
+    EXPECT_FALSE(pt.infinity);
+  }
+}
+
+TEST(P256, ScalarDistributes) {
+  // (a+b)G == aG + bG
+  const U256 a = U256::from_u64(12345);
+  const U256 b = U256::from_u64(67890);
+  U256 ab;
+  add(ab, a, b);
+  EXPECT_EQ(ec_scalar_base_mult(ab),
+            ec_add(ec_scalar_base_mult(a), ec_scalar_base_mult(b)));
+}
+
+TEST(P256, ScalarComposes) {
+  // a*(b*G) == (a*b mod n)*G
+  const U256 a = U256::from_u64(1001);
+  const U256 b = U256::from_u64(2002);
+  const AffinePoint bg = ec_scalar_base_mult(b);
+  const U256 ab = mul_mod(a, b, p256().n);
+  EXPECT_EQ(ec_scalar_mult(a, bg), ec_scalar_base_mult(ab));
+}
+
+TEST(P256, OrderTimesGeneratorIsInfinity) {
+  EXPECT_TRUE(ec_scalar_base_mult(p256().n).infinity);
+}
+
+TEST(P256, EncodeDecodeRoundTrip) {
+  const AffinePoint pt = ec_scalar_base_mult(U256::from_u64(777));
+  const Bytes encoded = encode_point(pt);
+  ASSERT_EQ(encoded.size(), 65u);
+  EXPECT_EQ(encoded[0], 0x04);
+  const auto decoded = decode_point(encoded);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, pt);
+}
+
+TEST(P256, DecodeRejectsMalformed) {
+  EXPECT_FALSE(decode_point(Bytes(64, 0)).has_value());  // wrong size
+  Bytes bad(65, 0);
+  bad[0] = 0x04;
+  EXPECT_FALSE(decode_point(bad).has_value());  // (0,0) not on curve
+  Bytes wrong_prefix = encode_point(generator());
+  wrong_prefix[0] = 0x03;
+  EXPECT_FALSE(decode_point(wrong_prefix).has_value());
+}
+
+
+TEST(P256, LadderMatchesDoubleAndAdd) {
+  const AffinePoint g = generator();
+  for (u64 k : {1ULL, 2ULL, 3ULL, 255ULL, 65537ULL, 123456789ULL}) {
+    EXPECT_EQ(ec_scalar_mult_ladder(U256::from_u64(k), g),
+              ec_scalar_mult(U256::from_u64(k), g))
+        << "k=" << k;
+  }
+}
+
+TEST(P256, LadderMatchesOnRandomScalars) {
+  HmacDrbg drbg = test_drbg(40);
+  const AffinePoint g = generator();
+  for (int i = 0; i < 4; ++i) {
+    const Bytes raw = drbg.generate(32);
+    U256 k = U256::from_bytes(raw);
+    U512 w;
+    for (int j = 0; j < 4; ++j) w.limb[j] = k.limb[j];
+    k = mod_reduce(w, p256().n);
+    EXPECT_EQ(ec_scalar_mult_ladder(k, g), ec_scalar_mult(k, g));
+  }
+}
+
+TEST(P256, LadderHandlesEdgeScalars) {
+  const AffinePoint g = generator();
+  EXPECT_TRUE(ec_scalar_mult_ladder(U256::zero(), g).infinity);
+  EXPECT_EQ(ec_scalar_mult_ladder(U256::one(), g), g);
+  EXPECT_TRUE(ec_scalar_mult_ladder(p256().n, g).infinity);
+}
+
+TEST(Ecdsa, SignVerifyRoundTrip) {
+  HmacDrbg drbg = test_drbg(1);
+  const EcdsaKeyPair kp = ecdsa_generate_key(drbg);
+  const Bytes msg = {'h', 'e', 'l', 'l', 'o'};
+  const EcdsaSignature sig = ecdsa_sign(kp.private_key, msg);
+  EXPECT_TRUE(ecdsa_verify(kp.public_key, msg, sig));
+}
+
+TEST(Ecdsa, RejectsTamperedMessage) {
+  HmacDrbg drbg = test_drbg(2);
+  const EcdsaKeyPair kp = ecdsa_generate_key(drbg);
+  const Bytes msg = {1, 2, 3, 4};
+  const EcdsaSignature sig = ecdsa_sign(kp.private_key, msg);
+  Bytes tampered = msg;
+  tampered[0] ^= 1;
+  EXPECT_FALSE(ecdsa_verify(kp.public_key, tampered, sig));
+}
+
+TEST(Ecdsa, RejectsTamperedSignature) {
+  HmacDrbg drbg = test_drbg(3);
+  const EcdsaKeyPair kp = ecdsa_generate_key(drbg);
+  const Bytes msg = {9, 9, 9};
+  EcdsaSignature sig = ecdsa_sign(kp.private_key, msg);
+  sig.r = add_mod(sig.r, U256::one(), p256().n);
+  EXPECT_FALSE(ecdsa_verify(kp.public_key, msg, sig));
+}
+
+TEST(Ecdsa, RejectsWrongKey) {
+  HmacDrbg drbg = test_drbg(4);
+  const EcdsaKeyPair kp1 = ecdsa_generate_key(drbg);
+  const EcdsaKeyPair kp2 = ecdsa_generate_key(drbg);
+  const Bytes msg = {5, 5};
+  const EcdsaSignature sig = ecdsa_sign(kp1.private_key, msg);
+  EXPECT_FALSE(ecdsa_verify(kp2.public_key, msg, sig));
+}
+
+TEST(Ecdsa, RejectsZeroComponents) {
+  HmacDrbg drbg = test_drbg(5);
+  const EcdsaKeyPair kp = ecdsa_generate_key(drbg);
+  EcdsaSignature sig{U256::zero(), U256::one()};
+  EXPECT_FALSE(ecdsa_verify(kp.public_key, Bytes{1}, sig));
+  sig = {U256::one(), U256::zero()};
+  EXPECT_FALSE(ecdsa_verify(kp.public_key, Bytes{1}, sig));
+}
+
+TEST(Ecdsa, DeterministicNonces) {
+  HmacDrbg drbg = test_drbg(6);
+  const EcdsaKeyPair kp = ecdsa_generate_key(drbg);
+  const Bytes msg = {7};
+  const EcdsaSignature s1 = ecdsa_sign(kp.private_key, msg);
+  const EcdsaSignature s2 = ecdsa_sign(kp.private_key, msg);
+  EXPECT_EQ(s1.r, s2.r);
+  EXPECT_EQ(s1.s, s2.s);
+}
+
+TEST(Ecdsa, SignatureSerialization) {
+  HmacDrbg drbg = test_drbg(7);
+  const EcdsaKeyPair kp = ecdsa_generate_key(drbg);
+  const Bytes msg = {1, 1, 2, 3, 5, 8};
+  const EcdsaSignature sig = ecdsa_sign(kp.private_key, msg);
+  const Bytes wire = sig.to_bytes();
+  ASSERT_EQ(wire.size(), 64u);
+  const auto parsed = EcdsaSignature::from_bytes(wire);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(ecdsa_verify(kp.public_key, msg, *parsed));
+  EXPECT_FALSE(EcdsaSignature::from_bytes(Bytes(63)).has_value());
+}
+
+TEST(Ecdh, SharedSecretAgrees) {
+  HmacDrbg drbg_a = test_drbg(8);
+  HmacDrbg drbg_b = test_drbg(9);
+  const EcdhKeyPair alice = ecdh_generate_key(drbg_a);
+  const EcdhKeyPair bob = ecdh_generate_key(drbg_b);
+  const U256 s_ab = ecdh_shared_secret(alice.private_key, bob.public_key);
+  const U256 s_ba = ecdh_shared_secret(bob.private_key, alice.public_key);
+  EXPECT_EQ(s_ab, s_ba);
+}
+
+TEST(Ecdh, DifferentPeersDifferentSecrets) {
+  HmacDrbg drbg = test_drbg(10);
+  const EcdhKeyPair a = ecdh_generate_key(drbg);
+  const EcdhKeyPair b = ecdh_generate_key(drbg);
+  const EcdhKeyPair c = ecdh_generate_key(drbg);
+  EXPECT_NE(ecdh_shared_secret(a.private_key, b.public_key),
+            ecdh_shared_secret(a.private_key, c.public_key));
+}
+
+TEST(Ecdh, RejectsInvalidPeerKey) {
+  HmacDrbg drbg = test_drbg(11);
+  const EcdhKeyPair a = ecdh_generate_key(drbg);
+  AffinePoint off_curve = generator();
+  off_curve.x = add_mod(off_curve.x, U256::one(), p256().p);
+  EXPECT_THROW(ecdh_shared_secret(a.private_key, off_curve), std::invalid_argument);
+  EXPECT_THROW(ecdh_shared_secret(a.private_key, AffinePoint::at_infinity()),
+               std::invalid_argument);
+}
+
+TEST(Ecdh, SessionKeysMatchOnBothSides) {
+  HmacDrbg drbg_a = test_drbg(12);
+  HmacDrbg drbg_b = test_drbg(13);
+  const EcdhKeyPair user = ecdh_generate_key(drbg_a);
+  const EcdhKeyPair accel = ecdh_generate_key(drbg_b);
+  const SessionKeys k_user = derive_session_keys(
+      ecdh_shared_secret(user.private_key, accel.public_key), user.public_key,
+      accel.public_key);
+  const SessionKeys k_accel = derive_session_keys(
+      ecdh_shared_secret(accel.private_key, user.public_key), user.public_key,
+      accel.public_key);
+  EXPECT_EQ(k_user.enc_key, k_accel.enc_key);
+  EXPECT_EQ(k_user.mac_key, k_accel.mac_key);
+}
+
+TEST(Cert, IssueAndVerify) {
+  HmacDrbg drbg = test_drbg(14);
+  const ManufacturerCa ca(drbg);
+  const EcdsaKeyPair device = ecdsa_generate_key(drbg);
+  const DeviceCertificate cert = ca.issue("guardnn-dev-0001", device.public_key);
+  EXPECT_TRUE(verify_certificate(cert, ca.public_key()));
+}
+
+TEST(Cert, RejectsWrongCa) {
+  HmacDrbg drbg = test_drbg(15);
+  const ManufacturerCa real_ca(drbg);
+  const ManufacturerCa fake_ca(drbg);
+  const EcdsaKeyPair device = ecdsa_generate_key(drbg);
+  const DeviceCertificate cert = real_ca.issue("dev", device.public_key);
+  EXPECT_FALSE(verify_certificate(cert, fake_ca.public_key()));
+}
+
+TEST(Cert, RejectsSwappedKey) {
+  HmacDrbg drbg = test_drbg(16);
+  const ManufacturerCa ca(drbg);
+  const EcdsaKeyPair device = ecdsa_generate_key(drbg);
+  const EcdsaKeyPair attacker = ecdsa_generate_key(drbg);
+  DeviceCertificate cert = ca.issue("dev", device.public_key);
+  cert.device_public = attacker.public_key;  // substitution attack
+  EXPECT_FALSE(verify_certificate(cert, ca.public_key()));
+}
+
+TEST(Cert, RejectsRenamedDevice) {
+  HmacDrbg drbg = test_drbg(17);
+  const ManufacturerCa ca(drbg);
+  const EcdsaKeyPair device = ecdsa_generate_key(drbg);
+  DeviceCertificate cert = ca.issue("dev-a", device.public_key);
+  cert.device_id = "dev-b";
+  EXPECT_FALSE(verify_certificate(cert, ca.public_key()));
+}
+
+}  // namespace
+}  // namespace guardnn::crypto

@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "crypto/drbg.h"
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+
+namespace guardnn::crypto {
+namespace {
+
+std::string digest_hex(const Sha256Digest& d) {
+  return to_hex(BytesView(d.data(), d.size()));
+}
+
+TEST(Sha256, KnownVectors) {
+  EXPECT_EQ(digest_hex(Sha256::hash({})),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+
+  const std::string abc = "abc";
+  EXPECT_EQ(digest_hex(Sha256::hash(
+                BytesView(reinterpret_cast<const u8*>(abc.data()), abc.size()))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+
+  const std::string two_block =
+      "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq";
+  EXPECT_EQ(digest_hex(Sha256::hash(BytesView(
+                reinterpret_cast<const u8*>(two_block.data()), two_block.size()))),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  Xoshiro256 rng(99);
+  Bytes data(1000);
+  rng.fill(data);
+  const Sha256Digest one_shot = Sha256::hash(data);
+
+  for (std::size_t chunk : {1u, 7u, 63u, 64u, 65u, 128u}) {
+    Sha256 h;
+    std::size_t off = 0;
+    while (off < data.size()) {
+      const std::size_t n = std::min(chunk, data.size() - off);
+      h.update(BytesView(data.data() + off, n));
+      off += n;
+    }
+    EXPECT_EQ(h.finalize(), one_shot) << "chunk=" << chunk;
+  }
+}
+
+TEST(Sha256, ReusableAfterFinalize) {
+  Sha256 h;
+  const std::string abc = "abc";
+  h.update(BytesView(reinterpret_cast<const u8*>(abc.data()), abc.size()));
+  const Sha256Digest first = h.finalize();
+  h.update(BytesView(reinterpret_cast<const u8*>(abc.data()), abc.size()));
+  EXPECT_EQ(h.finalize(), first);
+}
+
+TEST(Hmac, Rfc4231Case1) {
+  const Bytes key(20, 0x0b);
+  const std::string msg = "Hi There";
+  const Sha256Digest tag = hmac_sha256(
+      key, BytesView(reinterpret_cast<const u8*>(msg.data()), msg.size()));
+  EXPECT_EQ(digest_hex(tag),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(Hmac, Rfc4231Case2) {
+  const std::string key = "Jefe";
+  const std::string msg = "what do ya want for nothing?";
+  const Sha256Digest tag = hmac_sha256(
+      BytesView(reinterpret_cast<const u8*>(key.data()), key.size()),
+      BytesView(reinterpret_cast<const u8*>(msg.data()), msg.size()));
+  EXPECT_EQ(digest_hex(tag),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Hmac, LongKeyIsHashed) {
+  const Bytes long_key(131, 0xaa);
+  const std::string msg = "Test Using Larger Than Block-Size Key - Hash Key First";
+  const Sha256Digest tag = hmac_sha256(
+      long_key, BytesView(reinterpret_cast<const u8*>(msg.data()), msg.size()));
+  EXPECT_EQ(digest_hex(tag),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Hkdf, DeterministicAndLabelSeparated) {
+  const Bytes salt = {1, 2, 3};
+  const Bytes ikm = {4, 5, 6};
+  const Bytes info_a = {7};
+  const Bytes info_b = {8};
+  const Bytes a1 = hkdf(salt, ikm, info_a, 42);
+  const Bytes a2 = hkdf(salt, ikm, info_a, 42);
+  const Bytes b = hkdf(salt, ikm, info_b, 42);
+  EXPECT_EQ(a1, a2);
+  EXPECT_NE(a1, b);
+  EXPECT_EQ(a1.size(), 42u);
+}
+
+TEST(Hkdf, PrefixConsistency) {
+  // Expanding to a longer length must preserve the shorter prefix.
+  const Bytes salt = {9};
+  const Bytes ikm = {10, 11};
+  const Bytes info = {12};
+  const Bytes short_out = hkdf(salt, ikm, info, 16);
+  const Bytes long_out = hkdf(salt, ikm, info, 48);
+  EXPECT_EQ(Bytes(long_out.begin(), long_out.begin() + 16), short_out);
+}
+
+TEST(Hkdf, RejectsExcessiveLength) {
+  EXPECT_THROW(hkdf_expand(Sha256Digest{}, {}, 255 * 32 + 1), std::invalid_argument);
+}
+
+
+// --- Statistical randomness checks (NIST SP 800-22 style, coarse) ----------
+
+double monobit_fraction(BytesView data) {
+  std::size_t ones = 0;
+  for (u8 b : data) ones += static_cast<std::size_t>(std::popcount(b));
+  return static_cast<double>(ones) / (static_cast<double>(data.size()) * 8);
+}
+
+double longest_run_of_ones(BytesView data) {
+  int longest = 0, current = 0;
+  for (u8 byte : data) {
+    for (int bit = 7; bit >= 0; --bit) {
+      if ((byte >> bit) & 1) {
+        ++current;
+        longest = std::max(longest, current);
+      } else {
+        current = 0;
+      }
+    }
+  }
+  return longest;
+}
+
+TEST(Randomness, DrbgMonobitAndRuns) {
+  HmacDrbg drbg(Bytes{0xaa, 0xbb});
+  const Bytes stream = drbg.generate(1 << 16);
+  EXPECT_NEAR(monobit_fraction(stream), 0.5, 0.01);
+  // For 2^19 bits the longest run of ones should be ~log2(n) = 19 +- slack.
+  const double run = longest_run_of_ones(stream);
+  EXPECT_GT(run, 10);
+  EXPECT_LT(run, 40);
+}
+
+TEST(Randomness, ByteHistogramUniform) {
+  HmacDrbg drbg(Bytes{0xcc});
+  const Bytes stream = drbg.generate(1 << 16);
+  std::array<int, 256> hist{};
+  for (u8 b : stream) ++hist[b];
+  // Chi-square against uniform: expected 256 per bucket; bound loose enough
+  // to be deterministic-safe but catch byte-level bias.
+  double chi2 = 0.0;
+  for (int count : hist) {
+    const double d = count - 256.0;
+    chi2 += d * d / 256.0;
+  }
+  EXPECT_LT(chi2, 340.0);  // 255 dof, p ~ 0.0003 upper bound
+}
+
+TEST(Randomness, SerialCorrelationLow) {
+  HmacDrbg drbg(Bytes{0xdd});
+  const Bytes stream = drbg.generate(1 << 15);
+  double sum_x = 0, sum_xx = 0, sum_xy = 0;
+  for (std::size_t i = 0; i + 1 < stream.size(); ++i) {
+    const double x = stream[i], y = stream[i + 1];
+    sum_x += x;
+    sum_xx += x * x;
+    sum_xy += x * y;
+  }
+  const double n = static_cast<double>(stream.size() - 1);
+  const double mean = sum_x / n;
+  const double var = sum_xx / n - mean * mean;
+  const double cov = sum_xy / n - mean * mean;
+  EXPECT_LT(std::abs(cov / var), 0.02);
+}
+
+TEST(Drbg, DeterministicPerSeed) {
+  const Bytes seed1 = {1, 2, 3, 4};
+  const Bytes seed2 = {1, 2, 3, 5};
+  HmacDrbg a(seed1), b(seed1), c(seed2);
+  EXPECT_EQ(a.generate(64), b.generate(64));
+  EXPECT_NE(HmacDrbg(seed1).generate(64), c.generate(64));
+}
+
+TEST(Drbg, SequentialOutputsDiffer) {
+  HmacDrbg drbg(Bytes{42});
+  const Bytes first = drbg.generate(32);
+  const Bytes second = drbg.generate(32);
+  EXPECT_NE(first, second);
+}
+
+TEST(Drbg, PersonalizationSeparatesStreams) {
+  const Bytes seed = {7, 7, 7};
+  HmacDrbg a(seed, Bytes{'a'});
+  HmacDrbg b(seed, Bytes{'b'});
+  EXPECT_NE(a.generate(32), b.generate(32));
+}
+
+TEST(Drbg, ReseedChangesStream) {
+  const Bytes seed = {1};
+  HmacDrbg a(seed), b(seed);
+  b.reseed(Bytes{2});
+  EXPECT_NE(a.generate(32), b.generate(32));
+}
+
+TEST(Drbg, OutputLooksUniform) {
+  HmacDrbg drbg(Bytes{99});
+  const Bytes out = drbg.generate(4096);
+  // Count bits; expect close to half set.
+  std::size_t ones = 0;
+  for (u8 byte : out) ones += static_cast<std::size_t>(std::popcount(byte));
+  const double frac = static_cast<double>(ones) / (4096 * 8);
+  EXPECT_NEAR(frac, 0.5, 0.02);
+}
+
+}  // namespace
+}  // namespace guardnn::crypto

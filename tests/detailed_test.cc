@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "dnn/models.h"
+#include "sim/detailed.h"
+#include "sim/perf_model.h"
+
+namespace guardnn::sim {
+namespace {
+
+using memprot::Scheme;
+
+struct DetailedFixture {
+  dnn::Network net = dnn::alexnet();
+  SimConfig cfg;
+  AddressLayout layout = build_layout(net, 8);
+
+  DetailedResult run(std::size_t layer_index, Scheme scheme,
+                     bool interleave = true) {
+    dnn::WorkItem item;
+    item.layer = net.layers[layer_index];
+    return run_detailed(item, layer_index, layout, cfg.accel, cfg.dram, scheme,
+                        8, interleave);
+  }
+};
+
+TEST(Detailed, RequestCountsMatchTrafficModel) {
+  DetailedFixture fx;
+  const DetailedResult np = fx.run(0, Scheme::kNone);
+  // NP: no metadata at all.
+  EXPECT_EQ(np.meta_requests, 0u);
+  EXPECT_GT(np.data_requests, 0u);
+
+  const DetailedResult ci = fx.run(0, Scheme::kGuardNnCI);
+  EXPECT_GT(ci.meta_requests, 0u);
+  EXPECT_EQ(ci.data_requests, np.data_requests);
+  // CI metadata is ~1.6% of data for sequential traffic.
+  EXPECT_LT(ci.meta_requests, np.data_requests / 16);
+}
+
+TEST(Detailed, SchemeOrderingPreserved) {
+  DetailedFixture fx;
+  for (std::size_t layer : {0u, 2u, 4u}) {
+    const u64 np = fx.run(layer, Scheme::kNone).dram_cycles;
+    const u64 ci = fx.run(layer, Scheme::kGuardNnCI).dram_cycles;
+    const u64 bp = fx.run(layer, Scheme::kBaselineMee).dram_cycles;
+    EXPECT_LE(np, ci) << "layer " << layer;
+    EXPECT_LT(ci, bp) << "layer " << layer;
+  }
+}
+
+TEST(Detailed, AgreesWithFastModelWithinTolerance) {
+  // The calibrated fast model and the request-accurate replay must agree on
+  // unprotected streaming time within 20% (this is the calibration's
+  // correctness condition).
+  DetailedFixture fx;
+  dnn::WorkItem item;
+  item.layer = fx.net.layers[4];  // conv3: large enough to be steady-state
+  const auto streams = generate_streams(item, 4, fx.layout, fx.cfg.accel, 8);
+  u64 bytes = 0;
+  for (const auto& s : streams) bytes += (s.bytes + 63) / 64 * 64;
+
+  const BandwidthCalibration calib =
+      BandwidthCalibration::measure(fx.cfg.dram, fx.cfg.accel);
+  const double fast_ddr_cycles = static_cast<double>(bytes) /
+                                 calib.seq_bytes_per_accel_cycle *
+                                 fx.cfg.dram.clock_ghz / fx.cfg.accel.clock_ghz;
+  const DetailedResult detailed = fx.run(4, Scheme::kNone);
+  const double ratio =
+      fast_ddr_cycles / static_cast<double>(detailed.dram_cycles);
+  EXPECT_GT(ratio, 0.8);
+  EXPECT_LT(ratio, 1.25);
+}
+
+TEST(Detailed, Deterministic) {
+  DetailedFixture fx;
+  const DetailedResult a = fx.run(1, Scheme::kBaselineMee);
+  const DetailedResult b = fx.run(1, Scheme::kBaselineMee);
+  EXPECT_EQ(a.dram_cycles, b.dram_cycles);
+  EXPECT_EQ(a.meta_requests, b.meta_requests);
+}
+
+TEST(Detailed, InterleavingCostsNoMoreThanBatching) {
+  // Batched metadata (idealized) should be no slower than interleaved
+  // (realistic); usually faster because of better row locality.
+  DetailedFixture fx;
+  const DetailedResult interleaved = fx.run(0, Scheme::kBaselineMee, true);
+  const DetailedResult batched = fx.run(0, Scheme::kBaselineMee, false);
+  EXPECT_LE(batched.dram_cycles, interleaved.dram_cycles + interleaved.dram_cycles / 10);
+}
+
+TEST(Detailed, RowHitRateHighForStreaming) {
+  DetailedFixture fx;
+  const DetailedResult r = fx.run(2, Scheme::kNone);
+  EXPECT_GT(r.row_hit_rate, 0.9);
+}
+
+}  // namespace
+}  // namespace guardnn::sim

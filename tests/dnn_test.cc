@@ -1,0 +1,264 @@
+#include <gtest/gtest.h>
+
+#include "dnn/models.h"
+#include "dnn/network.h"
+
+namespace guardnn::dnn {
+namespace {
+
+TEST(Layer, Conv2dShapes) {
+  const LayerSpec l = conv2d("c", 3, 224, 224, 64, 7, 2, 3);
+  EXPECT_EQ(l.m, 112u * 112u);
+  EXPECT_EQ(l.k, 7u * 7u * 3u);
+  EXPECT_EQ(l.n, 64u);
+  EXPECT_EQ(l.weight_elems, 7u * 7u * 3u * 64u);
+  EXPECT_EQ(l.output_elems, 64u * 112u * 112u);
+  EXPECT_EQ(l.macs, l.m * l.k * l.n);
+}
+
+TEST(Layer, Conv2dRejectsDegenerate) {
+  EXPECT_THROW(conv2d("bad", 3, 4, 4, 8, 7, 1, 0), std::invalid_argument);
+}
+
+TEST(Layer, DepthwiseHasPerChannelMacs) {
+  const LayerSpec l = depthwise_conv2d("dw", 32, 112, 112, 3, 1, 1);
+  EXPECT_EQ(l.macs, 112u * 112u * 9u * 32u);
+  EXPECT_EQ(l.weight_elems, 9u * 32u);
+}
+
+TEST(Layer, FullyConnected) {
+  const LayerSpec l = fully_connected("fc", 4096, 1000);
+  EXPECT_EQ(l.macs, 4096u * 1000u);
+  EXPECT_EQ(l.weight_elems, 4096u * 1000u);
+  EXPECT_EQ(l.m, 1u);
+}
+
+TEST(Layer, EmbeddingIsRandomAccess) {
+  const LayerSpec l = embedding("e", 128, 64, 1000000);
+  EXPECT_TRUE(l.random_access);
+  EXPECT_EQ(l.output_elems, 128u * 64u);
+  EXPECT_EQ(l.weight_elems, 1000000u * 64u);
+}
+
+TEST(Layer, ByteSizesScaleWithPrecision) {
+  const LayerSpec l = fully_connected("fc", 1000, 1000);
+  EXPECT_EQ(l.weight_bytes(8), 1000000u);
+  EXPECT_EQ(l.weight_bytes(6), 750000u);
+  EXPECT_EQ(l.weight_bytes(16), 2000000u);
+}
+
+// Known parameter counts (within 3%: our graphs omit biases and batch-norm
+// scales, which are a <1% contribution).
+struct ParamCase {
+  const char* name;
+  double expected_millions;
+};
+
+class ModelParamTest : public ::testing::TestWithParam<ParamCase> {};
+
+TEST_P(ModelParamTest, MatchesPublishedParameterCount) {
+  const ParamCase c = GetParam();
+  const Network net = model_by_name(c.name);
+  const double millions = static_cast<double>(net.total_params()) / 1e6;
+  EXPECT_NEAR(millions, c.expected_millions, c.expected_millions * 0.04)
+      << net.name << " has " << millions << "M params";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Zoo, ModelParamTest,
+    ::testing::Values(ParamCase{"alexnet", 61.0}, ParamCase{"vgg16", 138.0},
+                      ParamCase{"googlenet", 6.8}, ParamCase{"resnet50", 25.2},
+                      ParamCase{"mobilenet", 4.2}, ParamCase{"vit", 86.0}),
+    [](const ::testing::TestParamInfo<ParamCase>& info) {
+      return std::string(info.param.name);
+    });
+
+TEST(Models, BertParamCountIncludesEmbeddings) {
+  const Network net = bert_base();
+  const double millions = static_cast<double>(net.total_params()) / 1e6;
+  // 23.4M embeddings + ~85M encoder (MLM head shares the embedding matrix in
+  // practice; we count it once via the embedding table and once as the MLM
+  // GEMM's weights — accept the 108-135M band).
+  EXPECT_GT(millions, 100.0);
+  EXPECT_LT(millions, 140.0);
+}
+
+TEST(Models, VggMacCount) {
+  // ~15.3 GMACs for 224x224 VGG-16.
+  const double gmacs = static_cast<double>(vgg16().total_macs()) / 1e9;
+  EXPECT_NEAR(gmacs, 15.4, 0.8);
+}
+
+TEST(Models, ResnetMacCount) {
+  const double gmacs = static_cast<double>(resnet50().total_macs()) / 1e9;
+  EXPECT_NEAR(gmacs, 4.1, 0.6);
+}
+
+TEST(Models, AlexnetMacCount) {
+  // Single-tower AlexNet (no grouped convolutions, as CHaiDNN executes it):
+  // ~1.14 GMACs. The original two-GPU version with groups would be ~0.72.
+  const double gmacs = static_cast<double>(alexnet().total_macs()) / 1e9;
+  EXPECT_NEAR(gmacs, 1.14, 0.1);
+}
+
+TEST(Models, MobilenetMacCount) {
+  const double gmacs = static_cast<double>(mobilenet_v1().total_macs()) / 1e9;
+  EXPECT_NEAR(gmacs, 0.57, 0.1);
+}
+
+TEST(Models, RelativeComputeOrdering) {
+  // VGG is the heaviest CNN; MobileNet and AlexNet the lightest.
+  EXPECT_GT(vgg16().total_macs(), resnet50().total_macs());
+  EXPECT_GT(resnet50().total_macs(), googlenet().total_macs());
+  EXPECT_GT(googlenet().total_macs(), mobilenet_v1().total_macs());
+}
+
+TEST(Models, DlrmIsEmbeddingDominated) {
+  const Network net = dlrm();
+  u64 embed_weight_bytes = 0;
+  for (const auto& l : net.layers)
+    if (l.type == LayerType::kEmbedding) embed_weight_bytes += l.weight_bytes(8);
+  EXPECT_GT(embed_weight_bytes, net.total_weight_bytes(8) / 2);
+}
+
+TEST(Models, Wav2vecHasConvFrontendAndTransformer) {
+  const Network net = wav2vec2();
+  int convs = 0, matmuls = 0;
+  for (const auto& l : net.layers) {
+    convs += l.type == LayerType::kConv2d;
+    matmuls += l.type == LayerType::kMatMul;
+  }
+  EXPECT_EQ(convs, 7);
+  EXPECT_GT(matmuls, 12 * 5);
+}
+
+
+TEST(Models, Resnet18ParamAndMacCounts) {
+  const Network net = resnet18();
+  const double mparams = static_cast<double>(net.total_params()) / 1e6;
+  const double gmacs = static_cast<double>(net.total_macs()) / 1e9;
+  EXPECT_NEAR(mparams, 11.5, 0.8);  // published ~11.7M (we omit biases/BN)
+  EXPECT_NEAR(gmacs, 1.8, 0.3);     // published ~1.8 GMACs
+}
+
+TEST(Models, Vgg19HeavierThanVgg16) {
+  EXPECT_GT(vgg19().total_macs(), vgg16().total_macs());
+  EXPECT_GT(vgg19().total_params(), vgg16().total_params());
+  const double mparams = static_cast<double>(vgg19().total_params()) / 1e6;
+  EXPECT_NEAR(mparams, 143.7, 3.0);
+}
+
+TEST(Models, Gpt2SmallParamCount) {
+  const Network net = gpt2_small();
+  const double mparams = static_cast<double>(net.total_params()) / 1e6;
+  // ~124M published; our count includes the untied LM head (+38.6M) and
+  // omits position embeddings/LayerNorm: accept 120-170M.
+  EXPECT_GT(mparams, 120.0);
+  EXPECT_LT(mparams, 170.0);
+}
+
+TEST(Models, EfficientNetB0Counts) {
+  const Network net = efficientnet_b0();
+  const double mparams = static_cast<double>(net.total_params()) / 1e6;
+  const double gmacs = static_cast<double>(net.total_macs()) / 1e9;
+  // Published: 5.3M params, 0.39 GMACs; we omit SE blocks -> slightly lower.
+  EXPECT_NEAR(mparams, 4.8, 1.0);
+  EXPECT_NEAR(gmacs, 0.4, 0.15);
+}
+
+TEST(Models, NewModelsResolveByName) {
+  EXPECT_EQ(model_by_name("resnet18").name, "ResNet18");
+  EXPECT_EQ(model_by_name("vgg19").name, "VGG19");
+  EXPECT_EQ(model_by_name("gpt2").name, "GPT2");
+  EXPECT_EQ(model_by_name("efficientnet").name, "EfficientNetB0");
+}
+
+TEST(Models, SuitesHaveExpectedSizes) {
+  EXPECT_EQ(fpga_benchmark_suite().size(), 4u);
+  EXPECT_EQ(inference_benchmark_suite().size(), 9u);
+  EXPECT_EQ(training_benchmark_suite().size(), 8u);
+  // DLRM is excluded from training (as in Fig. 3b).
+  for (const auto& net : training_benchmark_suite()) EXPECT_NE(net.name, "DLRM");
+}
+
+TEST(Models, LookupByNameAliases) {
+  EXPECT_EQ(model_by_name("VGG").name, "VGG");
+  EXPECT_EQ(model_by_name("resnet-50").name, "ResNet");
+  EXPECT_EQ(model_by_name("WAV2VEC2").name, "wav2vec2");
+  EXPECT_THROW(model_by_name("lenet"), std::invalid_argument);
+}
+
+TEST(Schedule, InferenceCoversAllLayers) {
+  const Network net = alexnet();
+  const auto items = inference_schedule(net);
+  ASSERT_EQ(items.size(), net.layers.size());
+  for (const auto& item : items) {
+    EXPECT_EQ(item.pass, Pass::kForward);
+    EXPECT_FALSE(item.is_weight_gradient);
+  }
+}
+
+TEST(Schedule, TrainingExpandsBackwardAndUpdate) {
+  const Network net = alexnet();
+  const auto items = training_schedule(net);
+  std::size_t fwd = 0, dx = 0, dw = 0, upd = 0;
+  for (const auto& item : items) {
+    if (item.is_weight_update)
+      ++upd;
+    else if (item.is_weight_gradient)
+      ++dw;
+    else if (item.pass == Pass::kBackward)
+      ++dx;
+    else
+      ++fwd;
+  }
+  EXPECT_EQ(fwd, net.layers.size());
+  EXPECT_EQ(dx, net.layers.size());
+  // dW and update only for layers with weights.
+  std::size_t weighted = 0;
+  for (const auto& l : net.layers) weighted += l.weight_elems > 0;
+  EXPECT_EQ(dw, weighted);
+  EXPECT_EQ(upd, weighted);
+}
+
+TEST(Schedule, TrainingMacsRoughlyTripleInference) {
+  const Network net = vgg16();
+  u64 train_macs = 0;
+  for (const auto& item : training_schedule(net))
+    if (!item.is_weight_update) train_macs += item.layer.macs;
+  const double ratio = static_cast<double>(train_macs) /
+                       static_cast<double>(net.total_macs());
+  EXPECT_GT(ratio, 2.5);
+  EXPECT_LT(ratio, 3.2);
+}
+
+
+TEST(Network, BatchedScalesActivationsNotWeights) {
+  const Network base = alexnet();
+  const Network b8 = batched(base, 8);
+  EXPECT_EQ(b8.total_macs(), base.total_macs() * 8);
+  EXPECT_EQ(b8.total_params(), base.total_params());
+  EXPECT_EQ(b8.total_input_bytes(8), base.total_input_bytes(8) * 8);
+  EXPECT_EQ(b8.name, "AlexNet/b8");
+  for (std::size_t i = 0; i < base.layers.size(); ++i) {
+    EXPECT_EQ(b8.layers[i].m, base.layers[i].m * 8);
+    EXPECT_EQ(b8.layers[i].k, base.layers[i].k);
+    EXPECT_EQ(b8.layers[i].n, base.layers[i].n);
+  }
+}
+
+TEST(Network, BatchOneIsIdentity) {
+  const Network base = vgg16();
+  const Network b1 = batched(base, 1);
+  EXPECT_EQ(b1.name, base.name);
+  EXPECT_EQ(b1.total_macs(), base.total_macs());
+}
+
+TEST(Network, GopsIsTwiceMacs) {
+  const Network net = alexnet();
+  EXPECT_DOUBLE_EQ(net.total_gops(),
+                   2.0 * static_cast<double>(net.total_macs()) / 1e9);
+}
+
+}  // namespace
+}  // namespace guardnn::dnn

@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include "dram/address_map.h"
+#include "dram/bandwidth_probe.h"
+#include "dram/dram_sim.h"
+
+namespace guardnn::dram {
+namespace {
+
+DramConfig small_config() {
+  DramConfig cfg;
+  cfg.channels = 1;
+  cfg.ranks = 1;
+  cfg.banks = 4;
+  cfg.row_bytes = 2048;
+  // Disable refresh interference for latency-precision tests.
+  cfg.timing.tREFI = 1 << 28;
+  return cfg;
+}
+
+TEST(AddressMap, ChannelInterleaveAt64B) {
+  DramConfig cfg;
+  cfg.channels = 2;
+  AddressMap map(cfg);
+  EXPECT_EQ(map.decode(0).channel, 0);
+  EXPECT_EQ(map.decode(64).channel, 1);
+  EXPECT_EQ(map.decode(128).channel, 0);
+}
+
+TEST(AddressMap, SequentialBlocksShareRow) {
+  const DramConfig cfg = small_config();
+  AddressMap map(cfg);
+  const DecodedAddress a = map.decode(0);
+  const DecodedAddress b = map.decode(64);
+  EXPECT_EQ(a.row, b.row);
+  EXPECT_EQ(a.bank, b.bank);
+  EXPECT_EQ(a.column_block + 1, b.column_block);
+}
+
+TEST(AddressMap, RowSpillsToNextBank) {
+  const DramConfig cfg = small_config();
+  AddressMap map(cfg);
+  const DecodedAddress last = map.decode(cfg.row_bytes - 64);
+  const DecodedAddress next = map.decode(cfg.row_bytes);
+  EXPECT_NE(last.bank, next.bank);
+}
+
+TEST(AddressMap, DistinctAddressesDistinctLocations) {
+  const DramConfig cfg = small_config();
+  AddressMap map(cfg);
+  const DecodedAddress a = map.decode(0);
+  const DecodedAddress far =
+      map.decode(cfg.row_bytes * static_cast<u64>(cfg.banks) * 7);
+  EXPECT_TRUE(a.row != far.row || a.bank != far.bank || a.rank != far.rank);
+}
+
+TEST(DramSim, SingleReadLatencyIsActRcdClBurst) {
+  const DramConfig cfg = small_config();
+  DramSim sim(cfg);
+  Request req;
+  req.address = 0;
+  ASSERT_TRUE(sim.enqueue(req));
+  sim.run_to_completion();
+  ASSERT_EQ(sim.stats().reads, 1u);
+  const DramTiming& t = cfg.timing;
+  // Cold access: ACT (1 cycle to issue) + tRCD + tCL + tBurst.
+  const double expected = 1 + t.tRCD + t.tCL + t.tBurst;
+  EXPECT_NEAR(sim.stats().read_latency.mean(), expected, 2.0);
+  EXPECT_EQ(sim.stats().row_misses, 1u);
+}
+
+TEST(DramSim, RowHitFasterThanMiss) {
+  const DramConfig cfg = small_config();
+
+  // Two reads to the same row: second is a hit.
+  DramSim hit_sim(cfg);
+  Request req;
+  req.address = 0;
+  ASSERT_TRUE(hit_sim.enqueue(req));
+  req.address = 64;
+  req.id = 1;
+  ASSERT_TRUE(hit_sim.enqueue(req));
+  const u64 hit_cycles = hit_sim.run_to_completion();
+  EXPECT_EQ(hit_sim.stats().row_hits, 1u);
+  EXPECT_EQ(hit_sim.stats().row_misses, 1u);
+
+  // Two reads to different rows in the same bank: both miss.
+  DramSim miss_sim(cfg);
+  req.address = 0;
+  req.id = 0;
+  ASSERT_TRUE(miss_sim.enqueue(req));
+  req.address = cfg.row_bytes * static_cast<u64>(cfg.banks);  // same bank, next row
+  req.id = 1;
+  ASSERT_TRUE(miss_sim.enqueue(req));
+  const u64 miss_cycles = miss_sim.run_to_completion();
+  EXPECT_EQ(miss_sim.stats().row_misses, 2u);
+  EXPECT_GT(miss_cycles, hit_cycles);
+}
+
+TEST(DramSim, CompletionCallbackDeliversAll) {
+  const DramConfig cfg = small_config();
+  DramSim sim(cfg);
+  std::vector<Completion> completions;
+  sim.set_completion_callback(
+      [&](const Completion& c) { completions.push_back(c); });
+  for (u64 i = 0; i < 10; ++i) {
+    Request req;
+    req.address = i * 64;
+    req.id = i;
+    req.type = i % 2 ? RequestType::kWrite : RequestType::kRead;
+    ASSERT_TRUE(sim.enqueue(req));
+  }
+  sim.run_to_completion();
+  ASSERT_EQ(completions.size(), 10u);
+  for (const auto& c : completions) EXPECT_GT(c.finish_cycle, c.enqueue_cycle);
+  EXPECT_EQ(sim.stats().reads, 5u);
+  EXPECT_EQ(sim.stats().writes, 5u);
+}
+
+TEST(DramSim, BackpressureWhenQueueFull) {
+  const DramConfig cfg = small_config();
+  DramSim sim(cfg);
+  Request req;
+  int accepted = 0;
+  for (int i = 0; i < 1000; ++i) {
+    req.address = static_cast<u64>(i) * 64;
+    req.id = static_cast<u64>(i);
+    if (sim.enqueue(req))
+      ++accepted;
+    else
+      break;
+  }
+  EXPECT_LT(accepted, 1000);
+  EXPECT_GT(accepted, 0);
+  sim.run_to_completion();
+  EXPECT_EQ(sim.stats().reads, static_cast<u64>(accepted));
+}
+
+TEST(DramSim, StreamingRowHitRateIsHigh) {
+  const DramConfig cfg = small_config();
+  DramSim sim(cfg);
+  u64 addr = 0;
+  u64 issued = 0;
+  const u64 total = 2048;
+  while (issued < total || !sim.idle()) {
+    while (issued < total) {
+      Request req;
+      req.address = addr;
+      req.id = issued;
+      if (!sim.enqueue(req)) break;
+      addr += 64;
+      ++issued;
+    }
+    sim.tick();
+  }
+  sim.run_to_completion();
+  EXPECT_GT(sim.stats().row_hit_rate(), 0.9);
+}
+
+TEST(DramSim, RefreshesOccur) {
+  DramConfig cfg = small_config();
+  cfg.timing.tREFI = 500;
+  DramSim sim(cfg);
+  // Idle ticking still triggers refreshes.
+  for (int i = 0; i < 5000; ++i) sim.tick();
+  EXPECT_GE(sim.stats().refreshes, 8u);
+}
+
+TEST(Probe, StreamingNearPeak) {
+  const ProbeResult r = probe_streaming(small_config(), 1 * MiB);
+  EXPECT_GT(r.efficiency, 0.75);
+  EXPECT_LE(r.efficiency, 1.0);
+}
+
+TEST(Probe, RandomWellBelowStreaming) {
+  const DramConfig cfg = small_config();
+  const ProbeResult stream = probe_streaming(cfg, 512 * KiB);
+  const ProbeResult random = probe_random(cfg, 512 * KiB, 256 * MiB);
+  EXPECT_LT(random.efficiency, stream.efficiency * 0.7);
+}
+
+TEST(Probe, WriteMixStillReasonable) {
+  const ProbeResult r = probe_streaming(small_config(), 1 * MiB, 0.25);
+  EXPECT_GT(r.efficiency, 0.5);
+}
+
+TEST(Probe, MultiChannelScalesBandwidth) {
+  DramConfig one = small_config();
+  DramConfig two = small_config();
+  two.channels = 2;
+  const ProbeResult r1 = probe_streaming(one, 1 * MiB);
+  const ProbeResult r2 = probe_streaming(two, 1 * MiB);
+  EXPECT_GT(r2.bytes_per_cycle, r1.bytes_per_cycle * 1.6);
+}
+
+
+TEST(DramSim, SpeedGradePresetsOrdered) {
+  const DramConfig slow = DramConfig::ddr4_2133_16gb();
+  const DramConfig mid = DramConfig::ddr4_2400_16gb();
+  const DramConfig fast = DramConfig::ddr4_3200_16gb();
+  EXPECT_LT(slow.peak_bandwidth_bytes_per_s(), mid.peak_bandwidth_bytes_per_s());
+  EXPECT_LT(mid.peak_bandwidth_bytes_per_s(), fast.peak_bandwidth_bytes_per_s());
+  // Sustained bandwidth must follow the same order.
+  const double slow_bw = probe_streaming(slow, 1 * MiB).bytes_per_cycle * slow.clock_ghz;
+  const double mid_bw = probe_streaming(mid, 1 * MiB).bytes_per_cycle * mid.clock_ghz;
+  const double fast_bw = probe_streaming(fast, 1 * MiB).bytes_per_cycle * fast.clock_ghz;
+  EXPECT_LT(slow_bw, mid_bw);
+  EXPECT_LT(mid_bw, fast_bw);
+}
+
+TEST(DramSim, AllPresetsReachHighStreamingEfficiency) {
+  for (const DramConfig& cfg :
+       {DramConfig::ddr4_2133_16gb(), DramConfig::ddr4_2400_16gb(),
+        DramConfig::ddr4_3200_16gb(), DramConfig::ddr4_2400_fpga()}) {
+    const ProbeResult r = probe_streaming(cfg, 1 * MiB);
+    EXPECT_GT(r.efficiency, 0.7) << cfg.name;
+    EXPECT_LE(r.efficiency, 1.0) << cfg.name;
+  }
+}
+
+TEST(DramSim, DefaultConfigPeakBandwidth) {
+  const DramConfig cfg = DramConfig::ddr4_2400_16gb();
+  // 2 channels x 8 B x 2 transfers/cycle x 1.2 GHz = 38.4 GB/s.
+  EXPECT_NEAR(cfg.peak_bandwidth_bytes_per_s() / 1e9, 38.4, 0.1);
+}
+
+}  // namespace
+}  // namespace guardnn::dram

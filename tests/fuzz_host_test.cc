@@ -1,0 +1,178 @@
+// Adversarial instruction-sequence fuzzing.
+//
+// The paper's central TCB claim (Section II-B): "GuardNN can ensure
+// confidentiality without trusting a host processor by designing its ISA so
+// that sensitive information is always encrypted no matter which instruction
+// is executed." These tests drive the device with *randomized* instruction
+// streams — arbitrary opcodes, operands, addresses and read counters — and
+// assert after every step that (a) the device never crashes, and (b) no
+// window of the secret plaintext ever appears in untrusted memory.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "host/scheduler.h"
+#include "host/user_client.h"
+
+namespace guardnn::host {
+namespace {
+
+using accel::DeviceStatus;
+using accel::ForwardOp;
+
+struct FuzzBench {
+  accel::UntrustedMemory memory;
+  crypto::HmacDrbg ca_drbg{Bytes{0x71}};
+  crypto::ManufacturerCa ca{ca_drbg};
+  accel::GuardNnDevice device{"fuzz-dev", ca, memory, Bytes{0x72}};
+  RemoteUser user{ca.public_key(), Bytes{0x73}};
+
+  Bytes secret_weights;
+  Bytes secret_input;
+
+  bool setup(bool integrity) {
+    if (!user.attest_device(device.get_pk())) return false;
+    if (!user.complete_session(device.init_session(user.begin_session(), integrity)))
+      return false;
+    Xoshiro256 rng(0x5ec2e7);
+    secret_weights.resize(2048);
+    secret_input.resize(512);
+    rng.fill(secret_weights);
+    rng.fill(secret_input);
+    if (device.set_weight(user.seal(secret_weights), 0) != DeviceStatus::kOk)
+      return false;
+    if (device.set_input(user.seal(secret_input), 0x4000'0000ULL) !=
+        DeviceStatus::kOk)
+      return false;
+    return true;
+  }
+
+  /// Scans plausible DRAM regions for any 24-byte window of either secret.
+  bool secrets_leaked() const {
+    const u64 scan_bases[] = {0x0ULL, 0x4000'0000ULL, 0x4800'0000ULL,
+                              0x5000'0000ULL,
+                              accel::MemoryProtectionUnit::kMacRegionBase};
+    for (u64 base : scan_bases) {
+      const Bytes region = memory.read(base, 1 << 16);
+      for (const Bytes* secret : {&secret_weights, &secret_input}) {
+        const auto begin = secret->begin();
+        if (std::search(region.begin(), region.end(), begin, begin + 24) !=
+            region.end())
+          return true;
+      }
+    }
+    return false;
+  }
+};
+
+/// Generates a random (mostly malformed) ForwardOp.
+ForwardOp random_op(Xoshiro256& rng) {
+  ForwardOp op;
+  op.kind = static_cast<ForwardOp::Kind>(rng.next_below(13));
+  op.in_c = static_cast<int>(rng.next_below(20)) - 2;   // may be <= 0
+  op.in_h = static_cast<int>(rng.next_below(20)) - 2;
+  op.in_w = static_cast<int>(rng.next_below(20)) - 2;
+  op.out_c = static_cast<int>(rng.next_below(20)) - 2;
+  op.kernel = static_cast<int>(rng.next_below(8)) - 1;
+  op.stride = static_cast<int>(rng.next_below(4));
+  op.pad = static_cast<int>(rng.next_below(4));
+  op.requant_shift = static_cast<int>(rng.next_below(9));
+  op.bits = rng.next_below(3) == 0 ? 6 : (rng.next_below(2) ? 8 : 7);
+  op.aux_c = static_cast<int>(rng.next_below(16)) - 2;
+  op.aux_h = static_cast<int>(rng.next_below(16)) - 2;
+  op.aux_w = static_cast<int>(rng.next_below(16)) - 2;
+  const u64 addr_pool[] = {0x0ULL, 0x200ULL, 0x4000'0000ULL, 0x4800'0000ULL,
+                           0x4880'0000ULL, 0xdead'0000ULL};
+  op.input_addr = addr_pool[rng.next_below(6)];
+  op.input2_addr = addr_pool[rng.next_below(6)];
+  op.weight_addr = addr_pool[rng.next_below(6)];
+  op.output_addr = addr_pool[rng.next_below(6)] + 0x1000;
+  return op;
+}
+
+class InstructionFuzzTest : public ::testing::TestWithParam<u64> {};
+
+TEST_P(InstructionFuzzTest, RandomSequencesNeverLeakPlaintext) {
+  FuzzBench bench;
+  // Confidentiality-only mode: every instruction *executes* (no fail-stop),
+  // which is the worst case for leakage.
+  ASSERT_TRUE(bench.setup(/*integrity=*/false));
+  Xoshiro256 rng(GetParam());
+
+  for (int step = 0; step < 120; ++step) {
+    switch (rng.next_below(5)) {
+      case 0: {
+        // Random (often nonsensical) forward/backward instruction.
+        (void)bench.device.forward(random_op(rng));
+        break;
+      }
+      case 1: {
+        // Arbitrary read-counter manipulation.
+        (void)bench.device.set_read_ctr(rng.next() % (1ULL << 36), rng.next_below(1 << 16),
+                                        rng.next());
+        break;
+      }
+      case 2: {
+        // Export from an arbitrary address: output is sealed to the session
+        // user; ciphertext in DRAM stays ciphertext.
+        crypto::SealedRecord sealed;
+        (void)bench.device.export_output((rng.next() % (1ULL << 34)) & ~511ULL,
+                                         64 + rng.next_below(512), sealed);
+        break;
+      }
+      case 3: {
+        // Forged import records (random bytes, bad MACs).
+        crypto::SealedRecord forged;
+        forged.sequence = rng.next();
+        forged.ciphertext.resize(64 + rng.next_below(256));
+        rng.fill(forged.ciphertext);
+        rng.fill(MutBytesView(forged.tag.data(), forged.tag.size()));
+        (void)bench.device.set_weight(forged, (rng.next() % (1ULL << 30)) & ~511ULL);
+        break;
+      }
+      case 4: {
+        // Direct DRAM tampering by the adversary.
+        bench.memory.tamper(rng.next() % (1ULL << 30), static_cast<u8>(rng.next()));
+        break;
+      }
+    }
+    ASSERT_FALSE(bench.secrets_leaked()) << "seed " << GetParam() << " step " << step;
+  }
+  SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InstructionFuzzTest,
+                         ::testing::Values(1001, 1002, 1003, 1004, 1005, 1006));
+
+TEST(SessionIsolation, NewSessionCannotDecryptOldData) {
+  // K_MEnc is regenerated per session: the same plaintext imported in two
+  // sessions yields different ciphertext, and data from session 1 reads as
+  // garbage (or fails integrity) in session 2.
+  FuzzBench bench;
+  ASSERT_TRUE(bench.setup(false));
+  const Bytes session1_cipher = bench.memory.read(0, 512);
+
+  // New session, same weights, same address.
+  ASSERT_TRUE(bench.user.complete_session(
+      bench.device.init_session(bench.user.begin_session(), false)));
+  ASSERT_EQ(bench.device.set_weight(bench.user.seal(bench.secret_weights), 0),
+            DeviceStatus::kOk);
+  const Bytes session2_cipher = bench.memory.read(0, 512);
+  EXPECT_NE(session1_cipher, session2_cipher)
+      << "per-session K_MEnc must change the ciphertext";
+}
+
+TEST(SessionIsolation, InstructionsAcrossSessionsDontCompose) {
+  // Records sealed for session 1 are rejected once session 2 starts (fresh
+  // channel keys) — a host cannot splice old user messages into a new run.
+  FuzzBench bench;
+  ASSERT_TRUE(bench.setup(false));
+  const crypto::SealedRecord old_record = bench.user.seal(Bytes(512, 0x42));
+  ASSERT_TRUE(bench.user.complete_session(
+      bench.device.init_session(bench.user.begin_session(), false)));
+  EXPECT_EQ(bench.device.set_weight(old_record, 0), DeviceStatus::kBadRecord);
+}
+
+}  // namespace
+}  // namespace guardnn::host

@@ -1,0 +1,152 @@
+// Cross-module integration sweep: every benchmark network through the full
+// performance stack (model zoo -> traffic -> protection engines -> DDR4
+// calibration) under every protection scheme, checking the global invariants
+// the paper's evaluation rests on.
+#include <gtest/gtest.h>
+
+#include "dnn/models.h"
+#include "sim/perf_model.h"
+
+namespace guardnn::sim {
+namespace {
+
+using memprot::Scheme;
+
+const BandwidthCalibration& calib() {
+  static const BandwidthCalibration c = BandwidthCalibration::measure(
+      dram::DramConfig::ddr4_2400_16gb(), AcceleratorConfig::tpu_like());
+  return c;
+}
+
+struct NetCase {
+  const char* name;
+};
+
+class NetworkSweepTest : public ::testing::TestWithParam<NetCase> {};
+
+TEST_P(NetworkSweepTest, SchemeInvariantsHold) {
+  const dnn::Network net = dnn::model_by_name(GetParam().name);
+  const auto schedule = dnn::inference_schedule(net);
+  const SimConfig cfg;
+
+  const RunResult np = simulate(net, schedule, Scheme::kNone, cfg, calib());
+  const RunResult c = simulate(net, schedule, Scheme::kGuardNnC, cfg, calib());
+  const RunResult ci = simulate(net, schedule, Scheme::kGuardNnCI, cfg, calib());
+  const RunResult tnpu = simulate(net, schedule, Scheme::kTnpuLike, cfg, calib());
+  const RunResult split =
+      simulate(net, schedule, Scheme::kBaselineSplit, cfg, calib());
+  const RunResult bp = simulate(net, schedule, Scheme::kBaselineMee, cfg, calib());
+
+  // Cycle ordering: NP <= C <= CI <= TNPU-like and BP_split <= BP.
+  EXPECT_LE(np.total_cycles, c.total_cycles);
+  EXPECT_LE(c.total_cycles, ci.total_cycles);
+  EXPECT_LE(ci.total_cycles, tnpu.total_cycles);
+  EXPECT_LE(split.total_cycles, bp.total_cycles);
+  EXPECT_LT(ci.total_cycles, bp.total_cycles);
+
+  // Traffic ordering mirrors cycles; NP and GuardNN_C add zero metadata.
+  EXPECT_EQ(np.meta_bytes, 0u);
+  EXPECT_EQ(c.meta_bytes, 0u);
+  EXPECT_LT(ci.meta_bytes, bp.meta_bytes);
+
+  // Paper bands: GuardNN_CI within 10% (DLRM's random gathers are the worst
+  // case); BP within 15%..60%.
+  const double ci_norm = static_cast<double>(ci.total_cycles) /
+                         static_cast<double>(np.total_cycles);
+  const double bp_norm = static_cast<double>(bp.total_cycles) /
+                         static_cast<double>(np.total_cycles);
+  EXPECT_LT(ci_norm, 1.10) << net.name;
+  EXPECT_GT(bp_norm, 1.15) << net.name;
+  EXPECT_LT(bp_norm, 1.60) << net.name;
+
+  // Every layer accounted for, all with nonzero cycles.
+  ASSERT_EQ(np.layers.size(), schedule.size());
+  for (const auto& layer : np.layers) EXPECT_GT(layer.total_cycles, 0u);
+}
+
+TEST_P(NetworkSweepTest, TrainingInvariantsHold) {
+  const dnn::Network net = dnn::model_by_name(GetParam().name);
+  if (net.name == "DLRM") GTEST_SKIP() << "DLRM excluded from training (paper)";
+  const auto schedule = dnn::training_schedule(net);
+  const SimConfig cfg;
+  const RunResult np = simulate(net, schedule, Scheme::kNone, cfg, calib());
+  const RunResult ci = simulate(net, schedule, Scheme::kGuardNnCI, cfg, calib());
+  const RunResult bp = simulate(net, schedule, Scheme::kBaselineMee, cfg, calib());
+  EXPECT_LT(ci.total_cycles, bp.total_cycles);
+  // Training must cost more than inference for the same scheme.
+  const RunResult inf =
+      simulate(net, dnn::inference_schedule(net), Scheme::kNone, cfg, calib());
+  EXPECT_GT(np.total_cycles, inf.total_cycles);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllNetworks, NetworkSweepTest,
+    ::testing::Values(NetCase{"vgg"}, NetCase{"alexnet"}, NetCase{"googlenet"},
+                      NetCase{"resnet"}, NetCase{"mobilenet"}, NetCase{"vit"},
+                      NetCase{"bert"}, NetCase{"dlrm"}, NetCase{"wav2vec2"}),
+    [](const ::testing::TestParamInfo<NetCase>& info) {
+      return std::string(info.param.name);
+    });
+
+TEST(BatchSweep, GapPersistsAcrossBatchSizes) {
+  // Batching amortizes weight traffic per frame but VGG stays memory-bound
+  // (activation traffic scales with the batch), so BP's penalty persists in
+  // the 1.2-1.5x band at every batch size while GuardNN_CI stays near 1.0 —
+  // and per-frame latency falls monotonically.
+  // (Per-frame latency is not asserted: without batch tiling, larger batches
+  // can spill the activation SRAM and re-fetch inputs, a real effect.)
+  const SimConfig cfg;
+  for (int batch : {1, 4, 16}) {
+    const dnn::Network net = dnn::batched(dnn::vgg16(), batch);
+    const auto schedule = dnn::inference_schedule(net);
+    const RunResult np = simulate(net, schedule, Scheme::kNone, cfg, calib());
+    const RunResult bp =
+        simulate(net, schedule, Scheme::kBaselineMee, cfg, calib());
+    const RunResult ci =
+        simulate(net, schedule, Scheme::kGuardNnCI, cfg, calib());
+    const double bp_norm = static_cast<double>(bp.total_cycles) /
+                           static_cast<double>(np.total_cycles);
+    const double ci_norm = static_cast<double>(ci.total_cycles) /
+                           static_cast<double>(np.total_cycles);
+    EXPECT_GT(bp_norm, 1.2) << "batch " << batch;
+    EXPECT_LT(bp_norm, 1.5) << "batch " << batch;
+    EXPECT_LT(ci_norm, 1.06) << "batch " << batch;
+  }
+}
+
+TEST(DramGrades, FasterDramLowersAbsoluteTime) {
+  const dnn::Network net = dnn::resnet50();
+  const auto schedule = dnn::inference_schedule(net);
+  u64 prev_cycles = ~0ULL;
+  for (const dram::DramConfig& dram_cfg :
+       {dram::DramConfig::ddr4_2133_16gb(), dram::DramConfig::ddr4_2400_16gb(),
+        dram::DramConfig::ddr4_3200_16gb()}) {
+    SimConfig cfg;
+    cfg.dram = dram_cfg;
+    const BandwidthCalibration c =
+        BandwidthCalibration::measure(cfg.dram, cfg.accel);
+    const RunResult run = simulate(net, schedule, Scheme::kNone, cfg, c);
+    EXPECT_LT(run.total_cycles, prev_cycles) << dram_cfg.name;
+    prev_cycles = run.total_cycles;
+  }
+}
+
+TEST(PrecisionSweep, LowerPrecisionLowersTrafficAndTime) {
+  const dnn::Network net = dnn::vgg16();
+  const auto schedule = dnn::inference_schedule(net);
+  u64 prev_bytes = ~0ULL;
+  u64 prev_cycles = ~0ULL;
+  for (int bits : {16, 8, 6}) {
+    SimConfig cfg;
+    cfg.bits = bits;
+    const RunResult run =
+        simulate(net, schedule, Scheme::kGuardNnCI, cfg, calib());
+    EXPECT_LT(run.data_bytes, prev_bytes) << bits;
+    EXPECT_LE(run.total_cycles, prev_cycles) << bits;
+    prev_bytes = run.data_bytes;
+    prev_cycles = run.total_cycles;
+  }
+}
+
+}  // namespace
+}  // namespace guardnn::sim

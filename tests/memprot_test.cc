@@ -1,0 +1,322 @@
+#include <gtest/gtest.h>
+
+#include "memprot/engine.h"
+#include "memprot/metadata_cache.h"
+#include "memprot/vn_generator.h"
+
+namespace guardnn::memprot {
+namespace {
+
+TEST(VnGenerator, CountersFollowInstructionSemantics) {
+  VnGenerator vn;
+  EXPECT_EQ(vn.ctr_in(), 0u);
+  vn.on_set_input();
+  EXPECT_EQ(vn.ctr_in(), 1u);
+  EXPECT_EQ(vn.ctr_fw(), 0u);
+  vn.on_forward_write();
+  vn.on_forward_write();
+  EXPECT_EQ(vn.ctr_fw(), 2u);
+  vn.on_set_input();  // new input resets the feature-write counter
+  EXPECT_EQ(vn.ctr_in(), 2u);
+  EXPECT_EQ(vn.ctr_fw(), 0u);
+  vn.on_set_weight();
+  EXPECT_EQ(vn.ctr_w(), 1u);
+}
+
+TEST(VnGenerator, FeatureWriteVnNeverRepeatsAcrossInputs) {
+  VnGenerator vn;
+  std::vector<u64> seen;
+  for (int input = 0; input < 3; ++input) {
+    vn.on_set_input();
+    for (int layer = 0; layer < 5; ++layer) {
+      seen.push_back(vn.feature_write_vn());
+      vn.on_forward_write();
+    }
+  }
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(std::adjacent_find(seen.begin(), seen.end()), seen.end())
+      << "feature-write VNs must be unique";
+}
+
+TEST(VnGenerator, WeightVnStableBetweenUpdates) {
+  VnGenerator vn;
+  vn.on_set_weight();
+  const u64 v = vn.weight_vn();
+  vn.on_set_input();
+  vn.on_forward_write();
+  EXPECT_EQ(vn.weight_vn(), v);
+  vn.on_set_weight();
+  EXPECT_NE(vn.weight_vn(), v);
+}
+
+TEST(VnGenerator, ReadCtrRangeLookup) {
+  VnGenerator vn;
+  vn.set_read_ctr(0x1000, 0x100, 7);
+  vn.set_read_ctr(0x2000, 0x100, 9);
+  EXPECT_EQ(vn.feature_read_vn(0x1000), 7u);
+  EXPECT_EQ(vn.feature_read_vn(0x10ff), 7u);
+  EXPECT_FALSE(vn.feature_read_vn(0x1100).has_value());
+  EXPECT_EQ(vn.feature_read_vn(0x2080), 9u);
+  EXPECT_FALSE(vn.feature_read_vn(0x0).has_value());
+}
+
+TEST(VnGenerator, ReadCtrOverwriteSplitsRanges) {
+  VnGenerator vn;
+  vn.set_read_ctr(0x1000, 0x1000, 1);      // [0x1000, 0x2000) -> 1
+  vn.set_read_ctr(0x1400, 0x400, 2);       // carve [0x1400, 0x1800) -> 2
+  EXPECT_EQ(vn.feature_read_vn(0x1000), 1u);
+  EXPECT_EQ(vn.feature_read_vn(0x13ff), 1u);
+  EXPECT_EQ(vn.feature_read_vn(0x1400), 2u);
+  EXPECT_EQ(vn.feature_read_vn(0x17ff), 2u);
+  EXPECT_EQ(vn.feature_read_vn(0x1800), 1u);
+  EXPECT_EQ(vn.feature_read_vn(0x1fff), 1u);
+}
+
+TEST(VnGenerator, ReadCtrFullOverwrite) {
+  VnGenerator vn;
+  vn.set_read_ctr(0x1000, 0x100, 1);
+  vn.set_read_ctr(0x0, 0x10000, 5);
+  EXPECT_EQ(vn.feature_read_vn(0x1050), 5u);
+}
+
+TEST(VnGenerator, ResetClearsEverything) {
+  VnGenerator vn;
+  vn.on_set_input();
+  vn.on_set_weight();
+  vn.set_read_ctr(0, 64, 3);
+  vn.reset();
+  EXPECT_EQ(vn.ctr_in(), 0u);
+  EXPECT_EQ(vn.ctr_w(), 0u);
+  EXPECT_FALSE(vn.feature_read_vn(0).has_value());
+}
+
+TEST(MetadataCache, HitAfterMiss) {
+  MetadataCache cache(4096, 4);
+  EXPECT_FALSE(cache.access(0, false).hit);
+  EXPECT_TRUE(cache.access(0, false).hit);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(MetadataCache, LruEviction) {
+  // 4 lines, 1 set x 4 ways.
+  MetadataCache cache(256, 4);
+  for (u64 i = 0; i < 4; ++i) cache.access(i * 64 * cache.num_sets(), false);
+  // All four ways of set 0 full; a fifth distinct tag evicts the LRU (tag 0).
+  cache.access(4 * 64 * cache.num_sets(), false);
+  EXPECT_FALSE(cache.access(0, false).hit);  // was evicted
+}
+
+TEST(MetadataCache, DirtyEvictionCausesWriteback) {
+  MetadataCache cache(256, 4);  // single set
+  const u64 stride = 64 * cache.num_sets();
+  cache.access(0, true);  // dirty
+  for (u64 i = 1; i <= 4; ++i) {
+    const CacheAccessResult r = cache.access(i * stride, false);
+    if (r.writeback) {
+      SUCCEED();
+      return;
+    }
+  }
+  FAIL() << "expected a dirty writeback";
+}
+
+TEST(MetadataCache, FlushWritesDirtyLines) {
+  MetadataCache cache(4096, 4);
+  cache.access(0, true);
+  cache.access(64, true);
+  cache.access(128, false);
+  EXPECT_EQ(cache.flush(), 2u);
+  EXPECT_EQ(cache.flush(), 0u);  // idempotent
+}
+
+TEST(MetadataCache, RejectsBadGeometry) {
+  EXPECT_THROW(MetadataCache(100, 3), std::invalid_argument);
+  EXPECT_THROW(MetadataCache(0, 4), std::invalid_argument);
+}
+
+AccessStream seq_read(u64 base, u64 bytes, u64 footprint = 1ULL << 30) {
+  AccessStream s;
+  s.base = base;
+  s.bytes = bytes;
+  s.footprint_bytes = footprint;
+  return s;
+}
+
+AccessStream seq_write(u64 base, u64 bytes, u64 footprint = 1ULL << 30) {
+  AccessStream s = seq_read(base, bytes, footprint);
+  s.write = true;
+  return s;
+}
+
+TEST(Engines, NoProtectionAddsNothing) {
+  auto engine = make_engine(Scheme::kNone);
+  const StreamTraffic t = engine->process(seq_read(0, 1 << 20));
+  EXPECT_EQ(t.data_read_bytes, 1u << 20);
+  EXPECT_EQ(t.meta_read_bytes, 0u);
+  EXPECT_EQ(t.meta_write_bytes, 0u);
+  EXPECT_EQ(t.extra_latency_cycles, 0u);
+}
+
+TEST(Engines, GuardNnCAddsOnlyLatency) {
+  auto engine = make_engine(Scheme::kGuardNnC);
+  const StreamTraffic t = engine->process(seq_write(0, 1 << 20));
+  EXPECT_EQ(t.data_write_bytes, 1u << 20);
+  EXPECT_EQ(t.meta_read_bytes + t.meta_write_bytes, 0u);
+  EXPECT_GT(t.extra_latency_cycles, 0u);
+}
+
+TEST(Engines, GuardNnCIMetadataAboutOnePercent) {
+  auto engine = make_engine(Scheme::kGuardNnCI);
+  // 64 MiB sequential read: one 64 B MAC line per 4 KiB of data = 1.56%.
+  const u64 bytes = 64ULL << 20;
+  const StreamTraffic t = engine->process(seq_read(0, bytes));
+  const double ratio = static_cast<double>(t.meta_read_bytes + t.meta_write_bytes) /
+                       static_cast<double>(bytes);
+  EXPECT_GT(ratio, 0.010);
+  EXPECT_LT(ratio, 0.035);
+}
+
+TEST(Engines, BaselineMeeMetadataTensOfPercent) {
+  auto engine = make_engine(Scheme::kBaselineMee);
+  const u64 bytes = 64ULL << 20;
+  const StreamTraffic read_t = engine->process(seq_read(0, bytes));
+  const double read_ratio =
+      static_cast<double>(read_t.meta_read_bytes + read_t.meta_write_bytes) /
+      static_cast<double>(bytes);
+  // Paper: BP increases traffic ~35% on average; pure streaming reads sit in
+  // the 25-40% band (VN line + MAC line per 512 B + tree).
+  EXPECT_GT(read_ratio, 0.20);
+  EXPECT_LT(read_ratio, 0.45);
+}
+
+TEST(Engines, BaselineWritesCostMoreThanReads) {
+  auto engine = make_engine(Scheme::kBaselineMee);
+  const u64 bytes = 32ULL << 20;
+  const StreamTraffic r = engine->process(seq_read(0, bytes));
+  engine->reset();
+  const StreamTraffic w = engine->process(seq_write(0, bytes));
+  // Writes dirty VN and MAC lines, which must be written back.
+  EXPECT_GT(w.meta_write_bytes, r.meta_write_bytes);
+}
+
+TEST(Engines, BaselineRandomWorseThanSequential) {
+  ProtectionConfig cfg;
+  auto engine = make_engine(Scheme::kBaselineMee, cfg);
+  const u64 bytes = 8ULL << 20;
+  const StreamTraffic seq = engine->process(seq_read(0, bytes));
+  engine->reset();
+  AccessStream rnd = seq_read(0, bytes, 4ULL << 30);
+  rnd.random = true;
+  const StreamTraffic random_t = engine->process(rnd);
+  EXPECT_GT(random_t.meta_read_bytes, seq.meta_read_bytes);
+}
+
+TEST(Engines, GuardNnCiFarCheaperThanBaseline) {
+  auto bp = make_engine(Scheme::kBaselineMee);
+  auto ci = make_engine(Scheme::kGuardNnCI);
+  const u64 bytes = 32ULL << 20;
+  const u64 bp_meta = bp->process(seq_read(0, bytes)).meta_read_bytes;
+  const u64 ci_meta = ci->process(seq_read(0, bytes)).meta_read_bytes;
+  EXPECT_GT(bp_meta, ci_meta * 8);
+}
+
+TEST(Engines, MacChunkGranularitySweep) {
+  // Larger MAC chunks => less metadata (ablation A1 sanity).
+  u64 prev = ~0ULL;
+  for (u64 chunk : {64u, 128u, 256u, 512u, 1024u, 4096u}) {
+    ProtectionConfig cfg;
+    cfg.mac_chunk_bytes = chunk;
+    auto engine = make_engine(Scheme::kGuardNnCI, cfg);
+    const u64 meta = engine->process(seq_read(0, 32ULL << 20)).meta_read_bytes;
+    EXPECT_LE(meta, prev) << "chunk=" << chunk;
+    prev = meta;
+  }
+}
+
+TEST(Engines, BiggerCacheReducesBaselineTraffic) {
+  // Ablation A2 sanity: metadata traffic shrinks with cache size when the
+  // working set has reuse.
+  const u64 bytes = 2ULL << 20;
+  u64 small_meta = 0, big_meta = 0;
+  {
+    ProtectionConfig cfg;
+    cfg.metadata_cache_bytes = 8 * 1024;
+    auto engine = make_engine(Scheme::kBaselineMee, cfg);
+    // Two passes over the same 2 MiB: second pass can hit if cache is large.
+    engine->process(seq_read(0, bytes));
+    small_meta = engine->process(seq_read(0, bytes)).meta_read_bytes;
+  }
+  {
+    ProtectionConfig cfg;
+    cfg.metadata_cache_bytes = 1024 * 1024;
+    auto engine = make_engine(Scheme::kBaselineMee, cfg);
+    engine->process(seq_read(0, bytes));
+    big_meta = engine->process(seq_read(0, bytes)).meta_read_bytes;
+  }
+  EXPECT_LT(big_meta, small_meta);
+}
+
+
+TEST(Engines, SplitCounterBetweenGuardNnAndBp) {
+  // BP_split (split counters) cuts VN traffic 8x vs BP but keeps per-64B
+  // MACs and the tree, so it lands strictly between GuardNN_CI and BP.
+  auto bp = make_engine(Scheme::kBaselineMee);
+  auto split = make_engine(Scheme::kBaselineSplit);
+  auto ci = make_engine(Scheme::kGuardNnCI);
+  const u64 bytes = 32ULL << 20;
+  const u64 bp_meta = bp->process(seq_read(0, bytes)).meta_read_bytes;
+  const u64 split_meta = split->process(seq_read(0, bytes)).meta_read_bytes;
+  const u64 ci_meta = ci->process(seq_read(0, bytes)).meta_read_bytes;
+  EXPECT_LT(split_meta, bp_meta);
+  EXPECT_GT(split_meta, ci_meta * 4);
+}
+
+TEST(Engines, TnpuLikeBetweenGuardNnCiAndBaselines) {
+  // TNPU-like: on-chip VNs (no tree) but 64 B MAC granularity -> ~8x the
+  // metadata of GuardNN_CI's 512 B chunks, still below BP.
+  auto tnpu = make_engine(Scheme::kTnpuLike);
+  auto ci = make_engine(Scheme::kGuardNnCI);
+  auto bp = make_engine(Scheme::kBaselineMee);
+  const u64 bytes = 32ULL << 20;
+  const u64 tnpu_meta = tnpu->process(seq_read(0, bytes)).meta_read_bytes;
+  const u64 ci_meta = ci->process(seq_read(0, bytes)).meta_read_bytes;
+  const u64 bp_meta = bp->process(seq_read(0, bytes)).meta_read_bytes;
+  EXPECT_GT(tnpu_meta, ci_meta * 4);
+  EXPECT_LT(tnpu_meta, bp_meta);
+}
+
+TEST(Engines, AllSchemesPreserveDataBytes) {
+  for (Scheme s : {Scheme::kNone, Scheme::kBaselineMee, Scheme::kGuardNnC,
+                   Scheme::kGuardNnCI, Scheme::kBaselineSplit,
+                   Scheme::kTnpuLike}) {
+    auto engine = make_engine(s);
+    const StreamTraffic t = engine->process(seq_read(0, 4 << 20));
+    EXPECT_EQ(t.data_read_bytes, 4u << 20) << scheme_name(s);
+    EXPECT_EQ(t.data_write_bytes, 0u) << scheme_name(s);
+  }
+}
+
+TEST(Engines, NewSchemeNamesAndFactory) {
+  EXPECT_EQ(scheme_name(Scheme::kBaselineSplit), "BP_split");
+  EXPECT_EQ(scheme_name(Scheme::kTnpuLike), "TNPU-like");
+  EXPECT_EQ(make_engine(Scheme::kBaselineSplit)->scheme(), Scheme::kBaselineSplit);
+  EXPECT_EQ(make_engine(Scheme::kTnpuLike)->scheme(), Scheme::kTnpuLike);
+}
+
+TEST(Engines, SchemeNames) {
+  EXPECT_EQ(scheme_name(Scheme::kNone), "NP");
+  EXPECT_EQ(scheme_name(Scheme::kBaselineMee), "BP");
+  EXPECT_EQ(scheme_name(Scheme::kGuardNnC), "GuardNN_C");
+  EXPECT_EQ(scheme_name(Scheme::kGuardNnCI), "GuardNN_CI");
+}
+
+TEST(Engines, FactoryProducesDistinctSchemes) {
+  for (Scheme s : {Scheme::kNone, Scheme::kBaselineMee, Scheme::kGuardNnC,
+                   Scheme::kGuardNnCI}) {
+    EXPECT_EQ(make_engine(s)->scheme(), s);
+  }
+}
+
+}  // namespace
+}  // namespace guardnn::memprot

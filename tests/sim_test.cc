@@ -1,0 +1,275 @@
+#include <gtest/gtest.h>
+
+#include "dnn/models.h"
+#include "sim/perf_model.h"
+
+namespace guardnn::sim {
+namespace {
+
+using memprot::Scheme;
+
+const BandwidthCalibration& shared_calibration() {
+  static const BandwidthCalibration calib = BandwidthCalibration::measure(
+      dram::DramConfig::ddr4_2400_16gb(), AcceleratorConfig::tpu_like());
+  return calib;
+}
+
+TEST(Systolic, SingleFoldGemm) {
+  dnn::WorkItem item;
+  item.layer = dnn::matmul("g", 100, 256, 256);
+  const AcceleratorConfig cfg;
+  const ComputeEstimate est = compute_cycles(item, cfg);
+  EXPECT_EQ(est.folds, 1u);
+  EXPECT_EQ(est.cycles, 100u + 256u + 256u);
+}
+
+TEST(Systolic, FoldsMultiply) {
+  dnn::WorkItem item;
+  item.layer = dnn::matmul("g", 64, 512, 512);  // 2 K-folds x 2 N-folds
+  const AcceleratorConfig cfg;
+  const ComputeEstimate est = compute_cycles(item, cfg);
+  EXPECT_EQ(est.folds, 4u);
+  EXPECT_EQ(est.cycles, 4u * (64u + 256u + 256u));
+}
+
+
+TEST(Systolic, OutputStationaryFormula) {
+  dnn::WorkItem item;
+  item.layer = dnn::matmul("g", 512, 300, 256);  // 2 M-folds x 1 N-fold
+  AcceleratorConfig cfg;
+  cfg.dataflow = Dataflow::kOutputStationary;
+  const ComputeEstimate est = compute_cycles(item, cfg);
+  EXPECT_EQ(est.folds, 2u);
+  EXPECT_EQ(est.cycles, 2u * (300u + 256u + 256u));
+}
+
+TEST(Systolic, DataflowsDifferButBothBounded) {
+  for (const auto& net : {dnn::vgg16(), dnn::bert_base()}) {
+    for (const auto& item : dnn::inference_schedule(net)) {
+      if (!item.layer.is_gemm()) continue;
+      AcceleratorConfig ws, os;
+      os.dataflow = Dataflow::kOutputStationary;
+      const ComputeEstimate e_ws = compute_cycles(item, ws);
+      const ComputeEstimate e_os = compute_cycles(item, os);
+      EXPECT_GT(e_ws.cycles, 0u);
+      EXPECT_GT(e_os.cycles, 0u);
+      EXPECT_LE(e_ws.utilization, 1.0);
+      EXPECT_LE(e_os.utilization, 1.0);
+    }
+  }
+}
+
+TEST(Systolic, FcFavorsOutputStationaryAtBatch1) {
+  // An M=1 FC under WS pays one (m + fill + drain) pass per (K,N) fold —
+  // 256 folds for 4096x4096 — while OS streams the whole K per N fold (16
+  // folds), so OS wins on single-vector FCs.
+  dnn::WorkItem item;
+  item.layer = dnn::fully_connected("fc", 4096, 4096);
+  AcceleratorConfig ws, os;
+  os.dataflow = Dataflow::kOutputStationary;
+  EXPECT_GT(compute_cycles(item, ws).cycles, compute_cycles(item, os).cycles);
+}
+
+TEST(Systolic, UtilizationBounded) {
+  for (const auto& net : dnn::inference_benchmark_suite()) {
+    for (const auto& item : dnn::inference_schedule(net)) {
+      const ComputeEstimate est = compute_cycles(item, AcceleratorConfig{});
+      EXPECT_GE(est.utilization, 0.0) << net.name << ":" << item.layer.name;
+      EXPECT_LE(est.utilization, 1.0) << net.name << ":" << item.layer.name;
+      EXPECT_GT(est.cycles, 0u);
+    }
+  }
+}
+
+TEST(Systolic, BackwardCyclesComparableToForward) {
+  dnn::Network net = dnn::alexnet();
+  const auto items = dnn::training_schedule(net);
+  u64 fwd = 0, bwd = 0;
+  for (const auto& item : items) {
+    if (item.is_weight_update) continue;
+    const u64 c = compute_cycles(item, AcceleratorConfig{}).cycles;
+    if (item.pass == dnn::Pass::kForward)
+      fwd += c;
+    else
+      bwd += c;
+  }
+  EXPECT_GT(bwd, fwd);      // dX + dW together exceed forward
+  EXPECT_LT(bwd, fwd * 4);  // but by a bounded factor
+}
+
+TEST(Traffic, LayoutPacksWeightsChunkAligned) {
+  const dnn::Network net = dnn::alexnet();
+  const AddressLayout layout = build_layout(net, 8);
+  ASSERT_EQ(layout.weight_offsets.size(), net.layers.size());
+  for (std::size_t i = 0; i < layout.weight_offsets.size(); ++i)
+    EXPECT_EQ(layout.weight_offsets[i] % 512, 0u);
+  EXPECT_GE(layout.total_weight_bytes, net.total_weight_bytes(8));
+}
+
+TEST(Traffic, ForwardStreamsCoverInWeightOut) {
+  const dnn::Network net = dnn::alexnet();
+  const AddressLayout layout = build_layout(net, 8);
+  dnn::WorkItem item;
+  item.layer = net.layers[0];  // conv1
+  const auto streams = generate_streams(item, 0, layout, AcceleratorConfig{}, 8);
+  u64 reads = 0, writes = 0;
+  for (const auto& s : streams) {
+    if (s.write)
+      writes += s.bytes;
+    else
+      reads += s.bytes;
+  }
+  EXPECT_GE(reads, item.layer.input_bytes(8) + item.layer.weight_bytes(8));
+  EXPECT_GE(writes, item.layer.output_bytes(8));
+}
+
+TEST(Traffic, EmbeddingStreamsAreRandom) {
+  const dnn::Network net = dnn::dlrm();
+  const AddressLayout layout = build_layout(net, 8);
+  std::size_t embed_index = 0;
+  for (std::size_t i = 0; i < net.layers.size(); ++i)
+    if (net.layers[i].type == dnn::LayerType::kEmbedding) embed_index = i;
+  dnn::WorkItem item;
+  item.layer = net.layers[embed_index];
+  const auto streams =
+      generate_streams(item, embed_index, layout, AcceleratorConfig{}, 8);
+  bool found_random = false;
+  for (const auto& s : streams) found_random = found_random || s.random;
+  EXPECT_TRUE(found_random);
+}
+
+TEST(Traffic, PingPongBuffersAlternate) {
+  const dnn::Network net = dnn::alexnet();
+  const AddressLayout layout = build_layout(net, 8);
+  dnn::WorkItem item0, item1;
+  item0.layer = net.layers[0];
+  item1.layer = net.layers[2];
+  const auto s0 = generate_streams(item0, 0, layout, AcceleratorConfig{}, 8);
+  const auto s1 = generate_streams(item1, 1, layout, AcceleratorConfig{}, 8);
+  // Layer 0 writes where layer 1 reads.
+  u64 l0_write_base = 0, l1_read_base = ~0ULL;
+  for (const auto& s : s0)
+    if (s.write) l0_write_base = s.base;
+  for (const auto& s : s1)
+    if (!s.write && s.base >= 0x4'0000'0000ULL) l1_read_base = s.base;
+  EXPECT_EQ(l0_write_base, l1_read_base);
+}
+
+TEST(Traffic, RejectsBadLayerIndex) {
+  const dnn::Network net = dnn::alexnet();
+  const AddressLayout layout = build_layout(net, 8);
+  dnn::WorkItem item;
+  item.layer = net.layers[0];
+  EXPECT_THROW(
+      generate_streams(item, net.layers.size(), layout, AcceleratorConfig{}, 8),
+      std::out_of_range);
+}
+
+TEST(PerfModel, CalibrationSane) {
+  const BandwidthCalibration& calib = shared_calibration();
+  // DDR4-2400 x2ch at 0.7 GHz accel clock: 38.4 GB/s peak = ~55 B/cycle.
+  EXPECT_GT(calib.seq_bytes_per_accel_cycle, 20.0);
+  EXPECT_LT(calib.seq_bytes_per_accel_cycle, 60.0);
+  EXPECT_LT(calib.rand_bytes_per_accel_cycle, calib.seq_bytes_per_accel_cycle);
+  EXPECT_GT(calib.rand_bytes_per_accel_cycle, 1.0);
+}
+
+TEST(PerfModel, NoProtectionBaselineRuns) {
+  const dnn::Network net = dnn::alexnet();
+  const RunResult r = simulate(net, dnn::inference_schedule(net), Scheme::kNone,
+                               SimConfig{}, shared_calibration());
+  EXPECT_GT(r.total_cycles, 0u);
+  EXPECT_EQ(r.meta_bytes, 0u);
+  EXPECT_EQ(r.layers.size(), net.layers.size());
+  EXPECT_GT(r.seconds, 0.0);
+}
+
+TEST(PerfModel, SchemeOrderingMatchesPaper) {
+  // NP <= GuardNN_C <= GuardNN_CI < BP for every network (Fig. 3a shape).
+  const SimConfig cfg;
+  for (const auto& net : {dnn::alexnet(), dnn::mobilenet_v1()}) {
+    const auto sched = dnn::inference_schedule(net);
+    const u64 np =
+        simulate(net, sched, Scheme::kNone, cfg, shared_calibration()).total_cycles;
+    const u64 c = simulate(net, sched, Scheme::kGuardNnC, cfg, shared_calibration())
+                      .total_cycles;
+    const u64 ci =
+        simulate(net, sched, Scheme::kGuardNnCI, cfg, shared_calibration())
+            .total_cycles;
+    const u64 bp =
+        simulate(net, sched, Scheme::kBaselineMee, cfg, shared_calibration())
+            .total_cycles;
+    EXPECT_LE(np, c) << net.name;
+    EXPECT_LE(c, ci) << net.name;
+    EXPECT_LT(ci, bp) << net.name;
+  }
+}
+
+TEST(PerfModel, GuardNnOverheadSmall) {
+  const dnn::Network net = dnn::vgg16();
+  const auto sched = dnn::inference_schedule(net);
+  const SimConfig cfg;
+  const double np = static_cast<double>(
+      simulate(net, sched, Scheme::kNone, cfg, shared_calibration()).total_cycles);
+  const double ci = static_cast<double>(
+      simulate(net, sched, Scheme::kGuardNnCI, cfg, shared_calibration())
+          .total_cycles);
+  EXPECT_LT(ci / np, 1.08);  // paper: ~1.05 for VGG
+  EXPECT_GE(ci / np, 1.0);
+}
+
+TEST(PerfModel, BaselineOverheadSubstantial) {
+  const dnn::Network net = dnn::vgg16();
+  const auto sched = dnn::inference_schedule(net);
+  const SimConfig cfg;
+  const double np = static_cast<double>(
+      simulate(net, sched, Scheme::kNone, cfg, shared_calibration()).total_cycles);
+  const double bp = static_cast<double>(
+      simulate(net, sched, Scheme::kBaselineMee, cfg, shared_calibration())
+          .total_cycles);
+  EXPECT_GT(bp / np, 1.08);
+  EXPECT_LT(bp / np, 1.6);
+}
+
+TEST(PerfModel, TrafficIncreaseShapes) {
+  const dnn::Network net = dnn::resnet50();
+  const auto sched = dnn::inference_schedule(net);
+  const SimConfig cfg;
+  const RunResult ci =
+      simulate(net, sched, Scheme::kGuardNnCI, cfg, shared_calibration());
+  const RunResult bp =
+      simulate(net, sched, Scheme::kBaselineMee, cfg, shared_calibration());
+  EXPECT_LT(ci.traffic_increase(), 1.05);  // paper: +2.4% average
+  EXPECT_GT(bp.traffic_increase(), 1.15);  // paper: +35.3% average
+  EXPECT_LT(bp.traffic_increase(), 1.55);
+}
+
+TEST(PerfModel, TrainingCostsMoreThanInference) {
+  const dnn::Network net = dnn::alexnet();
+  const SimConfig cfg;
+  const u64 inf = simulate(net, dnn::inference_schedule(net), Scheme::kNone, cfg,
+                           shared_calibration())
+                      .total_cycles;
+  const u64 train = simulate(net, dnn::training_schedule(net), Scheme::kNone, cfg,
+                             shared_calibration())
+                        .total_cycles;
+  EXPECT_GT(train, inf * 2);
+}
+
+TEST(PerfModel, DeterministicAcrossRuns) {
+  // Timing depends only on the schedule, never on data values — the paper's
+  // timing side-channel argument. Two identical runs must agree bit-for-bit.
+  const dnn::Network net = dnn::googlenet();
+  const auto sched = dnn::inference_schedule(net);
+  const SimConfig cfg;
+  const RunResult a =
+      simulate(net, sched, Scheme::kGuardNnCI, cfg, shared_calibration());
+  const RunResult b =
+      simulate(net, sched, Scheme::kGuardNnCI, cfg, shared_calibration());
+  EXPECT_EQ(a.total_cycles, b.total_cycles);
+  EXPECT_EQ(a.data_bytes, b.data_bytes);
+  EXPECT_EQ(a.meta_bytes, b.meta_bytes);
+}
+
+}  // namespace
+}  // namespace guardnn::sim
