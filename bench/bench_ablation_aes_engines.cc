@@ -35,8 +35,8 @@ int main() {
     cfg.aes_engines = engines;
     table.add_row({std::to_string(engines) + (engines == 3 ? " (paper)" : ""),
                    fmt_fixed(cfg.aes_bandwidth_gbs(), 1),
-                   "+" + fmt_fixed(worst, 1) + "%",
-                   "+" + fmt_fixed(sum / count, 2) + "%"});
+                   bench::pct(worst, 1),
+                   bench::pct(sum / count)});
   }
   table.print();
 

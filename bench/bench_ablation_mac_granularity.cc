@@ -26,7 +26,7 @@ int main() {
                                     bench::calibration());
       const auto ci = sim::simulate(net, schedule, memprot::Scheme::kGuardNnCI,
                                     cfg, bench::calibration());
-      row.push_back("+" + fmt_fixed((ci.traffic_increase() - 1.0) * 100.0, 2) + "%");
+      row.push_back(bench::pct((ci.traffic_increase() - 1.0) * 100.0));
       if (net.name == "ResNet") resnet_norm = bench::normalized(ci, np);
     }
     row.push_back(fmt_fixed(resnet_norm, 4));

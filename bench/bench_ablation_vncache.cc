@@ -24,7 +24,7 @@ int main() {
                                     bench::calibration());
       const auto bp = sim::simulate(net, schedule, memprot::Scheme::kBaselineMee,
                                     cfg, bench::calibration());
-      row.push_back("+" + fmt_fixed((bp.traffic_increase() - 1.0) * 100.0, 1) + "%");
+      row.push_back(bench::pct((bp.traffic_increase() - 1.0) * 100.0, 1));
       row.push_back(fmt_fixed(bench::normalized(bp, np), 4));
     }
     table.add_row(row);

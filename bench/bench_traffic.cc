@@ -28,12 +28,12 @@ int main() {
       avg_c.add(c);
       avg_ci.add(ci);
       avg_bp.add(bp);
-      table.add_row({net.name, "+" + fmt_fixed(c, 2) + "%",
-                     "+" + fmt_fixed(ci, 2) + "%", "+" + fmt_fixed(bp, 2) + "%"});
+      table.add_row({net.name, bench::pct(c),
+                     bench::pct(ci), bench::pct(bp)});
     }
-    table.add_row({"average", "+" + fmt_fixed(avg_c.mean(), 2) + "%",
-                   "+" + fmt_fixed(avg_ci.mean(), 2) + "%",
-                   "+" + fmt_fixed(avg_bp.mean(), 2) + "%"});
+    table.add_row({"average", bench::pct(avg_c.mean()),
+                   bench::pct(avg_ci.mean()),
+                   bench::pct(avg_bp.mean())});
     table.print();
     std::cout << "\n";
   }

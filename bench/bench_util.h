@@ -18,6 +18,16 @@ inline const sim::BandwidthCalibration& calibration() {
   return calib;
 }
 
+/// Formats "+<v>%" for overhead columns. Append-based construction avoids a
+/// GCC 12 -Wrestrict false positive (PR 105329) that operator+ chains trip
+/// under -O2.
+inline std::string pct(double v, int digits = 2) {
+  std::string s = "+";
+  s += fmt_fixed(v, digits);
+  s += '%';
+  return s;
+}
+
 struct SchemeRuns {
   sim::RunResult np;
   sim::RunResult guardnn_c;

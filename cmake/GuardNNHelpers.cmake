@@ -1,0 +1,80 @@
+# GuardNN build helpers: per-layer libraries, test registration, benches.
+#
+# Every target in the tree funnels through guardnn_apply_build_flags() so the
+# warning set and the GUARDNN_SANITIZE=ON (ASan+UBSan) wiring stay in one place.
+
+include_guard(GLOBAL)
+
+# Common warning / sanitizer / diagnostics flags for a target.
+function(guardnn_apply_build_flags target)
+  target_compile_options(${target} PRIVATE -Wall -Wextra)
+  if(GUARDNN_WERROR)
+    target_compile_options(${target} PRIVATE -Werror)
+  endif()
+  if(GUARDNN_SANITIZE)
+    target_compile_options(${target} PRIVATE
+      -fsanitize=address,undefined -fno-omit-frame-pointer -fno-sanitize-recover=all)
+    target_link_options(${target} PRIVATE -fsanitize=address,undefined)
+  endif()
+endfunction()
+
+# guardnn_add_library(<layer> SOURCES <...> [DEPS <...>])
+#
+# Declares static library guardnn_<layer> (alias guardnn::<layer>) rooted at
+# src/, with PUBLIC include of the source tree so headers are spelled
+# "layer/header.h" everywhere (tests, benches, examples included).
+function(guardnn_add_library name)
+  cmake_parse_arguments(ARG "" "" "SOURCES;DEPS" ${ARGN})
+  if(NOT ARG_SOURCES)
+    message(FATAL_ERROR "guardnn_add_library(${name}) needs SOURCES")
+  endif()
+  add_library(guardnn_${name} STATIC ${ARG_SOURCES})
+  add_library(guardnn::${name} ALIAS guardnn_${name})
+  target_include_directories(guardnn_${name} PUBLIC ${GUARDNN_SOURCE_DIR}/src)
+  target_compile_features(guardnn_${name} PUBLIC cxx_std_20)
+  if(ARG_DEPS)
+    target_link_libraries(guardnn_${name} PUBLIC ${ARG_DEPS})
+  endif()
+  guardnn_apply_build_flags(guardnn_${name})
+endfunction()
+
+# guardnn_add_test(<name> [TIMEOUT <seconds>] [LIBS <...>] [LABELS <...>])
+#
+# Builds tests/<name>.cc against gtest_main and registers every TEST() in it
+# with CTest via gtest_discover_tests, tagging them with LABELS so slices can
+# be run as e.g. `ctest -L crypto`. TIMEOUT (default 120 s per test) keeps
+# runaway cases — the fuzz suite especially — inside a hard budget.
+function(guardnn_add_test name)
+  cmake_parse_arguments(ARG "" "TIMEOUT" "LIBS;LABELS" ${ARGN})
+  if(NOT ARG_TIMEOUT)
+    set(ARG_TIMEOUT 120)
+  endif()
+  add_executable(${name} ${name}.cc)
+  target_link_libraries(${name} PRIVATE ${ARG_LIBS} GTest::gtest GTest::gtest_main)
+  guardnn_apply_build_flags(${name})
+  gtest_discover_tests(${name}
+    PROPERTIES LABELS "${ARG_LABELS}" TIMEOUT ${ARG_TIMEOUT}
+    DISCOVERY_TIMEOUT 120)
+endfunction()
+
+# guardnn_add_bench(<name> [LIBS <...>] [GBENCH])
+#
+# Report-style benches carry their own main(); GBENCH ones link
+# google-benchmark. All land in build/bench/ for scripts/run_benches.sh.
+function(guardnn_add_bench name)
+  cmake_parse_arguments(ARG "GBENCH" "" "LIBS" ${ARGN})
+  add_executable(${name} ${name}.cc)
+  target_include_directories(${name} PRIVATE ${GUARDNN_SOURCE_DIR})
+  target_link_libraries(${name} PRIVATE ${ARG_LIBS})
+  if(ARG_GBENCH)
+    target_link_libraries(${name} PRIVATE benchmark::benchmark benchmark::benchmark_main)
+  endif()
+  guardnn_apply_build_flags(${name})
+endfunction()
+
+# guardnn_add_example(<name> <libs...>)
+function(guardnn_add_example name)
+  add_executable(${name} ${name}.cpp)
+  target_link_libraries(${name} PRIVATE ${ARGN})
+  guardnn_apply_build_flags(${name})
+endfunction()

@@ -1,0 +1,101 @@
+#!/usr/bin/env bash
+# Runs every bench_* binary in the build tree and folds the results into one
+# JSON file — the perf-trajectory baseline future PRs diff against.
+#
+# Usage:  scripts/run_benches.sh [BUILD_DIR] [OUTPUT_JSON]
+#   BUILD_DIR    defaults to ./build
+#   OUTPUT_JSON  defaults to BENCH_BASELINE.json in the repo root
+#
+# Report-style benches (their own main()) contribute their stdout verbatim;
+# google-benchmark binaries (bench_micro_*) are run with
+# --benchmark_format=json and contribute structured results.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+out_json="${2:-${repo_root}/BENCH_BASELINE.json}"
+bench_dir="${build_dir}/bench"
+
+if [[ ! -d "${bench_dir}" ]]; then
+  echo "error: ${bench_dir} not found — configure with -DGUARDNN_BUILD_BENCHES=ON and build first" >&2
+  exit 1
+fi
+
+shopt -s nullglob
+benches=("${bench_dir}"/bench_*)
+if [[ ${#benches[@]} -eq 0 ]]; then
+  echo "error: no bench_* binaries in ${bench_dir}" >&2
+  exit 1
+fi
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "${workdir}"' EXIT
+
+manifest="${workdir}/manifest.tsv"
+: > "${manifest}"
+
+for bin in "${benches[@]}"; do
+  [[ -x "${bin}" && ! -d "${bin}" ]] || continue
+  name="$(basename "${bin}")"
+  echo "== ${name}"
+  start=$(date +%s.%N)
+  rc=0
+  if [[ "${name}" == bench_micro_* ]]; then
+    kind=gbench
+    "${bin}" --benchmark_format=json >"${workdir}/${name}.out" 2>"${workdir}/${name}.err" || rc=$?
+  else
+    kind=report
+    "${bin}" >"${workdir}/${name}.out" 2>"${workdir}/${name}.err" || rc=$?
+  fi
+  end=$(date +%s.%N)
+  printf '%s\t%s\t%s\t%s\n' "${name}" "${kind}" "${rc}" \
+    "$(awk -v a="${start}" -v b="${end}" 'BEGIN{printf "%.3f", b-a}')" >> "${manifest}"
+done
+
+python3 - "${manifest}" "${workdir}" "${out_json}" <<'PY'
+import json, pathlib, subprocess, sys
+
+manifest, workdir, out_json = sys.argv[1], pathlib.Path(sys.argv[2]), sys.argv[3]
+
+def git(*args):
+    try:
+        return subprocess.run(["git", *args], capture_output=True, text=True,
+                              check=True).stdout.strip()
+    except Exception:
+        return None
+
+benches = {}
+for line in pathlib.Path(manifest).read_text().splitlines():
+    name, kind, rc, seconds = line.split("\t")
+    entry = {"kind": kind, "exit_code": int(rc), "wall_seconds": float(seconds)}
+    stdout = (workdir / f"{name}.out").read_text(errors="replace")
+    stderr = (workdir / f"{name}.err").read_text(errors="replace")
+    if kind == "gbench":
+        try:
+            entry["results"] = json.loads(stdout)
+        except json.JSONDecodeError:
+            entry["stdout"] = stdout
+    else:
+        entry["stdout"] = stdout
+    if stderr.strip():
+        entry["stderr"] = stderr
+    benches[name] = entry
+
+doc = {
+    "schema": "guardnn-bench-baseline/1",
+    "git_commit": git("rev-parse", "HEAD"),
+    "git_branch": git("rev-parse", "--abbrev-ref", "HEAD"),
+    "bench_count": len(benches),
+    "failed": sorted(n for n, e in benches.items() if e["exit_code"] != 0),
+    "benches": benches,
+}
+pathlib.Path(out_json).write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+print(f"wrote {out_json} ({len(benches)} benches, {len(doc['failed'])} failed)")
+PY
+
+# Non-zero exit when any bench failed, so CI can gate on it.
+failed=$(awk -F'\t' '$3 != 0' "${manifest}" | wc -l)
+if [[ "${failed}" -gt 0 ]]; then
+  echo "warning: ${failed} bench(es) exited non-zero" >&2
+  exit 1
+fi

@@ -171,8 +171,12 @@ Network resnet50() {
   for (int s = 0; s < 4; ++s) {
     for (int b = 0; b < stage_blocks[s]; ++b) {
       const int stride = (b == 0 && s > 0) ? 2 : 1;
-      const std::string prefix =
-          "s" + std::to_string(s + 2) + "b" + std::to_string(b + 1);
+      // Built with append (not operator+ chains) to dodge a GCC 12 -Wrestrict
+      // false positive (PR 105329) under -O2.
+      std::string prefix = "s";
+      prefix += std::to_string(s + 2);
+      prefix += 'b';
+      prefix += std::to_string(b + 1);
       if (stride == 2) hw *= 1;  // stride applied inside bottleneck
       c = bottleneck(net, prefix, c, stage_mid[s], stage_mid[s] * 4, hw, stride);
       if (stride == 2) hw /= 2;
@@ -198,8 +202,11 @@ Network mobilenet_v1() {
   c = dw_separable(net, "b5", c, 256, hw, 1);
   c = dw_separable(net, "b6", c, 512, hw, 2);
   hw /= 2;
-  for (int i = 0; i < 5; ++i)
-    c = dw_separable(net, "b" + std::to_string(7 + i), c, 512, hw, 1);
+  for (int i = 0; i < 5; ++i) {
+    std::string block = "b";
+    block += std::to_string(7 + i);
+    c = dw_separable(net, block, c, 512, hw, 1);
+  }
   c = dw_separable(net, "b12", c, 1024, hw, 2);
   hw /= 2;
   c = dw_separable(net, "b13", c, 1024, hw, 1);
@@ -220,7 +227,10 @@ Network resnet18() {
     for (int b = 0; b < 2; ++b) {
       const int stride = (b == 0 && s > 0) ? 2 : 1;
       const int out_hw = hw / stride;
-      const std::string p = "s" + std::to_string(s + 2) + "b" + std::to_string(b + 1);
+      std::string p = "s";
+      p += std::to_string(s + 2);
+      p += 'b';
+      p += std::to_string(b + 1);
       net.layers.push_back(conv2d(p + ".c1", c, hw, hw, stage_c[s], 3, stride, 1));
       net.layers.push_back(
           conv2d(p + ".c2", stage_c[s], out_hw, out_hw, stage_c[s], 3, 1, 1));
@@ -268,8 +278,11 @@ Network gpt2_small(int seq_len) {
   const int hidden = 768;
   net.layers.push_back(embedding("tok_embed", static_cast<u64>(seq_len), hidden,
                                  50257));
-  for (int i = 0; i < 12; ++i)
-    transformer_block(net, "h" + std::to_string(i), seq_len, hidden, 12, 3072);
+  for (int i = 0; i < 12; ++i) {
+    std::string block = "h";
+    block += std::to_string(i);
+    transformer_block(net, block, seq_len, hidden, 12, 3072);
+  }
   net.layers.push_back(matmul("lm_head", static_cast<u64>(seq_len), hidden, 50257));
   return net;
 }

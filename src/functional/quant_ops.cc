@@ -7,6 +7,8 @@ namespace guardnn::functional {
 namespace {
 
 int conv_out_dim(int in, int kernel, int stride, int pad) {
+  if (kernel <= 0 || stride <= 0)
+    throw std::invalid_argument("conv: non-positive kernel/stride");
   const int out = (in + 2 * pad - kernel) / stride + 1;
   if (out <= 0) throw std::invalid_argument("conv: non-positive output dim");
   return out;
@@ -149,6 +151,13 @@ void relu(Tensor& tensor) {
 }
 
 Tensor maxpool2d(const Tensor& input, int kernel, int stride) {
+  if (kernel <= 0 || stride <= 0)
+    throw std::invalid_argument("maxpool: non-positive kernel/stride");
+  // Guard before the output-dim division: (h - kernel) / stride truncates
+  // toward zero, so kernel > h would still yield oh == 1 and read past the
+  // input when |h - kernel| < stride.
+  if (kernel > input.height() || kernel > input.width())
+    throw std::invalid_argument("maxpool: kernel larger than input");
   const int oh = (input.height() - kernel) / stride + 1;
   const int ow = (input.width() - kernel) / stride + 1;
   if (oh <= 0 || ow <= 0) throw std::invalid_argument("maxpool: bad dims");

@@ -43,6 +43,8 @@ Tensor conv2d_backward_input(const Tensor& d_out, const ConvWeights& weights,
                              int requant_shift) {
   if (d_out.channels() != weights.out_c)
     throw std::invalid_argument("conv2d_backward_input: channel mismatch");
+  if (weights.kernel <= 0 || stride <= 0)
+    throw std::invalid_argument("conv2d_backward_input: bad kernel/stride");
   Tensor d_in(weights.in_c, in_h, in_w, d_out.bits());
   for (int ic = 0; ic < weights.in_c; ++ic) {
     for (int iy = 0; iy < in_h; ++iy) {
@@ -73,6 +75,8 @@ Tensor conv2d_backward_input(const Tensor& d_out, const ConvWeights& weights,
 ConvWeights conv2d_backward_weights(const Tensor& d_out, const Tensor& input,
                                     int kernel, int stride, int pad,
                                     int requant_shift) {
+  if (kernel <= 0 || stride <= 0)
+    throw std::invalid_argument("conv2d_backward_weights: bad kernel/stride");
   ConvWeights grads(d_out.channels(), input.channels(), kernel, input.bits());
   for (int oc = 0; oc < d_out.channels(); ++oc) {
     for (int ic = 0; ic < input.channels(); ++ic) {

@@ -55,6 +55,10 @@ std::vector<std::array<int, 3>> infer_shapes(const FuncNetwork& net) {
         h = 1;
         w = 1;
         break;
+      default:
+        // FuncNetwork layers are forward ops; training ops have no static
+        // shape rule here.
+        throw std::invalid_argument("infer_shapes: unsupported layer kind");
     }
     shapes.push_back({c, h, w});
   }
@@ -75,10 +79,14 @@ ExecutionPlan HostScheduler::compile(const FuncNetwork& net) {
   for (const auto& layer : net.layers) {
     plan.weight_addrs.push_back(kWeightBase + offset);
     if (!layer.weights.empty()) {
-      plan.weight_blob.resize(offset + pad_chunk(layer.weights.size()), 0);
-      std::copy(layer.weights.begin(), layer.weights.end(),
-                plan.weight_blob.begin() + static_cast<long>(offset));
-      offset += pad_chunk(layer.weights.size());
+      // Append then pad to the chunk boundary (the blob is always exactly
+      // `offset` bytes long here).
+      const std::size_t padded = pad_chunk(layer.weights.size());
+      plan.weight_blob.insert(plan.weight_blob.end(), layer.weights.begin(),
+                              layer.weights.end());
+      plan.weight_blob.insert(plan.weight_blob.end(),
+                              padded - layer.weights.size(), 0);
+      offset += padded;
     }
   }
   if (plan.weight_blob.empty()) plan.weight_blob.resize(kChunk, 0);
@@ -219,6 +227,8 @@ Bytes reference_run(const FuncNetwork& net, const functional::Tensor& input) {
         current = functional::tensor_add(current, second);
         break;
       }
+      default:
+        throw std::invalid_argument("reference_run: unsupported layer kind");
     }
     intermediates.push_back(current);
   }

@@ -88,9 +88,13 @@ TEST_P(MpuTest, WrongVnYieldsGarbageNotPlaintext) {
   mpu.write(0, data, 5);
   Bytes out(512);
   const bool ok = mpu.read(0, out, 6);
-  if (ok) EXPECT_NE(out, data);  // without integrity: garbage
+  if (ok) {
+    EXPECT_NE(out, data);  // without integrity: garbage
+  }
   // with integrity: MAC binds the VN, so the read fails outright.
-  if (integrity()) EXPECT_FALSE(ok);
+  if (integrity()) {
+    EXPECT_FALSE(ok);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Modes, MpuTest, ::testing::Bool(),

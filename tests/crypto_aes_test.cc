@@ -59,6 +59,30 @@ TEST(Aes128, DifferentKeysDiverge) {
   EXPECT_NE(a.encrypt(pt), b.encrypt(pt));
 }
 
+// NIST SP 800-38A F.5.1/F.5.2 CTR-AES128 known-answer vector: 4 blocks,
+// initial counter f0f1...feff (increments stay within the low 64 bits, so the
+// standard's 128-bit counter and our low-64 increment agree).
+TEST(AesCtr, Sp80038aF51Vector) {
+  const Aes128 aes(key_from_hex("2b7e151628aed2a6abf7158809cf4f3c"));
+  const AesBlock counter0 =
+      block_from_hex("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff");
+  Bytes data = from_hex(
+      "6bc1bee22e409f96e93d7e117393172a"
+      "ae2d8a571e03ac9c9eb76fac45af8e51"
+      "30c81c46a35ce411e5fbc1191a0a52ef"
+      "f69f2445df4f9b17ad2b417be66c3710");
+  const Bytes plaintext = data;
+  ctr_xcrypt(aes, counter0, data);
+  EXPECT_EQ(to_hex(data),
+            "874d6191b620e3261bef6864990db6ce"
+            "9806f66b7970fdff8617187bb9fffdff"
+            "5ae4df3edbd5d35e5b4f09020db03eab"
+            "1e031dda2fbe03d1792170a0f3009cee");
+  // F.5.2: decryption is the same keystream.
+  ctr_xcrypt(aes, counter0, data);
+  EXPECT_EQ(data, plaintext);
+}
+
 TEST(AesCtr, EncryptIsDecrypt) {
   const Aes128 aes(key_from_hex("2b7e151628aed2a6abf7158809cf4f3c"));
   Bytes data(100);

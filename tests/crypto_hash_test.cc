@@ -28,6 +28,33 @@ TEST(Sha256, KnownVectors) {
             "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
 }
 
+// NIST CAVP SHA256ShortMsg known-answer vectors (byte-oriented suite).
+TEST(Sha256, NistCavpShortMsgVectors) {
+  const struct {
+    const char* msg_hex;
+    const char* digest_hex;
+  } vectors[] = {
+      {"d3", "28969cdfa74a12c82f3bad960b0b000aca2ac329deea5c2328ebc6f2ba9802c1"},
+      {"11af", "5ca7133fa735326081558ac312c620eeca9970d1e70a4b95533d956f072d1f98"},
+      {"bd", "68325720aabd7c82f30f554b313d0570c95accbb7dc4b5aae11204c08ffe732b"},
+      {"c98c8e55",
+       "7abc22c0ae5af26ce93dbb94433a0e0b2e119d014f8e7f65bd56c61ccccd9504"},
+  };
+  for (const auto& v : vectors) {
+    const Bytes msg = from_hex(v.msg_hex);
+    EXPECT_EQ(digest_hex(Sha256::hash(msg)), v.digest_hex) << "msg=" << v.msg_hex;
+  }
+}
+
+// FIPS 180-2 long-message vector: one million 'a' bytes, fed incrementally.
+TEST(Sha256, MillionAVector) {
+  Sha256 h;
+  const Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(digest_hex(h.finalize()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
 TEST(Sha256, IncrementalMatchesOneShot) {
   Xoshiro256 rng(99);
   Bytes data(1000);
@@ -72,6 +99,22 @@ TEST(Hmac, Rfc4231Case2) {
       BytesView(reinterpret_cast<const u8*>(msg.data()), msg.size()));
   EXPECT_EQ(digest_hex(tag),
             "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+// RFC 4231 test case 3 (NIST CAVP-equivalent): 20-byte 0xaa key, 50x 0xdd.
+TEST(Hmac, Rfc4231Case3) {
+  const Bytes key(20, 0xaa);
+  const Bytes msg(50, 0xdd);
+  EXPECT_EQ(digest_hex(hmac_sha256(key, msg)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+// RFC 4231 test case 4: 25-byte incrementing key, 50x 0xcd.
+TEST(Hmac, Rfc4231Case4) {
+  const Bytes key = from_hex("0102030405060708090a0b0c0d0e0f10111213141516171819");
+  const Bytes msg(50, 0xcd);
+  EXPECT_EQ(digest_hex(hmac_sha256(key, msg)),
+            "82558a389a443c0ea4cc819899f2083a85f0faa3e578f8077a2e3ff46729665b");
 }
 
 TEST(Hmac, LongKeyIsHashed) {

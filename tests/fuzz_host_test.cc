@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "common/rng.h"
 #include "host/scheduler.h"
@@ -17,6 +18,17 @@
 
 namespace guardnn::host {
 namespace {
+
+/// Steps per fuzz seed. The default keeps the whole suite around a second so
+/// it runs in tier-1 CI; GUARDNN_FUZZ_STEPS=<n> deepens a local soak run
+/// without touching code (the seeds keep every run deterministic).
+int fuzz_steps() {
+  if (const char* env = std::getenv("GUARDNN_FUZZ_STEPS")) {
+    const int parsed = std::atoi(env);
+    if (parsed > 0) return parsed;
+  }
+  return 120;
+}
 
 using accel::DeviceStatus;
 using accel::ForwardOp;
@@ -100,7 +112,8 @@ TEST_P(InstructionFuzzTest, RandomSequencesNeverLeakPlaintext) {
   ASSERT_TRUE(bench.setup(/*integrity=*/false));
   Xoshiro256 rng(GetParam());
 
-  for (int step = 0; step < 120; ++step) {
+  const int steps = fuzz_steps();
+  for (int step = 0; step < steps; ++step) {
     switch (rng.next_below(5)) {
       case 0: {
         // Random (often nonsensical) forward/backward instruction.

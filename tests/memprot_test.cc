@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include "crypto/aes128.h"
+#include "crypto/mem_mac.h"
 #include "memprot/engine.h"
 #include "memprot/metadata_cache.h"
 #include "memprot/vn_generator.h"
@@ -316,6 +318,60 @@ TEST(Engines, FactoryProducesDistinctSchemes) {
                    Scheme::kGuardNnCI}) {
     EXPECT_EQ(make_engine(s)->scheme(), s);
   }
+}
+
+// --- Wire-format golden values ----------------------------------------------
+//
+// Pins the exact bytes the memory-protection path puts in DRAM for a fixed
+// key, VN sequence, address and plaintext: VN construction (VnGenerator) →
+// AES-CTR ciphertext (per-16B counter = block address ‖ VN) → 64-bit CMAC
+// truncation. Any refactor of VN layout, counter formation, keystream order
+// or MAC truncation changes these strings and must be a deliberate,
+// documented format break — not a silent one.
+TEST(WireFormat, GoldenCiphertextAndMacForFixedVnSequence) {
+  crypto::AesKey key{};
+  for (std::size_t i = 0; i < key.size(); ++i) key[i] = static_cast<u8>(i);
+  const crypto::Aes128 aes(key);
+
+  // Fixed instruction sequence: SetWeight, SetInput, two Forward writes.
+  VnGenerator vn;
+  vn.on_set_weight();
+  vn.on_set_input();
+  vn.on_forward_write();
+  vn.on_forward_write();
+  ASSERT_EQ(vn.weight_vn(), 1u);
+  // CTR_IN = 1 in the high 32 bits, CTR_F,W = 2 in the low 32 bits.
+  ASSERT_EQ(vn.feature_write_vn(), 0x1'0000'0002ULL);
+
+  Bytes plaintext(64);
+  for (std::size_t i = 0; i < plaintext.size(); ++i)
+    plaintext[i] = static_cast<u8>(i * 3 + 1);
+
+  // Feature region at 0x4000'0000 with the feature-write VN.
+  const u64 feature_addr = 0x4000'0000ULL;
+  Bytes feature_ct = plaintext;
+  crypto::memory_xcrypt(aes, feature_addr / crypto::kAesBlockBytes,
+                        vn.feature_write_vn(), feature_ct);
+  EXPECT_EQ(to_hex(feature_ct),
+            "1ffd27e0599ab0b3fc2e751ffc12058f58a6f2be3f3cb306d904a052186c107b"
+            "543b67d6ebde351710053487bb054b82d4dc348dd656bf8f67bcd5935d7c2657");
+  EXPECT_EQ(crypto::memory_mac(aes, feature_addr, vn.feature_write_vn(), feature_ct),
+            0xc402ff96953b7231ULL);
+
+  // Weight region at address 0 with the weight VN.
+  Bytes weight_ct = plaintext;
+  crypto::memory_xcrypt(aes, 0, vn.weight_vn(), weight_ct);
+  EXPECT_EQ(to_hex(weight_ct),
+            "121c9d60e9bb14b869bfb59f1596b2f0bea01e7e71cf0873d00e5d67e0488463"
+            "f530215e711f2a078772c9e0347312de4c32f8bf815d1a7a3662587b86023934");
+  EXPECT_EQ(crypto::memory_mac(aes, 0, vn.weight_vn(), weight_ct),
+            0x1c2fee436b888316ULL);
+
+  // Round-trip sanity: the golden ciphertext decrypts back under the same VN.
+  Bytes decrypted = feature_ct;
+  crypto::memory_xcrypt(aes, feature_addr / crypto::kAesBlockBytes,
+                        vn.feature_write_vn(), decrypted);
+  EXPECT_EQ(decrypted, plaintext);
 }
 
 }  // namespace
