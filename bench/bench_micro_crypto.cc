@@ -31,6 +31,19 @@ void BM_AesBlockEncrypt(benchmark::State& state) {
 }
 BENCHMARK(BM_AesBlockEncrypt);
 
+void BM_AesEncryptBlocks(benchmark::State& state) {
+  const Aes128 aes = bench_aes();
+  const std::size_t n_blocks = static_cast<std::size_t>(state.range(0));
+  Bytes data(n_blocks * kAesBlockBytes);
+  for (auto _ : state) {
+    aes.encrypt_blocks(data.data(), data.data(), n_blocks);
+    benchmark::DoNotOptimize(data);
+  }
+  state.SetBytesProcessed(static_cast<i64>(state.iterations()) *
+                          static_cast<i64>(n_blocks * kAesBlockBytes));
+}
+BENCHMARK(BM_AesEncryptBlocks)->Arg(8)->Arg(64);
+
 void BM_AesCtr(benchmark::State& state) {
   const Aes128 aes = bench_aes();
   Bytes data(static_cast<std::size_t>(state.range(0)));
@@ -41,6 +54,18 @@ void BM_AesCtr(benchmark::State& state) {
   state.SetBytesProcessed(static_cast<i64>(state.iterations()) * state.range(0));
 }
 BENCHMARK(BM_AesCtr)->Arg(512)->Arg(4096)->Arg(65536);
+
+void BM_MemoryXcrypt(benchmark::State& state) {
+  const Aes128 aes = bench_aes();
+  Bytes data(static_cast<std::size_t>(state.range(0)));
+  u64 version = 0;
+  for (auto _ : state) {
+    memory_xcrypt(aes, 0x4000, ++version, data);
+    benchmark::DoNotOptimize(data);
+  }
+  state.SetBytesProcessed(static_cast<i64>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_MemoryXcrypt)->Arg(512)->Arg(65536);
 
 void BM_Sha256(benchmark::State& state) {
   Bytes data(static_cast<std::size_t>(state.range(0)));
@@ -56,17 +81,34 @@ BENCHMARK(BM_Sha256)->Arg(64)->Arg(4096)->Arg(65536);
 
 void BM_MemoryMac512B(benchmark::State& state) {
   const Aes128 aes = bench_aes();
+  const CmacSubkeys subkeys = cmac_derive_subkeys(aes);
   Bytes chunk(512);
   Xoshiro256 rng(2);
   rng.fill(chunk);
   u64 version = 0;
   for (auto _ : state) {
-    const u64 tag = memory_mac(aes, 0x1000, ++version, chunk);
+    const u64 tag = memory_mac(aes, subkeys, 0x1000, ++version, chunk);
     benchmark::DoNotOptimize(tag);
   }
   state.SetBytesProcessed(static_cast<i64>(state.iterations()) * 512);
 }
 BENCHMARK(BM_MemoryMac512B);
+
+void BM_CmacStream(benchmark::State& state) {
+  const Aes128 aes = bench_aes();
+  const CmacSubkeys subkeys = cmac_derive_subkeys(aes);
+  Bytes data(static_cast<std::size_t>(state.range(0)));
+  Xoshiro256 rng(3);
+  rng.fill(data);
+  for (auto _ : state) {
+    CmacState st(aes, subkeys);
+    st.update(data);
+    const AesBlock tag = st.finish();
+    benchmark::DoNotOptimize(tag);
+  }
+  state.SetBytesProcessed(static_cast<i64>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_CmacStream)->Arg(4096);
 
 void BM_EcdsaSign(benchmark::State& state) {
   HmacDrbg drbg(Bytes{1, 2, 3});
@@ -105,4 +147,16 @@ BENCHMARK(BM_EcdhAgreement)->Unit(benchmark::kMillisecond);
 }  // namespace
 }  // namespace guardnn::crypto
 
-BENCHMARK_MAIN();
+// Custom main so the active AES backend lands in the JSON context — the
+// bench-baseline diff needs to know whether numbers came from the T-table or
+// a native backend.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::AddCustomContext(
+      "aes_backend",
+      guardnn::crypto::aes_backend_name(guardnn::crypto::aes_active_backend()));
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -81,12 +81,39 @@ for line in pathlib.Path(manifest).read_text().splitlines():
         entry["stderr"] = stderr
     benches[name] = entry
 
+# Structured crypto throughput (GB/s) pulled out of bench_micro_crypto, so
+# future PRs can diff crypto perf numerically instead of eyeballing stdout.
+def crypto_throughput():
+    entry = benches.get("bench_micro_crypto", {})
+    results = entry.get("results")
+    if not isinstance(results, dict):
+        return None
+    by_name = {r.get("name"): r for r in results.get("benchmarks", [])}
+
+    def gbps(name):
+        bps = by_name.get(name, {}).get("bytes_per_second")
+        return round(bps / 1e9, 4) if bps is not None else None
+
+    out = {
+        "aes_block": gbps("BM_AesBlockEncrypt"),
+        "aes_block_batch64": gbps("BM_AesEncryptBlocks/64"),
+        "aes_ctr": gbps("BM_AesCtr/65536"),
+        "memory_xcrypt": gbps("BM_MemoryXcrypt/65536"),
+        "cmac_512b": gbps("BM_MemoryMac512B"),
+        "sha256": gbps("BM_Sha256/65536"),
+    }
+    backend = results.get("context", {}).get("aes_backend")
+    if backend:
+        out["aes_backend"] = backend
+    return out
+
 doc = {
     "schema": "guardnn-bench-baseline/1",
     "git_commit": git("rev-parse", "HEAD"),
     "git_branch": git("rev-parse", "--abbrev-ref", "HEAD"),
     "bench_count": len(benches),
     "failed": sorted(n for n, e in benches.items() if e["exit_code"] != 0),
+    "crypto_throughput_gbps": crypto_throughput(),
     "benches": benches,
 }
 pathlib.Path(out_json).write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")

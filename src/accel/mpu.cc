@@ -1,5 +1,6 @@
 #include "accel/mpu.h"
 
+#include <cstring>
 #include <stdexcept>
 
 namespace guardnn::accel {
@@ -9,6 +10,7 @@ MemoryProtectionUnit::MemoryProtectionUnit(UntrustedMemory& memory,
                                            const crypto::AesKey& mac_key,
                                            bool integrity_enabled)
     : memory_(memory), enc_(enc_key), mac_(mac_key),
+      mac_subkeys_(crypto::cmac_derive_subkeys(mac_)),
       integrity_enabled_(integrity_enabled) {}
 
 void MemoryProtectionUnit::write(u64 address, BytesView plaintext, u64 version) {
@@ -19,17 +21,23 @@ void MemoryProtectionUnit::write(u64 address, BytesView plaintext, u64 version) 
   if (integrity_enabled_ && address % kChunkBytes != 0)
     throw std::invalid_argument("MPU::write: integrity requires 512 B alignment");
 
-  Bytes ciphertext(plaintext.begin(), plaintext.end());
-  crypto::memory_xcrypt(enc_, address / crypto::kAesBlockBytes, version, ciphertext);
-  memory_.write(address, ciphertext);
   trace_.emplace_back(address, true);
 
-  if (integrity_enabled_) {
-    for (std::size_t off = 0; off < ciphertext.size(); off += kChunkBytes) {
-      const std::size_t n = std::min<std::size_t>(kChunkBytes, ciphertext.size() - off);
-      const u64 chunk_addr = address + off;
-      const u64 tag = crypto::memory_mac(
-          mac_, chunk_addr, version, BytesView(ciphertext.data() + off, n));
+  // Encrypt-then-write one 512 B chunk at a time through a fixed stack
+  // scratch: no heap ciphertext buffer, and the chunk is still hot in cache
+  // when its MAC is computed.
+  u8 scratch[kChunkBytes];
+  for (std::size_t off = 0; off < plaintext.size(); off += kChunkBytes) {
+    const std::size_t n = std::min<std::size_t>(kChunkBytes, plaintext.size() - off);
+    const u64 chunk_addr = address + off;
+    std::memcpy(scratch, plaintext.data() + off, n);
+    crypto::memory_xcrypt(enc_, chunk_addr / crypto::kAesBlockBytes, version,
+                          MutBytesView(scratch, n));
+    memory_.write(chunk_addr, BytesView(scratch, n));
+
+    if (integrity_enabled_) {
+      const u64 tag = crypto::memory_mac(mac_, mac_subkeys_, chunk_addr, version,
+                                         BytesView(scratch, n));
       u8 tag_bytes[8];
       store_be64(tag_bytes, tag);
       memory_.write(mac_slot_address(chunk_addr), BytesView(tag_bytes, 8));
@@ -53,7 +61,7 @@ bool MemoryProtectionUnit::read(u64 address, MutBytesView out, u64 version) {
       const std::size_t n = std::min<std::size_t>(kChunkBytes, out.size() - off);
       const u64 chunk_addr = address + off;
       const u64 expected = crypto::memory_mac(
-          mac_, chunk_addr, version, BytesView(out.data() + off, n));
+          mac_, mac_subkeys_, chunk_addr, version, BytesView(out.data() + off, n));
       u8 stored[8];
       memory_.read(mac_slot_address(chunk_addr), MutBytesView(stored, 8));
       trace_.emplace_back(mac_slot_address(chunk_addr), false);

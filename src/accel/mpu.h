@@ -57,6 +57,9 @@ class MemoryProtectionUnit {
   UntrustedMemory& memory_;
   crypto::Aes128 enc_;
   crypto::Aes128 mac_;
+  /// CMAC subkeys derived once per MAC key and reused for every chunk, so the
+  /// per-chunk MAC costs no subkey re-derivation (and no heap allocation).
+  crypto::CmacSubkeys mac_subkeys_;
   bool integrity_enabled_;
   bool poisoned_ = false;
   std::vector<std::pair<u64, bool>> trace_;

@@ -42,7 +42,7 @@ Bytes from_hex(const std::string& hex) {
 
 void xor_into(MutBytesView dst, BytesView src) {
   if (dst.size() != src.size()) throw std::invalid_argument("xor_into: size mismatch");
-  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] ^= src[i];
+  xor_bytes(dst.data(), src.data(), dst.size());
 }
 
 }  // namespace guardnn

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <span>
 #include <string>
 #include <vector>
@@ -62,6 +63,22 @@ inline void store_be64(u8* p, u64 v) {
 /// Loads a big-endian 64-bit value.
 inline u64 load_be64(const u8* p) {
   return (u64(load_be32(p)) << 32) | load_be32(p + 4);
+}
+
+/// XORs `n` bytes of `src` into `dst`, 8 bytes at a time where possible.
+/// The memcpy-based word loads keep this alias- and alignment-safe while
+/// compiling to plain 64-bit loads/xors/stores.
+inline void xor_bytes(u8* dst, const u8* src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    u64 a;
+    u64 b;
+    std::memcpy(&a, dst + i, 8);
+    std::memcpy(&b, src + i, 8);
+    a ^= b;
+    std::memcpy(dst + i, &a, 8);
+  }
+  for (; i < n; ++i) dst[i] ^= src[i];
 }
 
 /// Constant-time byte comparison; returns true when equal. Used for MAC and

@@ -1,7 +1,14 @@
 #include "crypto/aes128.h"
 
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <stdexcept>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>
+#endif
 
 namespace guardnn::crypto {
 namespace {
@@ -44,7 +51,7 @@ constexpr u8 kInvSbox[256] = {
 
 constexpr u8 kRcon[11] = {0x00, 0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36};
 
-u8 xtime(u8 x) { return static_cast<u8>((x << 1) ^ ((x >> 7) * 0x1b)); }
+constexpr u8 xtime(u8 x) { return static_cast<u8>((x << 1) ^ ((x >> 7) * 0x1b)); }
 
 u8 gf_mul(u8 a, u8 b) {
   u8 result = 0;
@@ -56,29 +63,39 @@ u8 gf_mul(u8 a, u8 b) {
   return result;
 }
 
-}  // namespace
-
-Aes128::Aes128(const AesKey& key) {
-  std::memcpy(round_keys_.data(), key.data(), 16);
-  for (int i = 4; i < 44; ++i) {
-    u8 temp[4];
-    std::memcpy(temp, round_keys_.data() + 4 * (i - 1), 4);
-    if (i % 4 == 0) {
-      // RotWord + SubWord + Rcon.
-      const u8 t0 = temp[0];
-      temp[0] = static_cast<u8>(kSbox[temp[1]] ^ kRcon[i / 4]);
-      temp[1] = kSbox[temp[2]];
-      temp[2] = kSbox[temp[3]];
-      temp[3] = kSbox[t0];
-    }
-    for (int b = 0; b < 4; ++b)
-      round_keys_[4 * i + b] = round_keys_[4 * (i - 4) + b] ^ temp[b];
-  }
+constexpr u32 rotr32(u32 v, int n) {
+  return n == 0 ? v : (v >> n) | (v << (32 - n));
 }
 
-void Aes128::encrypt_block(u8* s) const {
+// T-table for the combined SubBytes+ShiftRows+MixColumns round, one rotation
+// per output byte lane: Te0[x] packs {02·S[x], S[x], S[x], 03·S[x]} MSB-first
+// and Te1..Te3 are byte rotations of it. Generated at compile time from the
+// S-box so there is no magic-number blob to audit.
+constexpr std::array<u32, 256> make_te(int rot) {
+  std::array<u32, 256> t{};
+  for (int i = 0; i < 256; ++i) {
+    const u8 s = kSbox[i];
+    const u8 s2 = xtime(s);
+    const u8 s3 = static_cast<u8>(s2 ^ s);
+    const u32 w = (u32(s2) << 24) | (u32(s) << 16) | (u32(s) << 8) | u32(s3);
+    t[static_cast<std::size_t>(i)] = rotr32(w, 8 * rot);
+  }
+  return t;
+}
+
+constexpr std::array<u32, 256> kTe0 = make_te(0);
+constexpr std::array<u32, 256> kTe1 = make_te(1);
+constexpr std::array<u32, 256> kTe2 = make_te(2);
+constexpr std::array<u32, 256> kTe3 = make_te(3);
+
+// ---------------------------------------------------------------------------
+// Reference backend: the textbook byte-at-a-time rounds. Kept as the
+// correctness anchor every fast path is cross-checked against.
+// ---------------------------------------------------------------------------
+
+void reference_encrypt_one(const u8* rk, u8* s) {
   auto add_round_key = [&](int round) {
-    for (int i = 0; i < 16; ++i) s[i] ^= round_keys_[16 * round + i];
+    for (int i = 0; i < 16; ++i) s[i] ^= rk[16 * round + i];
   };
   auto sub_bytes = [&]() {
     for (int i = 0; i < 16; ++i) s[i] = kSbox[s[i]];
@@ -113,9 +130,245 @@ void Aes128::encrypt_block(u8* s) const {
   add_round_key(10);
 }
 
+void reference_encrypt_blocks(const detail::AesRoundKeys& rk, const u8* in, u8* out,
+                              std::size_t n) {
+  for (std::size_t b = 0; b < n; ++b) {
+    if (out + 16 * b != in + 16 * b)
+      std::memcpy(out + 16 * b, in + 16 * b, 16);
+    reference_encrypt_one(rk.bytes.data(), out + 16 * b);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// T-table backend: 4 table lookups + 4 XORs per column per round. The batch
+// loop interleaves two blocks so the (independent) L1 table loads of one block
+// overlap the XOR chain of the other.
+// ---------------------------------------------------------------------------
+
+inline void tt_round(const u32 s[4], u32 t[4], const u32* rk) {
+  t[0] = kTe0[s[0] >> 24] ^ kTe1[(s[1] >> 16) & 0xff] ^ kTe2[(s[2] >> 8) & 0xff] ^
+         kTe3[s[3] & 0xff] ^ rk[0];
+  t[1] = kTe0[s[1] >> 24] ^ kTe1[(s[2] >> 16) & 0xff] ^ kTe2[(s[3] >> 8) & 0xff] ^
+         kTe3[s[0] & 0xff] ^ rk[1];
+  t[2] = kTe0[s[2] >> 24] ^ kTe1[(s[3] >> 16) & 0xff] ^ kTe2[(s[0] >> 8) & 0xff] ^
+         kTe3[s[1] & 0xff] ^ rk[2];
+  t[3] = kTe0[s[3] >> 24] ^ kTe1[(s[0] >> 16) & 0xff] ^ kTe2[(s[1] >> 8) & 0xff] ^
+         kTe3[s[2] & 0xff] ^ rk[3];
+}
+
+inline void tt_final(const u32 s[4], const u32* rk, u8* out) {
+  for (int c = 0; c < 4; ++c) {
+    const u32 w = (u32(kSbox[s[c] >> 24]) << 24) |
+                  (u32(kSbox[(s[(c + 1) & 3] >> 16) & 0xff]) << 16) |
+                  (u32(kSbox[(s[(c + 2) & 3] >> 8) & 0xff]) << 8) |
+                  u32(kSbox[s[(c + 3) & 3] & 0xff]);
+    store_be32(out + 4 * c, w ^ rk[c]);
+  }
+}
+
+inline void tt_load(const u32* w, const u8* in, u32 s[4]) {
+  for (int c = 0; c < 4; ++c) s[c] = load_be32(in + 4 * c) ^ w[c];
+}
+
+// Encrypts N blocks in lockstep. The (independent) table lookups of the
+// interleaved blocks overlap each other's XOR chains, which is where the
+// throughput over a one-block-at-a-time loop comes from.
+template <int N>
+inline void tt_encrypt_n(const u32* w, const u8* in, u8* out) {
+  u32 s[N][4], t[N][4];
+  for (int i = 0; i < N; ++i) tt_load(w, in + 16 * i, s[i]);
+  // Rounds ping-pong between s and t so no copy sits on the critical path.
+  for (int r = 1; r <= 8; r += 2) {
+    for (int i = 0; i < N; ++i) tt_round(s[i], t[i], w + 4 * r);
+    for (int i = 0; i < N; ++i) tt_round(t[i], s[i], w + 4 * (r + 1));
+  }
+  for (int i = 0; i < N; ++i) tt_round(s[i], t[i], w + 36);
+  for (int i = 0; i < N; ++i) tt_final(t[i], w + 40, out + 16 * i);
+}
+
+void ttable_encrypt_blocks(const detail::AesRoundKeys& rk, const u8* in, u8* out,
+                           std::size_t n) {
+  const u32* w = rk.words.data();
+  while (n >= 2) {
+    tt_encrypt_n<2>(w, in, out);
+    in += 32;
+    out += 32;
+    n -= 2;
+  }
+  while (n > 0) {
+    tt_encrypt_n<1>(w, in, out);
+    in += 16;
+    out += 16;
+    --n;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Backend dispatch. The fastest available backend is selected once at first
+// use; tests and benches can pin a specific one with aes_force_backend().
+// ---------------------------------------------------------------------------
+
+using BatchFn = void (*)(const detail::AesRoundKeys&, const u8*, u8*, std::size_t);
+
+bool cpu_has_aesni() {
+#if (defined(__x86_64__) || defined(__i386__)) && defined(GUARDNN_HAVE_AESNI)
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (!__get_cpuid(1, &eax, &ebx, &ecx, &edx)) return false;
+  return (ecx & (1u << 25)) != 0;  // CPUID.1:ECX.AES
+#else
+  return false;
+#endif
+}
+
+BatchFn backend_fn(Aes128Backend backend) {
+  switch (backend) {
+    case Aes128Backend::kReference: return &reference_encrypt_blocks;
+    case Aes128Backend::kTtable: return &ttable_encrypt_blocks;
+#ifdef GUARDNN_HAVE_AESNI
+    case Aes128Backend::kAesni: return &detail::aesni_encrypt_blocks;
+#endif
+#ifdef GUARDNN_HAVE_ARM_CE
+    case Aes128Backend::kArmCe: return &detail::armce_encrypt_blocks;
+#endif
+    default: return nullptr;
+  }
+}
+
+struct Dispatch {
+  Aes128Backend backend;
+  BatchFn fn;
+};
+
+// One immutable entry per backend; the active selection is a single atomic
+// pointer into this table, so a reader always sees a consistent
+// (backend, fn) pair even if another thread calls aes_force_backend().
+const Dispatch kDispatchTable[] = {
+    {Aes128Backend::kReference, &reference_encrypt_blocks},
+    {Aes128Backend::kTtable, &ttable_encrypt_blocks},
+    {Aes128Backend::kAesni, backend_fn(Aes128Backend::kAesni)},
+    {Aes128Backend::kArmCe, backend_fn(Aes128Backend::kArmCe)},
+};
+
+const Dispatch* dispatch_entry(Aes128Backend backend) {
+  return &kDispatchTable[static_cast<std::size_t>(backend)];
+}
+
+const Dispatch* default_dispatch() {
+  // GUARDNN_AES_BACKEND=reference|ttable|aesni|armce pins the backend for a
+  // whole process (benchmark A/B runs, forcing the portable path on machines
+  // with native support). An unrecognized or unavailable choice falls back
+  // to the default with a warning rather than aborting.
+  if (const char* env = std::getenv("GUARDNN_AES_BACKEND"); env && *env) {
+    for (Aes128Backend b : {Aes128Backend::kReference, Aes128Backend::kTtable,
+                            Aes128Backend::kAesni, Aes128Backend::kArmCe}) {
+      if (std::strcmp(env, aes_backend_name(b)) == 0) {
+        if (aes_backend_available(b)) return dispatch_entry(b);
+        std::fprintf(stderr,
+                     "guardnn: GUARDNN_AES_BACKEND=%s not available on this "
+                     "machine, using default dispatch\n",
+                     env);
+        env = nullptr;
+        break;
+      }
+    }
+    if (env)
+      std::fprintf(stderr,
+                   "guardnn: unrecognized GUARDNN_AES_BACKEND=%s (expected "
+                   "reference|ttable|aesni|armce), using default dispatch\n",
+                   env);
+  }
+#ifdef GUARDNN_HAVE_AESNI
+  if (cpu_has_aesni()) return dispatch_entry(Aes128Backend::kAesni);
+#endif
+#ifdef GUARDNN_HAVE_ARM_CE
+  if (detail::armce_cpu_supported()) return dispatch_entry(Aes128Backend::kArmCe);
+#endif
+  return dispatch_entry(Aes128Backend::kTtable);
+}
+
+std::atomic<const Dispatch*>& active_dispatch() {
+  static std::atomic<const Dispatch*> d{default_dispatch()};
+  return d;
+}
+
+}  // namespace
+
+const char* aes_backend_name(Aes128Backend backend) {
+  switch (backend) {
+    case Aes128Backend::kReference: return "reference";
+    case Aes128Backend::kTtable: return "ttable";
+    case Aes128Backend::kAesni: return "aesni";
+    case Aes128Backend::kArmCe: return "armce";
+  }
+  return "unknown";
+}
+
+bool aes_backend_available(Aes128Backend backend) {
+  switch (backend) {
+    case Aes128Backend::kReference:
+    case Aes128Backend::kTtable:
+      return true;
+    case Aes128Backend::kAesni:
+      return cpu_has_aesni();
+    case Aes128Backend::kArmCe:
+#ifdef GUARDNN_HAVE_ARM_CE
+      return detail::armce_cpu_supported();
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+std::vector<Aes128Backend> aes_available_backends() {
+  std::vector<Aes128Backend> out;
+  for (Aes128Backend b : {Aes128Backend::kReference, Aes128Backend::kTtable,
+                          Aes128Backend::kAesni, Aes128Backend::kArmCe})
+    if (aes_backend_available(b)) out.push_back(b);
+  return out;
+}
+
+Aes128Backend aes_active_backend() {
+  return active_dispatch().load(std::memory_order_relaxed)->backend;
+}
+
+void aes_force_backend(Aes128Backend backend) {
+  if (!aes_backend_available(backend))
+    throw std::invalid_argument(std::string("aes_force_backend: backend not available: ") +
+                                aes_backend_name(backend));
+  active_dispatch().store(dispatch_entry(backend), std::memory_order_relaxed);
+}
+
+Aes128::Aes128(const AesKey& key) {
+  u32* w = rk_.words.data();
+  for (int i = 0; i < 4; ++i) w[i] = load_be32(key.data() + 4 * i);
+  for (int i = 4; i < 44; ++i) {
+    u32 t = w[i - 1];
+    if (i % 4 == 0) {
+      t = (t << 8) | (t >> 24);  // RotWord
+      t = (u32(kSbox[t >> 24]) << 24) | (u32(kSbox[(t >> 16) & 0xff]) << 16) |
+          (u32(kSbox[(t >> 8) & 0xff]) << 8) | u32(kSbox[t & 0xff]);  // SubWord
+      t ^= u32(kRcon[i / 4]) << 24;
+    }
+    w[i] = w[i - 4] ^ t;
+  }
+  for (int i = 0; i < 44; ++i) store_be32(rk_.bytes.data() + 4 * i, w[i]);
+}
+
+void Aes128::encrypt_block(u8* block) const {
+  active_dispatch().load(std::memory_order_relaxed)->fn(rk_, block, block, 1);
+}
+
+void Aes128::encrypt_blocks(const u8* in, u8* out, std::size_t n_blocks) const {
+  active_dispatch().load(std::memory_order_relaxed)->fn(rk_, in, out, n_blocks);
+}
+
 void Aes128::decrypt_block(u8* s) const {
+  // Decryption is off the hot path (CTR and CMAC only ever encrypt); the
+  // textbook inverse rounds are kept for the block-cipher round-trip API.
+  const u8* rk = rk_.bytes.data();
   auto add_round_key = [&](int round) {
-    for (int i = 0; i < 16; ++i) s[i] ^= round_keys_[16 * round + i];
+    for (int i = 0; i < 16; ++i) s[i] ^= rk[16 * round + i];
   };
   auto inv_sub_bytes = [&]() {
     for (int i = 0; i < 16; ++i) s[i] = kInvSbox[s[i]];
@@ -156,17 +409,34 @@ AesBlock make_counter_block(u64 block_address, u64 version_number) {
   return ctr;
 }
 
+namespace {
+
+// Keystream burst size: 64 blocks = 1 KB of stack scratch, enough to keep the
+// 8-wide AES-NI pipeline full while staying cache- and stack-friendly.
+constexpr std::size_t kCtrBurstBlocks = 64;
+
+}  // namespace
+
 void ctr_xcrypt(const Aes128& aes, const AesBlock& counter0, MutBytesView data) {
-  AesBlock counter = counter0;
+  u8 prefix[8];
+  std::memcpy(prefix, counter0.data(), 8);
+  u64 low = load_be64(counter0.data() + 8);
+
+  u8 ks[kCtrBurstBlocks * kAesBlockBytes];
   std::size_t offset = 0;
   while (offset < data.size()) {
-    AesBlock keystream = aes.encrypt(counter);
-    const std::size_t n = std::min(kAesBlockBytes, data.size() - offset);
-    for (std::size_t i = 0; i < n; ++i) data[offset + i] ^= keystream[i];
+    const std::size_t remaining = data.size() - offset;
+    const std::size_t nb =
+        std::min(kCtrBurstBlocks, (remaining + kAesBlockBytes - 1) / kAesBlockBytes);
+    for (std::size_t i = 0; i < nb; ++i) {
+      std::memcpy(ks + 16 * i, prefix, 8);
+      store_be64(ks + 16 * i + 8, low + i);  // low 64 bits wrap mod 2^64
+    }
+    low += nb;
+    aes.encrypt_blocks(ks, ks, nb);
+    const std::size_t n = std::min(remaining, nb * kAesBlockBytes);
+    xor_bytes(data.data() + offset, ks, n);
     offset += n;
-    // Increment the low 64 bits (big-endian) of the counter.
-    u64 low = load_be64(counter.data() + 8);
-    store_be64(counter.data() + 8, low + 1);
   }
 }
 
@@ -175,10 +445,21 @@ void memory_xcrypt(const Aes128& aes, u64 base_block_address, u64 version_number
   if (data.size() % kAesBlockBytes != 0)
     throw std::invalid_argument("memory_xcrypt: size must be a multiple of 16");
   const std::size_t blocks = data.size() / kAesBlockBytes;
-  for (std::size_t b = 0; b < blocks; ++b) {
-    AesBlock keystream = aes.encrypt(make_counter_block(base_block_address + b, version_number));
-    for (std::size_t i = 0; i < kAesBlockBytes; ++i)
-      data[b * kAesBlockBytes + i] ^= keystream[i];
+
+  u8 vn_be[8];
+  store_be64(vn_be, version_number);
+
+  u8 ks[kCtrBurstBlocks * kAesBlockBytes];
+  std::size_t b = 0;
+  while (b < blocks) {
+    const std::size_t nb = std::min(kCtrBurstBlocks, blocks - b);
+    for (std::size_t i = 0; i < nb; ++i) {
+      std::memcpy(ks + 16 * i, vn_be, 8);
+      store_be64(ks + 16 * i + 8, base_block_address + b + i);
+    }
+    aes.encrypt_blocks(ks, ks, nb);
+    xor_bytes(data.data() + b * kAesBlockBytes, ks, nb * kAesBlockBytes);
+    b += nb;
   }
 }
 

@@ -3,10 +3,15 @@
 //
 // The hardware AES engines in GuardNN are pipelined with a 12-cycle latency;
 // this module provides the *functional* behaviour, while the latency model
-// lives in memprot::AesPipelineModel.
+// lives in memprot::AesPipelineModel. The paper's line-rate argument (3 AES
+// engines ≈ 9.6 GB/s, Section III-B) only holds for the functional model if
+// software AES is fast, so the encrypt path is a 32-bit T-table core with
+// runtime dispatch to AES-NI / ARMv8-CE when the build enables them
+// (GUARDNN_NATIVE_CRYPTO) and the CPU supports them.
 #pragma once
 
 #include <array>
+#include <vector>
 
 #include "common/types.h"
 
@@ -18,6 +23,53 @@ inline constexpr std::size_t kAesKeyBytes = 16;
 using AesBlock = std::array<u8, kAesBlockBytes>;
 using AesKey = std::array<u8, kAesKeyBytes>;
 
+namespace detail {
+
+/// Expanded AES-128 key in both layouts the backends want: canonical bytes
+/// (FIPS-197 order, consumed by the scalar reference core and the AES-NI /
+/// ARM-CE intrinsics) and big-endian 32-bit columns (consumed by the T-table
+/// core).
+struct AesRoundKeys {
+  alignas(16) std::array<u8, 176> bytes{};  // 11 round keys x 16 bytes
+  std::array<u32, 44> words{};              // same keys as big-endian columns
+};
+
+// Native fast paths, defined in aes128_ni.cc / aes128_ce.cc when
+// GUARDNN_NATIVE_CRYPTO compiles them in; only called after the runtime CPU
+// check passes.
+void aesni_encrypt_blocks(const AesRoundKeys& rk, const u8* in, u8* out,
+                          std::size_t n_blocks);
+void armce_encrypt_blocks(const AesRoundKeys& rk, const u8* in, u8* out,
+                          std::size_t n_blocks);
+bool armce_cpu_supported();
+
+}  // namespace detail
+
+/// Software implementations of the AES encrypt core, selectable at runtime.
+enum class Aes128Backend : u8 {
+  kReference,  ///< Byte-at-a-time textbook rounds; always built, correctness anchor.
+  kTtable,     ///< 32-bit T-table core; always built, portable fast path.
+  kAesni,      ///< x86 AES-NI, 8-wide pipelined; built under GUARDNN_NATIVE_CRYPTO.
+  kArmCe,      ///< ARMv8 Crypto Extensions; built under GUARDNN_NATIVE_CRYPTO.
+};
+
+/// Human-readable backend name ("reference", "ttable", "aesni", "armce").
+const char* aes_backend_name(Aes128Backend backend);
+
+/// True when `backend` is compiled in *and* the CPU supports it.
+bool aes_backend_available(Aes128Backend backend);
+
+/// Every backend usable on this machine, reference first.
+std::vector<Aes128Backend> aes_available_backends();
+
+/// Backend the dispatcher currently routes encrypt calls to. Defaults to the
+/// fastest available (native > T-table).
+Aes128Backend aes_active_backend();
+
+/// Forces a specific backend (tests / benchmarking). Throws
+/// std::invalid_argument when the backend is not available on this machine.
+void aes_force_backend(Aes128Backend backend);
+
 /// AES-128 with precomputed round keys. Copyable value type.
 class Aes128 {
  public:
@@ -27,6 +79,18 @@ class Aes128 {
   void encrypt_block(u8* block) const;
   /// Decrypts one 16-byte block in place.
   void decrypt_block(u8* block) const;
+
+  /// Encrypts `n_blocks` consecutive 16-byte blocks from `in` to `out`
+  /// (in == out allowed). The batch form is what feeds the pipelined AES-NI
+  /// path real ILP; the CTR and CMAC layers are built on it.
+  void encrypt_blocks(const u8* in, u8* out, std::size_t n_blocks) const;
+  void encrypt_blocks(const AesBlock* in, AesBlock* out, std::size_t n_blocks) const {
+    // AesBlock is std::array<u8,16>: contiguous, so the array of blocks is a
+    // flat byte range (reinterpreting as u8* keeps pointer arithmetic across
+    // block boundaries valid).
+    encrypt_blocks(reinterpret_cast<const u8*>(in), reinterpret_cast<u8*>(out),
+                   n_blocks);
+  }
 
   AesBlock encrypt(const AesBlock& in) const {
     AesBlock out = in;
@@ -40,8 +104,7 @@ class Aes128 {
   }
 
  private:
-  // 11 round keys x 16 bytes.
-  std::array<u8, 176> round_keys_{};
+  detail::AesRoundKeys rk_;
 };
 
 /// Counter block layout used by GuardNN's memory encryption: the 128-bit
@@ -51,7 +114,9 @@ AesBlock make_counter_block(u64 block_address, u64 version_number);
 
 /// AES-CTR keystream XOR: encrypt == decrypt. `counter0` is the first counter
 /// block; subsequent blocks increment the low 64 bits (the VN field is held
-/// in the high half by callers that follow the GuardNN layout).
+/// in the high half by callers that follow the GuardNN layout). The keystream
+/// for a burst is generated through the batch encrypt path and XORed
+/// word-wise.
 void ctr_xcrypt(const Aes128& aes, const AesBlock& counter0, MutBytesView data);
 
 /// GuardNN-style memory-block encryption: every 16-byte AES block inside

@@ -1,0 +1,75 @@
+// ARMv8 Crypto Extensions backend, compiled with -march=armv8-a+crypto under
+// GUARDNN_NATIVE_CRYPTO.
+//
+// AESE folds AddRoundKey *before* SubBytes/ShiftRows, so the round structure
+// is: 9x (AESE + AESMC) with round keys 0..8, then AESE with key 9 and a
+// final EOR with key 10. The dispatcher only routes here after the HWCAP AES
+// check passes.
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+#if defined(__linux__)
+#include <sys/auxv.h>
+#ifndef HWCAP_AES
+#define HWCAP_AES (1 << 3)
+#endif
+#endif
+
+#include "crypto/aes128.h"
+
+namespace guardnn::crypto::detail {
+namespace {
+
+inline uint8x16_t encrypt_one(uint8x16_t b, const uint8x16_t k[11]) {
+  for (int r = 0; r <= 8; ++r) b = vaesmcq_u8(vaeseq_u8(b, k[r]));
+  return veorq_u8(vaeseq_u8(b, k[9]), k[10]);
+}
+
+}  // namespace
+
+bool armce_cpu_supported() {
+#if defined(__linux__)
+  return (getauxval(AT_HWCAP) & HWCAP_AES) != 0;
+#elif defined(__APPLE__)
+  return true;  // every Apple Silicon core has the crypto extensions
+#else
+  return false;
+#endif
+}
+
+void armce_encrypt_blocks(const AesRoundKeys& rk, const u8* in, u8* out,
+                          std::size_t n_blocks) {
+  uint8x16_t k[11];
+  for (int i = 0; i < 11; ++i) k[i] = vld1q_u8(rk.bytes.data() + 16 * i);
+
+  while (n_blocks >= 4) {
+    uint8x16_t b0 = vld1q_u8(in + 0);
+    uint8x16_t b1 = vld1q_u8(in + 16);
+    uint8x16_t b2 = vld1q_u8(in + 32);
+    uint8x16_t b3 = vld1q_u8(in + 48);
+    for (int r = 0; r <= 8; ++r) {
+      b0 = vaesmcq_u8(vaeseq_u8(b0, k[r]));
+      b1 = vaesmcq_u8(vaeseq_u8(b1, k[r]));
+      b2 = vaesmcq_u8(vaeseq_u8(b2, k[r]));
+      b3 = vaesmcq_u8(vaeseq_u8(b3, k[r]));
+    }
+    vst1q_u8(out + 0, veorq_u8(vaeseq_u8(b0, k[9]), k[10]));
+    vst1q_u8(out + 16, veorq_u8(vaeseq_u8(b1, k[9]), k[10]));
+    vst1q_u8(out + 32, veorq_u8(vaeseq_u8(b2, k[9]), k[10]));
+    vst1q_u8(out + 48, veorq_u8(vaeseq_u8(b3, k[9]), k[10]));
+    in += 64;
+    out += 64;
+    n_blocks -= 4;
+  }
+  while (n_blocks > 0) {
+    vst1q_u8(out, encrypt_one(vld1q_u8(in), k));
+    in += 16;
+    out += 16;
+    --n_blocks;
+  }
+}
+
+}  // namespace guardnn::crypto::detail
+
+#endif  // __aarch64__

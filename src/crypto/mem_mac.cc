@@ -18,47 +18,96 @@ AesBlock gf_double(const AesBlock& in) {
   return out;
 }
 
+inline void xor_block(AesBlock& dst, const u8* src) {
+  xor_bytes(dst.data(), src, kAesBlockBytes);
+}
+
 }  // namespace
 
-AesBlock cmac_aes128(const Aes128& aes, BytesView message) {
+CmacSubkeys cmac_derive_subkeys(const Aes128& aes) {
   AesBlock zero{};
   const AesBlock l = aes.encrypt(zero);
-  const AesBlock k1 = gf_double(l);
-  const AesBlock k2 = gf_double(k1);
+  CmacSubkeys sk;
+  sk.k1 = gf_double(l);
+  sk.k2 = gf_double(sk.k1);
+  return sk;
+}
 
-  const std::size_t n_blocks =
-      message.empty() ? 1 : (message.size() + kAesBlockBytes - 1) / kAesBlockBytes;
-  const bool last_complete = !message.empty() && message.size() % kAesBlockBytes == 0;
+void CmacState::update(BytesView data) {
+  const u8* p = data.data();
+  std::size_t n = data.size();
+  if (n == 0) return;
 
-  AesBlock x{};
-  for (std::size_t b = 0; b + 1 < n_blocks; ++b) {
-    for (std::size_t i = 0; i < kAesBlockBytes; ++i)
-      x[i] ^= message[b * kAesBlockBytes + i];
-    x = aes.encrypt(x);
+  // Drain the pending buffer first. A full buffer is only processed once we
+  // know more data follows (the final block gets K1/K2 treatment instead).
+  if (buf_len_ > 0) {
+    if (buf_len_ == kAesBlockBytes) {
+      xor_block(x_, buf_.data());
+      aes_->encrypt_block(x_.data());
+      buf_len_ = 0;
+    } else {
+      const std::size_t take = std::min(kAesBlockBytes - buf_len_, n);
+      std::memcpy(buf_.data() + buf_len_, p, take);
+      buf_len_ += take;
+      p += take;
+      n -= take;
+      if (n == 0) return;
+      // More data follows, so the now-full buffer is an interior block.
+      xor_block(x_, buf_.data());
+      aes_->encrypt_block(x_.data());
+      buf_len_ = 0;
+    }
   }
 
-  AesBlock last{};
-  const std::size_t tail_offset = (n_blocks - 1) * kAesBlockBytes;
-  const std::size_t tail_len = message.size() - tail_offset;
-  if (last_complete) {
-    for (std::size_t i = 0; i < kAesBlockBytes; ++i)
-      last[i] = static_cast<u8>(message[tail_offset + i] ^ k1[i]);
+  // Bulk interior blocks straight from the input — strictly more than one
+  // block must remain so the candidate final block stays buffered.
+  while (n > kAesBlockBytes) {
+    xor_block(x_, p);
+    aes_->encrypt_block(x_.data());
+    p += kAesBlockBytes;
+    n -= kAesBlockBytes;
+  }
+
+  std::memcpy(buf_.data(), p, n);
+  buf_len_ = n;
+}
+
+AesBlock CmacState::finish() {
+  AesBlock last;
+  if (buf_len_ == kAesBlockBytes) {
+    last = buf_;
+    xor_block(last, subkeys_.k1.data());
   } else {
-    for (std::size_t i = 0; i < tail_len; ++i) last[i] = message[tail_offset + i];
-    last[tail_len] = 0x80;
-    for (std::size_t i = 0; i < kAesBlockBytes; ++i) last[i] ^= k2[i];
+    last.fill(0);
+    std::memcpy(last.data(), buf_.data(), buf_len_);
+    last[buf_len_] = 0x80;
+    xor_block(last, subkeys_.k2.data());
   }
-  for (std::size_t i = 0; i < kAesBlockBytes; ++i) x[i] ^= last[i];
-  return aes.encrypt(x);
+  xor_block(x_, last.data());
+  aes_->encrypt_block(x_.data());
+  return x_;
+}
+
+AesBlock cmac_aes128(const Aes128& aes, BytesView message) {
+  CmacState state(aes);
+  state.update(message);
+  return state.finish();
+}
+
+u64 memory_mac(const Aes128& aes, const CmacSubkeys& subkeys, u64 address,
+               u64 version, BytesView data) {
+  CmacState state(aes, subkeys);
+  u8 header[16];
+  store_be64(header, address);
+  store_be64(header + 8, version);
+  state.update(BytesView(header, 16));
+  state.update(data);
+  const AesBlock tag = state.finish();
+  return load_be64(tag.data());
 }
 
 u64 memory_mac(const Aes128& aes, u64 address, u64 version, BytesView data) {
-  Bytes message(16 + data.size());
-  store_be64(message.data(), address);
-  store_be64(message.data() + 8, version);
-  std::memcpy(message.data() + 16, data.data(), data.size());
-  const AesBlock tag = cmac_aes128(aes, message);
-  return load_be64(tag.data());
+  return memory_mac(aes, cmac_derive_subkeys(aes), address, version, data);
 }
 
 }  // namespace guardnn::crypto

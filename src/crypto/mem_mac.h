@@ -9,12 +9,56 @@
 
 namespace guardnn::crypto {
 
+/// CMAC subkeys K1/K2 (RFC 4493 step 1). Deriving them costs one AES block
+/// encryption, so callers that MAC many chunks under one key (the MPU, the
+/// integrity engines) derive once and reuse.
+struct CmacSubkeys {
+  AesBlock k1{};
+  AesBlock k2{};
+};
+
+CmacSubkeys cmac_derive_subkeys(const Aes128& aes);
+
+/// Streaming AES-CMAC (RFC 4493): init / update / finish with zero heap
+/// allocation. `aes` must outlive the state. update() may be called any
+/// number of times with arbitrary split points; finish() applies the K1/K2
+/// last-block treatment and returns the full 128-bit tag.
+class CmacState {
+ public:
+  CmacState(const Aes128& aes, const CmacSubkeys& subkeys)
+      : aes_(&aes), subkeys_(subkeys) {}
+  explicit CmacState(const Aes128& aes)
+      : CmacState(aes, cmac_derive_subkeys(aes)) {}
+
+  void update(BytesView data);
+  /// Finalises and returns the tag. The state is consumed; call reset() to
+  /// start a new message under the same key.
+  AesBlock finish();
+  void reset() {
+    x_.fill(0);
+    buf_len_ = 0;
+  }
+
+ private:
+  const Aes128* aes_;
+  CmacSubkeys subkeys_;
+  AesBlock x_{};    // running CBC-MAC state
+  AesBlock buf_{};  // pending bytes; a full buffer is held back until more
+                    // data arrives (the last block needs K1/K2 treatment)
+  std::size_t buf_len_ = 0;
+};
+
 /// AES-CMAC per RFC 4493, producing the full 128-bit tag.
 AesBlock cmac_aes128(const Aes128& aes, BytesView message);
 
-/// Memory MAC: 64-bit tag over (address || version || data).
-/// GuardNN_CI stores one such tag per protection chunk (512 B by default);
-/// the Intel-MEE baseline stores one per 64 B block.
+/// Memory MAC: 64-bit tag over (address || version || data), computed with
+/// zero heap allocation. GuardNN_CI stores one such tag per protection chunk
+/// (512 B by default); the Intel-MEE baseline stores one per 64 B block.
 u64 memory_mac(const Aes128& aes, u64 address, u64 version, BytesView data);
+
+/// Same, with the CMAC subkeys already derived (hot path: the MPU caches the
+/// subkeys and reuses them across every chunk of a burst).
+u64 memory_mac(const Aes128& aes, const CmacSubkeys& subkeys, u64 address,
+               u64 version, BytesView data);
 
 }  // namespace guardnn::crypto

@@ -85,7 +85,6 @@ class GuardNnCIEngine final : public ProtectionEngine {
     out.extra_latency_cycles = static_cast<u64>(2 * cfg_.aes_latency_cycles);
 
     const u64 chunk = cfg_.mac_chunk_bytes;
-    const u64 macs_per_line = 64 / 8;  // 8 B MAC each
     const u64 chunks = (stream.bytes + chunk - 1) / chunk;
     if (stream.random) {
       const u64 footprint_chunks = std::max<u64>(1, stream.footprint_bytes / chunk);
@@ -98,7 +97,6 @@ class GuardNnCIEngine final : public ProtectionEngine {
       for (u64 i = 0; i < chunks; ++i)
         touch_mac(first_chunk + i, stream.write, out);
     }
-    (void)macs_per_line;
     return out;
   }
 
@@ -176,9 +174,8 @@ class BaselineMeeEngine final : public ProtectionEngine {
     // Counter-tree walk on VN miss: climb until a level hits in the cache or
     // the level is small enough to live on-chip.
     if (!vn.hit) {
-      const u64 vn_granules_per_line2 = vn_blocks_per_line_ / 8;
-      u64 index = granule_index / vn_granules_per_line2;
-      u64 level_nodes = footprint_granules / vn_granules_per_line2 + 1;
+      u64 index = granule_index / vn_granules_per_line;
+      u64 level_nodes = footprint_granules / vn_granules_per_line + 1;
       int level = 1;
       while (true) {
         index /= static_cast<u64>(cfg_.tree_arity);
