@@ -1,0 +1,216 @@
+// Serving-layer throughput/latency bench: requests/s and p50/p99 latency of
+// the multi-tenant InferenceServer as the worker pool / device fleet scales.
+//
+// The functional device model computes in microseconds on the host CPU, but
+// the modeled accelerator+MicroBlaze time (LatencyAccumulator) is the
+// *hardware* time — the server's emulate_device_latency mode sleeps it off
+// while holding the device's busy lock, so this bench measures serving-layer
+// scheduling (queueing, batching, fleet overlap) against realistic device
+// occupancy rather than simulation CPU time. A latency scale >1 widens the
+// gap between device time and simulation CPU time so scheduling effects
+// dominate on small CI machines.
+//
+// The last stdout line is machine-readable:
+//   ##GUARDNN_BENCH_JSON## {"bench":"serving_throughput","configs":[...]}
+// scripts/run_benches.sh lifts it into BENCH_BASELINE.json as the
+// `serving_throughput` block.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "serving/inference_server.h"
+
+namespace {
+
+using namespace guardnn;
+using host::FuncLayer;
+using host::FuncNetwork;
+using serving::InferenceResult;
+using serving::InferenceServer;
+using serving::RequestOutcome;
+using serving::ServerConfig;
+
+constexpr std::size_t kTenants = 8;
+constexpr std::size_t kRequestsPerTenant = 32;
+constexpr std::size_t kAsyncWindow = 4;
+constexpr double kLatencyScale = 8.0;
+
+Bytes random_weights(std::size_t n, u64 seed) {
+  Xoshiro256 rng(seed);
+  Bytes out(n);
+  for (auto& b : out)
+    b = static_cast<u8>(static_cast<i8>(static_cast<int>(rng.next_below(256)) - 128));
+  return out;
+}
+
+FuncNetwork bench_net(u64 seed) {
+  FuncNetwork net;
+  net.in_c = 3;
+  net.in_h = 8;
+  net.in_w = 8;
+  net.layers.push_back(FuncLayer{accel::ForwardOp::Kind::kConv, 4, 3, 1, 1, 4,
+                                 random_weights(4 * 3 * 3 * 3, seed)});
+  net.layers.push_back(FuncLayer{accel::ForwardOp::Kind::kRelu, 0, 0, 1, 0, 0, {}});
+  net.layers.push_back(FuncLayer{accel::ForwardOp::Kind::kMaxPool, 0, 2, 2, 0, 0, {}});
+  net.layers.push_back(FuncLayer{accel::ForwardOp::Kind::kFc, 10, 0, 1, 0, 5,
+                                 random_weights(10 * 4 * 4 * 4, seed + 1)});
+  return net;
+}
+
+struct ConfigResult {
+  std::size_t workers = 0;
+  std::size_t devices = 0;
+  double wall_s = 0;
+  double req_per_s = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  u64 batches = 0;
+};
+
+double percentile(std::vector<double>& values, double p) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  const std::size_t index = std::min(
+      values.size() - 1,
+      static_cast<std::size_t>(p * static_cast<double>(values.size() - 1)));
+  return values[index];
+}
+
+ConfigResult run_config(std::size_t workers, std::size_t devices) {
+  crypto::HmacDrbg ca_drbg(Bytes{0xb1});
+  crypto::ManufacturerCa ca(ca_drbg);
+  ServerConfig config;
+  config.num_devices = devices;
+  config.num_workers = workers;
+  config.emulate_device_latency = true;
+  config.device_latency_scale = kLatencyScale;
+  InferenceServer server(ca, config, Bytes{0xb2, 0xb3});
+
+  struct Client {
+    std::unique_ptr<host::RemoteUser> user;
+    serving::TenantId tenant = 0;
+  };
+  std::vector<Client> clients(kTenants);
+  const FuncNetwork net = bench_net(17);
+  const serving::ModelHandle model = server.register_model(net);
+  for (std::size_t i = 0; i < kTenants; ++i) {
+    Client& client = clients[i];
+    client.user = std::make_unique<host::RemoteUser>(
+        ca.public_key(), Bytes{static_cast<u8>(0xc0 + i)});
+    const crypto::AffinePoint share = client.user->begin_session();
+    const auto connected = server.connect(share, /*integrity=*/true);
+    if (connected.tenant == 0 ||
+        !client.user->attest_device(server.get_pk(connected.device_index)) ||
+        !client.user->complete_session(connected.response)) {
+      std::fprintf(stderr, "connect failed for tenant %zu\n", i);
+      std::exit(1);
+    }
+    client.tenant = connected.tenant;
+    if (server.load_model(client.tenant, model,
+                          client.user->seal(model.plan->weight_blob)) !=
+        accel::DeviceStatus::kOk) {
+      std::fprintf(stderr, "load_model failed for tenant %zu\n", i);
+      std::exit(1);
+    }
+  }
+
+  const Bytes input(static_cast<std::size_t>(net.in_c) * net.in_h * net.in_w, 0x2a);
+  std::vector<std::vector<double>> latencies(kTenants);
+  const auto start = std::chrono::steady_clock::now();
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kTenants);
+    for (std::size_t i = 0; i < kTenants; ++i) {
+      threads.emplace_back([&, i] {
+        Client& client = clients[i];
+        std::vector<std::future<InferenceResult>> window;
+        auto drain_one = [&] {
+          InferenceResult result = window.front().get();
+          window.erase(window.begin());
+          if (result.outcome != RequestOutcome::kOk) {
+            std::fprintf(stderr, "request failed: %s\n",
+                         serving::outcome_name(result.outcome));
+            std::exit(1);
+          }
+          latencies[i].push_back(result.queue_ms + result.service_ms);
+        };
+        for (std::size_t r = 0; r < kRequestsPerTenant; ++r) {
+          window.push_back(
+              server.submit_async(client.tenant, client.user->seal(input)));
+          if (window.size() >= kAsyncWindow) drain_one();
+        }
+        while (!window.empty()) drain_one();
+      });
+    }
+    for (auto& thread : threads) thread.join();
+  }
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  std::vector<double> all_latencies;
+  for (auto& per_tenant : latencies)
+    all_latencies.insert(all_latencies.end(), per_tenant.begin(), per_tenant.end());
+
+  ConfigResult result;
+  result.workers = workers;
+  result.devices = devices;
+  result.wall_s = wall_s;
+  result.req_per_s =
+      static_cast<double>(kTenants * kRequestsPerTenant) / wall_s;
+  result.p50_ms = percentile(all_latencies, 0.50);
+  result.p99_ms = percentile(all_latencies, 0.99);
+  result.batches = server.stats().batches;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Serving throughput: tenants x workers x device fleet ===\n");
+  std::printf("workload: %zu tenants x %zu requests, async window %zu, "
+              "device-latency scale %.1f\n\n",
+              kTenants, kRequestsPerTenant, kAsyncWindow, kLatencyScale);
+  std::printf("%8s %8s %10s %10s %9s %9s %8s\n", "workers", "devices", "wall_s",
+              "req/s", "p50_ms", "p99_ms", "batches");
+
+  const std::pair<std::size_t, std::size_t> sweep[] = {
+      {1, 1}, {1, 4}, {2, 4}, {4, 4}};
+  std::vector<ConfigResult> results;
+  for (const auto& [workers, devices] : sweep) {
+    const ConfigResult r = run_config(workers, devices);
+    results.push_back(r);
+    std::printf("%8zu %8zu %10.2f %10.1f %9.2f %9.2f %8llu\n", r.workers,
+                r.devices, r.wall_s, r.req_per_s, r.p50_ms, r.p99_ms,
+                static_cast<unsigned long long>(r.batches));
+  }
+
+  // Worker-pool scaling on the same 4-device fleet: 4 workers vs 1 worker.
+  const double single = results[1].req_per_s;   // 1 worker, 4 devices
+  const double multi = results.back().req_per_s;  // 4 workers, 4 devices
+  const double speedup = single > 0 ? multi / single : 0;
+  std::printf("\nmulti-worker speedup (4w/4d vs 1w/4d): %.2fx\n", speedup);
+
+  std::string json = "{\"bench\":\"serving_throughput\",\"tenants\":" +
+                     std::to_string(kTenants) + ",\"requests_per_tenant\":" +
+                     std::to_string(kRequestsPerTenant) +
+                     ",\"latency_scale\":" + std::to_string(kLatencyScale) +
+                     ",\"speedup_multi_vs_single_worker\":" +
+                     std::to_string(speedup) + ",\"configs\":[";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const ConfigResult& r = results[i];
+    if (i) json += ",";
+    json += "{\"workers\":" + std::to_string(r.workers) +
+            ",\"devices\":" + std::to_string(r.devices) +
+            ",\"req_per_s\":" + std::to_string(r.req_per_s) +
+            ",\"p50_ms\":" + std::to_string(r.p50_ms) +
+            ",\"p99_ms\":" + std::to_string(r.p99_ms) + "}";
+  }
+  json += "]}";
+  std::printf("##GUARDNN_BENCH_JSON## %s\n", json.c_str());
+  return 0;
+}

@@ -1,7 +1,8 @@
 # GuardNN build helpers: per-layer libraries, test registration, benches.
 #
 # Every target in the tree funnels through guardnn_apply_build_flags() so the
-# warning set and the GUARDNN_SANITIZE=ON (ASan+UBSan) wiring stay in one place.
+# warning set and the GUARDNN_SANITIZE wiring (ON/ASAN = ASan+UBSan,
+# TSAN = ThreadSanitizer) stay in one place.
 
 include_guard(GLOBAL)
 
@@ -12,9 +13,15 @@ function(guardnn_apply_build_flags target)
     target_compile_options(${target} PRIVATE -Werror)
   endif()
   if(GUARDNN_SANITIZE)
+    string(TOUPPER "${GUARDNN_SANITIZE}" _guardnn_san)
+    if(_guardnn_san STREQUAL "TSAN")
+      set(_guardnn_san_flags -fsanitize=thread)
+    else()  # ON / ASAN / any other truthy value: the historical default
+      set(_guardnn_san_flags -fsanitize=address,undefined)
+    endif()
     target_compile_options(${target} PRIVATE
-      -fsanitize=address,undefined -fno-omit-frame-pointer -fno-sanitize-recover=all)
-    target_link_options(${target} PRIVATE -fsanitize=address,undefined)
+      ${_guardnn_san_flags} -fno-omit-frame-pointer -fno-sanitize-recover=all)
+    target_link_options(${target} PRIVATE ${_guardnn_san_flags})
   endif()
 endfunction()
 
@@ -52,6 +59,9 @@ function(guardnn_add_test name)
   add_executable(${name} ${name}.cc)
   target_link_libraries(${name} PRIVATE ${ARG_LIBS} GTest::gtest GTest::gtest_main)
   guardnn_apply_build_flags(${name})
+  # NOTE: gtest_discover_tests cannot forward a multi-value LABELS list to
+  # set_tests_properties (the list separator is flattened en route), so each
+  # suite carries exactly one label.
   gtest_discover_tests(${name}
     PROPERTIES LABELS "${ARG_LABELS}" TIMEOUT ${ARG_TIMEOUT}
     DISCOVERY_TIMEOUT 120)

@@ -115,10 +115,13 @@ int main() {
               user.verify_attestation(report) ? "yes" : "NO");
 
   // 6. Adversary now flips one bit of ciphertext; the next session's read
-  // fails integrity verification and the device refuses to continue.
-  if (!user.complete_session(device.init_session(user.begin_session(), true)))
-    return 1;
-  host::HostScheduler fresh_scheduler(device);
+  // fails integrity verification and the device refuses to continue. The
+  // fresh session lives in its own session-table slot — and therefore its
+  // own DRAM partition, which is where the adversary strikes.
+  const accel::InitSessionResponse second =
+      device.init_session(user.begin_session(), true);
+  if (!user.complete_session(second)) return 1;
+  host::HostScheduler fresh_scheduler(device, second.session_id);
   if (device.set_weight(user.seal(plan.weight_blob), plan.weight_base) !=
       accel::DeviceStatus::kOk)
     return 1;
@@ -126,7 +129,9 @@ int main() {
       accel::DeviceStatus::kOk)
     return 1;
   fresh_scheduler.note_input();
-  dram.tamper(plan.weight_addrs[0] + 3, 0x04);
+  dram.tamper(accel::GuardNnDevice::partition_base(second.session_id) +
+                  plan.weight_addrs[0] + 3,
+              0x04);
   const accel::DeviceStatus tampered = fresh_scheduler.execute(plan);
   std::printf("[device] execution after DRAM tampering: %s\n",
               tampered == accel::DeviceStatus::kIntegrityFailure

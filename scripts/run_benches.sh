@@ -107,6 +107,19 @@ def crypto_throughput():
         out["aes_backend"] = backend
     return out
 
+# Structured serving throughput pulled out of bench_serving_throughput's
+# ##GUARDNN_BENCH_JSON## marker line (req/s, p50/p99 ms per workers x devices
+# config, plus the multi-worker speedup the acceptance gate tracks).
+def serving_throughput():
+    entry = benches.get("bench_serving_throughput", {})
+    for line in entry.get("stdout", "").splitlines():
+        if line.startswith("##GUARDNN_BENCH_JSON## "):
+            try:
+                return json.loads(line.split(" ", 1)[1])
+            except json.JSONDecodeError:
+                return None
+    return None
+
 doc = {
     "schema": "guardnn-bench-baseline/1",
     "git_commit": git("rev-parse", "HEAD"),
@@ -114,6 +127,7 @@ doc = {
     "bench_count": len(benches),
     "failed": sorted(n for n, e in benches.items() if e["exit_code"] != 0),
     "crypto_throughput_gbps": crypto_throughput(),
+    "serving_throughput": serving_throughput(),
     "benches": benches,
 }
 pathlib.Path(out_json).write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")

@@ -26,6 +26,28 @@ crypto::Sha256Digest SignOutputResponse::report_digest() const {
   return hasher.finalize();
 }
 
+void GuardNnDevice::Session::zeroize() {
+  secure_zero(keys.enc_key.data(), keys.enc_key.size());
+  secure_zero(keys.mac_key.data(), keys.mac_key.size());
+  from_user.zeroize();
+  to_user.zeroize();
+  mpu.zeroize();
+  vn.reset();
+  secure_zero(input_hash.data(), input_hash.size());
+  secure_zero(weight_hash.data(), weight_hash.size());
+  secure_zero(output_hash.data(), output_hash.size());
+  chain.reset();
+  dead = true;
+}
+
+bool GuardNnDevice::Session::zeroized() const {
+  for (u8 b : keys.enc_key)
+    if (b != 0) return false;
+  for (u8 b : keys.mac_key)
+    if (b != 0) return false;
+  return from_user.zeroized() && to_user.zeroized() && mpu.zeroized();
+}
+
 GuardNnDevice::GuardNnDevice(std::string device_id, const crypto::ManufacturerCa& ca,
                              UntrustedMemory& memory, BytesView entropy)
     : device_id_(std::move(device_id)),
@@ -35,13 +57,31 @@ GuardNnDevice::GuardNnDevice(std::string device_id, const crypto::ManufacturerCa
       memory_(memory) {}
 
 GetPkResponse GuardNnDevice::get_pk() {
+  std::lock_guard<std::mutex> lock(mu_);
   latency_.add_command();
   return GetPkResponse{identity_.public_key, certificate_};
 }
 
 InitSessionResponse GuardNnDevice::init_session(
     const crypto::AffinePoint& user_ephemeral, bool integrity) {
+  std::lock_guard<std::mutex> lock(mu_);
   latency_.add_key_exchange();
+
+  InitSessionResponse response;
+
+  // Find a free slot; a closed slot's zeroized husk is reclaimed here.
+  std::size_t slot_index = kMaxSessions;
+  for (std::size_t i = 0; i < kMaxSessions; ++i) {
+    if (!slots_[i].active) {
+      slot_index = i;
+      break;
+    }
+  }
+  if (slot_index == kMaxSessions) {
+    response.status = DeviceStatus::kNoResources;
+    return response;
+  }
+  Slot& slot = slots_[slot_index];
 
   // Fresh ephemeral share and transcript-bound session keys.
   const crypto::EcdhKeyPair ephemeral = crypto::ecdh_generate_key(drbg_);
@@ -55,83 +95,148 @@ InitSessionResponse GuardNnDevice::init_session(
   const crypto::AesKey mem_enc_key = key_from_bytes(drbg_.generate(16));
   const crypto::AesKey mem_mac_key = key_from_bytes(drbg_.generate(16));
 
-  // Clear all state: counters, hashes, session keys (paper: InitSession
-  // "clears all states ... resets all counters to zero").
-  vn_.reset();
-  session_.emplace(Session{
+  // All per-session state starts from zero: counters, hashes, channel
+  // sequence numbers (paper: InitSession "clears all states ... resets all
+  // counters to zero" — here scoped to the slot being opened).
+  slot.generation += 1;
+  slot.active = true;
+  slot.session = std::make_unique<Session>(Session{
       keys,
       crypto::ChannelReceiver(keys),
       crypto::ChannelSender(keys),
       MemoryProtectionUnit(memory_, mem_enc_key, mem_mac_key, integrity),
+      memprot::VnGenerator{},
+      slot_index * kSessionDramBytes,
       {}, {}, {}, AttestationChain{}, false});
-  session_->chain.reset();
+  slot.session->chain.reset();
+
+  const SessionId sid = make_id(slot_index, slot.generation);
+  current_session_.store(sid, std::memory_order_relaxed);
 
   // Sign (user share || device share) with the certified identity key.
   Bytes transcript = crypto::encode_point(user_ephemeral);
   const Bytes device_share = crypto::encode_point(ephemeral.public_key);
   transcript.insert(transcript.end(), device_share.begin(), device_share.end());
-  InitSessionResponse response;
+  response.status = DeviceStatus::kOk;
+  response.session_id = sid;
   response.device_ephemeral = ephemeral.public_key;
   response.signature = crypto::ecdsa_sign(identity_.private_key, transcript);
   return response;
 }
 
-DeviceStatus GuardNnDevice::import_region(const crypto::SealedRecord& record,
-                                          u64 addr, u64 vn,
-                                          crypto::Sha256Digest& data_hash,
-                                          Opcode op) {
-  if (!session_) return DeviceStatus::kNoSession;
-  if (session_->dead) return DeviceStatus::kIntegrityFailure;
-  auto plaintext = session_->from_user.open(record);
+DeviceStatus GuardNnDevice::close_session(SessionId sid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Session* session = find_session(sid);
+  if (!session) return DeviceStatus::kNoSession;
+  latency_.add_command();
+  session->zeroize();
+  slots_[sid & 0xff].active = false;  // husk stays until the slot is reused
+  return DeviceStatus::kOk;
+}
+
+GuardNnDevice::Session* GuardNnDevice::find_session(SessionId sid) {
+  const std::size_t slot_index = sid & 0xff;
+  if (sid == kInvalidSession || slot_index >= kMaxSessions) return nullptr;
+  Slot& slot = slots_[slot_index];
+  if (!slot.active || !slot.session) return nullptr;
+  if (make_id(slot_index, slot.generation) != sid) return nullptr;  // stale
+  return slot.session.get();
+}
+
+const GuardNnDevice::Session* GuardNnDevice::find_session(SessionId sid) const {
+  return const_cast<GuardNnDevice*>(this)->find_session(sid);
+}
+
+bool GuardNnDevice::translate(const Session& s, u64 addr, u64 bytes, u64& phys) {
+  if (addr >= kSessionDramBytes || bytes > kSessionDramBytes - addr) return false;
+  phys = s.dram_base + addr;
+  return true;
+}
+
+DeviceStatus GuardNnDevice::import_region(Session& s,
+                                          const crypto::SealedRecord& record,
+                                          u64 addr, Opcode op) {
+  if (s.dead) return DeviceStatus::kIntegrityFailure;
+  auto plaintext = s.from_user.open(record);
   if (!plaintext) return DeviceStatus::kBadRecord;
   if (plaintext->empty()) return DeviceStatus::kBadOperand;
 
+  u64 phys = 0;
+  if (!translate(s, addr, pad_region(plaintext->size()), phys))
+    return DeviceStatus::kBadOperand;
+
+  // Every check passed — only now advance the session counter, so a
+  // malicious host cannot desync an honest session's VNs by replaying
+  // unauthentic records at it.
+  crypto::Sha256Digest* data_hash;
+  u64 vn;
+  if (op == Opcode::kSetWeight) {
+    s.vn.on_set_weight();
+    vn = s.vn.weight_vn();
+    data_hash = &s.weight_hash;
+  } else {
+    s.vn.on_set_input();
+    vn = s.vn.feature_write_vn();
+    data_hash = &s.input_hash;
+  }
+
   // Hash the imported data for remote attestation.
-  data_hash = crypto::Sha256::hash(*plaintext);
+  *data_hash = crypto::Sha256::hash(*plaintext);
 
   // Pad to an AES-block multiple and store through the MPU.
   plaintext->resize(pad_region(plaintext->size()), 0);
-  session_->mpu.write(addr, *plaintext, vn);
+  s.mpu.write(phys, *plaintext, vn);
   latency_.add_import(plaintext->size());
 
   u8 addr_bytes[8];
   store_be64(addr_bytes, addr);
-  session_->chain.absorb(op, BytesView(addr_bytes, 8));
+  s.chain.absorb(op, BytesView(addr_bytes, 8));
   return DeviceStatus::kOk;
 }
 
-DeviceStatus GuardNnDevice::set_weight(const crypto::SealedRecord& record,
+DeviceStatus GuardNnDevice::set_weight(SessionId sid,
+                                       const crypto::SealedRecord& record,
                                        u64 weight_addr) {
-  if (!session_) return DeviceStatus::kNoSession;
-  vn_.on_set_weight();
-  return import_region(record, weight_addr, vn_.weight_vn(),
-                       session_->weight_hash, Opcode::kSetWeight);
+  std::lock_guard<std::mutex> lock(mu_);
+  Session* s = find_session(sid);
+  if (!s) return DeviceStatus::kNoSession;
+  return import_region(*s, record, weight_addr, Opcode::kSetWeight);
 }
 
-DeviceStatus GuardNnDevice::set_input(const crypto::SealedRecord& record,
+DeviceStatus GuardNnDevice::set_input(SessionId sid,
+                                      const crypto::SealedRecord& record,
                                       u64 input_addr) {
-  if (!session_) return DeviceStatus::kNoSession;
-  vn_.on_set_input();
-  return import_region(record, input_addr, vn_.feature_write_vn(),
-                       session_->input_hash, Opcode::kSetInput);
+  std::lock_guard<std::mutex> lock(mu_);
+  Session* s = find_session(sid);
+  if (!s) return DeviceStatus::kNoSession;
+  return import_region(*s, record, input_addr, Opcode::kSetInput);
 }
 
-DeviceStatus GuardNnDevice::set_read_ctr(u64 base, u64 bytes, u64 vn) {
-  if (!session_) return DeviceStatus::kNoSession;
+DeviceStatus GuardNnDevice::set_read_ctr(SessionId sid, u64 base, u64 bytes,
+                                         u64 vn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Session* s = find_session(sid);
+  if (!s) return DeviceStatus::kNoSession;
   latency_.add_command();
-  vn_.set_read_ctr(base, bytes, vn);
+  s->vn.set_read_ctr(base, bytes, vn);
   // SetReadCTR is *not* hashed into the attestation chain: it only affects
   // decryption and carries no integrity obligation (Section II-E).
   return DeviceStatus::kOk;
 }
 
-DeviceStatus GuardNnDevice::forward(const ForwardOp& op) {
+DeviceStatus GuardNnDevice::forward(SessionId sid, const ForwardOp& op) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Session* s = find_session(sid);
+  if (!s) return DeviceStatus::kNoSession;
+  return forward_locked(*s, op);
+}
+
+DeviceStatus GuardNnDevice::forward_locked(Session& s, const ForwardOp& op) {
   using functional::ConvWeights;
   using functional::FcWeights;
   using functional::Tensor;
 
-  if (!session_) return DeviceStatus::kNoSession;
-  if (session_->dead) return DeviceStatus::kIntegrityFailure;
+  if (s.dead) return DeviceStatus::kIntegrityFailure;
   if (op.in_c <= 0 || op.in_h <= 0 || op.in_w <= 0) return DeviceStatus::kBadOperand;
   if (op.bits != 6 && op.bits != 8) return DeviceStatus::kBadOperand;
   latency_.add_command();
@@ -143,19 +248,23 @@ DeviceStatus GuardNnDevice::forward(const ForwardOp& op) {
   if (op.kind == ForwardOp::Kind::kSgdUpdate) {
     const u64 elems = static_cast<u64>(op.in_c) * op.in_h * op.in_w;
     const u64 span = pad_region(elems);
+    u64 weight_phys = 0, grad_phys = 0;
+    if (!translate(s, op.weight_addr, span, weight_phys) ||
+        !translate(s, op.input_addr, span, grad_phys))
+      return DeviceStatus::kBadOperand;
     Bytes weights(span);
-    if (!session_->mpu.read(op.weight_addr, weights, vn_.weight_vn())) {
-      session_->dead = true;
+    if (!s.mpu.read(weight_phys, weights, s.vn.weight_vn())) {
+      s.dead = true;
       return DeviceStatus::kIntegrityFailure;
     }
     Bytes grads(span);
     for (u64 off = 0; off < span; off += MemoryProtectionUnit::kChunkBytes) {
-      const u64 chunk_vn = vn_.feature_read_vn(op.input_addr + off).value_or(0);
-      if (!session_->mpu.read(op.input_addr + off,
-                              MutBytesView(grads.data() + off,
-                                           MemoryProtectionUnit::kChunkBytes),
-                              chunk_vn)) {
-        session_->dead = true;
+      const u64 chunk_vn = s.vn.feature_read_vn(op.input_addr + off).value_or(0);
+      if (!s.mpu.read(grad_phys + off,
+                      MutBytesView(grads.data() + off,
+                                   MemoryProtectionUnit::kChunkBytes),
+                      chunk_vn)) {
+        s.dead = true;
         return DeviceStatus::kIntegrityFailure;
       }
     }
@@ -164,25 +273,58 @@ DeviceStatus GuardNnDevice::forward(const ForwardOp& op) {
     functional::sgd_update(w, g, op.requant_shift, op.bits);
     Bytes updated(reinterpret_cast<const u8*>(w.data()),
                   reinterpret_cast<const u8*>(w.data()) + w.size());
-    vn_.on_set_weight();
-    session_->mpu.write(op.weight_addr, updated, vn_.weight_vn());
-    session_->chain.absorb(Opcode::kForward, op.serialize());
+    s.vn.on_set_weight();
+    s.mpu.write(weight_phys, updated, s.vn.weight_vn());
+    s.chain.absorb(Opcode::kForward, op.serialize());
     return DeviceStatus::kOk;
   }
 
   // Read the input with the host-supplied read counter; a missing or wrong
   // value decrypts to garbage but never leaks (Section II-D.2).
-  const u64 input_vn = vn_.feature_read_vn(op.input_addr).value_or(0);
+  const u64 input_vn = s.vn.feature_read_vn(op.input_addr).value_or(0);
   Tensor input(op.in_c, op.in_h, op.in_w, op.bits);
   {
     Bytes buffer(pad_region(input.size()));
-    if (!session_->mpu.read(op.input_addr, buffer, input_vn)) {
-      session_->dead = true;
+    u64 phys = 0;
+    if (!translate(s, op.input_addr, buffer.size(), phys))
+      return DeviceStatus::kBadOperand;
+    if (!s.mpu.read(phys, buffer, input_vn)) {
+      s.dead = true;
       return DeviceStatus::kIntegrityFailure;
     }
     std::copy(buffer.begin(), buffer.begin() + static_cast<long>(input.size()),
               reinterpret_cast<u8*>(input.data().data()));
   }
+
+  // Reads a weight blob of `size` bytes through the MPU into `dst`.
+  enum class ReadResult : u8 { kOk, kBadOperand, kIntegrity };
+  auto read_weights = [&](u64 addr, std::size_t size, i8* dst) {
+    Bytes buffer(pad_region(size));
+    u64 phys = 0;
+    if (!translate(s, addr, buffer.size(), phys)) return ReadResult::kBadOperand;
+    if (!s.mpu.read(phys, buffer, s.vn.weight_vn())) return ReadResult::kIntegrity;
+    std::copy(buffer.begin(), buffer.begin() + static_cast<long>(size),
+              reinterpret_cast<u8*>(dst));
+    return ReadResult::kOk;
+  };
+  // Reads a second feature operand with its host-supplied read counter.
+  auto read_feature2 = [&](u64 addr, std::size_t size, i8* dst) {
+    Bytes buffer(pad_region(size));
+    u64 phys = 0;
+    if (!translate(s, addr, buffer.size(), phys)) return ReadResult::kBadOperand;
+    const u64 vn2 = s.vn.feature_read_vn(addr).value_or(0);
+    if (!s.mpu.read(phys, buffer, vn2)) return ReadResult::kIntegrity;
+    std::copy(buffer.begin(), buffer.begin() + static_cast<long>(size),
+              reinterpret_cast<u8*>(dst));
+    return ReadResult::kOk;
+  };
+  auto fail = [&](ReadResult r) {
+    if (r == ReadResult::kIntegrity) {
+      s.dead = true;
+      return DeviceStatus::kIntegrityFailure;
+    }
+    return DeviceStatus::kBadOperand;
+  };
 
   Tensor result;
   std::vector<i8> fc_result;
@@ -197,14 +339,10 @@ DeviceStatus GuardNnDevice::forward(const ForwardOp& op) {
     case ForwardOp::Kind::kConv: {
       if (op.out_c <= 0 || op.kernel <= 0) return DeviceStatus::kBadOperand;
       ConvWeights weights(op.out_c, op.in_c, op.kernel, op.bits);
-      Bytes buffer(pad_region(weights.data.size()));
-      const u64 wvn = vn_.weight_vn();
-      if (!session_->mpu.read(op.weight_addr, buffer, wvn)) {
-        session_->dead = true;
-        return DeviceStatus::kIntegrityFailure;
-      }
-      std::copy(buffer.begin(), buffer.begin() + static_cast<long>(weights.data.size()),
-                reinterpret_cast<u8*>(weights.data.data()));
+      if (auto r = read_weights(op.weight_addr, weights.data.size(),
+                                weights.data.data());
+          r != ReadResult::kOk)
+        return fail(r);
       result = functional::conv2d_gemm(input, weights, op.stride, op.pad,
                                        op.requant_shift);
       break;
@@ -213,14 +351,10 @@ DeviceStatus GuardNnDevice::forward(const ForwardOp& op) {
       if (op.out_c <= 0) return DeviceStatus::kBadOperand;
       const int in_features = op.in_c * op.in_h * op.in_w;
       FcWeights weights(op.out_c, in_features, op.bits);
-      Bytes buffer(pad_region(weights.data.size()));
-      const u64 wvn = vn_.weight_vn();
-      if (!session_->mpu.read(op.weight_addr, buffer, wvn)) {
-        session_->dead = true;
-        return DeviceStatus::kIntegrityFailure;
-      }
-      std::copy(buffer.begin(), buffer.begin() + static_cast<long>(weights.data.size()),
-                reinterpret_cast<u8*>(weights.data.data()));
+      if (auto r = read_weights(op.weight_addr, weights.data.size(),
+                                weights.data.data());
+          r != ReadResult::kOk)
+        return fail(r);
       std::vector<i8> flat(input.data().begin(), input.data().end());
       fc_result = functional::fully_connected(flat, weights, op.requant_shift, op.bits);
       is_fc = true;
@@ -240,14 +374,10 @@ DeviceStatus GuardNnDevice::forward(const ForwardOp& op) {
     case ForwardOp::Kind::kDepthwiseConv: {
       if (op.kernel <= 0) return DeviceStatus::kBadOperand;
       ConvWeights weights(op.in_c, 1, op.kernel, op.bits);
-      Bytes buffer(pad_region(weights.data.size()));
-      const u64 wvn = vn_.weight_vn();
-      if (!session_->mpu.read(op.weight_addr, buffer, wvn)) {
-        session_->dead = true;
-        return DeviceStatus::kIntegrityFailure;
-      }
-      std::copy(buffer.begin(), buffer.begin() + static_cast<long>(weights.data.size()),
-                reinterpret_cast<u8*>(weights.data.data()));
+      if (auto r = read_weights(op.weight_addr, weights.data.size(),
+                                weights.data.data());
+          r != ReadResult::kOk)
+        return fail(r);
       result = functional::depthwise_conv2d(input, weights, op.stride, op.pad,
                                             op.requant_shift);
       break;
@@ -255,14 +385,10 @@ DeviceStatus GuardNnDevice::forward(const ForwardOp& op) {
     case ForwardOp::Kind::kAdd: {
       // Second operand: same geometry, host-supplied read counter.
       Tensor second(op.in_c, op.in_h, op.in_w, op.bits);
-      const u64 vn2 = vn_.feature_read_vn(op.input2_addr).value_or(0);
-      Bytes buffer(pad_region(second.size()));
-      if (!session_->mpu.read(op.input2_addr, buffer, vn2)) {
-        session_->dead = true;
-        return DeviceStatus::kIntegrityFailure;
-      }
-      std::copy(buffer.begin(), buffer.begin() + static_cast<long>(second.size()),
-                reinterpret_cast<u8*>(second.data().data()));
+      if (auto r = read_feature2(op.input2_addr, second.size(),
+                                 second.data().data());
+          r != ReadResult::kOk)
+        return fail(r);
       result = functional::tensor_add(input, second);
       break;
     }
@@ -273,13 +399,10 @@ DeviceStatus GuardNnDevice::forward(const ForwardOp& op) {
       const int in_features = op.aux_c * op.aux_h * op.aux_w;
       const int out_features = op.in_c * op.in_h * op.in_w;
       FcWeights weights(out_features, in_features, op.bits);
-      Bytes buffer(pad_region(weights.data.size()));
-      if (!session_->mpu.read(op.weight_addr, buffer, vn_.weight_vn())) {
-        session_->dead = true;
-        return DeviceStatus::kIntegrityFailure;
-      }
-      std::copy(buffer.begin(), buffer.begin() + static_cast<long>(weights.data.size()),
-                reinterpret_cast<u8*>(weights.data.data()));
+      if (auto r = read_weights(op.weight_addr, weights.data.size(),
+                                weights.data.data());
+          r != ReadResult::kOk)
+        return fail(r);
       const std::vector<i8> d_out(input.data().begin(), input.data().end());
       const std::vector<i8> d_in = functional::fc_backward_input(
           d_out, weights, op.requant_shift, op.bits);
@@ -292,14 +415,9 @@ DeviceStatus GuardNnDevice::forward(const ForwardOp& op) {
       if (op.aux_c <= 0 || op.aux_h <= 0 || op.aux_w <= 0)
         return DeviceStatus::kBadOperand;
       Tensor x(op.aux_c, op.aux_h, op.aux_w, op.bits);
-      const u64 vn2 = vn_.feature_read_vn(op.input2_addr).value_or(0);
-      Bytes buffer(pad_region(x.size()));
-      if (!session_->mpu.read(op.input2_addr, buffer, vn2)) {
-        session_->dead = true;
-        return DeviceStatus::kIntegrityFailure;
-      }
-      std::copy(buffer.begin(), buffer.begin() + static_cast<long>(x.size()),
-                reinterpret_cast<u8*>(x.data().data()));
+      if (auto r = read_feature2(op.input2_addr, x.size(), x.data().data());
+          r != ReadResult::kOk)
+        return fail(r);
       const std::vector<i8> d_out(input.data().begin(), input.data().end());
       const std::vector<i8> flat_x(x.data().begin(), x.data().end());
       const FcWeights grads = functional::fc_backward_weights(
@@ -313,13 +431,10 @@ DeviceStatus GuardNnDevice::forward(const ForwardOp& op) {
       if (op.aux_c <= 0 || op.aux_h <= 0 || op.aux_w <= 0 || op.kernel <= 0)
         return DeviceStatus::kBadOperand;
       ConvWeights weights(op.in_c, op.aux_c, op.kernel, op.bits);
-      Bytes buffer(pad_region(weights.data.size()));
-      if (!session_->mpu.read(op.weight_addr, buffer, vn_.weight_vn())) {
-        session_->dead = true;
-        return DeviceStatus::kIntegrityFailure;
-      }
-      std::copy(buffer.begin(), buffer.begin() + static_cast<long>(weights.data.size()),
-                reinterpret_cast<u8*>(weights.data.data()));
+      if (auto r = read_weights(op.weight_addr, weights.data.size(),
+                                weights.data.data());
+          r != ReadResult::kOk)
+        return fail(r);
       result = functional::conv2d_backward_input(input, weights, op.aux_h,
                                                  op.aux_w, op.stride, op.pad,
                                                  op.requant_shift);
@@ -330,14 +445,9 @@ DeviceStatus GuardNnDevice::forward(const ForwardOp& op) {
       if (op.aux_c <= 0 || op.aux_h <= 0 || op.aux_w <= 0 || op.kernel <= 0)
         return DeviceStatus::kBadOperand;
       Tensor x(op.aux_c, op.aux_h, op.aux_w, op.bits);
-      const u64 vn2 = vn_.feature_read_vn(op.input2_addr).value_or(0);
-      Bytes buffer(pad_region(x.size()));
-      if (!session_->mpu.read(op.input2_addr, buffer, vn2)) {
-        session_->dead = true;
-        return DeviceStatus::kIntegrityFailure;
-      }
-      std::copy(buffer.begin(), buffer.begin() + static_cast<long>(x.size()),
-                reinterpret_cast<u8*>(x.data().data()));
+      if (auto r = read_feature2(op.input2_addr, x.size(), x.data().data());
+          r != ReadResult::kOk)
+        return fail(r);
       const ConvWeights grads = functional::conv2d_backward_weights(
           input, x, op.kernel, op.stride, op.pad, op.requant_shift);
       result = Tensor(1, 1, static_cast<int>(grads.data.size()), op.bits);
@@ -350,14 +460,9 @@ DeviceStatus GuardNnDevice::forward(const ForwardOp& op) {
       if (op.aux_c <= 0 || op.aux_h <= 0 || op.aux_w <= 0)
         return DeviceStatus::kBadOperand;
       Tensor x(op.aux_c, op.aux_h, op.aux_w, op.bits);
-      const u64 vn2 = vn_.feature_read_vn(op.input2_addr).value_or(0);
-      Bytes buffer(pad_region(x.size()));
-      if (!session_->mpu.read(op.input2_addr, buffer, vn2)) {
-        session_->dead = true;
-        return DeviceStatus::kIntegrityFailure;
-      }
-      std::copy(buffer.begin(), buffer.begin() + static_cast<long>(x.size()),
-                reinterpret_cast<u8*>(x.data().data()));
+      if (auto r = read_feature2(op.input2_addr, x.size(), x.data().data());
+          r != ReadResult::kOk)
+        return fail(r);
       result = op.kind == ForwardOp::Kind::kReluDx
                    ? functional::relu_backward(input, x)
                    : functional::maxpool_backward(input, x, op.kernel, op.stride);
@@ -373,65 +478,120 @@ DeviceStatus GuardNnDevice::forward(const ForwardOp& op) {
   }
 
   // Write the output with the on-chip feature-write VN, then advance CTR_F,W.
-  const u64 out_vn = vn_.feature_write_vn();
+  const u64 out_vn = s.vn.feature_write_vn();
+  const std::size_t out_size = is_fc ? fc_result.size() : result.size();
+  Bytes buffer(pad_region(out_size), 0);
   if (is_fc) {
-    Bytes buffer(pad_region(fc_result.size()), 0);
     std::copy(fc_result.begin(), fc_result.end(),
               reinterpret_cast<i8*>(buffer.data()));
-    session_->mpu.write(op.output_addr, buffer, out_vn);
   } else {
-    Bytes buffer(pad_region(result.size()), 0);
     std::copy(result.data().begin(), result.data().end(),
               reinterpret_cast<i8*>(buffer.data()));
-    session_->mpu.write(op.output_addr, buffer, out_vn);
   }
-  vn_.on_forward_write();
+  u64 out_phys = 0;
+  if (!translate(s, op.output_addr, buffer.size(), out_phys))
+    return DeviceStatus::kBadOperand;
+  s.mpu.write(out_phys, buffer, out_vn);
+  s.vn.on_forward_write();
 
-  session_->chain.absorb(Opcode::kForward, op.serialize());
+  s.chain.absorb(Opcode::kForward, op.serialize());
   return DeviceStatus::kOk;
 }
 
-DeviceStatus GuardNnDevice::export_output(u64 addr, u64 bytes,
+DeviceStatus GuardNnDevice::export_output(SessionId sid, u64 addr, u64 bytes,
                                           crypto::SealedRecord& out) {
-  if (!session_) return DeviceStatus::kNoSession;
-  if (session_->dead) return DeviceStatus::kIntegrityFailure;
-  if (bytes == 0) return DeviceStatus::kBadOperand;
+  std::lock_guard<std::mutex> lock(mu_);
+  Session* s = find_session(sid);
+  if (!s) return DeviceStatus::kNoSession;
+  if (s->dead) return DeviceStatus::kIntegrityFailure;
+  // The partition-size cap also keeps pad_region() below: a near-2^64 byte
+  // count would wrap the rounding arithmetic and bypass translate().
+  if (bytes == 0 || bytes > kSessionDramBytes) return DeviceStatus::kBadOperand;
   latency_.add_command();
 
-  const u64 vn = vn_.feature_read_vn(addr).value_or(0);
+  u64 phys = 0;
+  if (!translate(*s, addr, pad_region(bytes), phys))
+    return DeviceStatus::kBadOperand;
+  const u64 vn = s->vn.feature_read_vn(addr).value_or(0);
   Bytes plaintext(pad_region(bytes));
-  if (!session_->mpu.read(addr, plaintext, vn)) {
-    session_->dead = true;
+  if (!s->mpu.read(phys, plaintext, vn)) {
+    s->dead = true;
     return DeviceStatus::kIntegrityFailure;
   }
   plaintext.resize(bytes);
-  session_->output_hash = crypto::Sha256::hash(plaintext);
-  out = session_->to_user.seal(plaintext);
+  s->output_hash = crypto::Sha256::hash(plaintext);
+  out = s->to_user.seal(plaintext);
 
   u8 operand[16];
   store_be64(operand, addr);
   store_be64(operand + 8, bytes);
-  session_->chain.absorb(Opcode::kExportOutput, BytesView(operand, 16));
+  s->chain.absorb(Opcode::kExportOutput, BytesView(operand, 16));
   return DeviceStatus::kOk;
 }
 
-DeviceStatus GuardNnDevice::sign_output(SignOutputResponse& out) {
-  if (!session_) return DeviceStatus::kNoSession;
-  if (session_->dead) return DeviceStatus::kIntegrityFailure;
+DeviceStatus GuardNnDevice::sign_output(SessionId sid, SignOutputResponse& out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Session* s = find_session(sid);
+  if (!s) return DeviceStatus::kNoSession;
+  if (s->dead) return DeviceStatus::kIntegrityFailure;
   latency_.add_sign();
 
-  out.input_hash = session_->input_hash;
-  out.weight_hash = session_->weight_hash;
-  out.output_hash = session_->output_hash;
-  out.instruction_hash = session_->chain.value();
+  out.input_hash = s->input_hash;
+  out.weight_hash = s->weight_hash;
+  out.output_hash = s->output_hash;
+  out.instruction_hash = s->chain.value();
   out.signature =
       crypto::ecdsa_sign_digest(identity_.private_key, out.report_digest());
   return DeviceStatus::kOk;
 }
 
-const std::vector<std::pair<u64, bool>>& GuardNnDevice::access_trace() const {
+bool GuardNnDevice::session_active(SessionId sid) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return find_session(sid) != nullptr;
+}
+
+std::size_t GuardNnDevice::session_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const Slot& slot : slots_)
+    if (slot.active) ++n;
+  return n;
+}
+
+bool GuardNnDevice::integrity_enabled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Session* s = find_session(current_session());
+  return s && s->mpu.integrity_enabled();
+}
+
+const memprot::VnGenerator& GuardNnDevice::vn_generator(SessionId sid) const {
+  static const memprot::VnGenerator empty;
+  std::lock_guard<std::mutex> lock(mu_);
+  const Session* s = find_session(sid);
+  return s ? s->vn : empty;
+}
+
+const std::vector<std::pair<u64, bool>>& GuardNnDevice::access_trace(
+    SessionId sid) const {
   static const std::vector<std::pair<u64, bool>> empty;
-  return session_ ? session_->mpu.access_trace() : empty;
+  std::lock_guard<std::mutex> lock(mu_);
+  const Session* s = find_session(sid);
+  return s ? s->mpu.access_trace() : empty;
+}
+
+bool GuardNnDevice::slot_zeroized(std::size_t slot) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (slot >= kMaxSessions) return true;
+  const Slot& entry = slots_[slot];
+  if (!entry.session) return true;
+  return entry.session->zeroized();
+}
+
+bool GuardNnDevice::slot_keys_live(std::size_t slot) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (slot >= kMaxSessions) return false;
+  const Slot& entry = slots_[slot];
+  return entry.active && entry.session && !entry.session->zeroized();
 }
 
 }  // namespace guardnn::accel

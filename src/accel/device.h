@@ -1,18 +1,40 @@
-// The GuardNN secure accelerator device (Figure 1).
+// The GuardNN secure accelerator device (Figure 1), multi-tenant.
 //
 // Trusted boundary: everything inside this class. The device holds the
 // per-device identity key (SK_Accel, certified by the manufacturer CA), a
-// DRBG standing in for the TRNG, the on-chip counters of the VN generator,
-// the attestation hash chain, and — per session — the ECDHE-derived session
-// keys and a fresh random memory-encryption key (K_MEnc).
+// DRBG standing in for the TRNG, and a fixed-capacity *session table*. Each
+// entry owns everything one tenant's session needs: the ECDHE-derived channel
+// keys, a fresh per-session memory-encryption key (K_MEnc / K_MMac), its own
+// on-chip VN counters, its own attestation hash chain, and a disjoint DRAM
+// partition. InitSession allocates a slot and returns its SessionId; every
+// other instruction takes the SessionId as its first operand; CloseSession
+// wipes the slot's key material in place (the zeroed husk stays in the slot
+// SRAM until it is reused, exactly like a hardware session table).
+//
+// Isolation argument: sessions never share symmetric keys (fresh K_MEnc,
+// K_MMac, channel keys per slot), never share VN counters (per-slot
+// VnGenerator), and never share off-chip addresses (the device translates
+// each session's addresses into a disjoint physical partition, and the MAC
+// binds the *physical* address). A record sealed for session A replayed into
+// session B fails B's channel MAC; ciphertext copied between partitions fails
+// the memory MAC; a stale SessionId (closed, or closed-then-reused slot)
+// fails the generation check and answers kNoSession.
 //
 // Untrusted: the UntrustedMemory it is attached to, and every caller. The
 // public methods *are* the instruction set; by construction none of them
-// returns plaintext secrets, so any instruction sequence preserves
-// confidentiality (Section II-B "Small TCB").
+// returns plaintext secrets, so any instruction sequence — from any mix of
+// tenants — preserves confidentiality (Section II-B "Small TCB").
+//
+// Thread safety: every instruction entry point takes the device mutex, so a
+// multi-threaded host may drive different sessions concurrently; the device
+// executes one instruction at a time (like the hardware). Introspection
+// methods that return references are for single-threaded trusted-side tests.
 #pragma once
 
-#include <optional>
+#include <array>
+#include <atomic>
+#include <memory>
+#include <mutex>
 #include <string>
 
 #include "accel/isa.h"
@@ -27,15 +49,36 @@
 
 namespace guardnn::accel {
 
+/// Opaque session handle: (generation << 8) | slot. The generation is bumped
+/// every time a slot is (re)opened, so handles from closed sessions — even
+/// after the slot is reused — never validate again. 0 is never a valid id.
+using SessionId = u64;
+inline constexpr SessionId kInvalidSession = 0;
+
 /// GetPK response: the device public key and its manufacturer certificate.
 struct GetPkResponse {
   crypto::AffinePoint public_key;
   crypto::DeviceCertificate certificate;
 };
 
-/// InitSession response: the device's ephemeral ECDH share, signed together
-/// with the user's share by SK_Accel (ECDHE-ECDSA, MITM-resistant).
+/// Error codes surfaced to the (untrusted) host. Deliberately coarse: no
+/// error reveals secret-dependent information.
+enum class DeviceStatus : u8 {
+  kOk,
+  kNoSession,        ///< Unknown, closed, or stale SessionId.
+  kBadRecord,        ///< Secure-channel authentication failed.
+  kIntegrityFailure, ///< Off-chip integrity verification failed; session dead.
+  kBadOperand,
+  kNoResources,      ///< Session table full (InitSession).
+};
+
+/// InitSession response: the allocated SessionId plus the device's ephemeral
+/// ECDH share, signed together with the user's share by SK_Accel
+/// (ECDHE-ECDSA, MITM-resistant). When `status != kOk` no session was
+/// created and the other fields are meaningless.
 struct InitSessionResponse {
+  DeviceStatus status = DeviceStatus::kOk;
+  SessionId session_id = kInvalidSession;
   crypto::AffinePoint device_ephemeral;
   crypto::EcdsaSignature signature;  ///< over (user_pub || device_pub)
 };
@@ -52,18 +95,16 @@ struct SignOutputResponse {
   crypto::Sha256Digest report_digest() const;
 };
 
-/// Error codes surfaced to the (untrusted) host. Deliberately coarse: no
-/// error reveals secret-dependent information.
-enum class DeviceStatus : u8 {
-  kOk,
-  kNoSession,
-  kBadRecord,        ///< Secure-channel authentication failed.
-  kIntegrityFailure, ///< Off-chip integrity verification failed; session dead.
-  kBadOperand,
-};
-
 class GuardNnDevice {
  public:
+  /// Hardware session-table capacity: how many tenants one device serves
+  /// concurrently.
+  static constexpr std::size_t kMaxSessions = 16;
+  /// Size of each session's private DRAM partition. Physical address =
+  /// slot * kSessionDramBytes + session-local address; 16 partitions end at
+  /// 128 GiB, well below the MAC region at 512 GiB.
+  static constexpr u64 kSessionDramBytes = 0x2'0000'0000ULL;  // 8 GiB
+
   /// "Fabrication": generates the device identity from `entropy` and has the
   /// manufacturer CA certify it.
   GuardNnDevice(std::string device_id, const crypto::ManufacturerCa& ca,
@@ -73,39 +114,99 @@ class GuardNnDevice {
 
   GetPkResponse get_pk();
 
-  /// Establishes a session. `integrity` selects GuardNN_CI vs GuardNN_C.
+  /// Establishes a session in a free table slot. `integrity` selects
+  /// GuardNN_CI vs GuardNN_C. Returns kNoResources when the table is full.
   InitSessionResponse init_session(const crypto::AffinePoint& user_ephemeral,
                                    bool integrity);
 
-  /// Imports session-encrypted weights to `weight_addr` (512 B aligned).
-  DeviceStatus set_weight(const crypto::SealedRecord& record, u64 weight_addr);
+  /// Destroys a session: zeroizes every key the slot holds (channel keys,
+  /// K_MEnc/K_MMac schedules, CMAC subkeys, data hashes) and frees the slot.
+  /// Double-close or a stale id answers kNoSession.
+  DeviceStatus close_session(SessionId sid);
+
+  /// Imports session-encrypted weights to `weight_addr` (512 B aligned,
+  /// session-local; the device maps it into the session's DRAM partition).
+  DeviceStatus set_weight(SessionId sid, const crypto::SealedRecord& record,
+                          u64 weight_addr);
 
   /// Imports a session-encrypted input to `input_addr` (512 B aligned).
-  DeviceStatus set_input(const crypto::SealedRecord& record, u64 input_addr);
+  DeviceStatus set_input(SessionId sid, const crypto::SealedRecord& record,
+                         u64 input_addr);
 
-  /// Host-supplied read counter for a feature address range.
-  DeviceStatus set_read_ctr(u64 base, u64 bytes, u64 vn);
+  /// Host-supplied read counter for a feature address range (session-local
+  /// addresses; affects only this session's decryption).
+  DeviceStatus set_read_ctr(SessionId sid, u64 base, u64 bytes, u64 vn);
 
-  /// Executes one DNN operation on protected memory.
-  DeviceStatus forward(const ForwardOp& op);
+  /// Executes one DNN operation on the session's protected memory.
+  DeviceStatus forward(SessionId sid, const ForwardOp& op);
 
   /// Reads `bytes` plaintext bytes at `addr` through the MPU and re-encrypts
   /// them under the session key for the remote user.
-  DeviceStatus export_output(u64 addr, u64 bytes, crypto::SealedRecord& out);
+  DeviceStatus export_output(SessionId sid, u64 addr, u64 bytes,
+                             crypto::SealedRecord& out);
 
-  /// Signs the attestation hashes with SK_Accel.
-  DeviceStatus sign_output(SignOutputResponse& out);
+  /// Signs the session's attestation hashes with SK_Accel.
+  DeviceStatus sign_output(SessionId sid, SignOutputResponse& out);
+
+  // --- Single-session convenience ------------------------------------------
+  // Legacy entry points for single-tenant callers (examples, benches, the
+  // original protocol tests): they route to the most recently opened
+  // session. Multi-tenant code must use the SessionId forms above.
+
+  DeviceStatus set_weight(const crypto::SealedRecord& record, u64 weight_addr) {
+    return set_weight(current_session(), record, weight_addr);
+  }
+  DeviceStatus set_input(const crypto::SealedRecord& record, u64 input_addr) {
+    return set_input(current_session(), record, input_addr);
+  }
+  DeviceStatus set_read_ctr(u64 base, u64 bytes, u64 vn) {
+    return set_read_ctr(current_session(), base, bytes, vn);
+  }
+  DeviceStatus forward(const ForwardOp& op) {
+    return forward(current_session(), op);
+  }
+  DeviceStatus export_output(u64 addr, u64 bytes, crypto::SealedRecord& out) {
+    return export_output(current_session(), addr, bytes, out);
+  }
+  DeviceStatus sign_output(SignOutputResponse& out) {
+    return sign_output(current_session(), out);
+  }
 
   // --- Introspection (trusted-side test hooks) -----------------------------
 
-  bool session_active() const { return session_.has_value(); }
-  bool integrity_enabled() const {
-    return session_ && session_->mpu.integrity_enabled();
+  bool session_active() const { return session_active(current_session()); }
+  bool session_active(SessionId sid) const;
+  std::size_t session_count() const;
+  bool integrity_enabled() const;
+
+  /// Base physical address of a session's DRAM partition (derived from the
+  /// slot index encoded in the id; valid for closed ids too).
+  static u64 partition_base(SessionId sid) {
+    return (sid & 0xff) * kSessionDramBytes;
   }
-  const memprot::VnGenerator& vn_generator() const { return vn_; }
+
+  /// The current (most recently opened) session's id; kInvalidSession when
+  /// none was ever opened.
+  SessionId current_session() const {
+    return current_session_.load(std::memory_order_relaxed);
+  }
+
+  const memprot::VnGenerator& vn_generator() const {
+    return vn_generator(current_session());
+  }
+  const memprot::VnGenerator& vn_generator(SessionId sid) const;
   double elapsed_ms() const { return latency_.total_ms(); }
-  /// Memory access trace of the current session (the observable side channel).
-  const std::vector<std::pair<u64, bool>>& access_trace() const;
+  /// Memory access trace of a session (the observable side channel).
+  const std::vector<std::pair<u64, bool>>& access_trace() const {
+    return access_trace(current_session());
+  }
+  const std::vector<std::pair<u64, bool>>& access_trace(SessionId sid) const;
+
+  /// Key-zeroization check: true when the slot holds no key material — the
+  /// slot is empty, or its closed-session husk has every key byte wiped.
+  bool slot_zeroized(std::size_t slot) const;
+  /// True while the slot holds an open session with live (non-zero) keys.
+  bool slot_keys_live(std::size_t slot) const;
 
  private:
   struct Session {
@@ -113,11 +214,27 @@ class GuardNnDevice {
     crypto::ChannelReceiver from_user;
     crypto::ChannelSender to_user;
     MemoryProtectionUnit mpu;
+    memprot::VnGenerator vn;
+    u64 dram_base = 0;
     crypto::Sha256Digest input_hash{};
     crypto::Sha256Digest weight_hash{};
     crypto::Sha256Digest output_hash{};
     AttestationChain chain;
     bool dead = false;  ///< Set on integrity failure.
+
+    /// CloseSession: wipe every secret the session holds, in place.
+    void zeroize();
+    bool zeroized() const;
+  };
+
+  struct Slot {
+    /// Bumped on every open; occupies the SessionId's upper 56 bits, so a
+    /// slot would need 2^56 open/close cycles before a stale id could ever
+    /// validate again.
+    u64 generation = 0;
+    bool active = false;
+    /// Present while open *and* after close (zeroized husk), until reuse.
+    std::unique_ptr<Session> session;
   };
 
   /// Rounds a byte count up to a whole number of MAC chunks (512 B), so
@@ -127,17 +244,36 @@ class GuardNnDevice {
            MemoryProtectionUnit::kChunkBytes * MemoryProtectionUnit::kChunkBytes;
   }
 
-  DeviceStatus import_region(const crypto::SealedRecord& record, u64 addr, u64 vn,
-                             crypto::Sha256Digest& data_hash, Opcode op);
+  static SessionId make_id(std::size_t slot, u64 generation) {
+    return (generation << 8) | static_cast<u64>(slot);
+  }
+
+  /// Resolves a SessionId to its live session; nullptr for unknown, closed,
+  /// or stale ids. Caller must hold mu_.
+  Session* find_session(SessionId sid);
+  const Session* find_session(SessionId sid) const;
+
+  /// Maps a session-local address range into the session's physical DRAM
+  /// partition. Returns false (→ kBadOperand) when the range leaves the
+  /// partition.
+  static bool translate(const Session& s, u64 addr, u64 bytes, u64& phys);
+
+  DeviceStatus import_region(Session& s, const crypto::SealedRecord& record,
+                             u64 addr, Opcode op);
+  DeviceStatus forward_locked(Session& s, const ForwardOp& op);
 
   std::string device_id_;
   crypto::HmacDrbg drbg_;
   crypto::EcdsaKeyPair identity_;
   crypto::DeviceCertificate certificate_;
   UntrustedMemory& memory_;
-  memprot::VnGenerator vn_;
   LatencyAccumulator latency_;
-  std::optional<Session> session_;
+  std::array<Slot, kMaxSessions> slots_;
+  /// Atomic so the lock-free legacy wrappers can read it while InitSession
+  /// publishes a new id under mu_ (the id is validated under the lock anyway).
+  std::atomic<SessionId> current_session_{kInvalidSession};
+  /// One instruction executes at a time, like the hardware command queue.
+  mutable std::mutex mu_;
 };
 
 }  // namespace guardnn::accel

@@ -43,6 +43,25 @@ class MemoryProtectionUnit {
   bool integrity_enabled() const { return integrity_enabled_; }
   bool poisoned() const { return poisoned_; }
 
+  /// Wipes K_MEnc / K_MMac key schedules and the cached CMAC subkeys
+  /// (CloseSession). The MPU is unusable afterwards; it is also poisoned so
+  /// any stray read fails closed.
+  void zeroize() {
+    enc_.zeroize();
+    mac_.zeroize();
+    secure_zero(mac_subkeys_.k1.data(), mac_subkeys_.k1.size());
+    secure_zero(mac_subkeys_.k2.data(), mac_subkeys_.k2.size());
+    poisoned_ = true;
+  }
+  bool zeroized() const {
+    if (!enc_.zeroized() || !mac_.zeroized()) return false;
+    for (u8 b : mac_subkeys_.k1)
+      if (b != 0) return false;
+    for (u8 b : mac_subkeys_.k2)
+      if (b != 0) return false;
+    return true;
+  }
+
   /// Sequence of (address, is_write) the MPU issued — the memory side
   /// channel an adversary can observe. Tests assert it is independent of
   /// data values.

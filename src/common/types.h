@@ -81,6 +81,14 @@ inline void xor_bytes(u8* dst, const u8* src, std::size_t n) {
   for (; i < n; ++i) dst[i] ^= src[i];
 }
 
+/// Wipes `n` bytes of key material in a way the optimizer cannot elide
+/// (volatile stores). Used by CloseSession-style teardown paths so secrets do
+/// not linger in freed or reused memory.
+inline void secure_zero(void* p, std::size_t n) {
+  volatile u8* bytes = static_cast<volatile u8*>(p);
+  for (std::size_t i = 0; i < n; ++i) bytes[i] = 0;
+}
+
 /// Constant-time byte comparison; returns true when equal. Used for MAC and
 /// signature checks so that comparison timing does not leak the match prefix.
 bool ct_equal(BytesView a, BytesView b);

@@ -103,6 +103,24 @@ class Aes128 {
     return out;
   }
 
+  /// Wipes the expanded key schedule (CloseSession key-zeroization path).
+  /// The object must not be used for crypto afterwards.
+  void zeroize() {
+    secure_zero(rk_.bytes.data(), rk_.bytes.size());
+    secure_zero(rk_.words.data(), rk_.words.size() * sizeof(u32));
+  }
+
+  /// True when every byte of the key schedule is zero (trusted-side test
+  /// hook for the zeroization guarantee; a real expanded key is never
+  /// all-zero because round constants are folded in).
+  bool zeroized() const {
+    for (u8 b : rk_.bytes)
+      if (b != 0) return false;
+    for (u32 w : rk_.words)
+      if (w != 0) return false;
+    return true;
+  }
+
  private:
   detail::AesRoundKeys rk_;
 };

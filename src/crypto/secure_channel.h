@@ -30,6 +30,18 @@ class ChannelSender {
 
   SealedRecord seal(BytesView plaintext);
 
+  /// Wipes the channel keys (CloseSession). The sender is unusable after.
+  void zeroize() {
+    aes_.zeroize();
+    secure_zero(mac_key_.data(), mac_key_.size());
+  }
+  bool zeroized() const {
+    if (!aes_.zeroized()) return false;
+    for (u8 b : mac_key_)
+      if (b != 0) return false;
+    return true;
+  }
+
  private:
   Aes128 aes_;
   std::array<u8, 32> mac_key_;
@@ -43,6 +55,18 @@ class ChannelReceiver {
   /// Returns the plaintext, or nullopt when the tag is invalid or the
   /// sequence number is not the next expected one (replay/reorder defense).
   std::optional<Bytes> open(const SealedRecord& record);
+
+  /// Wipes the channel keys (CloseSession). The receiver is unusable after.
+  void zeroize() {
+    aes_.zeroize();
+    secure_zero(mac_key_.data(), mac_key_.size());
+  }
+  bool zeroized() const {
+    if (!aes_.zeroized()) return false;
+    for (u8 b : mac_key_)
+      if (b != 0) return false;
+    return true;
+  }
 
  private:
   Aes128 aes_;

@@ -54,6 +54,7 @@ void Sha256::process_block(const u8* block) {
 }
 
 void Sha256::update(BytesView data) {
+  if (data.empty()) return;  // empty views may carry a null data()
   total_len_ += data.size();
   std::size_t offset = 0;
   if (buffer_len_ > 0) {

@@ -133,11 +133,18 @@ ExecutionPlan HostScheduler::compile(const FuncNetwork& net) {
 }
 
 accel::DeviceStatus HostScheduler::execute(const ExecutionPlan& plan) {
+  // Bound schedulers issue session-addressed instructions; unbound ones use
+  // the device's single-tenant convenience entry points.
+  auto set_read_ctr = [&](u64 base, u64 bytes, u64 vn) {
+    return session_ != accel::kInvalidSession
+               ? device_.set_read_ctr(session_, base, bytes, vn)
+               : device_.set_read_ctr(base, bytes, vn);
+  };
   for (std::size_t i = 0; i < plan.ops.size(); ++i) {
     const accel::ForwardOp& op = plan.ops[i];
     const u64 in_bytes = pad_chunk(op.input_bytes());
     accel::DeviceStatus status =
-        device_.set_read_ctr(op.input_addr, in_bytes, read_vn_for(i));
+        set_read_ctr(op.input_addr, in_bytes, read_vn_for(i));
     if (status != accel::DeviceStatus::kOk) return status;
     if (op.kind == accel::ForwardOp::Kind::kAdd) {
       // Second operand: written by the referenced earlier layer (or SetInput);
@@ -148,16 +155,17 @@ accel::DeviceStatus HostScheduler::execute(const ExecutionPlan& plan) {
               : (op.input2_addr - kFeatureBase) / kFeatureStride + 1;
       const u64 vn = (ctr_in_mirror_ << 32) |
                      (tensor_index == 0 ? 0 : tensor_index - 1);
-      status = device_.set_read_ctr(op.input2_addr, in_bytes, vn);
+      status = set_read_ctr(op.input2_addr, in_bytes, vn);
       if (status != accel::DeviceStatus::kOk) return status;
     }
-    status = device_.forward(op);
+    status = session_ != accel::kInvalidSession ? device_.forward(session_, op)
+                                                : device_.forward(op);
     if (status != accel::DeviceStatus::kOk) return status;
   }
   // Arm the read counter for ExportOutput.
   if (!plan.ops.empty()) {
-    return device_.set_read_ctr(plan.output_addr, pad_chunk(plan.output_bytes),
-                                output_read_vn(plan.ops.size()));
+    return set_read_ctr(plan.output_addr, pad_chunk(plan.output_bytes),
+                        output_read_vn(plan.ops.size()));
   }
   return accel::DeviceStatus::kOk;
 }

@@ -21,6 +21,9 @@ crypto::AffinePoint RemoteUser::begin_session() {
 
 bool RemoteUser::complete_session(const accel::InitSessionResponse& response) {
   if (!device_identity_ || !ephemeral_) return false;
+  if (response.status != accel::DeviceStatus::kOk ||
+      response.session_id == accel::kInvalidSession)
+    return false;
   // Verify the ECDHE transcript signature (defeats MITM key substitution).
   Bytes transcript = crypto::encode_point(ephemeral_->public_key);
   const Bytes device_share = crypto::encode_point(response.device_ephemeral);
@@ -35,6 +38,7 @@ bool RemoteUser::complete_session(const accel::InitSessionResponse& response) {
   to_device_.emplace(keys);
   from_device_.emplace(keys);
   expected_chain_.reset();
+  session_id_ = response.session_id;
   return true;
 }
 

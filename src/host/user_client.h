@@ -27,8 +27,16 @@ class RemoteUser {
   crypto::AffinePoint begin_session();
 
   /// Step 3: verify the device's signed key-exchange response and derive the
-  /// session keys. Returns false on any verification failure.
+  /// session keys. Returns false on any verification failure (including the
+  /// device refusing the session, e.g. a full session table). On success the
+  /// user remembers the device-assigned SessionId and carries it through
+  /// every subsequent seal/attest exchange.
   [[nodiscard]] bool complete_session(const accel::InitSessionResponse& response);
+
+  /// The device-assigned session id (kInvalidSession before a completed
+  /// handshake). The untrusted host needs it to route this user's
+  /// instructions to the right session-table slot.
+  accel::SessionId session_id() const { return session_id_; }
 
   /// Encrypts a payload (weights or input) for the device.
   crypto::SealedRecord seal(BytesView plaintext);
@@ -52,6 +60,7 @@ class RemoteUser {
  private:
   crypto::AffinePoint ca_public_;
   crypto::HmacDrbg drbg_;
+  accel::SessionId session_id_ = accel::kInvalidSession;
   std::optional<crypto::AffinePoint> device_identity_;
   std::optional<crypto::EcdhKeyPair> ephemeral_;
   std::optional<crypto::ChannelSender> to_device_;

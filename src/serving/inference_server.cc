@@ -1,0 +1,331 @@
+#include "serving/inference_server.h"
+
+#include <algorithm>
+
+namespace guardnn::serving {
+
+const char* outcome_name(RequestOutcome outcome) {
+  switch (outcome) {
+    case RequestOutcome::kOk: return "ok";
+    case RequestOutcome::kDeviceError: return "device-error";
+    case RequestOutcome::kNoTenant: return "no-tenant";
+    case RequestOutcome::kNoModel: return "no-model";
+    case RequestOutcome::kQueueFull: return "queue-full";
+    case RequestOutcome::kShutdown: return "shutdown";
+  }
+  return "unknown";
+}
+
+InferenceServer::InferenceServer(const crypto::ManufacturerCa& ca,
+                                 const ServerConfig& config, BytesView entropy)
+    : config_(config) {
+  const std::size_t n_devices = std::max<std::size_t>(1, config_.num_devices);
+  const std::size_t n_workers = std::max<std::size_t>(1, config_.num_workers);
+  devices_.reserve(n_devices);
+  for (std::size_t i = 0; i < n_devices; ++i) {
+    // Per-device entropy: the shared seed plus the fleet index, so every
+    // device fabricates a distinct identity key.
+    Bytes seed(entropy.begin(), entropy.end());
+    seed.push_back(static_cast<u8>('d'));
+    seed.push_back(static_cast<u8>(i));
+    devices_.push_back(std::make_unique<DeviceNode>(
+        "serve-dev-" + std::to_string(i), ca, seed));
+  }
+  workers_.reserve(n_workers);
+  for (std::size_t i = 0; i < n_workers; ++i)
+    workers_.emplace_back([this](std::stop_token stop) { worker_loop(stop); });
+}
+
+InferenceServer::~InferenceServer() {
+  for (auto& worker : workers_) worker.request_stop();
+  cv_.notify_all();
+  workers_.clear();  // joins
+
+  // Fail whatever the workers never picked up. Disconnected tenants are no
+  // longer in tenants_ but may still sit in ready_ with queued requests.
+  std::lock_guard<std::mutex> lock(mu_);
+  auto drain = [](Tenant& tenant) {
+    for (Request& request : tenant.pending) {
+      InferenceResult result;
+      result.outcome = RequestOutcome::kShutdown;
+      request.promise.set_value(std::move(result));
+    }
+    tenant.pending.clear();
+  };
+  for (auto& [id, tenant] : tenants_) drain(*tenant);
+  for (auto& tenant : ready_) drain(*tenant);
+}
+
+accel::GetPkResponse InferenceServer::get_pk(std::size_t device_index) {
+  DeviceNode& node = *devices_.at(device_index);
+  std::lock_guard<std::mutex> busy(node.busy);
+  return node.device.get_pk();
+}
+
+InferenceServer::ConnectResult InferenceServer::connect(
+    const crypto::AffinePoint& user_ephemeral, bool integrity) {
+  ConnectResult result;
+  // Least-loaded placement across the fleet.
+  std::size_t best = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::size_t i = 1; i < devices_.size(); ++i)
+      if (devices_[i]->tenant_count < devices_[best]->tenant_count) best = i;
+  }
+  DeviceNode& node = *devices_[best];
+  {
+    std::lock_guard<std::mutex> busy(node.busy);
+    result.response = node.device.init_session(user_ephemeral, integrity);
+  }
+  result.device_index = best;
+  if (result.response.status != accel::DeviceStatus::kOk) return result;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  const TenantId id = next_tenant_++;
+  tenants_.emplace(id, std::make_shared<Tenant>(node.device, best,
+                                                result.response.session_id));
+  node.tenant_count += 1;
+  result.tenant = id;
+  return result;
+}
+
+accel::DeviceStatus InferenceServer::disconnect(TenantId tenant) {
+  std::shared_ptr<Tenant> entry;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = tenants_.find(tenant);
+    if (it == tenants_.end() || !it->second->open)
+      return accel::DeviceStatus::kNoSession;
+    entry = it->second;
+    entry->open = false;
+    devices_[entry->device_index]->tenant_count -= 1;
+  }
+  // CloseSession waits for any in-flight batch (device busy lock), then
+  // zeroizes the slot's keys. Requests still queued behind it resolve as
+  // kNoSession device errors.
+  DeviceNode& node = *devices_[entry->device_index];
+  accel::DeviceStatus status;
+  {
+    std::lock_guard<std::mutex> busy(node.busy);
+    status = node.device.close_session(entry->session);
+  }
+  // Retire the tenant entry so session churn cannot grow tenants_ without
+  // bound; a worker that still owns the tenant keeps it alive via its
+  // shared_ptr and drains the remaining requests as device errors.
+  std::lock_guard<std::mutex> lock(mu_);
+  tenants_.erase(tenant);
+  return status;
+}
+
+crypto::Sha256Digest InferenceServer::model_hash(const host::FuncNetwork& net) {
+  crypto::Sha256 hasher;
+  auto absorb_int = [&](i64 v) {
+    u8 bytes[8];
+    store_be64(bytes, static_cast<u64>(v));
+    hasher.update(BytesView(bytes, 8));
+  };
+  absorb_int(net.in_c);
+  absorb_int(net.in_h);
+  absorb_int(net.in_w);
+  absorb_int(net.bits);
+  absorb_int(static_cast<i64>(net.layers.size()));
+  for (const host::FuncLayer& layer : net.layers) {
+    absorb_int(static_cast<i64>(layer.kind));
+    absorb_int(layer.out_c);
+    absorb_int(layer.kernel);
+    absorb_int(layer.stride);
+    absorb_int(layer.pad);
+    absorb_int(layer.requant_shift);
+    absorb_int(layer.input2_layer);
+    absorb_int(static_cast<i64>(layer.weights.size()));
+    hasher.update(layer.weights);
+  }
+  return hasher.finalize();
+}
+
+ModelHandle InferenceServer::register_model(const host::FuncNetwork& net) {
+  ModelHandle handle;
+  handle.hash = model_hash(net);
+  {
+    std::lock_guard<std::mutex> lock(plan_mu_);
+    auto it = plan_cache_.find(handle.hash);
+    if (it != plan_cache_.end()) {
+      handle.plan = it->second;
+      return handle;
+    }
+  }
+  // Compile outside the cache lock; a racing duplicate compile is harmless
+  // (first insert wins, both plans are identical).
+  auto plan = std::make_shared<const host::ExecutionPlan>(
+      host::HostScheduler::compile(net));
+  std::lock_guard<std::mutex> lock(plan_mu_);
+  auto [it, inserted] = plan_cache_.emplace(handle.hash, std::move(plan));
+  handle.plan = it->second;
+  return handle;
+}
+
+accel::DeviceStatus InferenceServer::load_model(
+    TenantId tenant, const ModelHandle& model,
+    const crypto::SealedRecord& sealed_weights) {
+  if (!model.valid()) return accel::DeviceStatus::kBadOperand;
+  std::shared_ptr<Tenant> entry;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = tenants_.find(tenant);
+    if (it == tenants_.end() || !it->second->open)
+      return accel::DeviceStatus::kNoSession;
+    entry = it->second;
+  }
+  DeviceNode& node = *devices_[entry->device_index];
+  accel::DeviceStatus status;
+  {
+    std::lock_guard<std::mutex> busy(node.busy);
+    status = node.device.set_weight(entry->session, sealed_weights,
+                                    model.plan->weight_base);
+  }
+  if (status != accel::DeviceStatus::kOk) return status;
+  std::lock_guard<std::mutex> lock(mu_);
+  entry->plan = model.plan;
+  return status;
+}
+
+std::future<InferenceResult> InferenceServer::immediate_result(
+    RequestOutcome outcome) {
+  std::promise<InferenceResult> promise;
+  InferenceResult result;
+  result.outcome = outcome;
+  promise.set_value(std::move(result));
+  return promise.get_future();
+}
+
+std::future<InferenceResult> InferenceServer::submit_async(
+    TenantId tenant, crypto::SealedRecord sealed_input, bool attest) {
+  std::future<InferenceResult> future;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = tenants_.find(tenant);
+    if (it == tenants_.end() || !it->second->open)
+      return immediate_result(RequestOutcome::kNoTenant);
+    Tenant& entry = *it->second;
+    if (!entry.plan) return immediate_result(RequestOutcome::kNoModel);
+    if (pending_count_ >= config_.max_pending) {
+      stats_.rejected += 1;
+      return immediate_result(RequestOutcome::kQueueFull);
+    }
+    Request request;
+    request.sealed_input = std::move(sealed_input);
+    request.attest = attest;
+    request.enqueued = Clock::now();
+    future = request.promise.get_future();
+    entry.pending.push_back(std::move(request));
+    pending_count_ += 1;
+    if (!entry.scheduled) {
+      entry.scheduled = true;
+      ready_.push_back(it->second);
+    }
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void InferenceServer::process_one(Tenant& tenant, DeviceNode& node,
+                                  const host::ExecutionPlan& plan,
+                                  Request& request, InferenceResult& result) {
+  accel::GuardNnDevice& device = node.device;
+  const accel::SessionId sid = tenant.session;
+
+  accel::DeviceStatus status =
+      device.set_input(sid, request.sealed_input, plan.input_addr);
+  if (status == accel::DeviceStatus::kOk) {
+    tenant.scheduler.note_input();
+    status = tenant.scheduler.execute(plan);
+  }
+  if (status == accel::DeviceStatus::kOk)
+    status = device.export_output(sid, plan.output_addr, plan.output_bytes,
+                                  result.sealed_output);
+  if (status == accel::DeviceStatus::kOk && request.attest) {
+    status = device.sign_output(sid, result.report);
+    result.attested = status == accel::DeviceStatus::kOk;
+  }
+  result.device_status = status;
+  result.outcome = status == accel::DeviceStatus::kOk
+                       ? RequestOutcome::kOk
+                       : RequestOutcome::kDeviceError;
+}
+
+void InferenceServer::worker_loop(std::stop_token stop) {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    if (!cv_.wait(lock, stop, [&] { return !ready_.empty(); })) break;
+
+    std::shared_ptr<Tenant> tenant = std::move(ready_.front());
+    ready_.pop_front();
+
+    // Cross-tenant batching: drain up to max_batch of this tenant's FIFO in
+    // one wakeup. The tenant stays "scheduled" (owned by this worker) so no
+    // other worker can reorder its secure-channel sequence numbers.
+    std::vector<Request> batch;
+    const std::size_t limit = std::max<std::size_t>(1, config_.max_batch);
+    while (!tenant->pending.empty() && batch.size() < limit) {
+      batch.push_back(std::move(tenant->pending.front()));
+      tenant->pending.pop_front();
+    }
+    pending_count_ -= batch.size();
+    stats_.batches += 1;
+    stats_.requests += batch.size();
+    // Snapshot the plan under mu_: load_model may swap it concurrently, and
+    // the batch must execute against one coherent plan.
+    const std::shared_ptr<const host::ExecutionPlan> plan = tenant->plan;
+    lock.unlock();
+
+    const Clock::time_point picked_up = Clock::now();
+    std::vector<InferenceResult> results(batch.size());
+    DeviceNode& node = *devices_[tenant->device_index];
+    {
+      // The accelerator executes one command stream at a time.
+      std::lock_guard<std::mutex> busy(node.busy);
+      const double modeled_before = node.device.elapsed_ms();
+      for (std::size_t i = 0; i < batch.size(); ++i)
+        process_one(*tenant, node, *plan, batch[i], results[i]);
+      if (config_.emulate_device_latency) {
+        const double modeled_ms =
+            (node.device.elapsed_ms() - modeled_before) *
+            config_.device_latency_scale;
+        if (modeled_ms > 0)
+          std::this_thread::sleep_for(
+              std::chrono::duration<double, std::milli>(modeled_ms));
+      }
+    }
+
+    const Clock::time_point done = Clock::now();
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      using MsDouble = std::chrono::duration<double, std::milli>;
+      results[i].queue_ms = MsDouble(picked_up - batch[i].enqueued).count();
+      results[i].service_ms = MsDouble(done - picked_up).count();
+      batch[i].promise.set_value(std::move(results[i]));
+    }
+
+    lock.lock();
+    if (!tenant->pending.empty()) {
+      ready_.push_back(std::move(tenant));
+      cv_.notify_one();
+    } else {
+      tenant->scheduled = false;
+    }
+  }
+}
+
+ServerStats InferenceServer::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::pair<std::size_t, accel::SessionId> InferenceServer::tenant_session(
+    TenantId tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) return {0, accel::kInvalidSession};
+  return {it->second->device_index, it->second->session};
+}
+
+}  // namespace guardnn::serving

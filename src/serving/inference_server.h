@@ -1,0 +1,239 @@
+// Multi-tenant secure inference server.
+//
+// The untrusted serving stack the paper's deployment story implies: one
+// process terminates many remote users' GuardNN protocol sessions and
+// multiplexes them onto a small fleet of GuardNN devices. The server is part
+// of the *untrusted* host — it never sees a key or a plaintext; every secret
+// stays inside the devices' session tables, and every tenant still gets the
+// full end-to-end guarantees (channel MACs, per-session K_MEnc, disjoint DRAM
+// partitions, remote attestation) no matter how the server schedules work.
+//
+// Architecture:
+//   * a device fleet (each device owns its UntrustedMemory and a lock that
+//     models "the accelerator executes one batch at a time");
+//   * per-tenant FIFOs + a ready queue of tenants, drained by a pool of
+//     std::jthread workers — one tenant is owned by at most one worker at a
+//     time, so each tenant's secure-channel sequence numbers stay in order
+//     while different tenants run concurrently;
+//   * cross-tenant batching: a worker drains up to `max_batch` queued
+//     requests per wakeup, amortizing queue/wake overhead; the per-request
+//     data path is PR 2's batched encrypt_blocks() burst pipeline;
+//   * an ExecutionPlan cache keyed by model hash, so tenants serving the
+//     same architecture share one compiled plan;
+//   * optional device-latency emulation: the functional model computes on
+//     the CPU in microseconds, but the modeled accelerator/MicroBlaze time
+//     (LatencyAccumulator) is the *hardware* time — emulation sleeps it off
+//     while holding the device lock, so benches measure serving-layer
+//     scheduling against realistic device occupancy instead of simulation
+//     CPU time.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "host/scheduler.h"
+#include "host/user_client.h"
+
+namespace guardnn::serving {
+
+using TenantId = u64;
+
+struct ServerConfig {
+  std::size_t num_devices = 1;
+  std::size_t num_workers = 1;
+  /// Max requests a worker drains from one tenant per wakeup.
+  std::size_t max_batch = 8;
+  /// Global cap on queued-but-unprocessed requests (admission control).
+  std::size_t max_pending = 4096;
+  /// Sleep off the modeled device time while holding the device lock (see
+  /// file header). OFF for tests; benches turn it on.
+  bool emulate_device_latency = false;
+  /// Scales the modeled device time when emulating.
+  double device_latency_scale = 1.0;
+};
+
+enum class RequestOutcome : u8 {
+  kOk,
+  kDeviceError,  ///< The device refused an instruction; see device_status.
+  kNoTenant,     ///< Unknown or disconnected tenant.
+  kNoModel,      ///< Tenant never loaded a model.
+  kQueueFull,    ///< Admission control rejected the request.
+  kShutdown,     ///< Server destroyed while the request was queued.
+};
+
+const char* outcome_name(RequestOutcome outcome);
+
+struct InferenceResult {
+  RequestOutcome outcome = RequestOutcome::kOk;
+  accel::DeviceStatus device_status = accel::DeviceStatus::kOk;
+  /// Output sealed for the tenant (only the tenant's user can open it).
+  crypto::SealedRecord sealed_output;
+  /// Attestation report; populated when the request asked for one.
+  accel::SignOutputResponse report{};
+  bool attested = false;
+  double queue_ms = 0.0;    ///< enqueue → worker pickup
+  double service_ms = 0.0;  ///< worker pickup → completion (incl. emulation)
+};
+
+/// A compiled model, shared across every tenant serving the same
+/// architecture+weights. `hash` is the cache key (SHA-256 over the network
+/// structure and the packed weight blob).
+struct ModelHandle {
+  crypto::Sha256Digest hash{};
+  std::shared_ptr<const host::ExecutionPlan> plan;
+  bool valid() const { return plan != nullptr; }
+};
+
+struct ServerStats {
+  u64 requests = 0;  ///< Requests processed by workers.
+  u64 batches = 0;   ///< Worker wakeups that processed >= 1 request.
+  u64 rejected = 0;  ///< Admission-control rejections.
+};
+
+class InferenceServer {
+ public:
+  /// Builds the device fleet ("fabrication": each device gets an identity
+  /// certified by `ca`) and starts the worker pool.
+  InferenceServer(const crypto::ManufacturerCa& ca, const ServerConfig& config,
+                  BytesView entropy);
+  ~InferenceServer();
+
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  // --- Control plane (synchronous) -----------------------------------------
+
+  std::size_t device_count() const { return devices_.size(); }
+
+  /// GetPK for the device a new tenant would land on — or any device, for a
+  /// user that wants to pre-verify the fleet.
+  accel::GetPkResponse get_pk(std::size_t device_index);
+
+  struct ConnectResult {
+    TenantId tenant = 0;  ///< 0 when the connect failed.
+    std::size_t device_index = 0;
+    accel::InitSessionResponse response;
+  };
+
+  /// Runs InitSession on the least-loaded device and registers a tenant.
+  /// The caller forwards `response` to the user's complete_session().
+  ConnectResult connect(const crypto::AffinePoint& user_ephemeral,
+                        bool integrity);
+
+  /// CloseSession for the tenant's session (keys zeroized device-side) and
+  /// retire the tenant. Queued requests fail with kNoSession/kNoTenant.
+  accel::DeviceStatus disconnect(TenantId tenant);
+
+  /// Compiles a network into an ExecutionPlan, deduplicated by model hash:
+  /// the second tenant serving the same model reuses the cached plan.
+  ModelHandle register_model(const host::FuncNetwork& net);
+
+  /// Hash used by the plan cache (structure + packed weights).
+  static crypto::Sha256Digest model_hash(const host::FuncNetwork& net);
+
+  /// Imports the tenant's sealed weight blob and pins the plan used by
+  /// subsequent submissions. The blob must be the plan's weight_blob sealed
+  /// by the tenant's user.
+  accel::DeviceStatus load_model(TenantId tenant, const ModelHandle& model,
+                                 const crypto::SealedRecord& sealed_weights);
+
+  // --- Data plane ----------------------------------------------------------
+
+  /// Queues one inference (sealed input → sealed output). Per-tenant FIFO
+  /// order; cross-tenant concurrency up to the worker/device fleet size.
+  std::future<InferenceResult> submit_async(TenantId tenant,
+                                            crypto::SealedRecord sealed_input,
+                                            bool attest = false);
+
+  /// Synchronous convenience wrapper.
+  InferenceResult submit(TenantId tenant, crypto::SealedRecord sealed_input,
+                         bool attest = false) {
+    return submit_async(tenant, std::move(sealed_input), attest).get();
+  }
+
+  ServerStats stats() const;
+
+  // --- Introspection (trusted-side / adversarial test hooks) ---------------
+
+  /// The raw device — the isolation tests drive it directly, playing the
+  /// malicious host that bypasses the server's bookkeeping.
+  accel::GuardNnDevice& device(std::size_t index) {
+    return devices_[index]->device;
+  }
+  /// The device's untrusted DRAM, for plaintext-leak scans.
+  accel::UntrustedMemory& device_memory(std::size_t index) {
+    return devices_[index]->memory;
+  }
+  /// The tenant's device index and session id (kInvalidSession if unknown).
+  std::pair<std::size_t, accel::SessionId> tenant_session(TenantId tenant) const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Request {
+    crypto::SealedRecord sealed_input;
+    bool attest = false;
+    std::promise<InferenceResult> promise;
+    Clock::time_point enqueued;
+  };
+
+  struct DeviceNode {
+    accel::UntrustedMemory memory;
+    accel::GuardNnDevice device;
+    /// Held while a batch executes: the accelerator runs one command stream
+    /// at a time, and emulated device latency is slept off under it.
+    std::mutex busy;
+    std::size_t tenant_count = 0;
+
+    DeviceNode(std::string id, const crypto::ManufacturerCa& ca,
+               BytesView entropy)
+        : device(std::move(id), ca, memory, entropy) {}
+  };
+
+  struct Tenant {
+    std::size_t device_index = 0;
+    accel::SessionId session = accel::kInvalidSession;
+    /// Per-tenant VN mirror + instruction issue, bound to the session.
+    host::HostScheduler scheduler;
+    std::shared_ptr<const host::ExecutionPlan> plan;
+    std::deque<Request> pending;
+    bool scheduled = false;  ///< In ready_ or owned by a worker.
+    bool open = true;
+
+    Tenant(accel::GuardNnDevice& device, std::size_t dev_index,
+           accel::SessionId sid)
+        : device_index(dev_index), session(sid), scheduler(device, sid) {}
+  };
+
+  void worker_loop(std::stop_token stop);
+  void process_one(Tenant& tenant, DeviceNode& node,
+                   const host::ExecutionPlan& plan, Request& request,
+                   InferenceResult& result);
+  static std::future<InferenceResult> immediate_result(RequestOutcome outcome);
+
+  ServerConfig config_;
+  std::vector<std::unique_ptr<DeviceNode>> devices_;
+
+  mutable std::mutex mu_;
+  std::condition_variable_any cv_;
+  std::map<TenantId, std::shared_ptr<Tenant>> tenants_;
+  std::deque<std::shared_ptr<Tenant>> ready_;
+  std::size_t pending_count_ = 0;
+  TenantId next_tenant_ = 1;
+  ServerStats stats_;
+
+  std::mutex plan_mu_;
+  std::map<crypto::Sha256Digest, std::shared_ptr<const host::ExecutionPlan>>
+      plan_cache_;
+
+  std::vector<std::jthread> workers_;  // last member: joins before teardown
+};
+
+}  // namespace guardnn::serving

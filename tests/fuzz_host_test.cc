@@ -161,17 +161,21 @@ INSTANTIATE_TEST_SUITE_P(Seeds, InstructionFuzzTest,
 TEST(SessionIsolation, NewSessionCannotDecryptOldData) {
   // K_MEnc is regenerated per session: the same plaintext imported in two
   // sessions yields different ciphertext, and data from session 1 reads as
-  // garbage (or fails integrity) in session 2.
+  // garbage (or fails integrity) in session 2. With the session table the
+  // second session also lands in its own DRAM partition, so the comparison
+  // reads each session's partition base.
   FuzzBench bench;
   ASSERT_TRUE(bench.setup(false));
   const Bytes session1_cipher = bench.memory.read(0, 512);
 
-  // New session, same weights, same address.
-  ASSERT_TRUE(bench.user.complete_session(
-      bench.device.init_session(bench.user.begin_session(), false)));
+  // New session, same weights, same (session-local) address.
+  const accel::InitSessionResponse second =
+      bench.device.init_session(bench.user.begin_session(), false);
+  ASSERT_TRUE(bench.user.complete_session(second));
   ASSERT_EQ(bench.device.set_weight(bench.user.seal(bench.secret_weights), 0),
             DeviceStatus::kOk);
-  const Bytes session2_cipher = bench.memory.read(0, 512);
+  const Bytes session2_cipher = bench.memory.read(
+      accel::GuardNnDevice::partition_base(second.session_id), 512);
   EXPECT_NE(session1_cipher, session2_cipher)
       << "per-session K_MEnc must change the ciphertext";
 }
@@ -186,6 +190,150 @@ TEST(SessionIsolation, InstructionsAcrossSessionsDontCompose) {
       bench.device.init_session(bench.user.begin_session(), false)));
   EXPECT_EQ(bench.device.set_weight(old_record, 0), DeviceStatus::kBadRecord);
 }
+
+// --- Session-id fuzzing ------------------------------------------------------
+// Two live tenants plus a closed (stale) session on one device; every step
+// picks a random session id — tenant A's, tenant B's, the stale one, a forged
+// one — and a random instruction. Invariants checked after every step:
+// neither tenant's secrets ever appear in any scanned DRAM region, and
+// stale/forged ids always answer kNoSession.
+
+struct MultiSessionFuzzBench {
+  accel::UntrustedMemory memory;
+  crypto::HmacDrbg ca_drbg{Bytes{0x81}};
+  crypto::ManufacturerCa ca{ca_drbg};
+  accel::GuardNnDevice device{"fuzz-mt-dev", ca, memory, Bytes{0x82}};
+  RemoteUser user_a{ca.public_key(), Bytes{0x83}};
+  RemoteUser user_b{ca.public_key(), Bytes{0x84}};
+  RemoteUser user_stale{ca.public_key(), Bytes{0x85}};
+
+  Bytes secret_a;
+  Bytes secret_b;
+  accel::SessionId stale_sid = accel::kInvalidSession;
+
+  bool open(RemoteUser& user) {
+    if (!user.attest_device(device.get_pk())) return false;
+    return user.complete_session(
+        device.init_session(user.begin_session(), /*integrity=*/false));
+  }
+
+  bool setup() {
+    // A stale session first, so its slot is reused by tenant A — the worst
+    // case for the generation check.
+    if (!open(user_stale)) return false;
+    stale_sid = user_stale.session_id();
+    if (device.close_session(stale_sid) != DeviceStatus::kOk) return false;
+    if (!open(user_a) || !open(user_b)) return false;
+
+    Xoshiro256 rng(0xab5e55);
+    secret_a.resize(1024);
+    secret_b.resize(1024);
+    rng.fill(secret_a);
+    rng.fill(secret_b);
+    if (device.set_weight(user_a.session_id(), user_a.seal(secret_a), 0) !=
+        DeviceStatus::kOk)
+      return false;
+    if (device.set_weight(user_b.session_id(), user_b.seal(secret_b), 0) !=
+        DeviceStatus::kOk)
+      return false;
+    return true;
+  }
+
+  /// Scans every session's partition (plus the MAC region) for a 24-byte
+  /// window of either tenant's secret.
+  bool secrets_leaked() const {
+    const u64 partition_bases[] = {
+        accel::GuardNnDevice::partition_base(stale_sid),
+        accel::GuardNnDevice::partition_base(user_a.session_id()),
+        accel::GuardNnDevice::partition_base(user_b.session_id())};
+    const u64 offsets[] = {0x0ULL, 0x4000'0000ULL, 0x4800'0000ULL};
+    for (const Bytes* secret : {&secret_a, &secret_b}) {
+      const auto begin = secret->begin();
+      for (u64 base : partition_bases) {
+        for (u64 off : offsets) {
+          const Bytes region = memory.read(base + off, 1 << 15);
+          if (std::search(region.begin(), region.end(), begin, begin + 24) !=
+              region.end())
+            return true;
+        }
+      }
+      const Bytes macs =
+          memory.read(accel::MemoryProtectionUnit::kMacRegionBase, 1 << 15);
+      if (std::search(macs.begin(), macs.end(), begin, begin + 24) != macs.end())
+        return true;
+    }
+    return false;
+  }
+};
+
+class SessionIdFuzzTest : public ::testing::TestWithParam<u64> {};
+
+TEST_P(SessionIdFuzzTest, RandomSessionIdsNeverLeakOrConfuseTenants) {
+  MultiSessionFuzzBench bench;
+  ASSERT_TRUE(bench.setup());
+  Xoshiro256 rng(GetParam());
+
+  auto pick_sid = [&](bool& must_fail) {
+    switch (rng.next_below(5)) {
+      case 0: must_fail = false; return bench.user_a.session_id();
+      case 1: must_fail = false; return bench.user_b.session_id();
+      case 2: must_fail = true; return bench.stale_sid;
+      case 3: must_fail = true; return accel::SessionId{rng.next()};
+      default: must_fail = true; return accel::kInvalidSession;
+    }
+  };
+
+  const int steps = fuzz_steps();
+  for (int step = 0; step < steps; ++step) {
+    bool must_fail = false;
+    const accel::SessionId sid = pick_sid(must_fail);
+    DeviceStatus status = DeviceStatus::kOk;
+    bool checked = true;
+    switch (rng.next_below(5)) {
+      case 0:
+        status = bench.device.forward(sid, random_op(rng));
+        break;
+      case 1:
+        status = bench.device.set_read_ctr(sid, rng.next() % (1ULL << 36),
+                                           rng.next_below(1 << 16), rng.next());
+        break;
+      case 2: {
+        crypto::SealedRecord sealed;
+        status = bench.device.export_output(
+            sid, (rng.next() % (1ULL << 34)) & ~511ULL, 64 + rng.next_below(512),
+            sealed);
+        break;
+      }
+      case 3: {
+        // Cross-tenant splice: a record sealed by tenant A thrown at `sid`.
+        const crypto::SealedRecord record =
+            bench.user_a.seal(Bytes(64 + rng.next_below(256), 0x6e));
+        status = bench.device.set_weight(
+            sid, record, (rng.next() % (1ULL << 30)) & ~511ULL);
+        // Only tenant A's own session may ever accept it.
+        if (!must_fail && sid != bench.user_a.session_id()) {
+          EXPECT_EQ(status, DeviceStatus::kBadRecord)
+              << "tenant B accepted a record sealed for tenant A";
+        }
+        break;
+      }
+      default:
+        checked = false;
+        bench.memory.tamper(rng.next() % (1ULL << 34), static_cast<u8>(rng.next()));
+        break;
+    }
+    if (checked && must_fail) {
+      EXPECT_EQ(status, DeviceStatus::kNoSession)
+          << "stale/forged session id must answer kNoSession (seed "
+          << GetParam() << " step " << step << ")";
+    }
+    ASSERT_FALSE(bench.secrets_leaked())
+        << "seed " << GetParam() << " step " << step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SessionIdFuzzTest,
+                         ::testing::Values(2001, 2002, 2003, 2004));
 
 }  // namespace
 }  // namespace guardnn::host

@@ -1,0 +1,257 @@
+// Session-table lifecycle unit tests: slot exhaustion, close semantics
+// (double-close, use-after-close, stale ids after slot reuse), key
+// zeroization, DRAM partition bounds and cross-partition replay.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "host/user_client.h"
+
+namespace guardnn::accel {
+namespace {
+
+using host::RemoteUser;
+
+struct Fixture {
+  UntrustedMemory memory;
+  crypto::HmacDrbg ca_drbg{Bytes{0x51}};
+  crypto::ManufacturerCa ca{ca_drbg};
+  GuardNnDevice device{"session-dev", ca, memory, Bytes{0x52}};
+  crypto::HmacDrbg scratch_drbg{Bytes{0x53}};
+
+  /// A full verified handshake through a fresh RemoteUser; returns the user
+  /// (carrying its session id) or nullptr on failure.
+  std::unique_ptr<RemoteUser> open_session(u8 user_seed, bool integrity) {
+    auto user = std::make_unique<RemoteUser>(ca.public_key(), Bytes{user_seed});
+    if (!user->attest_device(device.get_pk())) return nullptr;
+    if (!user->complete_session(
+            device.init_session(user->begin_session(), integrity)))
+      return nullptr;
+    return user;
+  }
+};
+
+TEST(SessionTable, InitReturnsDistinctIdsUntilExhaustion) {
+  Fixture fx;
+  crypto::HmacDrbg drbg(Bytes{0x60});
+  const crypto::EcdhKeyPair user = crypto::ecdh_generate_key(drbg);
+
+  std::vector<SessionId> sids;
+  for (std::size_t i = 0; i < GuardNnDevice::kMaxSessions; ++i) {
+    const InitSessionResponse resp = fx.device.init_session(user.public_key, false);
+    ASSERT_EQ(resp.status, DeviceStatus::kOk) << "slot " << i;
+    ASSERT_NE(resp.session_id, kInvalidSession);
+    sids.push_back(resp.session_id);
+  }
+  // All ids distinct.
+  std::sort(sids.begin(), sids.end());
+  EXPECT_EQ(std::adjacent_find(sids.begin(), sids.end()), sids.end());
+  EXPECT_EQ(fx.device.session_count(), GuardNnDevice::kMaxSessions);
+
+  // Table full: coarse error, no session created.
+  const InitSessionResponse full = fx.device.init_session(user.public_key, false);
+  EXPECT_EQ(full.status, DeviceStatus::kNoResources);
+  EXPECT_EQ(full.session_id, kInvalidSession);
+
+  // Closing any session frees a slot for the next InitSession.
+  EXPECT_EQ(fx.device.close_session(sids[3]), DeviceStatus::kOk);
+  EXPECT_EQ(fx.device.session_count(), GuardNnDevice::kMaxSessions - 1);
+  const InitSessionResponse again = fx.device.init_session(user.public_key, false);
+  EXPECT_EQ(again.status, DeviceStatus::kOk);
+}
+
+TEST(SessionTable, DoubleCloseAndUseAfterCloseAreNoSession) {
+  Fixture fx;
+  auto user = fx.open_session(0x61, true);
+  ASSERT_NE(user, nullptr);
+  const SessionId sid = user->session_id();
+
+  const crypto::SealedRecord record = user->seal(Bytes(512, 0x7a));
+  ASSERT_EQ(fx.device.set_weight(sid, record, 0), DeviceStatus::kOk);
+
+  ASSERT_EQ(fx.device.close_session(sid), DeviceStatus::kOk);
+  EXPECT_EQ(fx.device.close_session(sid), DeviceStatus::kNoSession);
+
+  // Every instruction on the closed id answers kNoSession — nothing else.
+  EXPECT_EQ(fx.device.set_weight(sid, record, 0), DeviceStatus::kNoSession);
+  EXPECT_EQ(fx.device.set_input(sid, record, 0), DeviceStatus::kNoSession);
+  EXPECT_EQ(fx.device.set_read_ctr(sid, 0, 512, 0), DeviceStatus::kNoSession);
+  ForwardOp op;
+  op.in_c = op.in_h = op.in_w = 4;
+  EXPECT_EQ(fx.device.forward(sid, op), DeviceStatus::kNoSession);
+  crypto::SealedRecord out;
+  EXPECT_EQ(fx.device.export_output(sid, 0, 64, out), DeviceStatus::kNoSession);
+  SignOutputResponse sign;
+  EXPECT_EQ(fx.device.sign_output(sid, sign), DeviceStatus::kNoSession);
+}
+
+TEST(SessionTable, StaleIdNeverValidatesAfterSlotReuse) {
+  Fixture fx;
+  auto user_a = fx.open_session(0x62, false);
+  ASSERT_NE(user_a, nullptr);
+  const SessionId stale = user_a->session_id();
+  ASSERT_EQ(fx.device.close_session(stale), DeviceStatus::kOk);
+
+  // The slot is reused (lowest free slot) with a bumped generation.
+  auto user_b = fx.open_session(0x63, false);
+  ASSERT_NE(user_b, nullptr);
+  EXPECT_EQ(stale & 0xff, user_b->session_id() & 0xff) << "slot reused";
+  EXPECT_NE(stale, user_b->session_id()) << "generation must differ";
+
+  // The stale id stays dead even though its slot is active again.
+  const crypto::SealedRecord record = user_a->seal(Bytes(512, 0x11));
+  EXPECT_EQ(fx.device.set_weight(stale, record, 0), DeviceStatus::kNoSession);
+  EXPECT_FALSE(fx.device.session_active(stale));
+  EXPECT_TRUE(fx.device.session_active(user_b->session_id()));
+}
+
+TEST(SessionTable, CloseSessionZeroizesSlotKeys) {
+  Fixture fx;
+  auto user = fx.open_session(0x64, true);
+  ASSERT_NE(user, nullptr);
+  const SessionId sid = user->session_id();
+  const std::size_t slot = sid & 0xff;
+
+  // Import something so the session keys have demonstrably been in use.
+  ASSERT_EQ(fx.device.set_weight(sid, user->seal(Bytes(512, 0x42)), 0),
+            DeviceStatus::kOk);
+  EXPECT_TRUE(fx.device.slot_keys_live(slot));
+  EXPECT_FALSE(fx.device.slot_zeroized(slot));
+
+  // CloseSession wipes every key byte in place; the husk stays in the slot
+  // until reuse, so the wipe is observable.
+  ASSERT_EQ(fx.device.close_session(sid), DeviceStatus::kOk);
+  EXPECT_FALSE(fx.device.slot_keys_live(slot));
+  EXPECT_TRUE(fx.device.slot_zeroized(slot));
+
+  // Reopening the slot arms fresh keys.
+  auto user2 = fx.open_session(0x65, true);
+  ASSERT_NE(user2, nullptr);
+  ASSERT_EQ(user2->session_id() & 0xff, sid & 0xff);
+  EXPECT_TRUE(fx.device.slot_keys_live(slot));
+}
+
+TEST(SessionTable, PartitionBoundsRejected) {
+  Fixture fx;
+  auto user = fx.open_session(0x66, false);
+  ASSERT_NE(user, nullptr);
+  const SessionId sid = user->session_id();
+
+  // Addresses at or beyond the partition end are kBadOperand, not a write
+  // into a neighbour's partition.
+  const u64 limit = GuardNnDevice::kSessionDramBytes;
+  EXPECT_EQ(fx.device.set_weight(sid, user->seal(Bytes(512, 1)), limit),
+            DeviceStatus::kBadOperand);
+  EXPECT_EQ(fx.device.set_input(sid, user->seal(Bytes(512, 2)), limit - 256),
+            DeviceStatus::kBadOperand)
+      << "range crossing the partition end must be rejected";
+  crypto::SealedRecord out;
+  EXPECT_EQ(fx.device.export_output(sid, limit - 512, 1024, out),
+            DeviceStatus::kBadOperand);
+  // Byte counts near 2^64 must not wrap pad_region() past the bounds check.
+  EXPECT_EQ(fx.device.export_output(sid, 0, ~0ULL, out),
+            DeviceStatus::kBadOperand);
+  EXPECT_EQ(fx.device.export_output(sid, 0, ~0ULL - 510, out),
+            DeviceStatus::kBadOperand);
+  // In-bounds addresses still work.
+  EXPECT_EQ(fx.device.set_weight(sid, user->seal(Bytes(512, 3)), limit - 512),
+            DeviceStatus::kOk);
+}
+
+TEST(SessionTable, PartitionsAreDisjointAndKeyed) {
+  Fixture fx;
+  auto user_a = fx.open_session(0x67, false);
+  auto user_b = fx.open_session(0x68, false);
+  ASSERT_NE(user_a, nullptr);
+  ASSERT_NE(user_b, nullptr);
+
+  // Same plaintext, same session-local address — lands at different physical
+  // addresses with different ciphertext (per-session K_MEnc).
+  const Bytes plaintext(512, 0x5c);
+  ASSERT_EQ(fx.device.set_weight(user_a->session_id(), user_a->seal(plaintext), 0),
+            DeviceStatus::kOk);
+  ASSERT_EQ(fx.device.set_weight(user_b->session_id(), user_b->seal(plaintext), 0),
+            DeviceStatus::kOk);
+
+  const u64 base_a = GuardNnDevice::partition_base(user_a->session_id());
+  const u64 base_b = GuardNnDevice::partition_base(user_b->session_id());
+  ASSERT_NE(base_a, base_b);
+  const Bytes cipher_a = fx.memory.read(base_a, 512);
+  const Bytes cipher_b = fx.memory.read(base_b, 512);
+  EXPECT_NE(cipher_a, cipher_b) << "per-session K_MEnc must differ";
+  EXPECT_NE(cipher_a, plaintext);
+  EXPECT_NE(cipher_b, plaintext);
+}
+
+TEST(SessionTable, CrossPartitionCiphertextReplayFailsIntegrity) {
+  Fixture fx;
+  auto user_a = fx.open_session(0x69, true);
+  auto user_b = fx.open_session(0x6a, true);
+  ASSERT_NE(user_a, nullptr);
+  ASSERT_NE(user_b, nullptr);
+  const SessionId sid_a = user_a->session_id();
+  const SessionId sid_b = user_b->session_id();
+
+  ASSERT_EQ(fx.device.set_input(sid_a, user_a->seal(Bytes(512, 0x21)), 0),
+            DeviceStatus::kOk);
+
+  // Malicious host copies A's ciphertext *and its MAC slot* into B's
+  // partition, then asks B to export it. The MAC binds the physical address
+  // and B's per-session MAC key, so verification fails closed.
+  const u64 phys_a = GuardNnDevice::partition_base(sid_a);
+  const u64 phys_b = GuardNnDevice::partition_base(sid_b);
+  fx.memory.copy(phys_b, phys_a, 512);
+  const u64 mac_region = MemoryProtectionUnit::kMacRegionBase;
+  fx.memory.copy(mac_region + phys_b / 512 * 8, mac_region + phys_a / 512 * 8, 8);
+
+  ASSERT_EQ(fx.device.set_read_ctr(sid_b, 0, 512, 1ULL << 32), DeviceStatus::kOk);
+  crypto::SealedRecord out;
+  EXPECT_EQ(fx.device.export_output(sid_b, 0, 512, out),
+            DeviceStatus::kIntegrityFailure);
+
+  // A is unaffected: its session still exports its own data fine.
+  ASSERT_EQ(fx.device.set_read_ctr(sid_a, 0, 512, 1ULL << 32), DeviceStatus::kOk);
+  EXPECT_EQ(fx.device.export_output(sid_a, 0, 512, out), DeviceStatus::kOk);
+  const auto opened = user_a->open_output(out);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, Bytes(512, 0x21));
+}
+
+TEST(SessionTable, IntegrityFailureKillsOnlyThatSession) {
+  Fixture fx;
+  auto user_a = fx.open_session(0x6b, true);
+  auto user_b = fx.open_session(0x6c, true);
+  ASSERT_NE(user_a, nullptr);
+  ASSERT_NE(user_b, nullptr);
+
+  ASSERT_EQ(fx.device.set_input(user_a->session_id(), user_a->seal(Bytes(512, 1)), 0),
+            DeviceStatus::kOk);
+  ASSERT_EQ(fx.device.set_input(user_b->session_id(), user_b->seal(Bytes(512, 2)), 0),
+            DeviceStatus::kOk);
+
+  // Tamper with A's partition only.
+  fx.memory.tamper(GuardNnDevice::partition_base(user_a->session_id()) + 7, 0x80);
+
+  crypto::SealedRecord out;
+  ASSERT_EQ(fx.device.set_read_ctr(user_a->session_id(), 0, 512, 1ULL << 32),
+            DeviceStatus::kOk);
+  EXPECT_EQ(fx.device.export_output(user_a->session_id(), 0, 512, out),
+            DeviceStatus::kIntegrityFailure);
+  // A is dead (fail-stop) ...
+  EXPECT_EQ(fx.device.export_output(user_a->session_id(), 0, 512, out),
+            DeviceStatus::kIntegrityFailure);
+  // ... but B keeps serving.
+  ASSERT_EQ(fx.device.set_read_ctr(user_b->session_id(), 0, 512, 1ULL << 32),
+            DeviceStatus::kOk);
+  EXPECT_EQ(fx.device.export_output(user_b->session_id(), 0, 512, out),
+            DeviceStatus::kOk);
+  const auto opened = user_b->open_output(out);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, Bytes(512, 2));
+}
+
+}  // namespace
+}  // namespace guardnn::accel
