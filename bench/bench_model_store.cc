@@ -1,0 +1,126 @@
+// Sealed model store bench: SealModel / UnsealModel throughput (the chunked
+// AES-CTR + CMAC data path over a multi-MiB weight blob) and cross-device
+// replication latency (the full attested three-step re-wrap protocol,
+// ECDHE + two ECDSA signatures + two blob passes).
+//
+// Emits a ##GUARDNN_BENCH_JSON## marker line that scripts/run_benches.sh
+// folds into BENCH_BASELINE.json as the `model_store` block.
+#include <algorithm>
+#include <chrono>
+#include <iostream>
+#include <vector>
+
+#include "common/rng.h"
+#include "host/user_client.h"
+
+namespace guardnn {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+double percentile(std::vector<double> values, double p) {
+  std::sort(values.begin(), values.end());
+  if (values.empty()) return 0.0;
+  const std::size_t index = static_cast<std::size_t>(
+      p * static_cast<double>(values.size() - 1) + 0.5);
+  return values[index];
+}
+
+}  // namespace
+
+int run() {
+  constexpr u64 kWeightBytes = 8ull << 20;  // 8 MiB model
+  constexpr int kSealIters = 6;
+  constexpr int kReplicateIters = 24;
+
+  std::cout << "\n=== Sealed model store ===\n";
+  std::cout << "SealModel/UnsealModel GB/s over a "
+            << (kWeightBytes >> 20) << " MiB weight blob; "
+            << "replication = attested 3-step re-wrap A->B.\n\n";
+
+  crypto::HmacDrbg ca_drbg(Bytes{0xb1});
+  crypto::ManufacturerCa ca(ca_drbg);
+  accel::UntrustedMemory mem_a, mem_b;
+  accel::GuardNnDevice a("bench-store-a", ca, mem_a, Bytes{0xb2});
+  accel::GuardNnDevice b("bench-store-b", ca, mem_b, Bytes{0xb3});
+
+  host::RemoteUser user(ca.public_key(), Bytes{0xb4});
+  if (!user.attest_device(a.get_pk())) return 1;
+  if (!user.complete_session(a.init_session(user.begin_session(), true)))
+    return 1;
+  const accel::SessionId sid = user.session_id();
+
+  Bytes weights(kWeightBytes);
+  Xoshiro256 rng(0xb5);
+  rng.fill(weights);
+  if (a.set_weight(sid, user.seal(weights), 0) != accel::DeviceStatus::kOk)
+    return 1;
+
+  const Bytes descriptor{'b', 'e', 'n', 'c', 'h'};
+  store::SealedBlob blob;
+
+  // Seal throughput.
+  auto start = Clock::now();
+  for (int i = 0; i < kSealIters; ++i) {
+    if (a.seal_model(sid, 0, kWeightBytes, descriptor, blob) !=
+        accel::DeviceStatus::kOk)
+      return 1;
+  }
+  const double seal_ms = ms_since(start) / kSealIters;
+  const double seal_gbps =
+      static_cast<double>(kWeightBytes) / (seal_ms * 1e-3) / 1e9;
+
+  // Unseal throughput (back into the same session; CTR_W advances per load).
+  Bytes descriptor_out;
+  start = Clock::now();
+  for (int i = 0; i < kSealIters; ++i) {
+    if (a.unseal_model(sid, blob, 0, descriptor_out) != accel::DeviceStatus::kOk)
+      return 1;
+  }
+  const double unseal_ms = ms_since(start) / kSealIters;
+  const double unseal_gbps =
+      static_cast<double>(kWeightBytes) / (unseal_ms * 1e-3) / 1e9;
+
+  // Replication latency: full begin -> export_for_device -> finish rounds.
+  std::vector<double> replicate_ms;
+  replicate_ms.reserve(kReplicateIters);
+  for (int i = 0; i < kReplicateIters; ++i) {
+    start = Clock::now();
+    accel::ProvisionRequest request;
+    if (b.provision_begin(request) != accel::DeviceStatus::kOk) return 1;
+    store::SealedBlob wrapped;
+    accel::ProvisionGrant grant;
+    if (a.export_for_device(blob, request, wrapped, grant) !=
+        accel::DeviceStatus::kOk)
+      return 1;
+    store::SealedBlob rebound;
+    if (b.provision_finish(wrapped, grant, rebound) != accel::DeviceStatus::kOk)
+      return 1;
+    replicate_ms.push_back(ms_since(start));
+  }
+  const double p50 = percentile(replicate_ms, 0.50);
+  const double p99 = percentile(replicate_ms, 0.99);
+
+  std::cout << "  seal       " << seal_gbps << " GB/s  (" << seal_ms
+            << " ms per " << (kWeightBytes >> 20) << " MiB)\n";
+  std::cout << "  unseal     " << unseal_gbps << " GB/s  (" << unseal_ms
+            << " ms)\n";
+  std::cout << "  replicate  p50 " << p50 << " ms, p99 " << p99 << " ms over "
+            << kReplicateIters << " rounds\n";
+
+  std::cout << "##GUARDNN_BENCH_JSON## {\"weight_mib\": "
+            << (kWeightBytes >> 20) << ", \"seal_gbps\": " << seal_gbps
+            << ", \"unseal_gbps\": " << unseal_gbps
+            << ", \"replicate_p50_ms\": " << p50
+            << ", \"replicate_p99_ms\": " << p99 << "}\n";
+  std::cout << "PASS\n";
+  return 0;
+}
+
+}  // namespace guardnn
+
+int main() { return guardnn::run(); }

@@ -110,8 +110,8 @@ def crypto_throughput():
 # Structured serving throughput pulled out of bench_serving_throughput's
 # ##GUARDNN_BENCH_JSON## marker line (req/s, p50/p99 ms per workers x devices
 # config, plus the multi-worker speedup the acceptance gate tracks).
-def serving_throughput():
-    entry = benches.get("bench_serving_throughput", {})
+def marker_json(bench_name):
+    entry = benches.get(bench_name, {})
     for line in entry.get("stdout", "").splitlines():
         if line.startswith("##GUARDNN_BENCH_JSON## "):
             try:
@@ -119,6 +119,14 @@ def serving_throughput():
             except json.JSONDecodeError:
                 return None
     return None
+
+def serving_throughput():
+    return marker_json("bench_serving_throughput")
+
+# Sealed model store: SealModel/UnsealModel GB/s and cross-device
+# replication latency (p50/p99 of the attested 3-step re-wrap).
+def model_store():
+    return marker_json("bench_model_store")
 
 doc = {
     "schema": "guardnn-bench-baseline/1",
@@ -128,6 +136,7 @@ doc = {
     "failed": sorted(n for n, e in benches.items() if e["exit_code"] != 0),
     "crypto_throughput_gbps": crypto_throughput(),
     "serving_throughput": serving_throughput(),
+    "model_store": model_store(),
     "benches": benches,
 }
 pathlib.Path(out_json).write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")

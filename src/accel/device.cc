@@ -1,6 +1,8 @@
 #include "accel/device.h"
 
+#include "crypto/hmac.h"
 #include "functional/train_ops.h"
+#include "store/model_package.h"
 
 #include <stdexcept>
 
@@ -13,6 +15,62 @@ crypto::AesKey key_from_bytes(BytesView raw) {
   crypto::AesKey key{};
   std::copy(raw.begin(), raw.begin() + crypto::kAesKeyBytes, key.begin());
   return key;
+}
+
+/// Transcript a provision-request signature covers.
+Bytes provision_request_transcript(const crypto::AffinePoint& ephemeral,
+                                   const store::BindingId& binding) {
+  static constexpr char kTag[] = "guardnn-provision-req";
+  Bytes transcript(kTag, kTag + sizeof(kTag) - 1);
+  const Bytes point = crypto::encode_point(ephemeral);
+  transcript.insert(transcript.end(), point.begin(), point.end());
+  transcript.insert(transcript.end(), binding.begin(), binding.end());
+  return transcript;
+}
+
+/// Transcript a provision-grant signature covers (both shares, so neither
+/// side's ephemeral can be swapped by a MITM host).
+Bytes provision_grant_transcript(const crypto::AffinePoint& source_eph,
+                                 const crypto::AffinePoint& target_eph) {
+  static constexpr char kTag[] = "guardnn-provision-grant";
+  Bytes transcript(kTag, kTag + sizeof(kTag) - 1);
+  const Bytes src = crypto::encode_point(source_eph);
+  const Bytes dst = crypto::encode_point(target_eph);
+  transcript.insert(transcript.end(), src.begin(), src.end());
+  transcript.insert(transcript.end(), dst.begin(), dst.end());
+  return transcript;
+}
+
+/// ECDHE transport key for one provision re-wrap, bound to both shares.
+crypto::AesKey provision_transport_key(const crypto::U256& shared_x,
+                                       const crypto::AffinePoint& source_eph,
+                                       const crypto::AffinePoint& target_eph) {
+  static constexpr char kSalt[] = "guardnn-provision-transport";
+  Bytes info = crypto::encode_point(source_eph);
+  const Bytes dst = crypto::encode_point(target_eph);
+  info.insert(info.end(), dst.begin(), dst.end());
+  Bytes ikm = shared_x.to_bytes();
+  const Bytes okm = crypto::hkdf(
+      BytesView(reinterpret_cast<const u8*>(kSalt), sizeof(kSalt) - 1), ikm,
+      info, crypto::kAesKeyBytes);
+  secure_zero(ikm.data(), ikm.size());
+  crypto::AesKey key{};
+  std::copy(okm.begin(), okm.end(), key.begin());
+  return key;
+}
+
+/// Attests a peer device for provisioning: certificate chains to the pinned
+/// manufacturer CA, and the claimed binding id is the hash of the certified
+/// public key (so the binding cannot be detached from the attested identity).
+bool verify_peer_identity(const crypto::DeviceCertificate& certificate,
+                          const store::BindingId* claimed_binding,
+                          const crypto::AffinePoint& ca_public) {
+  if (!crypto::verify_certificate(certificate, ca_public)) return false;
+  if (claimed_binding) {
+    const Bytes encoded = crypto::encode_point(certificate.device_public);
+    if (crypto::Sha256::hash(encoded) != *claimed_binding) return false;
+  }
+  return true;
 }
 
 }  // namespace
@@ -54,7 +112,25 @@ GuardNnDevice::GuardNnDevice(std::string device_id, const crypto::ManufacturerCa
       drbg_(entropy, Bytes{'g', 'u', 'a', 'r', 'd', 'n', 'n'}),
       identity_(crypto::ecdsa_generate_key(drbg_)),
       certificate_(ca.issue(device_id_, identity_.public_key)),
-      memory_(memory) {}
+      ca_public_(ca.public_key()),
+      memory_(memory) {
+  // Store root key: derived from the identity key material, so it is (a)
+  // deterministic for this device — sealed blobs survive power cycles and
+  // reset() — and (b) bound to the attested identity: the binding id is the
+  // hash of the certified public key, which anyone can check against the
+  // certificate, while the root key itself never leaves the chip.
+  static constexpr char kStoreSalt[] = "guardnn-store-root";
+  Bytes ikm = identity_.private_key.to_bytes();
+  const Bytes okm = crypto::hkdf(
+      BytesView(reinterpret_cast<const u8*>(kStoreSalt), sizeof(kStoreSalt) - 1),
+      ikm,
+      BytesView(reinterpret_cast<const u8*>(device_id_.data()), device_id_.size()),
+      crypto::kAesKeyBytes);
+  secure_zero(ikm.data(), ikm.size());
+  std::copy(okm.begin(), okm.end(), store_root_.begin());
+  store_binding_ =
+      crypto::Sha256::hash(crypto::encode_point(identity_.public_key));
+}
 
 GetPkResponse GuardNnDevice::get_pk() {
   std::lock_guard<std::mutex> lock(mu_);
@@ -543,6 +619,252 @@ DeviceStatus GuardNnDevice::sign_output(SessionId sid, SignOutputResponse& out) 
   out.signature =
       crypto::ecdsa_sign_digest(identity_.private_key, out.report_digest());
   return DeviceStatus::kOk;
+}
+
+crypto::AesBlock GuardNnDevice::random_nonce() {
+  crypto::AesBlock nonce{};
+  const Bytes raw = drbg_.generate(nonce.size());
+  std::copy(raw.begin(), raw.end(), nonce.begin());
+  return nonce;
+}
+
+DeviceStatus GuardNnDevice::seal_model(SessionId sid, u64 weight_addr,
+                                       u64 weight_bytes, BytesView descriptor,
+                                       store::SealedBlob& out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Session* s = find_session(sid);
+  if (!s) return DeviceStatus::kNoSession;
+  if (s->dead) return DeviceStatus::kIntegrityFailure;
+  if (weight_bytes == 0 || weight_bytes > kSessionDramBytes)
+    return DeviceStatus::kBadOperand;
+
+  u64 phys = 0;
+  if (!translate(*s, weight_addr, pad_region(weight_bytes), phys))
+    return DeviceStatus::kBadOperand;
+
+  // Stream the weight region out of the session's partition through the MPU
+  // (plaintext exists only inside the trusted boundary). The padded read
+  // buffer is separate from the package so the pad tail can be wiped in
+  // full — a shrinking resize would leave those plaintext bytes behind the
+  // vector's size() where zeroize() cannot see them.
+  Bytes buffer(pad_region(weight_bytes));
+  if (!s->mpu.read(phys, buffer, s->vn.weight_vn())) {
+    s->dead = true;
+    return DeviceStatus::kIntegrityFailure;
+  }
+  store::ModelPackage package;
+  package.weights.assign(buffer.begin(),
+                         buffer.begin() + static_cast<long>(weight_bytes));
+  secure_zero(buffer.data(), buffer.size());
+  package.descriptor.assign(descriptor.begin(), descriptor.end());
+  package.weight_vn = s->vn.weight_vn();
+
+  Bytes payload = package.serialize();
+  out = store::seal_blob(store_root_, store_binding_, random_nonce(), payload,
+                         package.content_id());
+  secure_zero(payload.data(), payload.size());
+  package.zeroize();
+  latency_.add_import(weight_bytes);  // bounded by the same AES path
+
+  u8 operand[16 + sizeof(out.header.content_id)];
+  store_be64(operand, weight_addr);
+  store_be64(operand + 8, weight_bytes);
+  std::copy(out.header.content_id.begin(), out.header.content_id.end(),
+            operand + 16);
+  s->chain.absorb(Opcode::kSealModel, BytesView(operand, sizeof(operand)));
+  return DeviceStatus::kOk;
+}
+
+DeviceStatus GuardNnDevice::unseal_model(SessionId sid,
+                                         const store::SealedBlob& blob,
+                                         u64 weight_addr, Bytes& descriptor_out,
+                                         u64* checkpoint_vn_out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Session* s = find_session(sid);
+  if (!s) return DeviceStatus::kNoSession;
+  if (s->dead) return DeviceStatus::kIntegrityFailure;
+  descriptor_out.clear();
+
+  // All authenticity failures — tamper, truncation, wrong device, version
+  // downgrade — collapse to kBadRecord, and nothing (VN counters included)
+  // changes. A malicious host learns only "the blob did not verify".
+  Bytes payload;
+  if (store::unseal_blob(store_root_, store_binding_, blob, payload) !=
+      store::SealStatus::kOk)
+    return DeviceStatus::kBadRecord;
+  std::optional<store::ModelPackage> package = store::ModelPackage::parse(payload);
+  secure_zero(payload.data(), payload.size());
+  if (!package) return DeviceStatus::kBadRecord;
+  // Defense in depth: the authenticated content id must match the model
+  // bytes actually inside the package.
+  if (package->content_id() != blob.header.content_id) {
+    package->zeroize();
+    return DeviceStatus::kBadRecord;
+  }
+
+  u64 phys = 0;
+  if (!translate(*s, weight_addr, pad_region(package->weights.size()), phys)) {
+    package->zeroize();
+    return DeviceStatus::kBadOperand;
+  }
+
+  // From here on this is a SetWeight whose source is the store instead of
+  // the user channel: advance CTR_W, write through the MPU, record the
+  // weight hash so SignOutput attests the provenance of the loaded model.
+  // The padded buffer is allocated at final size up front — a growing
+  // resize could reallocate and leave the old plaintext block unwiped.
+  s->vn.on_set_weight();
+  s->weight_hash = crypto::Sha256::hash(package->weights);
+  Bytes padded(pad_region(package->weights.size()), 0);
+  std::copy(package->weights.begin(), package->weights.end(), padded.begin());
+  s->mpu.write(phys, padded, s->vn.weight_vn());
+  secure_zero(padded.data(), padded.size());
+  package->zeroize();
+  latency_.add_import(blob.header.plaintext_bytes);
+
+  descriptor_out = std::move(package->descriptor);
+  if (checkpoint_vn_out) *checkpoint_vn_out = package->weight_vn;
+
+  u8 operand[8 + sizeof(blob.header.content_id)];
+  store_be64(operand, weight_addr);
+  std::copy(blob.header.content_id.begin(), blob.header.content_id.end(),
+            operand + 8);
+  s->chain.absorb(Opcode::kUnsealModel, BytesView(operand, sizeof(operand)));
+  return DeviceStatus::kOk;
+}
+
+DeviceStatus GuardNnDevice::provision_begin(ProvisionRequest& out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  latency_.add_command();
+  pending_provision_ = crypto::ecdh_generate_key(drbg_);
+  out.ephemeral = pending_provision_->public_key;
+  out.binding_id = store_binding_;
+  out.signature = crypto::ecdsa_sign(
+      identity_.private_key,
+      provision_request_transcript(out.ephemeral, out.binding_id));
+  out.certificate = certificate_;
+  return DeviceStatus::kOk;
+}
+
+DeviceStatus GuardNnDevice::export_for_device(const store::SealedBlob& blob,
+                                              const ProvisionRequest& target,
+                                              store::SealedBlob& wrapped,
+                                              ProvisionGrant& grant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  latency_.add_key_exchange();
+
+  // Attest the target before any key material is derived: manufacturer
+  // certificate, binding/identity consistency, and possession of the
+  // ephemeral's signing key. A forged or replayed-for-another-binding
+  // request fails closed.
+  if (!verify_peer_identity(target.certificate, &target.binding_id, ca_public_))
+    return DeviceStatus::kBadRecord;
+  if (!crypto::ecdsa_verify(
+          target.certificate.device_public,
+          provision_request_transcript(target.ephemeral, target.binding_id),
+          target.signature))
+    return DeviceStatus::kBadRecord;
+
+  // The blob must be ours to re-wrap.
+  Bytes payload;
+  if (store::unseal_blob(store_root_, store_binding_, blob, payload) !=
+      store::SealStatus::kOk)
+    return DeviceStatus::kBadRecord;
+
+  DeviceStatus status = DeviceStatus::kOk;
+  try {
+    const crypto::EcdhKeyPair ephemeral = crypto::ecdh_generate_key(drbg_);
+    const crypto::U256 shared =
+        crypto::ecdh_shared_secret(ephemeral.private_key, target.ephemeral);
+    crypto::AesKey transport = provision_transport_key(
+        shared, ephemeral.public_key, target.ephemeral);
+
+    // The wrapped blob is addressed to the *target's* binding: only the
+    // device that proves that identity derives the same transport key, and
+    // the binding check gives a third device a clean wrong-device failure.
+    // The content id travels unchanged — replicas of one model share it.
+    wrapped = store::seal_blob(transport, target.binding_id, random_nonce(),
+                               payload, blob.header.content_id);
+    secure_zero(transport.data(), transport.size());
+
+    grant.ephemeral = ephemeral.public_key;
+    grant.signature = crypto::ecdsa_sign(
+        identity_.private_key,
+        provision_grant_transcript(ephemeral.public_key, target.ephemeral));
+    grant.certificate = certificate_;
+  } catch (const std::invalid_argument&) {
+    status = DeviceStatus::kBadRecord;  // degenerate peer share
+  }
+  secure_zero(payload.data(), payload.size());
+  return status;
+}
+
+DeviceStatus GuardNnDevice::provision_finish(const store::SealedBlob& wrapped,
+                                             const ProvisionGrant& grant,
+                                             store::SealedBlob& rebound) {
+  std::lock_guard<std::mutex> lock(mu_);
+  latency_.add_key_exchange();
+  if (!pending_provision_) return DeviceStatus::kBadOperand;
+
+  DeviceStatus status = DeviceStatus::kOk;
+  Bytes payload;
+  // Attest the source; the grant signature must cover *our* pending share,
+  // so a grant minted for a different handshake never verifies.
+  if (!verify_peer_identity(grant.certificate, nullptr, ca_public_) ||
+      !crypto::ecdsa_verify(grant.certificate.device_public,
+                            provision_grant_transcript(
+                                grant.ephemeral, pending_provision_->public_key),
+                            grant.signature)) {
+    status = DeviceStatus::kBadRecord;
+  } else {
+    try {
+      const crypto::U256 shared = crypto::ecdh_shared_secret(
+          pending_provision_->private_key, grant.ephemeral);
+      crypto::AesKey transport = provision_transport_key(
+          shared, grant.ephemeral, pending_provision_->public_key);
+      if (store::unseal_blob(transport, store_binding_, wrapped, payload) ==
+          store::SealStatus::kOk) {
+        rebound = store::seal_blob(store_root_, store_binding_, random_nonce(),
+                                   payload, wrapped.header.content_id);
+      } else {
+        status = DeviceStatus::kBadRecord;
+      }
+      secure_zero(transport.data(), transport.size());
+    } catch (const std::invalid_argument&) {
+      status = DeviceStatus::kBadRecord;  // degenerate peer share
+    }
+  }
+  if (!payload.empty()) secure_zero(payload.data(), payload.size());
+
+  // One-shot handshake: consume (and wipe) the pending share on *every*
+  // outcome, so a failed attempt cannot be retried against the same
+  // ephemeral.
+  secure_zero(pending_provision_->private_key.limb.data(),
+              sizeof(pending_provision_->private_key.limb));
+  pending_provision_.reset();
+  return status;
+}
+
+DeviceStatus GuardNnDevice::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  latency_.add_command();
+  for (Slot& slot : slots_) {
+    if (slot.session && slot.active) slot.session->zeroize();
+    slot.active = false;
+  }
+  if (pending_provision_) {
+    secure_zero(pending_provision_->private_key.limb.data(),
+                sizeof(pending_provision_->private_key.limb));
+    pending_provision_.reset();
+  }
+  current_session_.store(kInvalidSession, std::memory_order_relaxed);
+  generation_ += 1;
+  return DeviceStatus::kOk;
+}
+
+u64 GuardNnDevice::device_generation() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return generation_;
 }
 
 bool GuardNnDevice::session_active(SessionId sid) const {

@@ -35,6 +35,7 @@
 #include <atomic>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 
 #include "accel/isa.h"
@@ -46,6 +47,7 @@
 #include "crypto/secure_channel.h"
 #include "functional/quant_ops.h"
 #include "memprot/vn_generator.h"
+#include "store/sealed_blob.h"
 
 namespace guardnn::accel {
 
@@ -81,6 +83,26 @@ struct InitSessionResponse {
   SessionId session_id = kInvalidSession;
   crypto::AffinePoint device_ephemeral;
   crypto::EcdsaSignature signature;  ///< over (user_pub || device_pub)
+};
+
+/// Provision handshake, message 1 (target device → host → source device):
+/// the target's fresh ECDH share, bound to its sealing-domain id and signed
+/// by its certified identity key, plus the certificate so the source can
+/// attest the target before re-wrapping a model for it.
+struct ProvisionRequest {
+  crypto::AffinePoint ephemeral;
+  store::BindingId binding_id{};
+  crypto::EcdsaSignature signature;  ///< over ("req" || ephemeral || binding)
+  crypto::DeviceCertificate certificate;
+};
+
+/// Provision handshake, message 2 (source device → host → target device):
+/// the source's ECDH share signed over both shares (MITM-resistant), plus
+/// its certificate. Travels together with the transport-wrapped blob.
+struct ProvisionGrant {
+  crypto::AffinePoint ephemeral;
+  crypto::EcdsaSignature signature;  ///< over ("grant" || src eph || dst eph)
+  crypto::DeviceCertificate certificate;
 };
 
 /// SignOutput response: attestation report + signature.
@@ -147,6 +169,68 @@ class GuardNnDevice {
 
   /// Signs the session's attestation hashes with SK_Accel.
   DeviceStatus sign_output(SessionId sid, SignOutputResponse& out);
+
+  // --- Sealed model store (SealModel / UnsealModel / Provision) ------------
+  // The device holds a per-device store root key derived from its certified
+  // identity key material; blobs sealed with it are bound to this device's
+  // attested identity (store_binding() = SHA-256 of PK_Accel) and survive
+  // sessions, resets and host restarts. The host only ever handles the
+  // sealed ciphertext.
+
+  /// Packages (descriptor || weights || CTR_W) from the session's protected
+  /// weight region into a device-bound SealedBlob. `descriptor` is the
+  /// host-authored public architecture metadata; `weight_bytes` plaintext
+  /// bytes are read from `weight_addr` (512 B aligned, session-local) under
+  /// the session's current weight VN. The host sees only ciphertext.
+  DeviceStatus seal_model(SessionId sid, u64 weight_addr, u64 weight_bytes,
+                          BytesView descriptor, store::SealedBlob& out);
+
+  /// Verifies a blob sealed for *this* device and streams its weights into
+  /// the session's DRAM partition at `weight_addr` (a SetWeight from the
+  /// store: bumps CTR_W, records the weight hash for attestation). On
+  /// success `descriptor_out` returns the public descriptor and
+  /// `checkpoint_vn_out` the CTR_W recorded at seal time (checkpoint
+  /// metadata). Any tamper, truncation, wrong-device or downgraded blob
+  /// answers kBadRecord with no state change — VN counters do not advance.
+  DeviceStatus unseal_model(SessionId sid, const store::SealedBlob& blob,
+                            u64 weight_addr, Bytes& descriptor_out,
+                            u64* checkpoint_vn_out = nullptr);
+
+  /// Provision step 1, on the *target* device: emit a fresh signed ECDH
+  /// share. The device keeps the private share until provision_finish (one
+  /// pending handshake at a time; a new begin supersedes the old).
+  DeviceStatus provision_begin(ProvisionRequest& out);
+
+  /// Provision step 2, on the *source* device: attest the target (CA
+  /// certificate + share signature + binding/identity consistency), unseal
+  /// `blob` (must be bound to this device) and re-wrap it under the ECDHE
+  /// transport key for the target. Plaintext never leaves the device.
+  DeviceStatus export_for_device(const store::SealedBlob& blob,
+                                 const ProvisionRequest& target,
+                                 store::SealedBlob& wrapped,
+                                 ProvisionGrant& grant);
+
+  /// Provision step 3, back on the *target* device: attest the source,
+  /// derive the transport key with the pending share, unwrap, and re-seal
+  /// under this device's own root key. Consumes the pending handshake.
+  DeviceStatus provision_finish(const store::SealedBlob& wrapped,
+                                const ProvisionGrant& grant,
+                                store::SealedBlob& rebound);
+
+  /// Public sealing-domain identity: SHA-256 over PK_Accel, checkable
+  /// against the device certificate by any host or peer device.
+  const store::BindingId& store_binding() const { return store_binding_; }
+
+  /// Device reset ("reboot"): closes and zeroizes every session and bumps
+  /// the device generation. The store root key survives — sealed blobs and
+  /// checkpoints remain openable — but anything session- or plan-scoped on
+  /// the host must be re-established against the new generation.
+  DeviceStatus reset();
+
+  /// Monotonic reset epoch, starting at 1. Host-side caches (compiled
+  /// execution plans especially) must key on it so state from before a
+  /// reset is never replayed onto the device after one.
+  u64 device_generation() const;
 
   // --- Single-session convenience ------------------------------------------
   // Legacy entry points for single-tenant callers (examples, benches, the
@@ -248,6 +332,9 @@ class GuardNnDevice {
     return (generation << 8) | static_cast<u64>(slot);
   }
 
+  /// Fresh per-blob nonce from the device TRNG. Caller must hold mu_.
+  crypto::AesBlock random_nonce();
+
   /// Resolves a SessionId to its live session; nullptr for unknown, closed,
   /// or stale ids. Caller must hold mu_.
   Session* find_session(SessionId sid);
@@ -266,6 +353,17 @@ class GuardNnDevice {
   crypto::HmacDrbg drbg_;
   crypto::EcdsaKeyPair identity_;
   crypto::DeviceCertificate certificate_;
+  /// Pinned manufacturer root (a hardware fuse): lets this device attest
+  /// *peer* devices during cross-device provisioning.
+  crypto::AffinePoint ca_public_;
+  /// Store root key, derived from the identity key material at fabrication —
+  /// deterministic for a device, never exported, survives reset().
+  crypto::AesKey store_root_{};
+  store::BindingId store_binding_{};
+  /// Pending provision_begin ephemeral (target side of the handshake).
+  std::optional<crypto::EcdhKeyPair> pending_provision_;
+  /// Reset epoch; bumped by reset().
+  u64 generation_ = 1;
   UntrustedMemory& memory_;
   LatencyAccumulator latency_;
   std::array<Slot, kMaxSessions> slots_;

@@ -14,6 +14,9 @@ std::string opcode_name(Opcode op) {
     case Opcode::kSetReadCtr: return "SetReadCTR";
     case Opcode::kExportOutput: return "ExportOutput";
     case Opcode::kSignOutput: return "SignOutput";
+    case Opcode::kSealModel: return "SealModel";
+    case Opcode::kUnsealModel: return "UnsealModel";
+    case Opcode::kProvision: return "Provision";
   }
   throw std::invalid_argument("opcode_name: bad opcode");
 }

@@ -22,6 +22,10 @@ enum class Opcode : u8 {
   kSetReadCtr,    ///< Host supplies CTR_F,R for an address range.
   kExportOutput,  ///< Re-encrypt an output region with K_Session.
   kSignOutput,    ///< Sign the attestation hashes with SK_Accel.
+  // Sealed model store extension (SEAL-style persistence):
+  kSealModel,     ///< Package + seal a model from protected DRAM to a blob.
+  kUnsealModel,   ///< Verify + import a device-bound blob into protected DRAM.
+  kProvision,     ///< Cross-device re-wrap handshake (begin/export/finish).
 };
 
 std::string opcode_name(Opcode op);

@@ -1,0 +1,222 @@
+#include "host/model_codec.h"
+
+#include <stdexcept>
+
+namespace guardnn::host {
+namespace {
+
+constexpr u32 kDescriptorMagic = 0x474E'4D44;  // "GNMD"
+constexpr u16 kDescriptorVersion = 1;
+constexpr u64 kChunk = accel::MemoryProtectionUnit::kChunkBytes;
+
+u64 pad_chunk(u64 bytes) { return (bytes + kChunk - 1) / kChunk * kChunk; }
+
+void push_be32(Bytes& out, i32 v) {
+  u8 buf[4];
+  store_be32(buf, static_cast<u32>(v));
+  out.insert(out.end(), buf, buf + 4);
+}
+
+void push_be64(Bytes& out, u64 v) {
+  u8 buf[8];
+  store_be64(buf, v);
+  out.insert(out.end(), buf, buf + 8);
+}
+
+/// Layer kinds a descriptor may carry — the forward inference set the
+/// scheduler can compile. Training kinds never appear in a stored model.
+bool descriptor_kind_ok(u8 kind) {
+  switch (static_cast<accel::ForwardOp::Kind>(kind)) {
+    case accel::ForwardOp::Kind::kConv:
+    case accel::ForwardOp::Kind::kFc:
+    case accel::ForwardOp::Kind::kRelu:
+    case accel::ForwardOp::Kind::kMaxPool:
+    case accel::ForwardOp::Kind::kGlobalAvgPool:
+    case accel::ForwardOp::Kind::kDepthwiseConv:
+    case accel::ForwardOp::Kind::kAdd:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+Bytes serialize_descriptor(const FuncNetwork& net, u64 train_step) {
+  Bytes out;
+  out.reserve(48 + net.layers.size() * 32);
+  push_be32(out, static_cast<i32>(kDescriptorMagic));
+  out.push_back(static_cast<u8>(kDescriptorVersion >> 8));
+  out.push_back(static_cast<u8>(kDescriptorVersion));
+  out.push_back(0);
+  out.push_back(0);
+  push_be32(out, net.in_c);
+  push_be32(out, net.in_h);
+  push_be32(out, net.in_w);
+  push_be32(out, net.bits);
+  push_be64(out, train_step);
+  push_be64(out, net.layers.size());
+  for (const FuncLayer& layer : net.layers) {
+    out.push_back(static_cast<u8>(layer.kind));
+    push_be32(out, layer.out_c);
+    push_be32(out, layer.kernel);
+    push_be32(out, layer.stride);
+    push_be32(out, layer.pad);
+    push_be32(out, layer.requant_shift);
+    push_be32(out, layer.input2_layer);
+  }
+  return out;
+}
+
+std::optional<ParsedDescriptor> parse_descriptor(BytesView bytes) {
+  constexpr std::size_t kFixed = 4 + 4 + 16 + 8 + 8;
+  constexpr std::size_t kPerLayer = 1 + 6 * 4;
+  if (bytes.size() < kFixed) return std::nullopt;
+  const u8* p = bytes.data();
+  if (load_be32(p) != kDescriptorMagic) return std::nullopt;
+  p += 4;
+  if (static_cast<u16>((u16(p[0]) << 8) | p[1]) != kDescriptorVersion)
+    return std::nullopt;
+  p += 4;
+
+  ParsedDescriptor parsed;
+  auto read_i32 = [&] {
+    const i32 v = static_cast<i32>(load_be32(p));
+    p += 4;
+    return v;
+  };
+  parsed.net.in_c = read_i32();
+  parsed.net.in_h = read_i32();
+  parsed.net.in_w = read_i32();
+  parsed.net.bits = read_i32();
+  parsed.train_step = load_be64(p);
+  p += 8;
+  const u64 n_layers = load_be64(p);
+  p += 8;
+
+  if (parsed.net.in_c <= 0 || parsed.net.in_h <= 0 || parsed.net.in_w <= 0 ||
+      parsed.net.in_c > (1 << 16) || parsed.net.in_h > (1 << 16) ||
+      parsed.net.in_w > (1 << 16))
+    return std::nullopt;
+  if (parsed.net.bits != 6 && parsed.net.bits != 8) return std::nullopt;
+  if (n_layers > 4096) return std::nullopt;  // sanity cap from untrusted bytes
+  if (bytes.size() != kFixed + n_layers * kPerLayer) return std::nullopt;
+
+  // Field bounds: the descriptor crosses untrusted storage, so every value
+  // that later feeds a size computation is range-checked here — a negative
+  // or huge out_c/kernel would otherwise wrap the weight-size arithmetic.
+  constexpr i32 kMaxDim = 1 << 16;
+  parsed.net.layers.reserve(n_layers);
+  for (u64 i = 0; i < n_layers; ++i) {
+    FuncLayer layer;
+    const u8 kind = *p++;
+    if (!descriptor_kind_ok(kind)) return std::nullopt;
+    layer.kind = static_cast<accel::ForwardOp::Kind>(kind);
+    layer.out_c = read_i32();
+    layer.kernel = read_i32();
+    layer.stride = read_i32();
+    layer.pad = read_i32();
+    layer.requant_shift = read_i32();
+    layer.input2_layer = read_i32();
+    if (layer.out_c < 0 || layer.out_c > kMaxDim) return std::nullopt;
+    if (layer.kernel < 0 || layer.kernel > kMaxDim) return std::nullopt;
+    if (layer.stride < 0 || layer.stride > kMaxDim) return std::nullopt;
+    if (layer.pad < 0 || layer.pad > kMaxDim) return std::nullopt;
+    if (layer.requant_shift < 0 || layer.requant_shift > 63) return std::nullopt;
+    // Kinds whose output shape divides by stride must have stride >= 1 — a
+    // zero here would reach out_dim's integer division (SIGFPE, not an
+    // exception, so no downstream catch could save the process).
+    if ((layer.kind == accel::ForwardOp::Kind::kConv ||
+         layer.kind == accel::ForwardOp::Kind::kDepthwiseConv ||
+         layer.kind == accel::ForwardOp::Kind::kMaxPool) &&
+        layer.stride < 1)
+      return std::nullopt;
+    // Residual inputs may only reference *earlier* tensors (same bound
+    // HostScheduler::compile enforces); a self/forward reference would index
+    // reference_run's intermediates out of bounds.
+    if (layer.input2_layer < -2 || layer.input2_layer >= static_cast<i32>(i))
+      return std::nullopt;
+    parsed.net.layers.push_back(std::move(layer));
+  }
+  return parsed;
+}
+
+std::vector<std::size_t> layer_weight_sizes(const FuncNetwork& net) {
+  // Hard cap per layer blob. Together with parse_descriptor's per-field
+  // bounds this keeps every product below wrap-around even for the most
+  // degenerate descriptor that still parses.
+  constexpr u64 kMaxLayerWeightBytes = 1ull << 31;
+  // Overflow-safe product: the cap is enforced before each multiply, so no
+  // intermediate can wrap no matter how degenerate the (parsed) shapes are.
+  auto checked_product = [](std::initializer_list<u64> factors) {
+    u64 size = 1;
+    for (const u64 factor : factors) {
+      if (factor == 0) return u64{0};
+      if (size > kMaxLayerWeightBytes / factor)
+        throw std::invalid_argument("layer_weight_sizes: layer blob too large");
+      size *= factor;
+    }
+    return size;
+  };
+
+  const auto shapes = infer_shapes(net);
+  std::vector<std::size_t> sizes;
+  sizes.reserve(net.layers.size());
+  for (std::size_t i = 0; i < net.layers.size(); ++i) {
+    const FuncLayer& layer = net.layers[i];
+    const auto& in_shape = shapes[i];
+    u64 size = 0;
+    switch (layer.kind) {
+      case accel::ForwardOp::Kind::kConv:
+        size = checked_product({static_cast<u64>(layer.out_c),
+                                static_cast<u64>(in_shape[0]),
+                                static_cast<u64>(layer.kernel),
+                                static_cast<u64>(layer.kernel)});
+        break;
+      case accel::ForwardOp::Kind::kDepthwiseConv:
+        size = checked_product({static_cast<u64>(in_shape[0]),
+                                static_cast<u64>(layer.kernel),
+                                static_cast<u64>(layer.kernel)});
+        break;
+      case accel::ForwardOp::Kind::kFc:
+        size = checked_product({static_cast<u64>(layer.out_c),
+                                static_cast<u64>(in_shape[0]),
+                                static_cast<u64>(in_shape[1]),
+                                static_cast<u64>(in_shape[2])});
+        break;
+      default:
+        break;  // relu / pool / add: weightless
+    }
+    sizes.push_back(static_cast<std::size_t>(size));
+  }
+  return sizes;
+}
+
+std::optional<FuncNetwork> network_from_package(BytesView descriptor,
+                                                BytesView weight_blob) {
+  std::optional<ParsedDescriptor> parsed = parse_descriptor(descriptor);
+  if (!parsed) return std::nullopt;
+  FuncNetwork net = std::move(parsed->net);
+
+  std::vector<std::size_t> sizes;
+  try {
+    sizes = layer_weight_sizes(net);
+  } catch (const std::invalid_argument&) {
+    return std::nullopt;  // descriptor shapes do not compile
+  }
+
+  // Mirror ExecutionPlan packing: each weighted layer occupies
+  // pad_chunk(size) bytes, in layer order, starting at offset 0.
+  u64 offset = 0;
+  for (std::size_t i = 0; i < net.layers.size(); ++i) {
+    if (sizes[i] == 0) continue;
+    if (offset + sizes[i] > weight_blob.size()) return std::nullopt;
+    net.layers[i].weights.assign(weight_blob.begin() + static_cast<long>(offset),
+                                 weight_blob.begin() +
+                                     static_cast<long>(offset + sizes[i]));
+    offset += pad_chunk(sizes[i]);
+  }
+  return net;
+}
+
+}  // namespace guardnn::host

@@ -1,0 +1,43 @@
+// Host-side codec between FuncNetwork and the sealed model store's package
+// layout.
+//
+// GuardNN does not hide network *structure* (shapes and quantization
+// parameters are public; only values are secret), so the architecture
+// descriptor travels as plain bytes the host authors and reads back. The
+// confidential half — the packed weight blob — only ever exists in plaintext
+// inside a device; the codec's job on the read side is to re-attach blob
+// slices to descriptor layers using the deterministic ExecutionPlan packing
+// (512 B aligned per layer), e.g. when a checkpoint owner rebuilds a
+// reference model from an exported blob.
+#pragma once
+
+#include <optional>
+
+#include "host/scheduler.h"
+
+namespace guardnn::host {
+
+/// Serialized public architecture + quantization metadata + a host-chosen
+/// training step (checkpoint bookkeeping). No weights.
+Bytes serialize_descriptor(const FuncNetwork& net, u64 train_step = 0);
+
+struct ParsedDescriptor {
+  FuncNetwork net;  ///< Layers carry empty weights.
+  u64 train_step = 0;
+};
+
+/// Strict parse of serialize_descriptor's output; nullopt on anything
+/// malformed (the descriptor crosses untrusted storage).
+std::optional<ParsedDescriptor> parse_descriptor(BytesView bytes);
+
+/// Plaintext weight bytes layer `i` contributes to the packed blob (zero for
+/// weightless layers). Throws std::invalid_argument on inconsistent shapes.
+std::vector<std::size_t> layer_weight_sizes(const FuncNetwork& net);
+
+/// Rebuilds a runnable network from a parsed descriptor plus a packed weight
+/// blob in ExecutionPlan layout. nullopt when the blob cannot cover the
+/// descriptor's layers.
+std::optional<FuncNetwork> network_from_package(BytesView descriptor,
+                                                BytesView weight_blob);
+
+}  // namespace guardnn::host

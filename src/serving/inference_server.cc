@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "host/model_codec.h"
+
 namespace guardnn::serving {
 
 const char* outcome_name(RequestOutcome outcome) {
@@ -18,7 +20,11 @@ const char* outcome_name(RequestOutcome outcome) {
 
 InferenceServer::InferenceServer(const crypto::ManufacturerCa& ca,
                                  const ServerConfig& config, BytesView entropy)
-    : config_(config) {
+    : config_(config),
+      model_store_(config.model_store_dir.empty()
+                       ? nullptr
+                       : std::make_unique<store::DirectoryBackend>(
+                             config.model_store_dir)) {
   const std::size_t n_devices = std::max<std::size_t>(1, config_.num_devices);
   const std::size_t n_workers = std::max<std::size_t>(1, config_.num_workers);
   devices_.reserve(n_devices);
@@ -73,20 +79,33 @@ InferenceServer::ConnectResult InferenceServer::connect(
       if (devices_[i]->tenant_count < devices_[best]->tenant_count) best = i;
   }
   DeviceNode& node = *devices_[best];
-  {
-    std::lock_guard<std::mutex> busy(node.busy);
-    result.response = node.device.init_session(user_ephemeral, integrity);
-  }
   result.device_index = best;
-  if (result.response.status != accel::DeviceStatus::kOk) return result;
-
-  std::lock_guard<std::mutex> lock(mu_);
-  const TenantId id = next_tenant_++;
-  tenants_.emplace(id, std::make_shared<Tenant>(node.device, best,
-                                                result.response.session_id));
-  node.tenant_count += 1;
-  result.tenant = id;
-  return result;
+  // InitSession and tenant registration happen under one hold of the
+  // device's busy lock, so reset_device (which purges tenants and wipes the
+  // session table under the same lock) can never interleave between "session
+  // created" and "tenant recorded" and leave a live tenant entry pointing at
+  // a zeroized session. The eviction retry loops because a concurrent
+  // connect may steal a freed slot; each iteration evicts another idle
+  // tenant, so it is bounded by the table size and stops when no victim
+  // remains (ROADMAP "session eviction policy").
+  while (true) {
+    {
+      std::lock_guard<std::mutex> busy(node.busy);
+      result.response = node.device.init_session(user_ephemeral, integrity);
+      if (result.response.status == accel::DeviceStatus::kOk) {
+        std::lock_guard<std::mutex> lock(mu_);
+        const TenantId id = next_tenant_++;
+        tenants_.emplace(id, std::make_shared<Tenant>(
+                                 node.device, best, result.response.session_id));
+        node.tenant_count += 1;
+        result.tenant = id;
+        return result;
+      }
+    }
+    if (result.response.status != accel::DeviceStatus::kNoResources ||
+        !config_.evict_idle_sessions || !evict_idle_tenant(best))
+      return result;
+  }
 }
 
 accel::DeviceStatus InferenceServer::disconnect(TenantId tenant) {
@@ -143,24 +162,56 @@ crypto::Sha256Digest InferenceServer::model_hash(const host::FuncNetwork& net) {
   return hasher.finalize();
 }
 
-ModelHandle InferenceServer::register_model(const host::FuncNetwork& net) {
-  ModelHandle handle;
-  handle.hash = model_hash(net);
+std::shared_ptr<const host::ExecutionPlan> InferenceServer::plan_for(
+    const crypto::Sha256Digest& hash, const host::FuncNetwork& net,
+    u64 generation) {
+  const std::pair<crypto::Sha256Digest, u64> key{hash, generation};
   {
     std::lock_guard<std::mutex> lock(plan_mu_);
-    auto it = plan_cache_.find(handle.hash);
-    if (it != plan_cache_.end()) {
-      handle.plan = it->second;
-      return handle;
-    }
+    auto it = plan_cache_.find(key);
+    if (it != plan_cache_.end()) return it->second;
   }
   // Compile outside the cache lock; a racing duplicate compile is harmless
   // (first insert wins, both plans are identical).
   auto plan = std::make_shared<const host::ExecutionPlan>(
       host::HostScheduler::compile(net));
   std::lock_guard<std::mutex> lock(plan_mu_);
-  auto [it, inserted] = plan_cache_.emplace(handle.hash, std::move(plan));
-  handle.plan = it->second;
+  auto [it, inserted] = plan_cache_.emplace(key, std::move(plan));
+  return it->second;
+}
+
+std::shared_ptr<const host::ExecutionPlan> InferenceServer::resolve_plan(
+    const ModelHandle& model, std::size_t device_index) {
+  const u64 generation = devices_[device_index]->device.device_generation();
+  if (model.generation == generation || !model.net) return model.plan;
+  return plan_for(model.hash, *model.net, generation);
+}
+
+ModelHandle InferenceServer::register_model(const host::FuncNetwork& net) {
+  ModelHandle handle;
+  handle.hash = model_hash(net);
+  // One shared FuncNetwork per distinct model: handles only need it on the
+  // rare recompile-after-reset path, so they share a cached copy instead of
+  // each holding a private duplicate of the weights. The (large) copy is
+  // made outside plan_mu_; a racing duplicate is dropped, first insert wins.
+  {
+    std::lock_guard<std::mutex> lock(plan_mu_);
+    auto it = net_cache_.find(handle.hash);
+    if (it != net_cache_.end()) handle.net = it->second;
+  }
+  if (!handle.net) {
+    auto copy = std::make_shared<const host::FuncNetwork>(net);
+    std::lock_guard<std::mutex> lock(plan_mu_);
+    auto [it, inserted] = net_cache_.emplace(handle.hash, std::move(copy));
+    handle.net = it->second;
+  }
+  // Register against the fleet's newest generation; load_model recompiles
+  // transparently for devices that reset later.
+  handle.generation = 1;
+  for (const auto& node : devices_)
+    handle.generation =
+        std::max(handle.generation, node->device.device_generation());
+  handle.plan = plan_for(handle.hash, net, handle.generation);
   return handle;
 }
 
@@ -176,17 +227,236 @@ accel::DeviceStatus InferenceServer::load_model(
       return accel::DeviceStatus::kNoSession;
     entry = it->second;
   }
+  const std::shared_ptr<const host::ExecutionPlan> plan =
+      resolve_plan(model, entry->device_index);
+  if (!plan) return accel::DeviceStatus::kBadOperand;
   DeviceNode& node = *devices_[entry->device_index];
   accel::DeviceStatus status;
   {
     std::lock_guard<std::mutex> busy(node.busy);
     status = node.device.set_weight(entry->session, sealed_weights,
-                                    model.plan->weight_base);
+                                    plan->weight_base);
   }
   if (status != accel::DeviceStatus::kOk) return status;
   std::lock_guard<std::mutex> lock(mu_);
-  entry->plan = model.plan;
+  entry->plan = plan;
+  entry->last_activity = Clock::now();
   return status;
+}
+
+accel::DeviceStatus InferenceServer::seal_tenant_model(
+    TenantId tenant, BytesView descriptor, store::ContentId& content_out) {
+  std::shared_ptr<Tenant> entry;
+  std::shared_ptr<const host::ExecutionPlan> plan;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = tenants_.find(tenant);
+    if (it == tenants_.end() || !it->second->open)
+      return accel::DeviceStatus::kNoSession;
+    entry = it->second;
+    plan = entry->plan;
+  }
+  if (!plan) return accel::DeviceStatus::kBadOperand;
+
+  DeviceNode& node = *devices_[entry->device_index];
+  store::SealedBlob blob;
+  accel::DeviceStatus status;
+  {
+    std::lock_guard<std::mutex> busy(node.busy);
+    status = node.device.seal_model(entry->session, plan->weight_base,
+                                    plan->weight_blob.size(), descriptor, blob);
+  }
+  if (status != accel::DeviceStatus::kOk) return status;
+  const std::optional<store::ContentId> content = model_store_.put(blob);
+  if (!content) return accel::DeviceStatus::kBadOperand;
+  content_out = *content;
+  std::lock_guard<std::mutex> lock(mu_);
+  entry->last_activity = Clock::now();
+  return accel::DeviceStatus::kOk;
+}
+
+accel::DeviceStatus InferenceServer::replicate_model(
+    const store::ContentId& content, std::size_t target_device) {
+  if (target_device >= devices_.size()) return accel::DeviceStatus::kBadOperand;
+  // One re-wrap handshake at a time: a device holds a single pending
+  // provisioning ephemeral, so interleaved replications would clobber it.
+  std::lock_guard<std::mutex> provision(provision_mu_);
+
+  DeviceNode& target = *devices_[target_device];
+  if (model_store_.contains(content, target.device.store_binding()))
+    return accel::DeviceStatus::kOk;
+
+  // Find any fleet device that already holds a replica.
+  std::size_t source_device = devices_.size();
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    if (i != target_device &&
+        model_store_.contains(content, devices_[i]->device.store_binding())) {
+      source_device = i;
+      break;
+    }
+  }
+  if (source_device == devices_.size()) return accel::DeviceStatus::kBadOperand;
+  DeviceNode& source = *devices_[source_device];
+  const std::optional<store::SealedBlob> blob =
+      model_store_.get(content, source.device.store_binding());
+  if (!blob) return accel::DeviceStatus::kBadOperand;
+
+  // Three-step attested re-wrap; the device busy locks are taken one at a
+  // time (never nested), mirroring three host→device commands.
+  accel::ProvisionRequest request;
+  {
+    std::lock_guard<std::mutex> busy(target.busy);
+    const accel::DeviceStatus status = target.device.provision_begin(request);
+    if (status != accel::DeviceStatus::kOk) return status;
+  }
+  store::SealedBlob wrapped;
+  accel::ProvisionGrant grant;
+  {
+    std::lock_guard<std::mutex> busy(source.busy);
+    const accel::DeviceStatus status =
+        source.device.export_for_device(*blob, request, wrapped, grant);
+    if (status != accel::DeviceStatus::kOk) return status;
+  }
+  store::SealedBlob rebound;
+  {
+    std::lock_guard<std::mutex> busy(target.busy);
+    const accel::DeviceStatus status =
+        target.device.provision_finish(wrapped, grant, rebound);
+    if (status != accel::DeviceStatus::kOk) return status;
+  }
+  if (!model_store_.put(rebound)) return accel::DeviceStatus::kBadOperand;
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.replications += 1;
+  return accel::DeviceStatus::kOk;
+}
+
+accel::DeviceStatus InferenceServer::load_model_from_store(
+    TenantId tenant, const store::ContentId& content, const ModelHandle& model) {
+  if (!model.valid()) return accel::DeviceStatus::kBadOperand;
+  std::shared_ptr<Tenant> entry;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = tenants_.find(tenant);
+    if (it == tenants_.end() || !it->second->open)
+      return accel::DeviceStatus::kNoSession;
+    entry = it->second;
+  }
+  DeviceNode& node = *devices_[entry->device_index];
+
+  // Hot-model replication on demand: a tenant placed on a device that does
+  // not yet hold the model pulls a replica over the attested re-wrap path.
+  if (!model_store_.contains(content, node.device.store_binding())) {
+    const accel::DeviceStatus status =
+        replicate_model(content, entry->device_index);
+    if (status != accel::DeviceStatus::kOk) return status;
+  }
+  const std::optional<store::SealedBlob> blob =
+      model_store_.get(content, node.device.store_binding());
+  if (!blob) return accel::DeviceStatus::kBadOperand;
+
+  const std::shared_ptr<const host::ExecutionPlan> plan =
+      resolve_plan(model, entry->device_index);
+  if (!plan) return accel::DeviceStatus::kBadOperand;
+
+  Bytes descriptor;
+  accel::DeviceStatus status;
+  {
+    std::lock_guard<std::mutex> busy(node.busy);
+    status = node.device.unseal_model(entry->session, *blob, plan->weight_base,
+                                      descriptor);
+  }
+  if (status != accel::DeviceStatus::kOk) return status;
+
+  // The stored model must actually be the one the handle describes: compare
+  // the unsealed (public) descriptor's structure against the registered
+  // network before pinning the plan, so a mismatched (content, handle) pair
+  // cannot silently serve garbage under a wrong-layout plan.
+  const std::optional<host::ParsedDescriptor> parsed =
+      host::parse_descriptor(descriptor);
+  if (!parsed || !model.net) return accel::DeviceStatus::kBadOperand;
+  const host::FuncNetwork& expect = *model.net;
+  const host::FuncNetwork& got = parsed->net;
+  bool matches = got.in_c == expect.in_c && got.in_h == expect.in_h &&
+                 got.in_w == expect.in_w && got.bits == expect.bits &&
+                 got.layers.size() == expect.layers.size();
+  for (std::size_t i = 0; matches && i < got.layers.size(); ++i) {
+    const host::FuncLayer& a = got.layers[i];
+    const host::FuncLayer& b = expect.layers[i];
+    matches = a.kind == b.kind && a.out_c == b.out_c && a.kernel == b.kernel &&
+              a.stride == b.stride && a.pad == b.pad &&
+              a.requant_shift == b.requant_shift &&
+              a.input2_layer == b.input2_layer;
+  }
+  if (!matches) return accel::DeviceStatus::kBadOperand;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  entry->plan = plan;
+  entry->last_activity = Clock::now();
+  return status;
+}
+
+accel::DeviceStatus InferenceServer::reset_device(std::size_t index) {
+  if (index >= devices_.size()) return accel::DeviceStatus::kBadOperand;
+  DeviceNode& node = *devices_[index];
+  accel::DeviceStatus status;
+  {
+    // busy is held across both the tenant purge and the device reset, and
+    // connect() registers tenants under the same lock — so no tenant can be
+    // admitted in between and survive with a wiped session. (busy -> mu_
+    // nesting is the sanctioned order; nothing acquires busy while holding
+    // mu_.) Purged tenants' queued requests drain as device errors.
+    std::lock_guard<std::mutex> busy(node.busy);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (auto it = tenants_.begin(); it != tenants_.end();) {
+        if (it->second->device_index == index) {
+          it->second->open = false;
+          it = tenants_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      node.tenant_count = 0;
+    }
+    status = node.device.reset();
+  }
+  // Prune plans no device generation can reach any more, so periodic resets
+  // do not accumulate dead (hash, generation) entries — each one pins a full
+  // packed-weight-blob copy.
+  u64 min_generation = ~0ull;
+  for (const auto& device : devices_)
+    min_generation = std::min(min_generation, device->device.device_generation());
+  std::lock_guard<std::mutex> lock(plan_mu_);
+  for (auto it = plan_cache_.begin(); it != plan_cache_.end();) {
+    it = it->first.second < min_generation ? plan_cache_.erase(it)
+                                           : std::next(it);
+  }
+  return status;
+}
+
+bool InferenceServer::evict_idle_tenant(std::size_t device_index) {
+  std::shared_ptr<Tenant> victim;
+  TenantId victim_id = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [id, tenant] : tenants_) {
+      if (tenant->device_index != device_index || !tenant->open) continue;
+      if (!tenant->pending.empty() || tenant->scheduled) continue;  // busy
+      if (!victim || tenant->last_activity < victim->last_activity) {
+        victim = tenant;
+        victim_id = id;
+      }
+    }
+    if (!victim) return false;
+    victim->open = false;
+    tenants_.erase(victim_id);
+    devices_[device_index]->tenant_count -= 1;
+    stats_.evicted += 1;
+  }
+  DeviceNode& node = *devices_[device_index];
+  std::lock_guard<std::mutex> busy(node.busy);
+  node.device.close_session(victim->session);
+  return true;
 }
 
 std::future<InferenceResult> InferenceServer::immediate_result(
@@ -216,6 +486,7 @@ std::future<InferenceResult> InferenceServer::submit_async(
     request.sealed_input = std::move(sealed_input);
     request.attest = attest;
     request.enqueued = Clock::now();
+    entry.last_activity = request.enqueued;
     future = request.promise.get_future();
     entry.pending.push_back(std::move(request));
     pending_count_ += 1;
@@ -306,6 +577,7 @@ void InferenceServer::worker_loop(std::stop_token stop) {
     }
 
     lock.lock();
+    tenant->last_activity = done;
     if (!tenant->pending.empty()) {
       ready_.push_back(std::move(tenant));
       cv_.notify_one();

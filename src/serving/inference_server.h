@@ -40,6 +40,7 @@
 
 #include "host/scheduler.h"
 #include "host/user_client.h"
+#include "store/model_store.h"
 
 namespace guardnn::serving {
 
@@ -57,6 +58,14 @@ struct ServerConfig {
   bool emulate_device_latency = false;
   /// Scales the modeled device time when emulating.
   double device_latency_scale = 1.0;
+  /// When a device's session table is full at connect, evict the
+  /// least-recently-active *idle* tenant (no queued work) on that device and
+  /// admit the waiting one. The evicted session is closed and zeroized
+  /// device-side; the evicted tenant's next submit answers kNoTenant.
+  bool evict_idle_sessions = true;
+  /// Non-empty: back the server's sealed-model store with this directory
+  /// (blobs survive a restart). Empty: in-memory store.
+  std::string model_store_dir;
 };
 
 enum class RequestOutcome : u8 {
@@ -83,18 +92,28 @@ struct InferenceResult {
 };
 
 /// A compiled model, shared across every tenant serving the same
-/// architecture+weights. `hash` is the cache key (SHA-256 over the network
-/// structure and the packed weight blob).
+/// architecture+weights. `hash` is the logical cache key (SHA-256 over the
+/// network structure and the packed weight blob); compiled plans are cached
+/// per (hash, device generation) so a plan from before a device reset is
+/// never replayed onto the re-provisioned device.
 struct ModelHandle {
   crypto::Sha256Digest hash{};
+  /// The registered architecture (kept so the server can recompile the plan
+  /// for a later device generation without the caller re-registering).
+  std::shared_ptr<const host::FuncNetwork> net;
+  /// Plan compiled for `generation`; load_model recompiles transparently
+  /// when the tenant's device has moved past it.
   std::shared_ptr<const host::ExecutionPlan> plan;
+  u64 generation = 0;
   bool valid() const { return plan != nullptr; }
 };
 
 struct ServerStats {
-  u64 requests = 0;  ///< Requests processed by workers.
-  u64 batches = 0;   ///< Worker wakeups that processed >= 1 request.
-  u64 rejected = 0;  ///< Admission-control rejections.
+  u64 requests = 0;      ///< Requests processed by workers.
+  u64 batches = 0;       ///< Worker wakeups that processed >= 1 request.
+  u64 rejected = 0;      ///< Admission-control rejections.
+  u64 evicted = 0;       ///< Idle sessions evicted to admit a new tenant.
+  u64 replications = 0;  ///< Cross-device model re-wraps performed.
 };
 
 class InferenceServer {
@@ -143,6 +162,44 @@ class InferenceServer {
   /// by the tenant's user.
   accel::DeviceStatus load_model(TenantId tenant, const ModelHandle& model,
                                  const crypto::SealedRecord& sealed_weights);
+
+  // --- Sealed model store / fleet replication ------------------------------
+  // A tenant's loaded model can be sealed to the server's content-addressed
+  // store and later provisioned to *other* devices in the fleet via the
+  // attested re-wrap protocol — this is how a hot model escapes the
+  // pinned-at-connect placement: a tenant landing on any device can be
+  // served once the model is replicated there, without its weights ever
+  // being visible to the server.
+
+  /// Seals the tenant's currently loaded model on its device into the store.
+  /// `descriptor` is the public architecture metadata to embed (typically
+  /// host::serialize_descriptor of the registered network).
+  accel::DeviceStatus seal_tenant_model(TenantId tenant, BytesView descriptor,
+                                        store::ContentId& content_out);
+
+  /// Ensures `target_device` holds a device-bound replica of `content`,
+  /// re-wrapping from any fleet device that already has one. kOk when the
+  /// replica already exists; kBadOperand when no device holds the model.
+  accel::DeviceStatus replicate_model(const store::ContentId& content,
+                                      std::size_t target_device);
+
+  /// Loads a stored model into the tenant's session (UnsealModel on its
+  /// device), auto-replicating to that device first when needed. Pins the
+  /// plan like load_model.
+  accel::DeviceStatus load_model_from_store(TenantId tenant,
+                                            const store::ContentId& content,
+                                            const ModelHandle& model);
+
+  store::ModelStore& model_store() { return model_store_; }
+  const store::BindingId& device_binding(std::size_t index) const {
+    return devices_.at(index)->device.store_binding();
+  }
+
+  /// Admin: reset one device ("reboot"). Every tenant on it is disconnected
+  /// (queued work fails with device errors), the device's sessions are
+  /// zeroized and its generation bumps — cached plans for the old generation
+  /// are never reused.
+  accel::DeviceStatus reset_device(std::size_t index);
 
   // --- Data plane ----------------------------------------------------------
 
@@ -206,10 +263,16 @@ class InferenceServer {
     std::deque<Request> pending;
     bool scheduled = false;  ///< In ready_ or owned by a worker.
     bool open = true;
+    /// Last time this tenant touched the server (connect, load, submit,
+    /// batch completion) — the LRU clock for idle eviction.
+    Clock::time_point last_activity;
 
     Tenant(accel::GuardNnDevice& device, std::size_t dev_index,
            accel::SessionId sid)
-        : device_index(dev_index), session(sid), scheduler(device, sid) {}
+        : device_index(dev_index),
+          session(sid),
+          scheduler(device, sid),
+          last_activity(Clock::now()) {}
   };
 
   void worker_loop(std::stop_token stop);
@@ -217,6 +280,20 @@ class InferenceServer {
                    const host::ExecutionPlan& plan, Request& request,
                    InferenceResult& result);
   static std::future<InferenceResult> immediate_result(RequestOutcome outcome);
+
+  /// Evicts the least-recently-active idle tenant on `device_index` (session
+  /// closed + zeroized device-side). False when every tenant there is busy.
+  bool evict_idle_tenant(std::size_t device_index);
+
+  /// Plan cache lookup/compile for one (model, device generation) pair.
+  std::shared_ptr<const host::ExecutionPlan> plan_for(
+      const crypto::Sha256Digest& hash, const host::FuncNetwork& net,
+      u64 generation);
+
+  /// Resolves the plan a tenant on `device_index` must execute for `model`,
+  /// recompiling when the handle predates the device's generation.
+  std::shared_ptr<const host::ExecutionPlan> resolve_plan(
+      const ModelHandle& model, std::size_t device_index);
 
   ServerConfig config_;
   std::vector<std::unique_ptr<DeviceNode>> devices_;
@@ -230,8 +307,21 @@ class InferenceServer {
   ServerStats stats_;
 
   std::mutex plan_mu_;
-  std::map<crypto::Sha256Digest, std::shared_ptr<const host::ExecutionPlan>>
+  /// Keyed on (model hash, device generation): a device reset invalidates
+  /// every plan compiled for its earlier generations (reset_device prunes
+  /// entries below the fleet's minimum generation).
+  std::map<std::pair<crypto::Sha256Digest, u64>,
+           std::shared_ptr<const host::ExecutionPlan>>
       plan_cache_;
+  /// One shared FuncNetwork per registered model hash (ModelHandles
+  /// reference it instead of copying the weights per handle).
+  std::map<crypto::Sha256Digest, std::shared_ptr<const host::FuncNetwork>>
+      net_cache_;
+
+  /// Serializes the three-step re-wrap protocol: the target device holds one
+  /// pending provisioning handshake at a time.
+  std::mutex provision_mu_;
+  store::ModelStore model_store_;
 
   std::vector<std::jthread> workers_;  // last member: joins before teardown
 };

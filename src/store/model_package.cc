@@ -1,0 +1,75 @@
+#include "store/model_package.h"
+
+namespace guardnn::store {
+
+namespace {
+constexpr std::size_t kFixedBytes = 4 + 2 + 2 + 8;  // magic, ver, pad, weight_vn
+}  // namespace
+
+Bytes ModelPackage::serialize() const {
+  Bytes out;
+  out.reserve(kFixedBytes + 16 + descriptor.size() + weights.size());
+  out.resize(kFixedBytes);
+  u8* p = out.data();
+  store_be32(p, kModelPackageMagic);
+  p += 4;
+  p[0] = static_cast<u8>(kModelPackageVersion >> 8);
+  p[1] = static_cast<u8>(kModelPackageVersion);
+  p[2] = 0;
+  p[3] = 0;
+  p += 4;
+  store_be64(p, weight_vn);
+
+  u8 len[8];
+  store_be64(len, descriptor.size());
+  out.insert(out.end(), len, len + 8);
+  out.insert(out.end(), descriptor.begin(), descriptor.end());
+  store_be64(len, weights.size());
+  out.insert(out.end(), len, len + 8);
+  out.insert(out.end(), weights.begin(), weights.end());
+  return out;
+}
+
+ContentId ModelPackage::content_id() const {
+  crypto::Sha256 hasher;
+  u8 len[8];
+  store_be64(len, descriptor.size());
+  hasher.update(BytesView(len, 8));
+  hasher.update(descriptor);
+  hasher.update(weights);
+  return hasher.finalize();
+}
+
+std::optional<ModelPackage> ModelPackage::parse(BytesView bytes) {
+  if (bytes.size() < kFixedBytes + 16) return std::nullopt;
+  const u8* p = bytes.data();
+  if (load_be32(p) != kModelPackageMagic) return std::nullopt;
+  p += 4;
+  const u16 version = static_cast<u16>((u16(p[0]) << 8) | p[1]);
+  if (version != kModelPackageVersion) return std::nullopt;
+  p += 4;
+
+  ModelPackage package;
+  package.weight_vn = load_be64(p);
+  p += 8;
+
+  std::size_t remaining = bytes.size() - kFixedBytes;
+  auto take_sized = [&](Bytes& out) {
+    if (remaining < 8) return false;
+    const u64 len = load_be64(p);
+    p += 8;
+    remaining -= 8;
+    if (len > remaining) return false;
+    out.assign(p, p + len);
+    p += len;
+    remaining -= len;
+    return true;
+  };
+  if (!take_sized(package.descriptor)) return std::nullopt;
+  if (!take_sized(package.weights)) return std::nullopt;
+  if (remaining != 0) return std::nullopt;  // no trailing garbage
+  if (package.weights.empty()) return std::nullopt;
+  return package;
+}
+
+}  // namespace guardnn::store

@@ -1,0 +1,45 @@
+// The plaintext payload a sealed model blob carries: the public architecture
+// descriptor (host-authored opaque bytes — shapes and quantization metadata
+// are public in GuardNN's threat model), the confidential packed weight blob
+// (ExecutionPlan layout), and the freshness metadata needed to resume a
+// training run (the weight version counter CTR_W at seal time).
+//
+// The device builds and parses packages entirely inside the trusted
+// boundary; the host only ever sees the sealed form.
+#pragma once
+
+#include <optional>
+
+#include "common/types.h"
+#include "crypto/sha256.h"
+#include "store/sealed_blob.h"
+
+namespace guardnn::store {
+
+inline constexpr u32 kModelPackageMagic = 0x474E'4D50;  // "GNMP"
+inline constexpr u16 kModelPackageVersion = 1;
+
+struct ModelPackage {
+  Bytes descriptor;  ///< Public architecture + quantization metadata.
+  Bytes weights;     ///< Plaintext packed weight blob (confidential).
+  u64 weight_vn = 0; ///< CTR_W when the package was sealed (checkpoint
+                     ///< freshness record; restore re-establishes fresh VNs).
+
+  Bytes serialize() const;
+  static std::optional<ModelPackage> parse(BytesView bytes);
+
+  /// The package's *model* identity: SHA-256 over (descriptor length ||
+  /// descriptor || weights). Deliberately excludes weight_vn, so the same
+  /// model sealed at different counter epochs — or by different devices —
+  /// deduplicates to one content id. The device re-checks this hash against
+  /// the blob header after every unseal.
+  ContentId content_id() const;
+
+  /// Wipes the confidential weight bytes (device-side teardown hygiene).
+  void zeroize() {
+    if (!weights.empty()) secure_zero(weights.data(), weights.size());
+    weights.clear();
+  }
+};
+
+}  // namespace guardnn::store

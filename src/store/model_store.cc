@@ -1,0 +1,193 @@
+#include "store/model_store.h"
+
+#include <filesystem>
+#include <fstream>
+
+namespace guardnn::store {
+
+namespace fs = std::filesystem;
+
+// --- InMemoryBackend ---------------------------------------------------------
+
+bool InMemoryBackend::save(const std::string& key, BytesView bytes) {
+  entries_[key] = Bytes(bytes.begin(), bytes.end());
+  return true;
+}
+
+std::optional<Bytes> InMemoryBackend::load(const std::string& key) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<std::string> InMemoryBackend::list() const {
+  std::vector<std::string> keys;
+  keys.reserve(entries_.size());
+  for (const auto& [key, bytes] : entries_) keys.push_back(key);
+  return keys;
+}
+
+bool InMemoryBackend::remove(const std::string& key) {
+  return entries_.erase(key) > 0;
+}
+
+// --- DirectoryBackend --------------------------------------------------------
+
+DirectoryBackend::DirectoryBackend(std::string directory)
+    : directory_(std::move(directory)) {
+  std::error_code ec;
+  fs::create_directories(directory_, ec);  // best effort; save() re-checks
+}
+
+bool DirectoryBackend::save(const std::string& key, BytesView bytes) {
+  std::error_code ec;
+  fs::create_directories(directory_, ec);
+  std::ofstream out(fs::path(directory_) / key,
+                    std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  return out.good();
+}
+
+std::optional<Bytes> DirectoryBackend::load(const std::string& key) const {
+  std::ifstream in(fs::path(directory_) / key, std::ios::binary);
+  if (!in) return std::nullopt;
+  Bytes bytes((std::istreambuf_iterator<char>(in)),
+              std::istreambuf_iterator<char>());
+  if (!in.good() && !in.eof()) return std::nullopt;
+  return bytes;
+}
+
+std::vector<std::string> DirectoryBackend::list() const {
+  std::vector<std::string> keys;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(directory_, ec)) {
+    if (entry.is_regular_file(ec)) keys.push_back(entry.path().filename().string());
+  }
+  return keys;
+}
+
+bool DirectoryBackend::remove(const std::string& key) {
+  std::error_code ec;
+  return fs::remove(fs::path(directory_) / key, ec);
+}
+
+// --- ModelStore --------------------------------------------------------------
+
+ModelStore::ModelStore(std::unique_ptr<StoreBackend> backend)
+    : backend_(backend ? std::move(backend)
+                       : std::make_unique<InMemoryBackend>()) {
+  std::lock_guard<std::mutex> lock(mu_);
+  reindex_locked();
+}
+
+std::string ModelStore::key_for(const ContentId& content,
+                                const BindingId& binding) {
+  // Full content id (the logical model) + a binding prefix long enough that
+  // a collision would imply a SHA-256 collision prefix across the fleet.
+  return to_hex(BytesView(content.data(), content.size())) + "-" +
+         to_hex(BytesView(binding.data(), 8)) + ".gnnblob";
+}
+
+void ModelStore::reindex_locked() {
+  for (const std::string& key : backend_->list()) {
+    const std::optional<Bytes> bytes = backend_->load(key);
+    if (!bytes) continue;
+    const std::optional<SealedBlob> blob = SealedBlob::deserialize(*bytes);
+    if (!blob) continue;  // untrusted storage: skip, never trust
+    index_[blob->header.content_id][blob->header.binding_id] = key;
+    stats_.bytes_stored += bytes->size();
+  }
+}
+
+std::optional<ContentId> ModelStore::put(const SealedBlob& blob) {
+  // Round-trip through the wire format so only storable blobs are indexed
+  // (and what get() returns later is exactly what was persisted).
+  const Bytes bytes = blob.serialize();
+  if (!SealedBlob::deserialize(bytes)) return std::nullopt;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& replicas = index_[blob.header.content_id];
+  auto it = replicas.find(blob.header.binding_id);
+  if (it != replicas.end()) {
+    stats_.dedup_hits += 1;
+    return blob.header.content_id;
+  }
+  const std::string key = key_for(blob.header.content_id, blob.header.binding_id);
+  if (!backend_->save(key, bytes)) {
+    if (replicas.empty()) index_.erase(blob.header.content_id);
+    return std::nullopt;
+  }
+  replicas[blob.header.binding_id] = key;
+  stats_.puts += 1;
+  stats_.bytes_stored += bytes.size();
+  return blob.header.content_id;
+}
+
+std::optional<SealedBlob> ModelStore::get(const ContentId& content,
+                                          const BindingId& binding) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(content);
+  if (it == index_.end()) return std::nullopt;
+  auto replica = it->second.find(binding);
+  if (replica == it->second.end()) return std::nullopt;
+  const std::optional<Bytes> bytes = backend_->load(replica->second);
+  if (!bytes) return std::nullopt;
+  return SealedBlob::deserialize(*bytes);
+}
+
+bool ModelStore::contains(const ContentId& content,
+                          const BindingId& binding) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(content);
+  return it != index_.end() && it->second.count(binding) > 0;
+}
+
+std::vector<BindingId> ModelStore::bindings(const ContentId& content) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<BindingId> out;
+  auto it = index_.find(content);
+  if (it == index_.end()) return out;
+  out.reserve(it->second.size());
+  for (const auto& [binding, key] : it->second) out.push_back(binding);
+  return out;
+}
+
+std::vector<ContentId> ModelStore::contents() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ContentId> out;
+  out.reserve(index_.size());
+  for (const auto& [content, replicas] : index_) out.push_back(content);
+  return out;
+}
+
+bool ModelStore::erase(const ContentId& content, const BindingId& binding) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(content);
+  if (it == index_.end()) return false;
+  auto replica = it->second.find(binding);
+  if (replica == it->second.end()) return false;
+  if (const std::optional<Bytes> bytes = backend_->load(replica->second)) {
+    stats_.bytes_stored -=
+        std::min<u64>(stats_.bytes_stored, bytes->size());
+  }
+  backend_->remove(replica->second);
+  it->second.erase(replica);
+  if (it->second.empty()) index_.erase(it);
+  return true;
+}
+
+std::size_t ModelStore::replica_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const auto& [content, replicas] : index_) n += replicas.size();
+  return n;
+}
+
+StoreStats ModelStore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace guardnn::store

@@ -1,0 +1,262 @@
+#include "store/sealed_blob.h"
+
+#include <stdexcept>
+
+#include "crypto/hmac.h"
+#include "crypto/mem_mac.h"
+
+namespace guardnn::store {
+namespace {
+
+constexpr std::size_t kHeaderBytes = 4 + 2 + 2 + 32 + 32 + 16 + 8 + 8 + 8;
+constexpr u64 kBlocksPerChunk = kSealChunkBytes / crypto::kAesBlockBytes;
+
+/// CMAC over (big-endian chunk index || chunk ciphertext).
+crypto::AesBlock chunk_mac(const crypto::Aes128& aes,
+                           const crypto::CmacSubkeys& subkeys, u64 index,
+                           BytesView chunk) {
+  crypto::CmacState state(aes, subkeys);
+  u8 index_bytes[8];
+  store_be64(index_bytes, index);
+  state.update(BytesView(index_bytes, 8));
+  state.update(chunk);
+  return state.finish();
+}
+
+/// Chained MAC over the serialized header followed by every chunk MAC, so
+/// the chunk-MAC list cannot be reordered, truncated or extended and the
+/// header fields cannot be rewritten.
+crypto::AesBlock chain_mac(const crypto::Aes128& aes,
+                           const crypto::CmacSubkeys& subkeys,
+                           const SealedBlobHeader& header,
+                           const std::vector<crypto::AesBlock>& macs) {
+  crypto::CmacState state(aes, subkeys);
+  const Bytes header_bytes = header.serialize();
+  state.update(header_bytes);
+  for (const crypto::AesBlock& mac : macs)
+    state.update(BytesView(mac.data(), mac.size()));
+  return state.finish();
+}
+
+}  // namespace
+
+const char* seal_status_name(SealStatus status) {
+  switch (status) {
+    case SealStatus::kOk: return "ok";
+    case SealStatus::kBadVersion: return "bad-version";
+    case SealStatus::kWrongDevice: return "wrong-device";
+    case SealStatus::kBadBlob: return "bad-blob";
+  }
+  return "unknown";
+}
+
+Bytes SealedBlobHeader::serialize() const {
+  Bytes out(kHeaderBytes);
+  u8* p = out.data();
+  store_be32(p, kSealedBlobMagic);
+  p += 4;
+  p[0] = static_cast<u8>(version >> 8);
+  p[1] = static_cast<u8>(version);
+  p[2] = 0;  // reserved
+  p[3] = 0;
+  p += 4;
+  std::copy(binding_id.begin(), binding_id.end(), p);
+  p += binding_id.size();
+  std::copy(content_id.begin(), content_id.end(), p);
+  p += content_id.size();
+  std::copy(nonce.begin(), nonce.end(), p);
+  p += nonce.size();
+  store_be64(p, plaintext_bytes);
+  p += 8;
+  store_be64(p, chunk_bytes);
+  p += 8;
+  store_be64(p, chunk_count());
+  return out;
+}
+
+Bytes SealedBlob::serialize() const {
+  const Bytes header_bytes = header.serialize();
+  Bytes out;
+  out.reserve(header_bytes.size() + ciphertext.size() +
+              chunk_macs.size() * crypto::kAesBlockBytes +
+              crypto::kAesBlockBytes);
+  out.insert(out.end(), header_bytes.begin(), header_bytes.end());
+  out.insert(out.end(), ciphertext.begin(), ciphertext.end());
+  for (const crypto::AesBlock& mac : chunk_macs)
+    out.insert(out.end(), mac.begin(), mac.end());
+  out.insert(out.end(), chain_mac.begin(), chain_mac.end());
+  return out;
+}
+
+std::optional<SealedBlob> SealedBlob::deserialize(BytesView bytes) {
+  if (bytes.size() < kHeaderBytes) return std::nullopt;
+  const u8* p = bytes.data();
+  if (load_be32(p) != kSealedBlobMagic) return std::nullopt;
+  p += 4;
+
+  SealedBlob blob;
+  blob.header.version = static_cast<u16>((u16(p[0]) << 8) | p[1]);
+  if (p[2] != 0 || p[3] != 0) return std::nullopt;  // reserved: strict zero
+  p += 4;  // version + reserved
+  std::copy(p, p + blob.header.binding_id.size(), blob.header.binding_id.begin());
+  p += blob.header.binding_id.size();
+  std::copy(p, p + blob.header.content_id.size(), blob.header.content_id.begin());
+  p += blob.header.content_id.size();
+  std::copy(p, p + blob.header.nonce.size(), blob.header.nonce.begin());
+  p += blob.header.nonce.size();
+  blob.header.plaintext_bytes = load_be64(p);
+  p += 8;
+  blob.header.chunk_bytes = load_be64(p);
+  p += 8;
+  const u64 stored_chunks = load_be64(p);
+
+  // Structural sanity before sizing any allocation from attacker-controlled
+  // fields: the chunk geometry must be internally consistent and the total
+  // length must match exactly (no trailing garbage, no truncation). Bounding
+  // plaintext_bytes by the real buffer first keeps every later sum far from
+  // u64 wrap-around — without it a near-2^64 length field makes `expected`
+  // wrap back onto a header-only file and the assign below runs wild.
+  if (blob.header.chunk_bytes != kSealChunkBytes) return std::nullopt;
+  if (blob.header.plaintext_bytes == 0 ||
+      blob.header.plaintext_bytes > bytes.size())
+    return std::nullopt;
+  const u64 n_chunks = blob.header.chunk_count();
+  if (stored_chunks != n_chunks) return std::nullopt;
+  const u64 expected = kHeaderBytes + blob.header.plaintext_bytes +
+                       (n_chunks + 1) * crypto::kAesBlockBytes;
+  if (bytes.size() != expected) return std::nullopt;
+
+  const u8* body = bytes.data() + kHeaderBytes;
+  blob.ciphertext.assign(body, body + blob.header.plaintext_bytes);
+  body += blob.header.plaintext_bytes;
+  blob.chunk_macs.resize(n_chunks);
+  for (u64 i = 0; i < n_chunks; ++i) {
+    std::copy(body, body + crypto::kAesBlockBytes, blob.chunk_macs[i].begin());
+    body += crypto::kAesBlockBytes;
+  }
+  std::copy(body, body + crypto::kAesBlockBytes, blob.chain_mac.begin());
+  return blob;
+}
+
+BlobKeys derive_blob_keys(const crypto::AesKey& root_key,
+                          const crypto::AesBlock& nonce,
+                          const ContentId& content_id) {
+  static constexpr char kSalt[] = "guardnn-sealed-blob-v2";
+  Bytes info(nonce.begin(), nonce.end());
+  info.insert(info.end(), content_id.begin(), content_id.end());
+  info.push_back(static_cast<u8>(kSealedBlobVersion >> 8));
+  info.push_back(static_cast<u8>(kSealedBlobVersion));
+  const Bytes okm = crypto::hkdf(
+      BytesView(reinterpret_cast<const u8*>(kSalt), sizeof(kSalt) - 1),
+      BytesView(root_key.data(), root_key.size()), info, 32);
+  BlobKeys keys;
+  std::copy(okm.begin(), okm.begin() + 16, keys.enc.begin());
+  std::copy(okm.begin() + 16, okm.end(), keys.mac.begin());
+  return keys;
+}
+
+SealedBlob seal_blob(const crypto::AesKey& root_key, const BindingId& binding,
+                     const crypto::AesBlock& nonce, BytesView payload,
+                     const ContentId& content_id) {
+  if (payload.empty())
+    throw std::invalid_argument("seal_blob: empty payload");
+
+  SealedBlob blob;
+  blob.header.version = kSealedBlobVersion;
+  blob.header.binding_id = binding;
+  blob.header.content_id = content_id;
+  blob.header.nonce = nonce;
+  blob.header.plaintext_bytes = payload.size();
+  blob.header.chunk_bytes = kSealChunkBytes;
+
+  BlobKeys keys = derive_blob_keys(root_key, nonce, content_id);
+  crypto::Aes128 enc(keys.enc);
+  crypto::Aes128 mac(keys.mac);
+  const crypto::CmacSubkeys subkeys = crypto::cmac_derive_subkeys(mac);
+
+  blob.ciphertext.assign(payload.begin(), payload.end());
+  const u64 n_chunks = blob.header.chunk_count();
+  blob.chunk_macs.resize(n_chunks);
+  for (u64 i = 0; i < n_chunks; ++i) {
+    const u64 offset = i * kSealChunkBytes;
+    const u64 len = std::min<u64>(kSealChunkBytes, payload.size() - offset);
+    MutBytesView chunk(blob.ciphertext.data() + offset, len);
+    // Chunk i owns counter blocks [i * blocks_per_chunk, (i+1) * ...): the
+    // per-chunk ranges are disjoint under the per-blob key.
+    crypto::ctr_xcrypt(enc, crypto::make_counter_block(i * kBlocksPerChunk, 0),
+                       chunk);
+    blob.chunk_macs[i] = chunk_mac(mac, subkeys, i, chunk);
+  }
+  blob.chain_mac = chain_mac(mac, subkeys, blob.header, blob.chunk_macs);
+
+  enc.zeroize();
+  mac.zeroize();
+  secure_zero(keys.enc.data(), keys.enc.size());
+  secure_zero(keys.mac.data(), keys.mac.size());
+  return blob;
+}
+
+SealStatus unseal_blob(const crypto::AesKey& root_key, const BindingId& binding,
+                       const SealedBlob& blob, Bytes& payload_out) {
+  payload_out.clear();
+
+  // Version gate first: a downgraded blob is rejected before any key is
+  // derived, so no legacy code path can ever be reached.
+  if (blob.header.version != kSealedBlobVersion) return SealStatus::kBadVersion;
+  if (blob.header.binding_id != binding) return SealStatus::kWrongDevice;
+
+  // Structure must be exactly consistent with the header.
+  if (blob.header.chunk_bytes != kSealChunkBytes) return SealStatus::kBadBlob;
+  if (blob.header.plaintext_bytes == 0) return SealStatus::kBadBlob;
+  if (blob.ciphertext.size() != blob.header.plaintext_bytes)
+    return SealStatus::kBadBlob;
+  const u64 n_chunks = blob.header.chunk_count();
+  if (blob.chunk_macs.size() != n_chunks) return SealStatus::kBadBlob;
+
+  BlobKeys keys =
+      derive_blob_keys(root_key, blob.header.nonce, blob.header.content_id);
+  crypto::Aes128 enc(keys.enc);
+  crypto::Aes128 mac(keys.mac);
+  const crypto::CmacSubkeys subkeys = crypto::cmac_derive_subkeys(mac);
+
+  auto fail = [&](SealStatus status) {
+    enc.zeroize();
+    mac.zeroize();
+    secure_zero(keys.enc.data(), keys.enc.size());
+    secure_zero(keys.mac.data(), keys.mac.size());
+    if (!payload_out.empty()) secure_zero(payload_out.data(), payload_out.size());
+    payload_out.clear();
+    return status;
+  };
+
+  // Chain MAC covers header + chunk-MAC list; verify it before trusting any
+  // individual chunk MAC.
+  const crypto::AesBlock chain =
+      chain_mac(mac, subkeys, blob.header, blob.chunk_macs);
+  if (!ct_equal(BytesView(chain.data(), chain.size()),
+                BytesView(blob.chain_mac.data(), blob.chain_mac.size())))
+    return fail(SealStatus::kBadBlob);
+
+  // Verify every chunk MAC, then decrypt.
+  payload_out.assign(blob.ciphertext.begin(), blob.ciphertext.end());
+  for (u64 i = 0; i < n_chunks; ++i) {
+    const u64 offset = i * kSealChunkBytes;
+    const u64 len =
+        std::min<u64>(kSealChunkBytes, blob.header.plaintext_bytes - offset);
+    const BytesView chunk(blob.ciphertext.data() + offset, len);
+    const crypto::AesBlock tag = chunk_mac(mac, subkeys, i, chunk);
+    if (!ct_equal(BytesView(tag.data(), tag.size()),
+                  BytesView(blob.chunk_macs[i].data(), blob.chunk_macs[i].size())))
+      return fail(SealStatus::kBadBlob);
+    crypto::ctr_xcrypt(enc, crypto::make_counter_block(i * kBlocksPerChunk, 0),
+                       MutBytesView(payload_out.data() + offset, len));
+  }
+
+  enc.zeroize();
+  mac.zeroize();
+  secure_zero(keys.enc.data(), keys.enc.size());
+  secure_zero(keys.mac.data(), keys.mac.size());
+  return SealStatus::kOk;
+}
+
+}  // namespace guardnn::store

@@ -1,0 +1,129 @@
+// Device-bound sealed blob format — the persistence primitive of the sealed
+// model store (SEAL-style, cf. Zuo et al.: model weights sealed under
+// device-held keys so they can live in untrusted storage).
+//
+// A SealedBlob packages an opaque plaintext payload (a serialized
+// ModelPackage) as:
+//   * AES-128-CTR ciphertext, encrypted per 64 KiB chunk under a per-blob
+//     key; every chunk owns a disjoint counter range, and the per-blob keys
+//     are derived from the sealing domain's root key plus a random nonce
+//     carried in the header, so no two blobs ever share keystream;
+//   * one full AES-CMAC tag per chunk over (chunk index || ciphertext);
+//   * a chained CMAC over (serialized header || all chunk MACs) that makes
+//     the header fields — format version, binding id, content id, sizes —
+//     and the chunk-MAC list tamper-evident as one unit;
+//   * a SHA-256 content id over the *plaintext*, checked after decryption
+//     (defense in depth) and used by the ModelStore for deduplication: two
+//     devices sealing the same model produce different ciphertext but the
+//     same content id;
+//   * a format version field; unsealing rejects anything but the current
+//     version before touching key material (downgrade fails closed).
+//
+// Binding: the root key never leaves the sealing device, so a blob can only
+// be opened by the device whose `binding_id` (hash of its certified public
+// key) it carries. Cross-device provisioning re-wraps the payload under an
+// ECDHE transport key between two attested devices (see accel::GuardNnDevice
+// export_for_device / provision_finish) — the host only ever relays
+// ciphertext.
+//
+// Everything here is host-visible: a SealedBlob is meant to sit in untrusted
+// storage. Unsealing is fail-closed and coarse — no error distinguishes
+// *which* byte was tampered with, and a failed unseal never emits plaintext.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+#include "crypto/aes128.h"
+#include "crypto/sha256.h"
+
+namespace guardnn::store {
+
+inline constexpr u32 kSealedBlobMagic = 0x474E'5342;  // "GNSB"
+/// Current format version. v1 (unchained per-chunk MACs) was retired before
+/// release; unseal rejects it — the downgrade test pins that behaviour.
+inline constexpr u16 kSealedBlobVersion = 2;
+inline constexpr u64 kSealChunkBytes = 64 * 1024;
+
+/// Content identity: SHA-256 over the plaintext payload.
+using ContentId = crypto::Sha256Digest;
+/// Sealing-domain identity: SHA-256 over the device's certified public key.
+using BindingId = crypto::Sha256Digest;
+
+struct SealedBlobHeader {
+  u16 version = kSealedBlobVersion;
+  BindingId binding_id{};
+  ContentId content_id{};
+  crypto::AesBlock nonce{};  ///< Per-blob key-derivation nonce (public).
+  u64 plaintext_bytes = 0;
+  u64 chunk_bytes = kSealChunkBytes;
+
+  u64 chunk_count() const {
+    return chunk_bytes == 0 ? 0 : (plaintext_bytes + chunk_bytes - 1) / chunk_bytes;
+  }
+
+  /// Fixed-layout serialization — exactly the bytes the chain MAC covers.
+  Bytes serialize() const;
+};
+
+struct SealedBlob {
+  SealedBlobHeader header;
+  Bytes ciphertext;  ///< Same length as the plaintext (CTR mode).
+  std::vector<crypto::AesBlock> chunk_macs;  ///< One per chunk.
+  crypto::AesBlock chain_mac{};  ///< CMAC over (header || chunk MACs).
+
+  ContentId content_id() const { return header.content_id; }
+
+  /// Wire serialization for untrusted storage backends.
+  Bytes serialize() const;
+  /// Strict parse: any truncation, bad magic or inconsistent size field
+  /// yields nullopt. Authenticity is *not* checked here — that is unseal's
+  /// job (parsing happens on the untrusted host, unsealing on the device).
+  static std::optional<SealedBlob> deserialize(BytesView bytes);
+};
+
+/// Unseal outcome. Deliberately coarse: nothing depends on secret data, and
+/// kBadBlob covers every authenticity failure without revealing which check
+/// tripped first.
+enum class SealStatus : u8 {
+  kOk,
+  kBadVersion,   ///< Format version is not kSealedBlobVersion (downgrade).
+  kWrongDevice,  ///< binding_id names a different sealing domain.
+  kBadBlob,      ///< Structure, MAC chain or content id failed.
+};
+
+const char* seal_status_name(SealStatus status);
+
+/// Per-blob keys derived from the sealing domain's root key, the header
+/// nonce and the content id (HKDF). Fresh nonce per seal → no keystream
+/// reuse across blobs; folding the content id in binds the keys to the
+/// logical model as defense in depth on top of the chain MAC.
+struct BlobKeys {
+  crypto::AesKey enc{};
+  crypto::AesKey mac{};
+};
+
+BlobKeys derive_blob_keys(const crypto::AesKey& root_key,
+                          const crypto::AesBlock& nonce,
+                          const ContentId& content_id);
+
+/// Seals `payload` (non-empty) for the domain owning `root_key`. `nonce`
+/// must be fresh random bytes (the device draws them from its TRNG).
+/// `content_id` is the caller's identity for the payload — the device uses
+/// the model-content hash (descriptor + weights, excluding incidental
+/// metadata) so replicas of one model deduplicate across devices and
+/// re-seals; raw-format callers typically pass SHA-256 of the payload. The
+/// id is authenticated (chain MAC + key derivation) and re-checked against
+/// the payload semantics by the device after unsealing.
+SealedBlob seal_blob(const crypto::AesKey& root_key, const BindingId& binding,
+                     const crypto::AesBlock& nonce, BytesView payload,
+                     const ContentId& content_id);
+
+/// Verifies and decrypts a blob. `binding` is the caller's own domain id.
+/// On kOk, `payload_out` holds the plaintext; on any failure it is cleared
+/// (fail closed, no partial plaintext escapes).
+SealStatus unseal_blob(const crypto::AesKey& root_key, const BindingId& binding,
+                       const SealedBlob& blob, Bytes& payload_out);
+
+}  // namespace guardnn::store

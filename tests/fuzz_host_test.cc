@@ -335,5 +335,83 @@ TEST_P(SessionIdFuzzTest, RandomSessionIdsNeverLeakOrConfuseTenants) {
 INSTANTIATE_TEST_SUITE_P(Seeds, SessionIdFuzzTest,
                          ::testing::Values(2001, 2002, 2003, 2004));
 
+// --- Sealed-blob mutation fuzzing --------------------------------------------
+// The sealed model store hands the host a device-bound ciphertext blob; the
+// host (or its storage) is free to corrupt it arbitrarily. Every mutation of
+// the wire bytes — bit flips anywhere, truncation, extension, header-field
+// rewrites — must either fail to parse or fail to unseal, with no VN
+// movement and no secret bytes surfacing in untrusted memory.
+
+class SealedBlobFuzzTest : public ::testing::TestWithParam<u64> {};
+
+TEST_P(SealedBlobFuzzTest, MutatedBlobsNeverUnsealOrLeak) {
+  FuzzBench bench;
+  ASSERT_TRUE(bench.setup(/*integrity=*/false));
+  const accel::SessionId sid = bench.user.session_id();
+
+  // Seal the session's secret weights (imported by setup at address 0).
+  store::SealedBlob blob;
+  const Bytes descriptor{0x5e, 0xa1};
+  ASSERT_EQ(bench.device.seal_model(sid, 0, bench.secret_weights.size(),
+                                    descriptor, blob),
+            DeviceStatus::kOk);
+  const Bytes wire = blob.serialize();
+  ASSERT_FALSE(bench.secrets_leaked()) << "sealing must not expose plaintext";
+
+  Xoshiro256 rng(GetParam());
+  const u64 ctr_w_before = bench.device.vn_generator(sid).ctr_w();
+  const int steps = fuzz_steps();
+  for (int step = 0; step < steps; ++step) {
+    Bytes mutated = wire;
+    const int n_mutations = 1 + static_cast<int>(rng.next_below(3));
+    for (int m = 0; m < n_mutations && !mutated.empty(); ++m) {
+      switch (rng.next_below(4)) {
+        case 0:  // single-bit flip anywhere
+          mutated[rng.next_below(mutated.size())] ^=
+              static_cast<u8>(1u << rng.next_below(8));
+          break;
+        case 1:  // truncation
+          mutated.resize(rng.next_below(mutated.size()));
+          break;
+        case 2:  // extension with junk
+          mutated.push_back(static_cast<u8>(rng.next()));
+          break;
+        default:  // header-field rewrite (version/binding/content/nonce/sizes)
+          mutated[rng.next_below(std::min<std::size_t>(108, mutated.size()))] ^=
+              0xff;
+          break;
+      }
+    }
+    if (mutated == wire) continue;  // mutations cancelled out
+
+    const auto parsed = store::SealedBlob::deserialize(mutated);
+    if (parsed) {
+      Bytes descriptor_out;
+      const DeviceStatus status =
+          bench.device.unseal_model(sid, *parsed, 0, descriptor_out);
+      EXPECT_NE(status, DeviceStatus::kOk)
+          << "a mutated blob must never unseal (seed " << GetParam() << " step "
+          << step << ")";
+      EXPECT_TRUE(descriptor_out.empty());
+    }
+    ASSERT_FALSE(bench.secrets_leaked())
+        << "seed " << GetParam() << " step " << step;
+    ASSERT_EQ(bench.device.vn_generator(sid).ctr_w(), ctr_w_before)
+        << "failed unseals must not move version counters";
+  }
+
+  // Control: the untouched wire still round-trips and restores the weights.
+  const auto intact = store::SealedBlob::deserialize(wire);
+  ASSERT_TRUE(intact.has_value());
+  Bytes descriptor_out;
+  EXPECT_EQ(bench.device.unseal_model(sid, *intact, 0, descriptor_out),
+            DeviceStatus::kOk);
+  EXPECT_EQ(descriptor_out, descriptor);
+  EXPECT_FALSE(bench.secrets_leaked());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SealedBlobFuzzTest,
+                         ::testing::Values(3001, 3002));
+
 }  // namespace
 }  // namespace guardnn::host

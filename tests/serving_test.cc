@@ -419,5 +419,117 @@ TEST(CrossTenantIsolation, ReplayAcrossCloseAndReinitRejected) {
   EXPECT_EQ(device.set_weight(old_sid, old_record, 0), DeviceStatus::kNoSession);
 }
 
+TEST(SessionEviction, LruIdleTenantEvictedToAdmitNewcomer) {
+  // Fill one device's 16-slot session table, then connect a 17th tenant:
+  // the least-recently-active idle session is evicted (closed + zeroized
+  // device-side) and the newcomer is admitted in its place.
+  ServerFixture fx;
+  InferenceServer server = fx.make(1, 1);
+  const FuncNetwork net = small_cnn(601);
+  const functional::Tensor input = random_input(net, 602);
+
+  std::vector<TenantClient> clients(accel::GuardNnDevice::kMaxSessions);
+  for (std::size_t i = 0; i < clients.size(); ++i) {
+    ASSERT_TRUE(clients[i].connect(server, fx.ca.public_key(), 610 + i, true));
+    ASSERT_TRUE(clients[i].load(server, net));
+  }
+  // Touch every tenant but #0, so #0 is unambiguously the LRU victim.
+  const Bytes input_bytes = tensor_bytes(input);
+  for (std::size_t i = 1; i < clients.size(); ++i) {
+    ASSERT_EQ(server.submit(clients[i].tenant,
+                            clients[i].user->seal(input_bytes)).outcome,
+              RequestOutcome::kOk);
+  }
+
+  TenantClient newcomer;
+  ASSERT_TRUE(newcomer.connect(server, fx.ca.public_key(), 699, true))
+      << "a full table must evict the idle LRU tenant, not refuse";
+  EXPECT_EQ(server.stats().evicted, 1u);
+  ASSERT_TRUE(newcomer.load(server, net));
+  InferenceResult result =
+      server.submit(newcomer.tenant, newcomer.user->seal(input_bytes));
+  ASSERT_EQ(result.outcome, RequestOutcome::kOk);
+  const auto output = newcomer.user->open_output(result.sealed_output);
+  ASSERT_TRUE(output.has_value());
+  EXPECT_EQ(*output, host::reference_run(net, input));
+
+  // The evicted tenant is gone: its handle answers kNoTenant, its session
+  // id is dead on the device.
+  EXPECT_EQ(server.submit(clients[0].tenant,
+                          clients[0].user->seal(input_bytes)).outcome,
+            RequestOutcome::kNoTenant);
+  EXPECT_FALSE(server.device(0).session_active(clients[0].user->session_id()));
+
+  // Everyone else still works.
+  EXPECT_EQ(server.submit(clients[1].tenant,
+                          clients[1].user->seal(input_bytes)).outcome,
+            RequestOutcome::kOk);
+}
+
+TEST(SessionEviction, DisabledEvictionStillRefusesWhenFull) {
+  ServerFixture fx;
+  ServerConfig config;
+  config.num_devices = 1;
+  config.num_workers = 1;
+  config.evict_idle_sessions = false;
+  InferenceServer server(fx.ca, config, Bytes{0x92, 0x93});
+
+  std::vector<TenantClient> clients(accel::GuardNnDevice::kMaxSessions);
+  for (std::size_t i = 0; i < clients.size(); ++i)
+    ASSERT_TRUE(clients[i].connect(server, fx.ca.public_key(), 710 + i, true));
+
+  TenantClient refused;
+  refused.user = std::make_unique<RemoteUser>(fx.ca.public_key(), Bytes{0x7f});
+  const auto connected = server.connect(refused.user->begin_session(), true);
+  EXPECT_EQ(connected.tenant, 0u);
+  EXPECT_EQ(connected.response.status, DeviceStatus::kNoResources);
+  EXPECT_EQ(server.stats().evicted, 0u);
+}
+
+TEST(PlanCacheGeneration, DeviceResetInvalidatesCachedPlans) {
+  // The plan cache keys on (model hash, device generation): after a device
+  // reset, a re-provisioned model must get a freshly compiled plan, never
+  // the pre-reset pointer.
+  ServerFixture fx;
+  InferenceServer server = fx.make(1, 1);
+  const FuncNetwork net = small_cnn(801);
+  const functional::Tensor input = random_input(net, 802);
+
+  const ModelHandle before_a = server.register_model(net);
+  const ModelHandle before_b = server.register_model(net);
+  EXPECT_EQ(before_a.plan.get(), before_b.plan.get());  // same generation: shared
+  EXPECT_EQ(before_a.generation, server.device(0).device_generation());
+
+  TenantClient old_tenant;
+  ASSERT_TRUE(old_tenant.connect(server, fx.ca.public_key(), 810, true));
+  ASSERT_TRUE(old_tenant.load(server, net));
+
+  ASSERT_EQ(server.reset_device(0), DeviceStatus::kOk);
+  EXPECT_EQ(server.device(0).device_generation(), before_a.generation + 1);
+  EXPECT_EQ(server.device(0).session_count(), 0u);  // sessions wiped
+  // The pre-reset tenant is disconnected, coarse errors onward.
+  const Bytes input_bytes = tensor_bytes(input);
+  EXPECT_EQ(server.submit(old_tenant.tenant,
+                          old_tenant.user->seal(input_bytes)).outcome,
+            RequestOutcome::kNoTenant);
+
+  const ModelHandle after = server.register_model(net);
+  EXPECT_EQ(after.hash, before_a.hash);  // same model...
+  EXPECT_NE(after.plan.get(), before_a.plan.get())
+      << "a post-reset registration must not reuse the stale compiled plan";
+
+  // A handle from *before* the reset still loads — the server transparently
+  // recompiles for the device's current generation — and serves correctly.
+  TenantClient fresh;
+  ASSERT_TRUE(fresh.connect(server, fx.ca.public_key(), 811, true));
+  ASSERT_TRUE(fresh.load(server, net));
+  InferenceResult result =
+      server.submit(fresh.tenant, fresh.user->seal(input_bytes));
+  ASSERT_EQ(result.outcome, RequestOutcome::kOk);
+  const auto output = fresh.user->open_output(result.sealed_output);
+  ASSERT_TRUE(output.has_value());
+  EXPECT_EQ(*output, host::reference_run(net, input));
+}
+
 }  // namespace
 }  // namespace guardnn::serving
