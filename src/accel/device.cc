@@ -4,6 +4,7 @@
 #include "functional/train_ops.h"
 #include "store/model_package.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace guardnn::accel {
@@ -82,6 +83,15 @@ crypto::Sha256Digest SignOutputResponse::report_digest() const {
   hasher.update(BytesView(output_hash.data(), output_hash.size()));
   hasher.update(BytesView(instruction_hash.data(), instruction_hash.size()));
   return hasher.finalize();
+}
+
+void GuardNnDevice::Session::invalidate_hash_cache_on_write(u64 addr,
+                                                            u64 bytes) {
+  if (!hash_cache.valid) return;
+  const u64 write_end = addr + pad_region(bytes);
+  const u64 cache_end = hash_cache.addr + pad_region(hash_cache.bytes);
+  if (addr < cache_end && hash_cache.addr < write_end)
+    hash_cache.valid = false;
 }
 
 void GuardNnDevice::Session::zeroize() {
@@ -183,7 +193,7 @@ InitSessionResponse GuardNnDevice::init_session(
       MemoryProtectionUnit(memory_, mem_enc_key, mem_mac_key, integrity),
       memprot::VnGenerator{},
       slot_index * kSessionDramBytes,
-      {}, {}, {}, AttestationChain{}, false});
+      {}, {}, {}, AttestationChain{}, false, SealHashCache{}});
   slot.session->chain.reset();
 
   const SessionId sid = make_id(slot_index, slot.generation);
@@ -254,6 +264,10 @@ DeviceStatus GuardNnDevice::import_region(Session& s,
     s.vn.on_set_input();
     vn = s.vn.feature_write_vn();
     data_hash = &s.input_hash;
+    // A CTR_F write over the cached weight range changes bytes the cached
+    // content id no longer describes (CTR_W writes invalidate via the VN
+    // check instead).
+    s.invalidate_hash_cache_on_write(addr, plaintext->size());
   }
 
   // Hash the imported data for remote attestation.
@@ -567,6 +581,7 @@ DeviceStatus GuardNnDevice::forward_locked(Session& s, const ForwardOp& op) {
   u64 out_phys = 0;
   if (!translate(s, op.output_addr, buffer.size(), out_phys))
     return DeviceStatus::kBadOperand;
+  s.invalidate_hash_cache_on_write(op.output_addr, buffer.size());
   s.mpu.write(out_phys, buffer, out_vn);
   s.vn.on_forward_write();
 
@@ -642,28 +657,47 @@ DeviceStatus GuardNnDevice::seal_model(SessionId sid, u64 weight_addr,
   if (!translate(*s, weight_addr, pad_region(weight_bytes), phys))
     return DeviceStatus::kBadOperand;
 
-  // Stream the weight region out of the session's partition through the MPU
-  // (plaintext exists only inside the trusted boundary). The padded read
-  // buffer is separate from the package so the pad tail can be wiped in
-  // full — a shrinking resize would leave those plaintext bytes behind the
-  // vector's size() where zeroize() cannot see them.
-  Bytes buffer(pad_region(weight_bytes));
-  if (!s->mpu.read(phys, buffer, s->vn.weight_vn())) {
-    s->dead = true;
+  // Fused MPU→blob pipeline: lay the serialized package out directly inside
+  // the SealedBlobWriter's buffer, stream the weight region out of the
+  // session's partition through the MPU straight into the weight area
+  // (chunk MACs verified kCmacLanes at a time, one walk, no intermediate
+  // plaintext copy), then encrypt the buffer in place. The plaintext exists
+  // exactly once, inside the trusted boundary, in the buffer that becomes
+  // the wire ciphertext.
+  const u64 weight_vn = s->vn.weight_vn();
+  store::SealedBlobWriter writer(
+      store_root_, store_binding_, random_nonce(),
+      store::serialized_package_bytes(descriptor.size(), weight_bytes),
+      std::move(out.ciphertext));  // recycle the out-param's old buffer
+  const MutBytesView weights =
+      store::layout_package(writer.payload(), descriptor, weight_bytes,
+                            weight_vn);
+  MpuExportStream exporter(s->mpu, phys, weight_bytes, weight_vn);
+  if (!exporter.next(weights) || !exporter.finish()) {
+    s->dead = true;        // abandoned writer wipes the partial plaintext
+    out = store::SealedBlob{};  // never leave a half-initialized out-param
     return DeviceStatus::kIntegrityFailure;
   }
-  store::ModelPackage package;
-  package.weights.assign(buffer.begin(),
-                         buffer.begin() + static_cast<long>(weight_bytes));
-  secure_zero(buffer.data(), buffer.size());
-  package.descriptor.assign(descriptor.begin(), descriptor.end());
-  package.weight_vn = s->vn.weight_vn();
 
-  Bytes payload = package.serialize();
-  out = store::seal_blob(store_root_, store_binding_, random_nonce(), payload,
-                         package.content_id());
-  secure_zero(payload.data(), payload.size());
-  package.zeroize();
+  // Content id: one SHA-256 over (descriptor || weights), or the session
+  // cache when this exact region state was hashed before (checkpoint loops,
+  // replica fan-out) — the pass the ROADMAP's seal-throughput item called
+  // out as the residual non-AES cost.
+  SealHashCache& cache = s->hash_cache;
+  if (!cache.valid || cache.addr != weight_addr ||
+      cache.bytes != weight_bytes || cache.vn != weight_vn ||
+      cache.descriptor.size() != descriptor.size() ||
+      !std::equal(descriptor.begin(), descriptor.end(),
+                  cache.descriptor.begin())) {
+    cache.content_id =
+        store::package_content_id(descriptor, BytesView(weights));
+    cache.addr = weight_addr;
+    cache.bytes = weight_bytes;
+    cache.vn = weight_vn;
+    cache.descriptor.assign(descriptor.begin(), descriptor.end());
+    cache.valid = true;
+  }
+  out = writer.finish(cache.content_id);
   latency_.add_import(weight_bytes);  // bounded by the same AES path
 
   u8 operand[16 + sizeof(out.header.content_id)];
@@ -688,42 +722,93 @@ DeviceStatus GuardNnDevice::unseal_model(SessionId sid,
   // All authenticity failures — tamper, truncation, wrong device, version
   // downgrade — collapse to kBadRecord, and nothing (VN counters included)
   // changes. A malicious host learns only "the blob did not verify".
-  Bytes payload;
-  if (store::unseal_blob(store_root_, store_binding_, blob, payload) !=
-      store::SealStatus::kOk)
+  //
+  // Fused pipeline: the reader verifies everything up front (chain MAC +
+  // every chunk MAC, kCmacLanes CBC chains at a time), decrypts into one
+  // payload buffer, which is then parsed *in place* and streamed into the
+  // session's partition — no package copy, no separate padded buffer.
+  store::SealedBlobReader reader(store_root_, store_binding_, blob);
+  if (reader.status() != store::SealStatus::kOk)
     return DeviceStatus::kBadRecord;
-  std::optional<store::ModelPackage> package = store::ModelPackage::parse(payload);
-  secure_zero(payload.data(), payload.size());
-  if (!package) return DeviceStatus::kBadRecord;
-  // Defense in depth: the authenticated content id must match the model
-  // bytes actually inside the package.
-  if (package->content_id() != blob.header.content_id) {
-    package->zeroize();
+  Bytes& payload = unseal_scratch_;  // wiped below on every path
+  payload.resize(reader.plaintext_bytes());
+  reader.read_all(payload);
+  auto wipe = [&payload] { secure_zero(payload.data(), payload.size()); };
+
+  const std::optional<store::ModelPackageView> view =
+      store::ModelPackageView::parse(payload);
+  if (!view) {
+    wipe();
     return DeviceStatus::kBadRecord;
   }
 
+  // Defense in depth: the authenticated content id must match the model
+  // bytes actually inside the package, and the attestation weight hash must
+  // cover the loaded plaintext. Both are SHA-256 passes over megabytes of
+  // weights; the verified-blob memo skips them when this exact blob — same
+  // chain MAC, nonce, content id and size, all MAC-verified again just now —
+  // already passed them on an earlier unseal.
+  crypto::Sha256Digest weight_hash;
+  std::size_t memo_index = verified_blobs_.size();
+  for (std::size_t i = 0; i < verified_blobs_.size(); ++i) {
+    const VerifiedBlobMemo& m = verified_blobs_[i];
+    if (m.chain_mac == blob.chain_mac && m.nonce == blob.header.nonce &&
+        m.content_id == blob.header.content_id &&
+        m.plaintext_bytes == blob.header.plaintext_bytes) {
+      memo_index = i;
+      break;
+    }
+  }
+  if (memo_index < verified_blobs_.size()) {
+    weight_hash = verified_blobs_[memo_index].weight_hash;
+    // LRU touch.
+    std::rotate(verified_blobs_.begin() + static_cast<long>(memo_index),
+                verified_blobs_.begin() + static_cast<long>(memo_index) + 1,
+                verified_blobs_.end());
+  } else {
+    if (view->content_id() != blob.header.content_id) {
+      wipe();
+      return DeviceStatus::kBadRecord;
+    }
+    weight_hash = crypto::Sha256::hash(view->weights);
+    if (verified_blobs_.size() >= kMaxVerifiedBlobMemos)
+      verified_blobs_.erase(verified_blobs_.begin());
+    verified_blobs_.push_back({blob.chain_mac, blob.header.nonce,
+                               blob.header.content_id,
+                               blob.header.plaintext_bytes, weight_hash});
+  }
+
   u64 phys = 0;
-  if (!translate(*s, weight_addr, pad_region(package->weights.size()), phys)) {
-    package->zeroize();
+  if (!translate(*s, weight_addr, pad_region(view->weights.size()), phys)) {
+    wipe();
     return DeviceStatus::kBadOperand;
   }
 
   // From here on this is a SetWeight whose source is the store instead of
-  // the user channel: advance CTR_W, write through the MPU, record the
-  // weight hash so SignOutput attests the provenance of the loaded model.
-  // The padded buffer is allocated at final size up front — a growing
-  // resize could reallocate and leave the old plaintext block unwiped.
+  // the user channel: advance CTR_W, stream through the MPU (the import
+  // stream owns the chunk zero-padding), record the weight hash so
+  // SignOutput attests the provenance of the loaded model.
   s->vn.on_set_weight();
-  s->weight_hash = crypto::Sha256::hash(package->weights);
-  Bytes padded(pad_region(package->weights.size()), 0);
-  std::copy(package->weights.begin(), package->weights.end(), padded.begin());
-  s->mpu.write(phys, padded, s->vn.weight_vn());
-  secure_zero(padded.data(), padded.size());
-  package->zeroize();
+  s->weight_hash = weight_hash;
+  MpuImportStream importer(s->mpu, phys, view->weights.size(),
+                           s->vn.weight_vn());
+  importer.next(view->weights);
+  importer.finish();
   latency_.add_import(blob.header.plaintext_bytes);
 
-  descriptor_out = std::move(package->descriptor);
-  if (checkpoint_vn_out) *checkpoint_vn_out = package->weight_vn;
+  // The freshly loaded region's content id is the blob's — prime the seal
+  // cache so a checkpoint taken right after a restore skips its hash pass.
+  s->hash_cache.valid = true;
+  s->hash_cache.addr = weight_addr;
+  s->hash_cache.bytes = view->weights.size();
+  s->hash_cache.vn = s->vn.weight_vn();
+  s->hash_cache.descriptor.assign(view->descriptor.begin(),
+                                  view->descriptor.end());
+  s->hash_cache.content_id = blob.header.content_id;
+
+  descriptor_out.assign(view->descriptor.begin(), view->descriptor.end());
+  if (checkpoint_vn_out) *checkpoint_vn_out = view->weight_vn;
+  wipe();
 
   u8 operand[8 + sizeof(blob.header.content_id)];
   store_be64(operand, weight_addr);
@@ -766,9 +851,8 @@ DeviceStatus GuardNnDevice::export_for_device(const store::SealedBlob& blob,
     return DeviceStatus::kBadRecord;
 
   // The blob must be ours to re-wrap.
-  Bytes payload;
-  if (store::unseal_blob(store_root_, store_binding_, blob, payload) !=
-      store::SealStatus::kOk)
+  store::SealedBlobReader reader(store_root_, store_binding_, blob);
+  if (reader.status() != store::SealStatus::kOk)
     return DeviceStatus::kBadRecord;
 
   DeviceStatus status = DeviceStatus::kOk;
@@ -783,9 +867,14 @@ DeviceStatus GuardNnDevice::export_for_device(const store::SealedBlob& blob,
     // device that proves that identity derives the same transport key, and
     // the binding check gives a third device a clean wrong-device failure.
     // The content id travels unchanged — replicas of one model share it.
-    wrapped = store::seal_blob(transport, target.binding_id, random_nonce(),
-                               payload, blob.header.content_id);
+    // Fused re-wrap: the verified blob decrypts chunk-wise straight into the
+    // transport writer's buffer, which re-encrypts it in place — the
+    // plaintext never exists outside that one buffer.
+    store::SealedBlobWriter writer(transport, target.binding_id,
+                                   random_nonce(), reader.plaintext_bytes());
     secure_zero(transport.data(), transport.size());
+    reader.read_all(writer.payload());
+    wrapped = writer.finish(blob.header.content_id);
 
     grant.ephemeral = ephemeral.public_key;
     grant.signature = crypto::ecdsa_sign(
@@ -795,7 +884,6 @@ DeviceStatus GuardNnDevice::export_for_device(const store::SealedBlob& blob,
   } catch (const std::invalid_argument&) {
     status = DeviceStatus::kBadRecord;  // degenerate peer share
   }
-  secure_zero(payload.data(), payload.size());
   return status;
 }
 
@@ -807,7 +895,6 @@ DeviceStatus GuardNnDevice::provision_finish(const store::SealedBlob& wrapped,
   if (!pending_provision_) return DeviceStatus::kBadOperand;
 
   DeviceStatus status = DeviceStatus::kOk;
-  Bytes payload;
   // Attest the source; the grant signature must cover *our* pending share,
   // so a grant minted for a different handshake never verifies.
   if (!verify_peer_identity(grant.certificate, nullptr, ca_public_) ||
@@ -822,19 +909,22 @@ DeviceStatus GuardNnDevice::provision_finish(const store::SealedBlob& wrapped,
           pending_provision_->private_key, grant.ephemeral);
       crypto::AesKey transport = provision_transport_key(
           shared, grant.ephemeral, pending_provision_->public_key);
-      if (store::unseal_blob(transport, store_binding_, wrapped, payload) ==
-          store::SealStatus::kOk) {
-        rebound = store::seal_blob(store_root_, store_binding_, random_nonce(),
-                                   payload, wrapped.header.content_id);
+      store::SealedBlobReader unwrapper(transport, store_binding_, wrapped);
+      secure_zero(transport.data(), transport.size());
+      if (unwrapper.status() == store::SealStatus::kOk) {
+        // Fused unwrap→re-seal, same shape as export_for_device.
+        store::SealedBlobWriter writer(store_root_, store_binding_,
+                                       random_nonce(),
+                                       unwrapper.plaintext_bytes());
+        unwrapper.read_all(writer.payload());
+        rebound = writer.finish(wrapped.header.content_id);
       } else {
         status = DeviceStatus::kBadRecord;
       }
-      secure_zero(transport.data(), transport.size());
     } catch (const std::invalid_argument&) {
       status = DeviceStatus::kBadRecord;  // degenerate peer share
     }
   }
-  if (!payload.empty()) secure_zero(payload.data(), payload.size());
 
   // One-shot handshake: consume (and wipe) the pending share on *every*
   // outcome, so a failed attempt cannot be retried against the same
@@ -858,6 +948,7 @@ DeviceStatus GuardNnDevice::reset() {
     pending_provision_.reset();
   }
   current_session_.store(kInvalidSession, std::memory_order_relaxed);
+  verified_blobs_.clear();
   generation_ += 1;
   return DeviceStatus::kOk;
 }

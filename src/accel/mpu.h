@@ -23,6 +23,9 @@
 
 namespace guardnn::accel {
 
+class MpuExportStream;
+class MpuImportStream;
+
 class MemoryProtectionUnit {
  public:
   static constexpr u64 kChunkBytes = 512;
@@ -69,9 +72,23 @@ class MemoryProtectionUnit {
   void clear_trace() { trace_.clear(); }
 
  private:
+  friend class MpuExportStream;
+  friend class MpuImportStream;
+
   u64 mac_slot_address(u64 chunk_address) const {
     return kMacRegionBase + chunk_address / kChunkBytes * 8;
   }
+
+  /// Verifies the chunk MACs of `data.size()` ciphertext bytes already read
+  /// from `address` (chunk tags computed kCmacLanes at a time, stored tags
+  /// read and traced in chunk order, first mismatch poisons). Does not
+  /// decrypt.
+  [[nodiscard]] bool verify_chunks(u64 address, BytesView data, u64 version);
+
+  /// Encrypts `plaintext` (whole-group staging on the stack, no heap
+  /// ciphertext), writes it at `address` and stores the lane-batched chunk
+  /// MACs. Factored out of write() so the import stream shares one code path.
+  void write_chunks(u64 address, BytesView plaintext, u64 version);
 
   UntrustedMemory& memory_;
   crypto::Aes128 enc_;
@@ -82,6 +99,114 @@ class MemoryProtectionUnit {
   bool integrity_enabled_;
   bool poisoned_ = false;
   std::vector<std::pair<u64, bool>> trace_;
+};
+
+/// Streaming verified export — the read side of the fused seal pipeline.
+///
+/// Walks the protection chunks of one region exactly once, front to back:
+/// each burst is read from untrusted memory, its chunk MACs verified
+/// crypto::kCmacLanes CBC chains at a time, and the plaintext decrypted
+/// *directly into the caller's destination buffer* (e.g. a SealedBlobWriter
+/// payload), so no intermediate full-plaintext copy ever exists. The
+/// protected region is the chunk-padded superset of the logical byte count;
+/// the final chunk is verified whole and its pad tail discarded inside the
+/// stream.
+///
+/// Usage: construct, call next() with destination slices of any size until
+/// the logical byte count is consumed, then finish(). A false return from
+/// next()/finish() means a chunk MAC failed — the MPU is poisoned, nothing
+/// further is delivered, and every plaintext byte already delivered came
+/// from a verified chunk.
+///
+/// Trace: one data-read entry at construction plus one MAC-slot entry per
+/// chunk, exactly like a monolithic MemoryProtectionUnit::read() of the
+/// padded region.
+class MpuExportStream {
+ public:
+  /// `address` follows read()'s alignment rules (512 B aligned with
+  /// integrity, 16 B otherwise). `bytes` is the logical plaintext size; it
+  /// need not be chunk- or block-aligned.
+  MpuExportStream(MemoryProtectionUnit& mpu, u64 address, u64 bytes,
+                  u64 version);
+  ~MpuExportStream();
+
+  MpuExportStream(const MpuExportStream&) = delete;
+  MpuExportStream& operator=(const MpuExportStream&) = delete;
+
+  /// Verifies and decrypts the next out.size() logical bytes into `out`.
+  /// out.size() must not exceed remaining().
+  [[nodiscard]] bool next(MutBytesView out);
+
+  /// True once every logical byte was delivered with all chunks verified.
+  [[nodiscard]] bool finish();
+
+  u64 remaining() const { return logical_end_ - logical_pos_; }
+
+ private:
+  bool fill_carry();
+
+  MemoryProtectionUnit& mpu_;
+  u64 chunk_addr_;    ///< Physical address of the next unprocessed chunk.
+  u64 logical_pos_;   ///< Next logical (physical-space) byte to deliver.
+  u64 logical_end_;
+  u64 padded_end_;    ///< Region end rounded up to a whole chunk *relative to
+                      ///< the start address* (chunk windows are anchored at
+                      ///< the region start, which is only 512 B aligned when
+                      ///< integrity is on).
+  u64 version_;
+  bool ok_ = true;
+  /// One decrypted chunk held back when the caller's slice ends mid-chunk.
+  u8 carry_[MemoryProtectionUnit::kChunkBytes];
+  std::size_t carry_len_ = 0;
+  std::size_t carry_off_ = 0;
+};
+
+/// Streaming import — the write side of the fused unseal pipeline.
+///
+/// Accepts plaintext in slices of any size, encrypts and MACs it in
+/// whole-chunk groups (crypto::kCmacLanes chunks per AES/CMAC burst, fixed
+/// stack staging, no heap ciphertext), and zero-pads the final chunk at
+/// finish() — byte-identical off-chip state to a monolithic write() of a
+/// zero-padded buffer, without the caller ever allocating one.
+///
+/// Trace: one data-write entry at construction plus one MAC-slot entry per
+/// chunk, exactly like the equivalent monolithic write().
+class MpuImportStream {
+ public:
+  /// `address` follows write()'s alignment rules. `bytes` is the logical
+  /// plaintext size the caller will deliver through next(); the stream owns
+  /// zero-padding up to the chunk boundary.
+  MpuImportStream(MemoryProtectionUnit& mpu, u64 address, u64 bytes,
+                  u64 version);
+  ~MpuImportStream();
+
+  MpuImportStream(const MpuImportStream&) = delete;
+  MpuImportStream& operator=(const MpuImportStream&) = delete;
+
+  /// Appends src.size() plaintext bytes. Total across calls must not exceed
+  /// the construction-time byte count.
+  void next(BytesView src);
+
+  /// Flushes the zero-padded final chunk. Must be called after exactly
+  /// `bytes` were delivered; throws std::logic_error otherwise.
+  void finish();
+
+  u64 remaining() const { return logical_end_ - logical_pos_; }
+
+ private:
+  void flush_staging();
+
+  MemoryProtectionUnit& mpu_;
+  u64 chunk_addr_;   ///< Physical address the staged bytes start at.
+  u64 logical_pos_;
+  u64 logical_end_;
+  u64 padded_end_;   ///< Region end padded relative to the start address.
+  u64 version_;
+  bool finished_ = false;
+  /// Partial-group staging: up to kCmacLanes chunks buffered so the AES and
+  /// CMAC bursts always run at full lane width.
+  u8 staging_[MemoryProtectionUnit::kChunkBytes * crypto::kCmacLanes];
+  std::size_t staged_ = 0;
 };
 
 }  // namespace guardnn::accel

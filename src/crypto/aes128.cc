@@ -227,6 +227,9 @@ BatchFn backend_fn(Aes128Backend backend) {
 #ifdef GUARDNN_HAVE_AESNI
     case Aes128Backend::kAesni: return &detail::aesni_encrypt_blocks;
 #endif
+#ifdef GUARDNN_HAVE_VAES
+    case Aes128Backend::kVaes: return &detail::vaes_encrypt_blocks;
+#endif
 #ifdef GUARDNN_HAVE_ARM_CE
     case Aes128Backend::kArmCe: return &detail::armce_encrypt_blocks;
 #endif
@@ -247,6 +250,7 @@ const Dispatch kDispatchTable[] = {
     {Aes128Backend::kTtable, &ttable_encrypt_blocks},
     {Aes128Backend::kAesni, backend_fn(Aes128Backend::kAesni)},
     {Aes128Backend::kArmCe, backend_fn(Aes128Backend::kArmCe)},
+    {Aes128Backend::kVaes, backend_fn(Aes128Backend::kVaes)},
 };
 
 const Dispatch* dispatch_entry(Aes128Backend backend) {
@@ -259,8 +263,9 @@ const Dispatch* default_dispatch() {
   // with native support). An unrecognized or unavailable choice falls back
   // to the default with a warning rather than aborting.
   if (const char* env = std::getenv("GUARDNN_AES_BACKEND"); env && *env) {
-    for (Aes128Backend b : {Aes128Backend::kReference, Aes128Backend::kTtable,
-                            Aes128Backend::kAesni, Aes128Backend::kArmCe}) {
+    for (Aes128Backend b :
+         {Aes128Backend::kReference, Aes128Backend::kTtable,
+          Aes128Backend::kAesni, Aes128Backend::kArmCe, Aes128Backend::kVaes}) {
       if (std::strcmp(env, aes_backend_name(b)) == 0) {
         if (aes_backend_available(b)) return dispatch_entry(b);
         std::fprintf(stderr,
@@ -274,9 +279,12 @@ const Dispatch* default_dispatch() {
     if (env)
       std::fprintf(stderr,
                    "guardnn: unrecognized GUARDNN_AES_BACKEND=%s (expected "
-                   "reference|ttable|aesni|armce), using default dispatch\n",
+                   "reference|ttable|aesni|armce|vaes), using default dispatch\n",
                    env);
   }
+#ifdef GUARDNN_HAVE_VAES
+  if (detail::vaes_cpu_supported()) return dispatch_entry(Aes128Backend::kVaes);
+#endif
 #ifdef GUARDNN_HAVE_AESNI
   if (cpu_has_aesni()) return dispatch_entry(Aes128Backend::kAesni);
 #endif
@@ -299,6 +307,7 @@ const char* aes_backend_name(Aes128Backend backend) {
     case Aes128Backend::kTtable: return "ttable";
     case Aes128Backend::kAesni: return "aesni";
     case Aes128Backend::kArmCe: return "armce";
+    case Aes128Backend::kVaes: return "vaes";
   }
   return "unknown";
 }
@@ -316,14 +325,21 @@ bool aes_backend_available(Aes128Backend backend) {
 #else
       return false;
 #endif
+    case Aes128Backend::kVaes:
+#ifdef GUARDNN_HAVE_VAES
+      return detail::vaes_cpu_supported();
+#else
+      return false;
+#endif
   }
   return false;
 }
 
 std::vector<Aes128Backend> aes_available_backends() {
   std::vector<Aes128Backend> out;
-  for (Aes128Backend b : {Aes128Backend::kReference, Aes128Backend::kTtable,
-                          Aes128Backend::kAesni, Aes128Backend::kArmCe})
+  for (Aes128Backend b :
+       {Aes128Backend::kReference, Aes128Backend::kTtable,
+        Aes128Backend::kAesni, Aes128Backend::kArmCe, Aes128Backend::kVaes})
     if (aes_backend_available(b)) out.push_back(b);
   return out;
 }

@@ -39,6 +39,9 @@ struct AesRoundKeys {
 // check passes.
 void aesni_encrypt_blocks(const AesRoundKeys& rk, const u8* in, u8* out,
                           std::size_t n_blocks);
+void vaes_encrypt_blocks(const AesRoundKeys& rk, const u8* in, u8* out,
+                         std::size_t n_blocks);
+bool vaes_cpu_supported();
 void armce_encrypt_blocks(const AesRoundKeys& rk, const u8* in, u8* out,
                           std::size_t n_blocks);
 bool armce_cpu_supported();
@@ -51,9 +54,12 @@ enum class Aes128Backend : u8 {
   kTtable,     ///< 32-bit T-table core; always built, portable fast path.
   kAesni,      ///< x86 AES-NI, 8-wide pipelined; built under GUARDNN_NATIVE_CRYPTO.
   kArmCe,      ///< ARMv8 Crypto Extensions; built under GUARDNN_NATIVE_CRYPTO.
+  kVaes,       ///< x86 VAES + AVX-512: 4 blocks per instruction, 16 in
+               ///< flight; built under GUARDNN_NATIVE_CRYPTO.
 };
 
-/// Human-readable backend name ("reference", "ttable", "aesni", "armce").
+/// Human-readable backend name ("reference", "ttable", "aesni", "armce",
+/// "vaes").
 const char* aes_backend_name(Aes128Backend backend);
 
 /// True when `backend` is compiled in *and* the CPU supports it.

@@ -1,0 +1,121 @@
+// x86 VAES + AVX-512 backend, compiled with -mvaes -mavx512f -maes -mxsave
+// under GUARDNN_NATIVE_CRYPTO.
+//
+// VAESENC on a 512-bit register encrypts four independent AES blocks per
+// instruction; the main loop keeps four ZMM registers (16 blocks) in flight,
+// which both fills the pipeline and matches crypto::kCmacLanes — one batch
+// CMAC round is exactly one loop iteration. This is the software analogue of
+// widening GuardNN's AES engine array (paper Section III-B): the same
+// keystream, four lanes per issue slot.
+//
+// The dispatcher in aes128.cc only routes here after vaes_cpu_supported()
+// passes (CPUID feature bits *and* the OS advertising ZMM state via XCR0),
+// so this TU may freely use the intrinsics.
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+#include <cpuid.h>
+
+#include "crypto/aes128.h"
+
+namespace guardnn::crypto::detail {
+namespace {
+
+inline __m128i encrypt_one(__m128i b, const __m128i k[11]) {
+  b = _mm_xor_si128(b, k[0]);
+  for (int r = 1; r <= 9; ++r) b = _mm_aesenc_si128(b, k[r]);
+  return _mm_aesenclast_si128(b, k[10]);
+}
+
+/// Broadcasts one 128-bit round key to all four ZMM lanes. Spelled with the
+/// zero-masked shuffle instead of _mm512_broadcast_i32x4 /
+/// _mm512_shuffle_i32x4, whose undefined-passthrough operands trip GCC 12's
+/// -Wuninitialized; the maskz form carries no undefined value and compiles
+/// to the same single VSHUFI32X4.
+inline __m512i broadcast_key(__m128i k) {
+  const __m512i z = _mm512_zextsi128_si512(k);
+  return _mm512_maskz_shuffle_i32x4(0xffff, z, z, 0x00);
+}
+
+}  // namespace
+
+bool vaes_cpu_supported() {
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (!__get_cpuid(1, &eax, &ebx, &ecx, &edx)) return false;
+  const bool osxsave = (ecx & (1u << 27)) != 0;
+  const bool aesni = (ecx & (1u << 25)) != 0;
+  if (!osxsave || !aesni) return false;
+  if (!__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx)) return false;
+  const bool avx512f = (ebx & (1u << 16)) != 0;
+  const bool vaes = (ecx & (1u << 9)) != 0;
+  if (!avx512f || !vaes) return false;
+  // The OS must save/restore the full ZMM state: XCR0 bits 1,2 (SSE/AVX)
+  // and 5,6,7 (opmask, ZMM0-15 high halves, ZMM16-31).
+  const unsigned long long xcr0 = _xgetbv(0);
+  return (xcr0 & 0xe6) == 0xe6;
+}
+
+void vaes_encrypt_blocks(const AesRoundKeys& rk, const u8* in, u8* out,
+                         std::size_t n_blocks) {
+  __m128i k[11];
+  for (int i = 0; i < 11; ++i)
+    k[i] = _mm_load_si128(reinterpret_cast<const __m128i*>(rk.bytes.data() + 16 * i));
+  __m512i kw[11];
+  for (int i = 0; i < 11; ++i) kw[i] = broadcast_key(k[i]);
+
+  // 16 blocks (4 ZMM) per iteration.
+  while (n_blocks >= 16) {
+    __m512i b0 = _mm512_loadu_si512(in + 0);
+    __m512i b1 = _mm512_loadu_si512(in + 64);
+    __m512i b2 = _mm512_loadu_si512(in + 128);
+    __m512i b3 = _mm512_loadu_si512(in + 192);
+    b0 = _mm512_xor_si512(b0, kw[0]);
+    b1 = _mm512_xor_si512(b1, kw[0]);
+    b2 = _mm512_xor_si512(b2, kw[0]);
+    b3 = _mm512_xor_si512(b3, kw[0]);
+    for (int r = 1; r <= 9; ++r) {
+      b0 = _mm512_aesenc_epi128(b0, kw[r]);
+      b1 = _mm512_aesenc_epi128(b1, kw[r]);
+      b2 = _mm512_aesenc_epi128(b2, kw[r]);
+      b3 = _mm512_aesenc_epi128(b3, kw[r]);
+    }
+    b0 = _mm512_aesenclast_epi128(b0, kw[10]);
+    b1 = _mm512_aesenclast_epi128(b1, kw[10]);
+    b2 = _mm512_aesenclast_epi128(b2, kw[10]);
+    b3 = _mm512_aesenclast_epi128(b3, kw[10]);
+    _mm512_storeu_si512(out + 0, b0);
+    _mm512_storeu_si512(out + 64, b1);
+    _mm512_storeu_si512(out + 128, b2);
+    _mm512_storeu_si512(out + 192, b3);
+    in += 256;
+    out += 256;
+    n_blocks -= 16;
+  }
+
+  // 4-block tail groups, one ZMM at a time.
+  while (n_blocks >= 4) {
+    __m512i b = _mm512_loadu_si512(in);
+    b = _mm512_xor_si512(b, kw[0]);
+    for (int r = 1; r <= 9; ++r) b = _mm512_aesenc_epi128(b, kw[r]);
+    b = _mm512_aesenclast_epi128(b, kw[10]);
+    _mm512_storeu_si512(out, b);
+    in += 64;
+    out += 64;
+    n_blocks -= 4;
+  }
+
+  // Final 1-3 blocks on the 128-bit unit.
+  while (n_blocks > 0) {
+    const __m128i b =
+        encrypt_one(_mm_loadu_si128(reinterpret_cast<const __m128i*>(in)), k);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out), b);
+    in += 16;
+    out += 16;
+    --n_blocks;
+  }
+}
+
+}  // namespace guardnn::crypto::detail
+
+#endif  // x86

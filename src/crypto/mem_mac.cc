@@ -1,6 +1,8 @@
 #include "crypto/mem_mac.h"
 
+#include <algorithm>
 #include <cstring>
+#include <stdexcept>
 
 namespace guardnn::crypto {
 namespace {
@@ -20,6 +22,34 @@ AesBlock gf_double(const AesBlock& in) {
 
 inline void xor_block(AesBlock& dst, const u8* src) {
   xor_bytes(dst.data(), src, kAesBlockBytes);
+}
+
+/// Copies the 16-byte block at offset `off` of (prefix || body) into `out`,
+/// applying the 10* CMAC padding when the message ends inside the block.
+/// Returns the number of real message bytes copied (16 for interior blocks).
+inline std::size_t gather_block(const CmacMessage& m, std::size_t off,
+                                u8 out[kAesBlockBytes]) {
+  std::size_t got = 0;
+  if (off < m.prefix.size()) {
+    const std::size_t take =
+        std::min(m.prefix.size() - off, kAesBlockBytes - got);
+    std::memcpy(out, m.prefix.data() + off, take);
+    got += take;
+  }
+  if (got < kAesBlockBytes) {
+    const std::size_t body_off = off + got - m.prefix.size();
+    if (body_off < m.body.size()) {
+      const std::size_t take =
+          std::min(m.body.size() - body_off, kAesBlockBytes - got);
+      std::memcpy(out + got, m.body.data() + body_off, take);
+      got += take;
+    }
+  }
+  if (got < kAesBlockBytes) {
+    out[got] = 0x80;
+    std::memset(out + got + 1, 0, kAesBlockBytes - got - 1);
+  }
+  return got;
 }
 
 }  // namespace
@@ -92,6 +122,90 @@ AesBlock cmac_aes128(const Aes128& aes, BytesView message) {
   CmacState state(aes);
   state.update(message);
   return state.finish();
+}
+
+void cmac_many(const Aes128& aes, const CmacSubkeys& subkeys,
+               const CmacMessage* messages, std::size_t n, AesBlock* tags_out) {
+  if (n == 0) return;
+  const std::size_t prefix_len = messages[0].prefix.size();
+  const std::size_t body_len = messages[0].body.size();
+  for (std::size_t i = 1; i < n; ++i) {
+    if (messages[i].prefix.size() != prefix_len ||
+        messages[i].body.size() != body_len)
+      throw std::invalid_argument("cmac_many: messages must share one geometry");
+  }
+  const std::size_t total = prefix_len + body_len;
+  const std::size_t n_blocks = total == 0 ? 1 : (total + kAesBlockBytes - 1) /
+                                                    kAesBlockBytes;
+  const bool last_is_full = total > 0 && total % kAesBlockBytes == 0;
+
+  // Blocks that straddle the prefix or carry the final padding/subkey
+  // treatment go through the generic gather; every block in between lies
+  // wholly inside the lane's body and XORs straight from the source — the
+  // fast path that dominates on chunk-sized bodies.
+  const std::size_t first_body_block =
+      (prefix_len + kAesBlockBytes - 1) / kAesBlockBytes;
+
+  for (std::size_t group = 0; group < n; group += kCmacLanes) {
+    const std::size_t lanes = std::min(kCmacLanes, n - group);
+    AesBlock x[kCmacLanes] = {};
+    u8 block[kAesBlockBytes];
+    for (std::size_t j = 0; j < n_blocks; ++j) {
+      const bool last = j + 1 == n_blocks;
+      if (!last && j >= first_body_block) {
+        const std::size_t body_off = j * kAesBlockBytes - prefix_len;
+        for (std::size_t l = 0; l < lanes; ++l)
+          xor_block(x[l], messages[group + l].body.data() + body_off);
+      } else {
+        for (std::size_t l = 0; l < lanes; ++l) {
+          gather_block(messages[group + l], j * kAesBlockBytes, block);
+          if (last)
+            xor_block(x[l],
+                      last_is_full ? subkeys.k1.data() : subkeys.k2.data());
+          xor_block(x[l], block);
+        }
+      }
+      // The lanes' CBC states are independent, so this one call is `lanes`
+      // parallel AES blocks — the whole point of the batch layout.
+      aes.encrypt_blocks(x, x, lanes);
+    }
+    for (std::size_t l = 0; l < lanes; ++l) tags_out[group + l] = x[l];
+  }
+}
+
+void memory_mac_many(const Aes128& aes, const CmacSubkeys& subkeys,
+                     u64 base_address, u64 version, u64 chunk_bytes,
+                     BytesView data, u64* tags_out, std::size_t n) {
+  if (n == 0) return;
+  if (chunk_bytes == 0)
+    throw std::invalid_argument("memory_mac_many: chunk_bytes must be nonzero");
+  const std::size_t n_full =
+      std::min<std::size_t>(n, data.size() / chunk_bytes);
+
+  u8 headers[kCmacLanes][2 * 8];
+  CmacMessage msgs[kCmacLanes];
+  AesBlock tags[kCmacLanes];
+  for (std::size_t group = 0; group < n_full; group += kCmacLanes) {
+    const std::size_t lanes = std::min(kCmacLanes, n_full - group);
+    for (std::size_t l = 0; l < lanes; ++l) {
+      const std::size_t i = group + l;
+      store_be64(headers[l], base_address + i * chunk_bytes);
+      store_be64(headers[l] + 8, version);
+      msgs[l].prefix = BytesView(headers[l], sizeof(headers[l]));
+      msgs[l].body = BytesView(data.data() + i * chunk_bytes, chunk_bytes);
+    }
+    cmac_many(aes, subkeys, msgs, lanes, tags);
+    for (std::size_t l = 0; l < lanes; ++l)
+      tags_out[group + l] = load_be64(tags[l].data());
+  }
+  // Ragged final chunk (region not a whole number of chunks): serial path.
+  for (std::size_t i = n_full; i < n; ++i) {
+    const std::size_t off = i * chunk_bytes;
+    const std::size_t len = off < data.size() ? data.size() - off : 0;
+    tags_out[i] = memory_mac(aes, subkeys, base_address + i * chunk_bytes,
+                             version,
+                             BytesView(len ? data.data() + off : nullptr, len));
+  }
 }
 
 u64 memory_mac(const Aes128& aes, const CmacSubkeys& subkeys, u64 address,

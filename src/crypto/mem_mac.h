@@ -51,6 +51,37 @@ class CmacState {
 /// AES-CMAC per RFC 4493, producing the full 128-bit tag.
 AesBlock cmac_aes128(const Aes128& aes, BytesView message);
 
+/// How many independent CBC-MAC chains the batch CMAC runs in lockstep: 32
+/// lanes = four 8-wide AES-NI bursts or two 16-block VAES iterations per
+/// encrypt_blocks call, keeping the AES pipeline full while amortizing the
+/// per-call round-key reload/broadcast. The portable cores are unaffected
+/// (no slower, no faster).
+inline constexpr std::size_t kCmacLanes = 32;
+
+/// One message of a CMAC batch: tag = CMAC(prefix || body). The prefix is
+/// the bound metadata (chunk index, address/version header); either part may
+/// be empty.
+struct CmacMessage {
+  BytesView prefix;
+  BytesView body;
+};
+
+/// Computes AES-CMAC over `n` independent messages, interleaving their
+/// CBC-MAC chains `kCmacLanes` at a time through the batched AES encrypt
+/// path. A single CMAC is inherently serial (each block feeds the next), but
+/// chains of *different* messages are independent, so running kCmacLanes of
+/// them in lockstep keeps a pipelined AES unit full — this is what lets chunked MAC
+/// verification (MPU protection chunks, SealedBlob chunk MACs) run near the
+/// AES-CTR rate instead of the ~6x slower serial-CBC rate.
+///
+/// All `n` messages must share one geometry: equal prefix lengths and equal
+/// body lengths (ragged tails are the caller's job — MAC the odd-sized final
+/// chunk with CmacState). Throws std::invalid_argument otherwise.
+/// `tags_out[i]` receives the full 128-bit tag of message i; results are
+/// bit-identical to cmac_aes128 on every backend.
+void cmac_many(const Aes128& aes, const CmacSubkeys& subkeys,
+               const CmacMessage* messages, std::size_t n, AesBlock* tags_out);
+
 /// Memory MAC: 64-bit tag over (address || version || data), computed with
 /// zero heap allocation. GuardNN_CI stores one such tag per protection chunk
 /// (512 B by default); the Intel-MEE baseline stores one per 64 B block.
@@ -60,5 +91,15 @@ u64 memory_mac(const Aes128& aes, u64 address, u64 version, BytesView data);
 /// subkeys and reuses them across every chunk of a burst).
 u64 memory_mac(const Aes128& aes, const CmacSubkeys& subkeys, u64 address,
                u64 version, BytesView data);
+
+/// Batch memory MAC: tags for `n` consecutive protection chunks — chunk i
+/// covers data[i * chunk_bytes, min((i+1) * chunk_bytes, data.size())) at
+/// address `base_address + i * chunk_bytes` under one `version`. The
+/// full-size chunks run through cmac_many (kCmacLanes CBC chains in
+/// lockstep); a short final chunk falls back to the serial path. Results are bit-identical to
+/// calling memory_mac per chunk.
+void memory_mac_many(const Aes128& aes, const CmacSubkeys& subkeys,
+                     u64 base_address, u64 version, u64 chunk_bytes,
+                     BytesView data, u64* tags_out, std::size_t n);
 
 }  // namespace guardnn::crypto

@@ -1,6 +1,14 @@
 #include "crypto/sha256.h"
 
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <stdexcept>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>
+#endif
 
 namespace guardnn::crypto {
 namespace {
@@ -17,7 +25,126 @@ constexpr u32 kK[64] = {
 
 u32 rotr(u32 x, int n) { return (x >> n) | (x << (32 - n)); }
 
+void scalar_process_blocks(u32* state, const u8* data, std::size_t n_blocks) {
+  for (std::size_t blk = 0; blk < n_blocks; ++blk, data += 64) {
+    u32 w[64];
+    for (int i = 0; i < 16; ++i) w[i] = load_be32(data + 4 * i);
+    for (int i = 16; i < 64; ++i) {
+      const u32 s0 = rotr(w[i - 15], 7) ^ rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
+      const u32 s1 = rotr(w[i - 2], 17) ^ rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
+      w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+    }
+
+    u32 a = state[0], b = state[1], c = state[2], d = state[3];
+    u32 e = state[4], f = state[5], g = state[6], h = state[7];
+
+    for (int i = 0; i < 64; ++i) {
+      const u32 s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
+      const u32 ch = (e & f) ^ (~e & g);
+      const u32 temp1 = h + s1 + ch + kK[i] + w[i];
+      const u32 s0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
+      const u32 maj = (a & b) ^ (a & c) ^ (b & c);
+      const u32 temp2 = s0 + maj;
+      h = g; g = f; f = e; e = d + temp1;
+      d = c; c = b; b = a; a = temp1 + temp2;
+    }
+
+    state[0] += a; state[1] += b; state[2] += c; state[3] += d;
+    state[4] += e; state[5] += f; state[6] += g; state[7] += h;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Backend dispatch, mirroring the AES dispatcher: one immutable entry per
+// backend, the active selection a single atomic pointer.
+// ---------------------------------------------------------------------------
+
+using CompressFn = void (*)(u32*, const u8*, std::size_t);
+
+bool cpu_has_shani() {
+#if (defined(__x86_64__) || defined(__i386__)) && defined(GUARDNN_HAVE_SHANI)
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (!__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx)) return false;
+  return (ebx & (1u << 29)) != 0;  // CPUID.7.0:EBX.SHA
+#else
+  return false;
+#endif
+}
+
+struct ShaDispatch {
+  Sha256Backend backend;
+  CompressFn fn;
+};
+
+const ShaDispatch kShaDispatchTable[] = {
+    {Sha256Backend::kScalar, &scalar_process_blocks},
+#ifdef GUARDNN_HAVE_SHANI
+    {Sha256Backend::kShani, &detail::shani_process_blocks},
+#else
+    {Sha256Backend::kShani, nullptr},
+#endif
+};
+
+const ShaDispatch* sha_dispatch_entry(Sha256Backend backend) {
+  return &kShaDispatchTable[static_cast<std::size_t>(backend)];
+}
+
+const ShaDispatch* sha_default_dispatch() {
+  if (const char* env = std::getenv("GUARDNN_SHA256_BACKEND"); env && *env) {
+    for (Sha256Backend b : {Sha256Backend::kScalar, Sha256Backend::kShani}) {
+      if (std::strcmp(env, sha256_backend_name(b)) == 0) {
+        if (sha256_backend_available(b)) return sha_dispatch_entry(b);
+        std::fprintf(stderr,
+                     "guardnn: GUARDNN_SHA256_BACKEND=%s not available on "
+                     "this machine, using default dispatch\n",
+                     env);
+        env = nullptr;
+        break;
+      }
+    }
+    if (env)
+      std::fprintf(stderr,
+                   "guardnn: unrecognized GUARDNN_SHA256_BACKEND=%s "
+                   "(expected scalar|shani), using default dispatch\n",
+                   env);
+  }
+  if (cpu_has_shani()) return sha_dispatch_entry(Sha256Backend::kShani);
+  return sha_dispatch_entry(Sha256Backend::kScalar);
+}
+
+std::atomic<const ShaDispatch*>& sha_active_dispatch() {
+  static std::atomic<const ShaDispatch*> d{sha_default_dispatch()};
+  return d;
+}
+
 }  // namespace
+
+const char* sha256_backend_name(Sha256Backend backend) {
+  switch (backend) {
+    case Sha256Backend::kScalar: return "scalar";
+    case Sha256Backend::kShani: return "shani";
+  }
+  return "unknown";
+}
+
+bool sha256_backend_available(Sha256Backend backend) {
+  switch (backend) {
+    case Sha256Backend::kScalar: return true;
+    case Sha256Backend::kShani: return cpu_has_shani();
+  }
+  return false;
+}
+
+Sha256Backend sha256_active_backend() {
+  return sha_active_dispatch().load(std::memory_order_relaxed)->backend;
+}
+
+void sha256_force_backend(Sha256Backend backend) {
+  if (!sha256_backend_available(backend))
+    throw std::invalid_argument("sha256_force_backend: backend not available");
+  sha_active_dispatch().store(sha_dispatch_entry(backend),
+                              std::memory_order_relaxed);
+}
 
 void Sha256::reset() {
   state_ = {0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
@@ -26,31 +153,9 @@ void Sha256::reset() {
   total_len_ = 0;
 }
 
-void Sha256::process_block(const u8* block) {
-  u32 w[64];
-  for (int i = 0; i < 16; ++i) w[i] = load_be32(block + 4 * i);
-  for (int i = 16; i < 64; ++i) {
-    const u32 s0 = rotr(w[i - 15], 7) ^ rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
-    const u32 s1 = rotr(w[i - 2], 17) ^ rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
-    w[i] = w[i - 16] + s0 + w[i - 7] + s1;
-  }
-
-  u32 a = state_[0], b = state_[1], c = state_[2], d = state_[3];
-  u32 e = state_[4], f = state_[5], g = state_[6], h = state_[7];
-
-  for (int i = 0; i < 64; ++i) {
-    const u32 s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
-    const u32 ch = (e & f) ^ (~e & g);
-    const u32 temp1 = h + s1 + ch + kK[i] + w[i];
-    const u32 s0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
-    const u32 maj = (a & b) ^ (a & c) ^ (b & c);
-    const u32 temp2 = s0 + maj;
-    h = g; g = f; f = e; e = d + temp1;
-    d = c; c = b; b = a; a = temp1 + temp2;
-  }
-
-  state_[0] += a; state_[1] += b; state_[2] += c; state_[3] += d;
-  state_[4] += e; state_[5] += f; state_[6] += g; state_[7] += h;
+void Sha256::process_blocks(const u8* blocks, std::size_t n_blocks) {
+  sha_active_dispatch().load(std::memory_order_relaxed)->fn(state_.data(),
+                                                            blocks, n_blocks);
 }
 
 void Sha256::update(BytesView data) {
@@ -67,9 +172,9 @@ void Sha256::update(BytesView data) {
       buffer_len_ = 0;
     }
   }
-  while (offset + 64 <= data.size()) {
-    process_block(data.data() + offset);
-    offset += 64;
+  if (const std::size_t bulk = (data.size() - offset) / 64; bulk > 0) {
+    process_blocks(data.data() + offset, bulk);
+    offset += bulk * 64;
   }
   if (offset < data.size()) {
     std::memcpy(buffer_.data(), data.data() + offset, data.size() - offset);

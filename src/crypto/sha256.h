@@ -11,6 +11,35 @@ namespace guardnn::crypto {
 inline constexpr std::size_t kSha256DigestBytes = 32;
 using Sha256Digest = std::array<u8, kSha256DigestBytes>;
 
+namespace detail {
+// x86 SHA-NI fast path, defined in sha256_ni.cc when GUARDNN_NATIVE_CRYPTO
+// compiles it in; only called after the runtime CPUID check passes.
+void shani_process_blocks(u32* state, const u8* data, std::size_t n_blocks);
+}  // namespace detail
+
+/// Software implementations of the SHA-256 compression function, selectable
+/// at runtime (mirrors Aes128Backend): the portable scalar rounds, and the
+/// x86 SHA extensions when compiled in and supported by the CPU.
+enum class Sha256Backend : u8 {
+  kScalar,  ///< Portable 32-bit rounds; always built, correctness anchor.
+  kShani,   ///< x86 SHA-NI; built under GUARDNN_NATIVE_CRYPTO.
+};
+
+/// Human-readable backend name ("scalar", "shani").
+const char* sha256_backend_name(Sha256Backend backend);
+
+/// True when `backend` is compiled in *and* the CPU supports it.
+bool sha256_backend_available(Sha256Backend backend);
+
+/// Backend the dispatcher currently routes compression calls to. Defaults to
+/// the fastest available; GUARDNN_SHA256_BACKEND=scalar|shani pins it for a
+/// process.
+Sha256Backend sha256_active_backend();
+
+/// Forces a specific backend (tests / benchmarking). Throws
+/// std::invalid_argument when the backend is not available on this machine.
+void sha256_force_backend(Sha256Backend backend);
+
 /// Incremental SHA-256. `update` may be called any number of times.
 class Sha256 {
  public:
@@ -28,7 +57,10 @@ class Sha256 {
   }
 
  private:
-  void process_block(const u8* block);
+  void process_block(const u8* block) { process_blocks(block, 1); }
+  /// Runs `n_blocks` consecutive 64 B blocks through the active compression
+  /// backend (SHA-NI keeps the state in registers across the whole run).
+  void process_blocks(const u8* blocks, std::size_t n_blocks);
 
   std::array<u32, 8> state_{};
   std::array<u8, 64> buffer_{};

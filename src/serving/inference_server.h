@@ -116,12 +116,33 @@ struct ServerStats {
   u64 replications = 0;  ///< Cross-device model re-wraps performed.
 };
 
+/// Multi-tenant secure inference server (see the file header for the
+/// architecture).
+///
+/// Thread safety: every public method may be called from any thread
+/// concurrently. Control-plane calls serialize on internal mutexes plus the
+/// per-device busy lock; data-plane submissions enqueue and are executed by
+/// the worker pool (per-tenant FIFO order is preserved, cross-tenant
+/// execution is concurrent). Introspection accessors return references to
+/// device-owned state and are meant for single-threaded test drivers.
+///
+/// Error model: control-plane methods return the accel::DeviceStatus of the
+/// underlying device instruction (kNoSession for unknown/disconnected
+/// tenants, kBadOperand for invalid indices/handles); data-plane results
+/// carry a RequestOutcome plus the failing DeviceStatus.
 class InferenceServer {
  public:
   /// Builds the device fleet ("fabrication": each device gets an identity
   /// certified by `ca`) and starts the worker pool.
+  ///
+  /// Preconditions: `config.num_devices >= 1`, `config.num_workers >= 1`,
+  /// `entropy` non-empty (seeds every device DRBG). When
+  /// `config.model_store_dir` is non-empty the directory is created on
+  /// demand and re-indexed (see store::DirectoryBackend).
   InferenceServer(const crypto::ManufacturerCa& ca, const ServerConfig& config,
                   BytesView entropy);
+  /// Stops the workers; queued requests complete with
+  /// RequestOutcome::kShutdown before the devices are torn down.
   ~InferenceServer();
 
   InferenceServer(const InferenceServer&) = delete;
@@ -133,6 +154,9 @@ class InferenceServer {
 
   /// GetPK for the device a new tenant would land on — or any device, for a
   /// user that wants to pre-verify the fleet.
+  ///
+  /// Precondition: `device_index < device_count()` (throws
+  /// std::out_of_range otherwise).
   accel::GetPkResponse get_pk(std::size_t device_index);
 
   struct ConnectResult {
@@ -143,11 +167,18 @@ class InferenceServer {
 
   /// Runs InitSession on the least-loaded device and registers a tenant.
   /// The caller forwards `response` to the user's complete_session().
+  ///
+  /// Returns `tenant == 0` with `response.status` set when every session
+  /// table is full (after idle eviction, when enabled) or the device
+  /// rejects the handshake; no tenant is registered in that case.
   ConnectResult connect(const crypto::AffinePoint& user_ephemeral,
                         bool integrity);
 
   /// CloseSession for the tenant's session (keys zeroized device-side) and
   /// retire the tenant. Queued requests fail with kNoSession/kNoTenant.
+  ///
+  /// Returns kNoSession for an unknown or already-disconnected tenant;
+  /// otherwise the device's CloseSession status.
   accel::DeviceStatus disconnect(TenantId tenant);
 
   /// Compiles a network into an ExecutionPlan, deduplicated by model hash:
@@ -160,6 +191,10 @@ class InferenceServer {
   /// Imports the tenant's sealed weight blob and pins the plan used by
   /// subsequent submissions. The blob must be the plan's weight_blob sealed
   /// by the tenant's user.
+  ///
+  /// Errors: kNoSession (unknown tenant), kBadOperand (invalid handle),
+  /// kBadRecord (channel authentication failed — the record was not sealed
+  /// by this tenant's user, or was replayed), or any SetWeight status.
   accel::DeviceStatus load_model(TenantId tenant, const ModelHandle& model,
                                  const crypto::SealedRecord& sealed_weights);
 
@@ -171,9 +206,15 @@ class InferenceServer {
   // served once the model is replicated there, without its weights ever
   // being visible to the server.
 
-  /// Seals the tenant's currently loaded model on its device into the store.
+  /// Seals the tenant's currently loaded model on its device into the store
+  /// (the fused SealModel pipeline: one MPU walk, in-place blob encryption).
   /// `descriptor` is the public architecture metadata to embed (typically
   /// host::serialize_descriptor of the registered network).
+  ///
+  /// Errors: kNoSession (unknown tenant), kBadOperand (no model loaded, or
+  /// the blob failed the store's round-trip check), kIntegrityFailure (the
+  /// session's weight region failed MAC verification — session is dead).
+  /// On success `content_out` names the stored replica.
   accel::DeviceStatus seal_tenant_model(TenantId tenant, BytesView descriptor,
                                         store::ContentId& content_out);
 

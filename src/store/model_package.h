@@ -42,4 +42,39 @@ struct ModelPackage {
   }
 };
 
+/// The model identity hash shared by ModelPackage and ModelPackageView:
+/// SHA-256 over (be64 descriptor length || descriptor || weights).
+ContentId package_content_id(BytesView descriptor, BytesView weights);
+
+/// Zero-copy view of a serialized package: fields alias the serialized
+/// buffer, which must outlive the view. Parsing is exactly as strict as
+/// ModelPackage::parse (same rejects, no trailing garbage), but nothing is
+/// copied — the fused unseal path parses the decrypted payload in place and
+/// streams the weight bytes straight into the MPU.
+struct ModelPackageView {
+  BytesView descriptor;
+  BytesView weights;
+  u64 weight_vn = 0;
+
+  ContentId content_id() const {
+    return package_content_id(descriptor, weights);
+  }
+
+  static std::optional<ModelPackageView> parse(BytesView bytes);
+};
+
+/// Wire size of a package with the given part sizes (layout_package below
+/// expects a buffer of exactly this size).
+u64 serialized_package_bytes(u64 descriptor_bytes, u64 weight_bytes);
+
+/// Writes the fixed fields, length prefixes and descriptor of the serialized
+/// package layout into `out` (out.size() must equal
+/// serialized_package_bytes(...)), and returns the mutable weight area for
+/// the producer to fill — the fused seal path points an MpuExportStream at
+/// it, so the package is assembled once, in the buffer that will be
+/// encrypted in place. The result is byte-identical to
+/// ModelPackage::serialize() once the weights are written.
+MutBytesView layout_package(MutBytesView out, BytesView descriptor,
+                            u64 weight_bytes, u64 weight_vn);
+
 }  // namespace guardnn::store

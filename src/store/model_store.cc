@@ -3,6 +3,12 @@
 #include <filesystem>
 #include <fstream>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#define GUARDNN_STORE_HAVE_FSYNC 1
+#endif
+
 namespace guardnn::store {
 
 namespace fs = std::filesystem;
@@ -42,12 +48,52 @@ DirectoryBackend::DirectoryBackend(std::string directory)
 bool DirectoryBackend::save(const std::string& key, BytesView bytes) {
   std::error_code ec;
   fs::create_directories(directory_, ec);
+#ifdef GUARDNN_STORE_HAVE_FSYNC
+  // Durable write: temp file → write → fsync → rename → fsync(directory).
+  // ModelStore indexes a replica only after save() returns true, so a crash
+  // mid-checkpoint can never leave a truncated-but-indexed blob — before
+  // this, truncation was only caught at unseal time, after the old
+  // checkpoint had already been replaced in the index.
+  const fs::path final_path = fs::path(directory_) / key;
+  const fs::path tmp_path = fs::path(directory_) / (key + ".tmp");
+  const int fd = ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  std::size_t written = 0;
+  while (written < bytes.size()) {
+    const ::ssize_t n =
+        ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n <= 0) {
+      ::close(fd);
+      fs::remove(tmp_path, ec);
+      return false;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  const bool synced = ::fsync(fd) == 0;
+  const bool closed = ::close(fd) == 0;  // close unconditionally: no fd leak
+  if (!synced || !closed) {
+    fs::remove(tmp_path, ec);
+    return false;
+  }
+  fs::rename(tmp_path, final_path, ec);
+  if (ec) {
+    fs::remove(tmp_path, ec);
+    return false;
+  }
+  // Persist the rename itself: fsync the containing directory.
+  if (const int dirfd = ::open(directory_.c_str(), O_RDONLY); dirfd >= 0) {
+    ::fsync(dirfd);
+    ::close(dirfd);
+  }
+  return true;
+#else
   std::ofstream out(fs::path(directory_) / key,
                     std::ios::binary | std::ios::trunc);
   if (!out) return false;
   out.write(reinterpret_cast<const char*>(bytes.data()),
             static_cast<std::streamsize>(bytes.size()));
   return out.good();
+#endif
 }
 
 std::optional<Bytes> DirectoryBackend::load(const std::string& key) const {
@@ -92,6 +138,10 @@ std::string ModelStore::key_for(const ContentId& content,
 
 void ModelStore::reindex_locked() {
   for (const std::string& key : backend_->list()) {
+    // Orphaned temp files from a save() interrupted before its rename are
+    // not replicas; never index one.
+    if (key.size() >= 4 && key.compare(key.size() - 4, 4, ".tmp") == 0)
+      continue;
     const std::optional<Bytes> bytes = backend_->load(key);
     if (!bytes) continue;
     const std::optional<SealedBlob> blob = SealedBlob::deserialize(*bytes);

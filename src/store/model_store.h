@@ -58,6 +58,11 @@ class DirectoryBackend final : public StoreBackend {
  public:
   explicit DirectoryBackend(std::string directory);
 
+  /// Crash-durable write: `<key>.tmp` → write → fsync → rename over the
+  /// final name → fsync the directory. Returns false (and leaves no final
+  /// file behind) on any I/O failure, so a replica is only ever visible —
+  /// and only ever indexed — once its bytes are fully on disk. A crash can
+  /// at worst leave a `*.tmp` orphan, which reindexing ignores.
   bool save(const std::string& key, BytesView bytes) override;
   std::optional<Bytes> load(const std::string& key) const override;
   std::vector<std::string> list() const override;
@@ -83,7 +88,9 @@ class ModelStore {
   explicit ModelStore(std::unique_ptr<StoreBackend> backend = nullptr);
 
   /// Stores a replica, deduplicated by (content id, binding id). Returns the
-  /// content id, or nullopt for a structurally invalid blob.
+  /// content id, or nullopt when the blob fails the wire-format round trip
+  /// or the backend write fails (directory backend: the write is fsync'd
+  /// before this returns, so a success is crash-durable). Thread-safe.
   std::optional<ContentId> put(const SealedBlob& blob);
 
   /// The replica of `content` bound to `binding`, if present.

@@ -1,5 +1,7 @@
 #include "store/sealed_blob.h"
 
+#include <array>
+#include <cstring>
 #include <stdexcept>
 
 #include "crypto/hmac.h"
@@ -36,6 +38,37 @@ crypto::AesBlock chain_mac(const crypto::Aes128& aes,
   for (const crypto::AesBlock& mac : macs)
     state.update(BytesView(mac.data(), mac.size()));
   return state.finish();
+}
+
+/// All chunk MACs of a ciphertext buffer, the full-size chunks running
+/// crypto::kCmacLanes CBC chains in lockstep (a short final chunk falls back
+/// to the serial path). Bit-identical to calling chunk_mac per chunk.
+void chunk_macs_batched(const crypto::Aes128& mac,
+                        const crypto::CmacSubkeys& subkeys,
+                        BytesView ciphertext,
+                        std::vector<crypto::AesBlock>& tags_out) {
+  const u64 n_chunks =
+      (ciphertext.size() + kSealChunkBytes - 1) / kSealChunkBytes;
+  tags_out.resize(n_chunks);
+  if (n_chunks == 0) return;
+  const u64 n_full = ciphertext.size() / kSealChunkBytes;
+
+  std::vector<std::array<u8, 8>> indices(n_full);
+  std::vector<crypto::CmacMessage> msgs(n_full);
+  for (u64 i = 0; i < n_full; ++i) {
+    store_be64(indices[i].data(), i);
+    msgs[i].prefix = BytesView(indices[i].data(), indices[i].size());
+    msgs[i].body =
+        BytesView(ciphertext.data() + i * kSealChunkBytes, kSealChunkBytes);
+  }
+  crypto::cmac_many(mac, subkeys, msgs.data(), n_full, tags_out.data());
+
+  if (n_full < n_chunks) {
+    const u64 off = n_full * kSealChunkBytes;
+    tags_out[n_full] =
+        chunk_mac(mac, subkeys, n_full,
+                  BytesView(ciphertext.data() + off, ciphertext.size() - off));
+  }
 }
 
 }  // namespace
@@ -257,6 +290,166 @@ SealStatus unseal_blob(const crypto::AesKey& root_key, const BindingId& binding,
   secure_zero(keys.enc.data(), keys.enc.size());
   secure_zero(keys.mac.data(), keys.mac.size());
   return SealStatus::kOk;
+}
+
+// --- SealedBlobWriter --------------------------------------------------------
+
+SealedBlobWriter::SealedBlobWriter(const crypto::AesKey& root_key,
+                                   const BindingId& binding,
+                                   const crypto::AesBlock& nonce,
+                                   u64 plaintext_bytes, Bytes&& recycle)
+    : root_(root_key) {
+  if (plaintext_bytes == 0)
+    throw std::invalid_argument("SealedBlobWriter: empty payload");
+  blob_.header.version = kSealedBlobVersion;
+  blob_.header.binding_id = binding;
+  blob_.header.nonce = nonce;
+  blob_.header.plaintext_bytes = plaintext_bytes;
+  blob_.header.chunk_bytes = kSealChunkBytes;
+  blob_.ciphertext = std::move(recycle);
+  blob_.ciphertext.resize(plaintext_bytes);
+}
+
+SealedBlobWriter::~SealedBlobWriter() {
+  secure_zero(root_.data(), root_.size());
+  // An abandoned writer still holds plaintext in the ciphertext buffer.
+  if (!finished_ && !blob_.ciphertext.empty())
+    secure_zero(blob_.ciphertext.data(), blob_.ciphertext.size());
+}
+
+MutBytesView SealedBlobWriter::payload() {
+  if (finished_)
+    throw std::logic_error("SealedBlobWriter: payload() after finish()");
+  return MutBytesView(blob_.ciphertext.data(), blob_.ciphertext.size());
+}
+
+MutBytesView SealedBlobWriter::chunk(u64 index) {
+  if (finished_)
+    throw std::logic_error("SealedBlobWriter: chunk() after finish()");
+  if (index >= chunk_count())
+    throw std::invalid_argument("SealedBlobWriter: chunk index out of range");
+  const u64 offset = index * kSealChunkBytes;
+  const u64 len =
+      std::min<u64>(kSealChunkBytes, blob_.header.plaintext_bytes - offset);
+  return MutBytesView(blob_.ciphertext.data() + offset, len);
+}
+
+SealedBlob SealedBlobWriter::finish(const ContentId& content_id) {
+  if (finished_)
+    throw std::logic_error("SealedBlobWriter: double finish()");
+  finished_ = true;
+  blob_.header.content_id = content_id;
+
+  BlobKeys keys = derive_blob_keys(root_, blob_.header.nonce, content_id);
+  secure_zero(root_.data(), root_.size());
+  crypto::Aes128 enc(keys.enc);
+  crypto::Aes128 mac(keys.mac);
+  const crypto::CmacSubkeys subkeys = crypto::cmac_derive_subkeys(mac);
+
+  // Encrypt every chunk in place — the buffer the producer filled with
+  // plaintext becomes the wire ciphertext, no second copy. Counter ranges
+  // match seal_blob() exactly.
+  const u64 n_chunks = chunk_count();
+  for (u64 i = 0; i < n_chunks; ++i) {
+    const u64 offset = i * kSealChunkBytes;
+    const u64 len = std::min<u64>(kSealChunkBytes,
+                                  blob_.header.plaintext_bytes - offset);
+    crypto::ctr_xcrypt(enc, crypto::make_counter_block(i * kBlocksPerChunk, 0),
+                       MutBytesView(blob_.ciphertext.data() + offset, len));
+  }
+  chunk_macs_batched(mac, subkeys, blob_.ciphertext, blob_.chunk_macs);
+  blob_.chain_mac = chain_mac(mac, subkeys, blob_.header, blob_.chunk_macs);
+
+  enc.zeroize();
+  mac.zeroize();
+  secure_zero(keys.enc.data(), keys.enc.size());
+  secure_zero(keys.mac.data(), keys.mac.size());
+  return std::move(blob_);
+}
+
+// --- SealedBlobReader --------------------------------------------------------
+
+SealedBlobReader::SealedBlobReader(const crypto::AesKey& root_key,
+                                   const BindingId& binding,
+                                   const SealedBlob& blob)
+    : blob_(&blob) {
+  // Same gate order as unseal_blob: version before keys, binding before
+  // structure, chain MAC before any chunk MAC is trusted.
+  if (blob.header.version != kSealedBlobVersion) {
+    status_ = SealStatus::kBadVersion;
+    return;
+  }
+  if (blob.header.binding_id != binding) {
+    status_ = SealStatus::kWrongDevice;
+    return;
+  }
+  if (blob.header.chunk_bytes != kSealChunkBytes ||
+      blob.header.plaintext_bytes == 0 ||
+      blob.ciphertext.size() != blob.header.plaintext_bytes ||
+      blob.chunk_macs.size() != blob.header.chunk_count()) {
+    status_ = SealStatus::kBadBlob;
+    return;
+  }
+
+  keys_ = derive_blob_keys(root_key, blob.header.nonce, blob.header.content_id);
+  crypto::Aes128 mac(keys_.mac);
+  const crypto::CmacSubkeys subkeys = crypto::cmac_derive_subkeys(mac);
+
+  const crypto::AesBlock chain =
+      chain_mac(mac, subkeys, blob.header, blob.chunk_macs);
+  bool ok = ct_equal(BytesView(chain.data(), chain.size()),
+                     BytesView(blob.chain_mac.data(), blob.chain_mac.size()));
+  if (ok) {
+    // Every chunk MAC, lane-batched; constant-time compare, no early out.
+    std::vector<crypto::AesBlock> tags;
+    chunk_macs_batched(mac, subkeys, blob.ciphertext, tags);
+    for (u64 i = 0; i < tags.size(); ++i)
+      ok &= ct_equal(BytesView(tags[i].data(), tags[i].size()),
+                     BytesView(blob.chunk_macs[i].data(),
+                               blob.chunk_macs[i].size()));
+  }
+  mac.zeroize();
+  if (!ok) {
+    wipe_keys();
+    status_ = SealStatus::kBadBlob;
+    return;
+  }
+  enc_.emplace(keys_.enc);
+  status_ = SealStatus::kOk;
+}
+
+SealedBlobReader::~SealedBlobReader() { wipe_keys(); }
+
+void SealedBlobReader::wipe_keys() {
+  if (enc_) enc_->zeroize();
+  secure_zero(keys_.enc.data(), keys_.enc.size());
+  secure_zero(keys_.mac.data(), keys_.mac.size());
+}
+
+u64 SealedBlobReader::chunk_bytes(u64 index) const {
+  if (index >= chunk_count()) return 0;
+  return std::min<u64>(kSealChunkBytes,
+                       blob_->header.plaintext_bytes - index * kSealChunkBytes);
+}
+
+void SealedBlobReader::read_chunk(u64 index, MutBytesView out) {
+  if (status_ != SealStatus::kOk)
+    throw std::logic_error("SealedBlobReader: read from unverified blob");
+  if (index >= chunk_count() || out.size() != chunk_bytes(index))
+    throw std::invalid_argument("SealedBlobReader: bad chunk read");
+  const u64 offset = index * kSealChunkBytes;
+  std::memcpy(out.data(), blob_->ciphertext.data() + offset, out.size());
+  crypto::ctr_xcrypt(*enc_,
+                     crypto::make_counter_block(index * kBlocksPerChunk, 0),
+                     out);
+}
+
+void SealedBlobReader::read_all(MutBytesView out) {
+  if (out.size() != plaintext_bytes())
+    throw std::invalid_argument("SealedBlobReader: bad payload size");
+  for (u64 i = 0; i < chunk_count(); ++i)
+    read_chunk(i, MutBytesView(out.data() + i * kSealChunkBytes,
+                               chunk_bytes(i)));
 }
 
 }  // namespace guardnn::store

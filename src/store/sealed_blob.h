@@ -126,4 +126,104 @@ SealedBlob seal_blob(const crypto::AesKey& root_key, const BindingId& binding,
 SealStatus unseal_blob(const crypto::AesKey& root_key, const BindingId& binding,
                        const SealedBlob& blob, Bytes& payload_out);
 
+/// Incremental seal — the blob side of the fused MPU→blob pipeline.
+///
+/// The writer allocates the blob's ciphertext buffer up front and hands out
+/// mutable views of it (whole payload or per 64 KiB chunk) for the producer
+/// to fill with plaintext — e.g. an MpuExportStream decrypting a weight
+/// region straight into it. finish() then encrypts every chunk *in place*
+/// with batched 64-block keystream bursts and computes the chunk MACs
+/// crypto::kCmacLanes CBC chains at a time, so the plaintext only ever
+/// exists once, inside the buffer that becomes the ciphertext.
+///
+/// The wire format is byte-identical to seal_blob(): same header, same
+/// per-chunk counter ranges, same MAC chain — a writer-produced blob and a
+/// seal_blob()-produced blob of the same (root key, binding, nonce, payload,
+/// content id) are equal byte for byte, and either unseals on either path.
+///
+/// The content id is only needed at finish() (per-blob keys derive from it),
+/// which is what lets the producer compute it while filling the buffer
+/// instead of over a separate plaintext copy.
+///
+/// If the writer is destroyed before finish(), the buffered plaintext is
+/// wiped.
+class SealedBlobWriter {
+ public:
+  /// Prepares a blob of `plaintext_bytes` (> 0) for the domain owning
+  /// `root_key`; `nonce` must be fresh random bytes. `recycle` optionally
+  /// donates an existing buffer (e.g. the ciphertext of a blob the caller is
+  /// about to overwrite) so the steady-state seal loop never reallocates or
+  /// zero-fills megabytes; every payload byte is written by the producer
+  /// regardless.
+  /// Throws std::invalid_argument for an empty payload.
+  SealedBlobWriter(const crypto::AesKey& root_key, const BindingId& binding,
+                   const crypto::AesBlock& nonce, u64 plaintext_bytes,
+                   Bytes&& recycle = Bytes());
+  ~SealedBlobWriter();
+
+  SealedBlobWriter(const SealedBlobWriter&) = delete;
+  SealedBlobWriter& operator=(const SealedBlobWriter&) = delete;
+
+  /// The whole plaintext buffer, to be filled before finish().
+  MutBytesView payload();
+  u64 chunk_count() const { return blob_.header.chunk_count(); }
+  /// Chunk i's slice of the payload (the final chunk may be short).
+  MutBytesView chunk(u64 index);
+
+  /// Encrypts + MACs in place and returns the finished blob. Consumes the
+  /// writer (payload views are dead; a second finish() throws).
+  SealedBlob finish(const ContentId& content_id);
+
+ private:
+  crypto::AesKey root_{};
+  SealedBlob blob_;
+  bool finished_ = false;
+};
+
+/// Incremental verified read — the blob side of the fused unseal pipeline.
+///
+/// Construction verifies *everything* up front: header geometry and binding,
+/// the chain MAC, and every chunk MAC (lane-batched). Only when status() is
+/// kOk can chunks be decrypted — out of place, into caller buffers, so the
+/// blob stays intact and no full-plaintext intermediate is forced on the
+/// consumer. Decryption order is the caller's choice; each chunk's counter
+/// range is independent.
+///
+/// Verification semantics are identical to unseal_blob(): any blob one
+/// accepts, the other accepts, with the same SealStatus on rejection.
+class SealedBlobReader {
+ public:
+  /// `blob` must outlive the reader. `binding` is the caller's own domain
+  /// id. Check status() before reading.
+  SealedBlobReader(const crypto::AesKey& root_key, const BindingId& binding,
+                   const SealedBlob& blob);
+  ~SealedBlobReader();
+
+  SealedBlobReader(const SealedBlobReader&) = delete;
+  SealedBlobReader& operator=(const SealedBlobReader&) = delete;
+
+  /// kOk once fully verified; any other value means no plaintext will ever
+  /// be produced (fail closed).
+  SealStatus status() const { return status_; }
+
+  u64 plaintext_bytes() const { return blob_->header.plaintext_bytes; }
+  u64 chunk_count() const { return blob_->header.chunk_count(); }
+  /// Plaintext size of chunk `index` (the final chunk may be short).
+  u64 chunk_bytes(u64 index) const;
+
+  /// Decrypts chunk `index` into `out` (out.size() == chunk_bytes(index)).
+  /// Throws std::logic_error when status() != kOk.
+  void read_chunk(u64 index, MutBytesView out);
+  /// Decrypts the whole payload into `out` (out.size() == plaintext_bytes()).
+  void read_all(MutBytesView out);
+
+ private:
+  void wipe_keys();
+
+  const SealedBlob* blob_;
+  SealStatus status_ = SealStatus::kBadBlob;
+  std::optional<crypto::Aes128> enc_;
+  BlobKeys keys_{};
+};
+
 }  // namespace guardnn::store

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "accel/device.h"
 #include "accel/memory.h"
 #include "accel/mpu.h"
@@ -178,6 +180,135 @@ TEST(Mpu, TraceRecordsAccesses) {
   ASSERT_EQ(mpu.access_trace().size(), 2u);
   EXPECT_TRUE(mpu.access_trace()[0].second);   // write
   EXPECT_FALSE(mpu.access_trace()[1].second);  // read
+}
+
+// --- MPU streams (fused seal/unseal data path) -------------------------------
+
+TEST_P(MpuTest, StreamsMatchMonolithicReadWriteIncludingTrace) {
+  // An import stream fed ragged slices must leave byte-identical off-chip
+  // state (data, MAC slots, access trace) to one monolithic write of a
+  // zero-padded buffer; an export stream must return exactly what a
+  // monolithic read decrypts, emitting the same trace.
+  UntrustedMemory mono_mem, stream_mem;
+  MemoryProtectionUnit mono(mono_mem, test_key(0), test_key(1), integrity());
+  MemoryProtectionUnit streamed(stream_mem, test_key(0), test_key(1),
+                                integrity());
+  constexpr u64 kBase = 0x2000;
+  constexpr std::size_t kLogical = 5000;  // neither chunk- nor block-aligned
+  Bytes plain(kLogical);
+  Xoshiro256 rng(11);
+  rng.fill(plain);
+
+  Bytes padded(5120, 0);
+  std::copy(plain.begin(), plain.end(), padded.begin());
+  mono.write(kBase, padded, 9);
+  {
+    MpuImportStream importer(streamed, kBase, kLogical, 9);
+    const std::size_t slices[] = {1, 511, 513, 17, 2 * 4096};
+    std::size_t off = 0;
+    int i = 0;
+    while (off < kLogical) {
+      const std::size_t n =
+          std::min<std::size_t>(slices[i++ % 5], kLogical - off);
+      importer.next(BytesView(plain.data() + off, n));
+      off += n;
+    }
+    importer.finish();
+  }
+  EXPECT_EQ(mono_mem.read(kBase, padded.size()),
+            stream_mem.read(kBase, padded.size()));
+  if (integrity()) {
+    const u64 slot0 = MemoryProtectionUnit::kMacRegionBase + kBase / 512 * 8;
+    EXPECT_EQ(mono_mem.read(slot0, 10 * 8), stream_mem.read(slot0, 10 * 8));
+  }
+  EXPECT_EQ(mono.access_trace(), streamed.access_trace());
+
+  mono.clear_trace();
+  streamed.clear_trace();
+  Bytes mono_out(padded.size());
+  ASSERT_TRUE(mono.read(kBase, mono_out, 9));
+  Bytes stream_out(kLogical);
+  {
+    MpuExportStream exporter(streamed, kBase, kLogical, 9);
+    const std::size_t slices[] = {7, 512, 1000, 4096};
+    std::size_t off = 0;
+    int i = 0;
+    while (exporter.remaining() > 0) {
+      const std::size_t n = std::min<std::size_t>(
+          slices[i++ % 4], static_cast<std::size_t>(exporter.remaining()));
+      ASSERT_TRUE(exporter.next(MutBytesView(stream_out.data() + off, n)));
+      off += n;
+    }
+    ASSERT_TRUE(exporter.finish());
+  }
+  EXPECT_TRUE(std::equal(stream_out.begin(), stream_out.end(),
+                         mono_out.begin()));
+  EXPECT_EQ(stream_out, plain);
+  EXPECT_EQ(mono.access_trace(), streamed.access_trace());
+}
+
+TEST(Mpu, ExportStreamFailsClosedOnTamperAnywhere) {
+  // A flip in any protection chunk — including the zero-pad tail chunk past
+  // the logical end — must fail the walk and poison the MPU.
+  constexpr std::size_t kLogical = 3 * 512 + 40;
+  Bytes plain(kLogical, 0x5c);
+  for (const u64 tamper_addr : {u64{0}, u64{700}, u64{3 * 512 + 100}}) {
+    UntrustedMemory mem;
+    MemoryProtectionUnit mpu(mem, test_key(0), test_key(1), true);
+    {
+      MpuImportStream importer(mpu, 0, kLogical, 3);
+      importer.next(plain);
+      importer.finish();
+    }
+    mem.tamper(tamper_addr, 0x10);
+    MpuExportStream exporter(mpu, 0, kLogical, 3);
+    Bytes sink(kLogical);
+    const bool delivered = exporter.next(sink);
+    EXPECT_FALSE(delivered && exporter.finish())
+        << "tamper at " << tamper_addr << " not caught";
+    EXPECT_TRUE(mpu.poisoned());
+  }
+}
+
+TEST(Mpu, StreamsPadRelativeToAnUnalignedRegionStart) {
+  // With integrity off the region start only needs 16 B alignment; the
+  // streams' zero-pad / pad-verify must stop at start + pad_region(bytes),
+  // not at the next absolute 512 B boundary — padding past it would smash
+  // whatever lives after the region.
+  UntrustedMemory mem;
+  MemoryProtectionUnit mpu(mem, test_key(0), test_key(1), false);
+  constexpr u64 kStart = 16;
+  constexpr std::size_t kLogical = 512;  // pads to exactly one chunk window
+  const Bytes sentinel(64, 0xee);
+  const u64 region_end = kStart + 512;
+  mem.write(region_end, sentinel);  // adjacent bytes that must survive
+
+  Bytes plain(kLogical, 0x3c);
+  {
+    MpuImportStream importer(mpu, kStart, kLogical, 4);
+    importer.next(plain);
+    importer.finish();
+  }
+  EXPECT_EQ(mem.read(region_end, sentinel.size()), sentinel)
+      << "import stream wrote past the padded region";
+
+  Bytes out(kLogical);
+  {
+    MpuExportStream exporter(mpu, kStart, kLogical, 4);
+    ASSERT_TRUE(exporter.next(out));
+    ASSERT_TRUE(exporter.finish());
+  }
+  EXPECT_EQ(out, plain);
+}
+
+TEST(Mpu, ImportStreamRequiresExactByteCount) {
+  UntrustedMemory mem;
+  MemoryProtectionUnit mpu(mem, test_key(0), test_key(1), true);
+  MpuImportStream importer(mpu, 0, 100, 1);
+  const Bytes some(60, 1);
+  importer.next(some);
+  EXPECT_THROW(importer.finish(), std::logic_error);       // 40 bytes missing
+  EXPECT_THROW(importer.next(Bytes(41, 2)), std::invalid_argument);  // too many
 }
 
 // --- Device ------------------------------------------------------------------

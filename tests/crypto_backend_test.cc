@@ -14,11 +14,13 @@
 #include <atomic>
 #include <cstdlib>
 #include <new>
+#include <vector>
 
 #include "accel/mpu.h"
 #include "common/rng.h"
 #include "crypto/aes128.h"
 #include "crypto/mem_mac.h"
+#include "crypto/sha256.h"
 
 // --- Global allocation counter ----------------------------------------------
 // Counts every operator-new in this binary so tests can assert that a code
@@ -371,6 +373,148 @@ TEST(CmacStream, RandomSplitsMatchOneShot) {
 }
 
 // --- Zero heap allocation on the hot paths -----------------------------------
+
+// --- Lane-batched CMAC (the fused seal pipeline's MAC kernel) ---------------
+
+TEST(CmacLanes, CmacManyMatchesSerialOnEveryBackend) {
+  Xoshiro256 rng(0x77);
+  const Aes128 aes(key_from_hex("2b7e151628aed2a6abf7158809cf4f3c"));
+  const CmacSubkeys subkeys = cmac_derive_subkeys(aes);
+
+  for (Aes128Backend backend : aes_available_backends()) {
+    BackendGuard guard(backend);
+    // Geometries covering both call sites (16 B address/version prefix over
+    // 512 B chunks, 8 B index prefix over 64 KiB chunks) plus edge shapes:
+    // empty bodies, sub-block messages, non-block-multiple totals, and lane
+    // counts below/at/above kCmacLanes.
+    const struct {
+      std::size_t prefix, body, count;
+    } shapes[] = {{16, 512, 16},  {8, 65536, 3},   {16, 512, 1},
+                  {8, 0, 5},      {0, 1, 9},       {0, 16, 17},
+                  {16, 48, 33},   {8, 513, 2 * kCmacLanes + 1}};
+    for (const auto& shape : shapes) {
+      Bytes prefixes(shape.prefix * shape.count);
+      Bytes bodies(shape.body * shape.count + 1);  // +1: never zero-sized
+      rng.fill(prefixes);
+      rng.fill(bodies);
+      std::vector<CmacMessage> messages(shape.count);
+      for (std::size_t i = 0; i < shape.count; ++i) {
+        messages[i].prefix = BytesView(
+            shape.prefix ? prefixes.data() + i * shape.prefix : nullptr,
+            shape.prefix);
+        messages[i].body = BytesView(
+            shape.body ? bodies.data() + i * shape.body : nullptr, shape.body);
+      }
+      std::vector<AesBlock> tags(shape.count);
+      cmac_many(aes, subkeys, messages.data(), shape.count, tags.data());
+      for (std::size_t i = 0; i < shape.count; ++i) {
+        Bytes serial(messages[i].prefix.begin(), messages[i].prefix.end());
+        serial.insert(serial.end(), messages[i].body.begin(),
+                      messages[i].body.end());
+        EXPECT_EQ(tags[i], cmac_aes128(aes, serial))
+            << aes_backend_name(backend) << " prefix=" << shape.prefix
+            << " body=" << shape.body << " lane " << i;
+      }
+    }
+  }
+}
+
+TEST(CmacLanes, MixedGeometryRejected) {
+  const Aes128 aes(key_from_hex("000102030405060708090a0b0c0d0e0f"));
+  const CmacSubkeys subkeys = cmac_derive_subkeys(aes);
+  const Bytes a(32, 1), b(48, 2);
+  CmacMessage messages[2] = {{BytesView(), BytesView(a)},
+                             {BytesView(), BytesView(b)}};
+  AesBlock tags[2];
+  EXPECT_THROW(cmac_many(aes, subkeys, messages, 2, tags),
+               std::invalid_argument);
+}
+
+TEST(CmacLanes, MemoryMacManyMatchesPerChunkIncludingRaggedTail) {
+  Xoshiro256 rng(0x78);
+  const Aes128 aes(key_from_hex("2b7e151628aed2a6abf7158809cf4f3c"));
+  const CmacSubkeys subkeys = cmac_derive_subkeys(aes);
+  // 37 full chunks plus a 320-byte tail.
+  Bytes region(37 * 512 + 320);
+  rng.fill(region);
+  const std::size_t n_chunks = 38;
+  std::vector<u64> tags(n_chunks);
+  memory_mac_many(aes, subkeys, 0x4000, 9, 512, region, tags.data(), n_chunks);
+  for (std::size_t i = 0; i < n_chunks; ++i) {
+    const std::size_t off = i * 512;
+    const std::size_t len = std::min<std::size_t>(512, region.size() - off);
+    EXPECT_EQ(tags[i], memory_mac(aes, subkeys, 0x4000 + off, 9,
+                                  BytesView(region.data() + off, len)))
+        << "chunk " << i;
+  }
+}
+
+// --- SHA-256 backends --------------------------------------------------------
+
+TEST(Sha256Backend, ScalarAlwaysAvailableAndNamesStable) {
+  EXPECT_TRUE(sha256_backend_available(Sha256Backend::kScalar));
+  EXPECT_STREQ(sha256_backend_name(Sha256Backend::kScalar), "scalar");
+  EXPECT_STREQ(sha256_backend_name(Sha256Backend::kShani), "shani");
+}
+
+TEST(Sha256Backend, BackendsAgreeOnRandomVectorsAndSplits) {
+  const Sha256Backend original = sha256_active_backend();
+  Xoshiro256 rng(0x79);
+  // Lengths straddling block boundaries and the bulk multi-block path.
+  const std::size_t lengths[] = {0, 1, 55, 56, 63, 64, 65, 127, 128, 1000, 8191};
+  for (const std::size_t n : lengths) {
+    Bytes data(n + 1);
+    rng.fill(data);
+    data.resize(n);
+
+    std::vector<Sha256Digest> digests;
+    for (Sha256Backend backend :
+         {Sha256Backend::kScalar, Sha256Backend::kShani}) {
+      if (!sha256_backend_available(backend)) continue;
+      sha256_force_backend(backend);
+      digests.push_back(Sha256::hash(data));
+      // Split updates must hit the same buffered/bulk paths consistently.
+      Sha256 split;
+      split.update(BytesView(data.data(), n / 3));
+      split.update(BytesView(data.data() + n / 3, n - n / 3));
+      EXPECT_EQ(split.finalize(), digests.back())
+          << sha256_backend_name(backend) << " n=" << n;
+    }
+    for (const Sha256Digest& digest : digests)
+      EXPECT_EQ(digest, digests.front()) << "backend divergence at n=" << n;
+  }
+  sha256_force_backend(original);
+}
+
+TEST(Sha256Backend, ForceUnavailableBackendThrows) {
+  if (!sha256_backend_available(Sha256Backend::kShani)) {
+    EXPECT_THROW(sha256_force_backend(Sha256Backend::kShani),
+                 std::invalid_argument);
+  }
+}
+
+TEST(ZeroAlloc, CmacManySteadyState) {
+  const Aes128 aes(key_from_hex("000102030405060708090a0b0c0d0e0f"));
+  const CmacSubkeys subkeys = cmac_derive_subkeys(aes);
+  Bytes region(kCmacLanes * 512, 0xcd);
+  u8 prefixes[kCmacLanes][16];
+  CmacMessage messages[kCmacLanes];
+  AesBlock tags[kCmacLanes];
+  for (std::size_t i = 0; i < kCmacLanes; ++i) {
+    store_be64(prefixes[i], i);
+    store_be64(prefixes[i] + 8, 42);
+    messages[i].prefix = BytesView(prefixes[i], 16);
+    messages[i].body = BytesView(region.data() + i * 512, 512);
+  }
+  cmac_many(aes, subkeys, messages, kCmacLanes, tags);  // warm up
+  const std::size_t before = g_alloc_count.load();
+  cmac_many(aes, subkeys, messages, kCmacLanes, tags);
+  u64 chunk_tags[kCmacLanes];
+  memory_mac_many(aes, subkeys, 0x8000, 3, 512, region, chunk_tags,
+                  kCmacLanes);
+  EXPECT_EQ(g_alloc_count.load(), before)
+      << "lane-batched CMAC allocated on the heap";
+}
 
 TEST(ZeroAlloc, MemoryMacSteadyState) {
   const Aes128 aes(key_from_hex("000102030405060708090a0b0c0d0e0f"));

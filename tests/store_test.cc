@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <fstream>
 #include <thread>
 
 #include "common/rng.h"
@@ -304,6 +305,263 @@ TEST(SealedBlobFormat, WrongDeviceAndWrongKeyRejected) {
 
 // --- ModelPackage ------------------------------------------------------------
 
+// --- Fused seal pipeline (SealedBlobWriter / SealedBlobReader) ---------------
+//
+// The fused path must be wire-compatible with seal_blob/unseal_blob in both
+// directions: a writer-produced blob is byte-identical to a seal_blob()
+// blob of the same inputs (CTR and CMAC are deterministic), old-path blobs
+// open on the fused reader, fused blobs open on the old path, and the
+// hostile-input sweep rejects exactly the same mutations.
+
+SealedBlob fused_seal(const crypto::AesKey& key, const BindingId& binding,
+                      const crypto::AesBlock& nonce, BytesView payload,
+                      const ContentId& content_id) {
+  SealedBlobWriter writer(key, binding, nonce, payload.size());
+  std::copy(payload.begin(), payload.end(), writer.payload().begin());
+  return writer.finish(content_id);
+}
+
+/// Payload sizes around every interesting boundary: sub-chunk, exact chunk
+/// multiples, one byte either side, and a multi-chunk size one byte past
+/// 8 MiB (the bench's model size).
+const std::size_t kBoundaryPayloadSizes[] = {
+    1,          512,           kSealChunkBytes - 1,
+    kSealChunkBytes,           kSealChunkBytes + 1,
+    3 * kSealChunkBytes + 17,  (8u << 20) + 1};
+
+TEST(FusedSealPipeline, WriterOutputByteIdenticalToSealBlob) {
+  for (const std::size_t n : kBoundaryPayloadSizes) {
+    const Bytes payload = random_bytes(n, 0x900 + n);
+    const ContentId cid = crypto::Sha256::hash(payload);
+    const SealedBlob old_path =
+        seal_blob(test_key(0x21), test_binding(0x22), test_nonce(23), payload, cid);
+    const SealedBlob fused =
+        fused_seal(test_key(0x21), test_binding(0x22), test_nonce(23), payload, cid);
+    EXPECT_EQ(old_path.serialize(), fused.serialize())
+        << "wire divergence at payload size " << n;
+  }
+}
+
+TEST(FusedSealPipeline, ChunkViewsTileThePayloadAndProduceTheSameBlob) {
+  // Producing the payload through the per-chunk views must tile it exactly
+  // and yield the identical wire blob as the whole-payload fill.
+  const Bytes payload = random_bytes(2 * kSealChunkBytes + 777, 0x51);
+  const ContentId cid = crypto::Sha256::hash(payload);
+
+  SealedBlobWriter writer(test_key(0x52), test_binding(0x53), test_nonce(54),
+                          payload.size());
+  u64 tiled = 0;
+  for (u64 c = 0; c < writer.chunk_count(); ++c) {
+    const MutBytesView view = writer.chunk(c);
+    ASSERT_EQ(view.data(), writer.payload().data() + c * kSealChunkBytes);
+    std::copy(payload.begin() + static_cast<long>(tiled),
+              payload.begin() + static_cast<long>(tiled + view.size()),
+              view.begin());
+    tiled += view.size();
+  }
+  EXPECT_EQ(tiled, payload.size());
+  EXPECT_THROW(writer.chunk(writer.chunk_count()), std::invalid_argument);
+
+  const SealedBlob via_chunks = writer.finish(cid);
+  const SealedBlob via_payload =
+      fused_seal(test_key(0x52), test_binding(0x53), test_nonce(54), payload, cid);
+  EXPECT_EQ(via_chunks.serialize(), via_payload.serialize());
+}
+
+TEST(FusedSealPipeline, EmptyPayloadRejectedOnBothPaths) {
+  const ContentId cid{};
+  EXPECT_THROW(seal_blob(test_key(1), test_binding(2), test_nonce(3),
+                         BytesView(), cid),
+               std::invalid_argument);
+  EXPECT_THROW(SealedBlobWriter(test_key(1), test_binding(2), test_nonce(3), 0),
+               std::invalid_argument);
+}
+
+TEST(FusedSealPipeline, CrossPathCompatBothDirections) {
+  for (const std::size_t n : kBoundaryPayloadSizes) {
+    const Bytes payload = random_bytes(n, 0xa00 + n);
+    const ContentId cid = crypto::Sha256::hash(payload);
+
+    // Old-path blob → fused reader.
+    const SealedBlob old_path =
+        seal_blob(test_key(0x31), test_binding(0x32), test_nonce(33), payload, cid);
+    SealedBlobReader reader(test_key(0x31), test_binding(0x32), old_path);
+    ASSERT_EQ(reader.status(), SealStatus::kOk) << "size " << n;
+    Bytes via_reader(reader.plaintext_bytes());
+    reader.read_all(via_reader);
+    EXPECT_EQ(via_reader, payload);
+
+    // Fused blob → old unseal path.
+    const SealedBlob fused =
+        fused_seal(test_key(0x31), test_binding(0x32), test_nonce(34), payload, cid);
+    Bytes via_old;
+    ASSERT_EQ(unseal_blob(test_key(0x31), test_binding(0x32), fused, via_old),
+              SealStatus::kOk);
+    EXPECT_EQ(via_old, payload);
+
+    // Chunk-at-a-time reads tile the payload exactly.
+    Bytes via_chunks(reader.plaintext_bytes());
+    for (u64 c = 0; c < reader.chunk_count(); ++c)
+      reader.read_chunk(c, MutBytesView(via_chunks.data() + c * kSealChunkBytes,
+                                        reader.chunk_bytes(c)));
+    EXPECT_EQ(via_chunks, payload);
+  }
+}
+
+TEST(FusedSealPipeline, ReaderHostileBitFlipSweep) {
+  // The PR 4 hostile sweep, re-run against the fused reader: a flip in any
+  // chunk's ciphertext, any chunk MAC, the chain MAC, a swapped MAC pair, a
+  // version downgrade, the wrong binding and the wrong root key must all
+  // fail closed with the same statuses unseal_blob answers.
+  const Bytes payload = random_bytes(2 * kSealChunkBytes + 333, 0x41);
+  const SealedBlob blob = fused_seal(test_key(0x42), test_binding(0x43),
+                                     test_nonce(44), payload,
+                                     crypto::Sha256::hash(payload));
+
+  const auto fused_status = [](const crypto::AesKey& key,
+                               const BindingId& binding,
+                               const SealedBlob& candidate) {
+    SealedBlobReader reader(key, binding, candidate);
+    return reader.status();
+  };
+
+  for (u64 chunk = 0; chunk < blob.header.chunk_count(); ++chunk) {
+    const u64 base = chunk * kSealChunkBytes;
+    const u64 len = std::min<u64>(kSealChunkBytes, blob.ciphertext.size() - base);
+    for (const u64 offset : {base, base + len / 2, base + len - 1}) {
+      SealedBlob mutated = blob;
+      mutated.ciphertext[offset] ^= 0x01;
+      EXPECT_EQ(fused_status(test_key(0x42), test_binding(0x43), mutated),
+                SealStatus::kBadBlob);
+    }
+    SealedBlob mac_flip = blob;
+    mac_flip.chunk_macs[chunk][5] ^= 0x80;
+    EXPECT_EQ(fused_status(test_key(0x42), test_binding(0x43), mac_flip),
+              SealStatus::kBadBlob);
+  }
+  {
+    SealedBlob mutated = blob;
+    mutated.chain_mac[0] ^= 0x01;
+    EXPECT_EQ(fused_status(test_key(0x42), test_binding(0x43), mutated),
+              SealStatus::kBadBlob);
+  }
+  {
+    SealedBlob mutated = blob;
+    std::swap(mutated.chunk_macs[0], mutated.chunk_macs[1]);
+    EXPECT_EQ(fused_status(test_key(0x42), test_binding(0x43), mutated),
+              SealStatus::kBadBlob);
+  }
+  {
+    SealedBlob mutated = blob;
+    mutated.header.version = 1;
+    EXPECT_EQ(fused_status(test_key(0x42), test_binding(0x43), mutated),
+              SealStatus::kBadVersion);
+  }
+  EXPECT_EQ(fused_status(test_key(0x42), test_binding(0x77), blob),
+            SealStatus::kWrongDevice);
+  EXPECT_EQ(fused_status(test_key(0x77), test_binding(0x43), blob),
+            SealStatus::kBadBlob);
+
+  // A rejected reader never yields plaintext.
+  SealedBlob mutated = blob;
+  mutated.ciphertext[0] ^= 0x01;
+  SealedBlobReader rejected(test_key(0x42), test_binding(0x43), mutated);
+  ASSERT_NE(rejected.status(), SealStatus::kOk);
+  Bytes sink(payload.size());
+  EXPECT_THROW(rejected.read_all(sink), std::logic_error);
+}
+
+TEST(FusedSealPipeline, DeviceSealCacheTracksRegionMutations) {
+  // Content-id caching must never serve a stale id. Run without integrity
+  // (GuardNN_C) so overwriting the weight region with feature-keyed data
+  // changes what a weight-VN read returns instead of failing it — exactly
+  // the case where only correct invalidation keeps the id honest.
+  crypto::HmacDrbg ca_drbg(Bytes{0x61});
+  crypto::ManufacturerCa ca(ca_drbg);
+  accel::UntrustedMemory mem;
+  accel::GuardNnDevice device("cache-dev", ca, mem, Bytes{0x62});
+  RemoteUser user(ca.public_key(), Bytes{0x63});
+  ASSERT_TRUE(user.attest_device(device.get_pk()));
+  ASSERT_TRUE(user.complete_session(
+      device.init_session(user.begin_session(), /*integrity=*/false)));
+  const accel::SessionId sid = user.session_id();
+
+  const Bytes weights = random_bytes(4096, 0x64);
+  ASSERT_EQ(device.set_weight(sid, user.seal(weights), 0), DeviceStatus::kOk);
+  const Bytes descriptor{'c', 'a', 'c', 'h', 'e'};
+
+  SealedBlob first;
+  ASSERT_EQ(device.seal_model(sid, 0, weights.size(), descriptor, first),
+            DeviceStatus::kOk);
+  SealedBlob repeat;
+  ASSERT_EQ(device.seal_model(sid, 0, weights.size(), descriptor, repeat),
+            DeviceStatus::kOk);
+  EXPECT_EQ(first.header.content_id, repeat.header.content_id)
+      << "repeat seal of an untouched region must reuse the same identity";
+
+  // A different descriptor must miss the cache.
+  SealedBlob other_desc;
+  ASSERT_EQ(device.seal_model(sid, 0, weights.size(), Bytes{'x'}, other_desc),
+            DeviceStatus::kOk);
+  EXPECT_NE(other_desc.header.content_id, first.header.content_id);
+
+  // A feature write landing inside the region invalidates the cached id.
+  ASSERT_EQ(device.set_input(sid, user.seal(random_bytes(512, 0x65)), 0),
+            DeviceStatus::kOk);
+  SealedBlob after_overlap;
+  ASSERT_EQ(device.seal_model(sid, 0, weights.size(), descriptor, after_overlap),
+            DeviceStatus::kOk);
+  EXPECT_NE(after_overlap.header.content_id, first.header.content_id)
+      << "stale cached content id served after an overlapping write";
+
+  // Re-importing the weights gives the original identity back (fresh CTR_W,
+  // fresh hash over the same bytes).
+  ASSERT_EQ(device.set_weight(sid, user.seal(weights), 0), DeviceStatus::kOk);
+  SealedBlob restored;
+  ASSERT_EQ(device.seal_model(sid, 0, weights.size(), descriptor, restored),
+            DeviceStatus::kOk);
+  EXPECT_EQ(restored.header.content_id, first.header.content_id);
+}
+
+TEST(FusedSealPipeline, RepeatedUnsealKeepsAttestationHashHonest) {
+  // The verified-blob memo skips the SHA passes on repeat loads; the
+  // attested weight hash must still be exactly SHA-256 of the weights on
+  // every load, and tampering between loads must still fail.
+  crypto::HmacDrbg ca_drbg(Bytes{0x71});
+  crypto::ManufacturerCa ca(ca_drbg);
+  accel::UntrustedMemory mem;
+  accel::GuardNnDevice device("memo-dev", ca, mem, Bytes{0x72});
+  RemoteUser user(ca.public_key(), Bytes{0x73});
+  ASSERT_TRUE(user.attest_device(device.get_pk()));
+  ASSERT_TRUE(user.complete_session(
+      device.init_session(user.begin_session(), true)));
+  const accel::SessionId sid = user.session_id();
+
+  const Bytes weights = random_bytes(3 * kSealChunkBytes + 99, 0x74);
+  ASSERT_EQ(device.set_weight(sid, user.seal(weights), 0), DeviceStatus::kOk);
+  SealedBlob blob;
+  ASSERT_EQ(device.seal_model(sid, 0, weights.size(), Bytes{'m'}, blob),
+            DeviceStatus::kOk);
+
+  const crypto::Sha256Digest expected = crypto::Sha256::hash(weights);
+  for (int round = 0; round < 3; ++round) {
+    Bytes descriptor_out;
+    ASSERT_EQ(device.unseal_model(sid, blob, 0, descriptor_out),
+              DeviceStatus::kOk);
+    accel::SignOutputResponse report;
+    ASSERT_EQ(device.sign_output(sid, report), DeviceStatus::kOk);
+    EXPECT_EQ(report.weight_hash, expected) << "round " << round;
+  }
+
+  // A tampered copy of the memoized blob must still be rejected: the memo
+  // never bypasses MAC verification.
+  SealedBlob tampered = blob;
+  tampered.ciphertext[kSealChunkBytes + 7] ^= 0x04;
+  Bytes descriptor_out;
+  EXPECT_EQ(device.unseal_model(sid, tampered, 0, descriptor_out),
+            DeviceStatus::kBadRecord);
+}
+
 TEST(ModelPackageCodec, RoundTrip) {
   ModelPackage package;
   package.descriptor = random_bytes(77, 18);
@@ -373,6 +631,72 @@ TEST(ModelCodec, DescriptorRoundTripAndNetworkRebuild) {
 }
 
 // --- ModelStore --------------------------------------------------------------
+
+TEST(ModelPackageCodec, ViewParseMatchesOwningParseAndLayout) {
+  ModelPackage package;
+  package.descriptor = random_bytes(77, 0xb1);
+  package.weights = random_bytes(4096 + 13, 0xb2);
+  package.weight_vn = 0x1234'5678'9abcULL;
+  const Bytes wire = package.serialize();
+
+  // layout_package writes the identical wire bytes.
+  Bytes laid(store::serialized_package_bytes(package.descriptor.size(),
+                                             package.weights.size()));
+  const MutBytesView weight_area = store::layout_package(
+      laid, package.descriptor, package.weights.size(), package.weight_vn);
+  std::copy(package.weights.begin(), package.weights.end(), weight_area.begin());
+  EXPECT_EQ(laid, wire);
+
+  // The zero-copy view parses to the same fields and identity.
+  const auto view = ModelPackageView::parse(wire);
+  ASSERT_TRUE(view.has_value());
+  EXPECT_TRUE(std::equal(view->descriptor.begin(), view->descriptor.end(),
+                         package.descriptor.begin(), package.descriptor.end()));
+  EXPECT_TRUE(std::equal(view->weights.begin(), view->weights.end(),
+                         package.weights.begin(), package.weights.end()));
+  EXPECT_EQ(view->weight_vn, package.weight_vn);
+  EXPECT_EQ(view->content_id(), package.content_id());
+
+  // Same rejects as the owning parser.
+  for (const auto mutate : {std::size_t{0}, wire.size() - 1}) {
+    Bytes truncated(wire.begin(), wire.begin() + static_cast<long>(mutate));
+    EXPECT_EQ(ModelPackageView::parse(truncated).has_value(),
+              ModelPackage::parse(truncated).has_value());
+  }
+  Bytes trailing = wire;
+  trailing.push_back(0);
+  EXPECT_FALSE(ModelPackageView::parse(trailing).has_value());
+}
+
+TEST(ModelStoreTest, DirectoryBackendIgnoresOrphanTempFiles) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() / "guardnn_store_tmp_skip_test";
+  fs::remove_all(dir);
+
+  const Bytes payload = random_bytes(2048, 0xc1);
+  const SealedBlob blob = seal_blob(test_key(0xc2), test_binding(0xc3),
+                                    test_nonce(0xc4), payload,
+                                    crypto::Sha256::hash(payload));
+  {
+    ModelStore store(std::make_unique<DirectoryBackend>(dir.string()));
+    ASSERT_TRUE(store.put(blob).has_value());
+  }
+  // A crash between write and rename leaves a .tmp orphan — even one whose
+  // contents are a fully valid blob must never be indexed as a replica.
+  {
+    std::ofstream orphan(dir / "crashed-checkpoint.gnnblob.tmp",
+                         std::ios::binary);
+    const Bytes valid = blob.serialize();
+    orphan.write(reinterpret_cast<const char*>(valid.data()),
+                 static_cast<std::streamsize>(valid.size()));
+  }
+  ModelStore reopened(std::make_unique<DirectoryBackend>(dir.string()));
+  EXPECT_EQ(reopened.replica_count(), 1u);
+  EXPECT_TRUE(
+      reopened.get(blob.header.content_id, blob.header.binding_id).has_value());
+  fs::remove_all(dir);
+}
 
 TEST(ModelStoreTest, PutGetDedupAndReplicas) {
   ModelStore store;
