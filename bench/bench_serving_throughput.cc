@@ -10,13 +10,28 @@
 // gap between device time and simulation CPU time so scheduling effects
 // dominate on small CI machines.
 //
-// The last stdout line is machine-readable:
+// Two workloads:
+//   * closed-loop sweep — each tenant keeps a fixed async window in flight,
+//     measuring best-case pipeline throughput as workers/devices scale;
+//   * sustained open-loop mode — Poisson arrivals at a fixed offered rate
+//     (below capacity, then far above it), the honest serving benchmark:
+//     arrivals do not wait for completions, so queueing delay, admission
+//     rejections and per-tenant fairness become visible. A rejected
+//     submission is retried with the *same* sealed record at the next
+//     arrival tick (the secure channel's strict sequence numbers forbid
+//     re-sealing). GUARDNN_BENCH_SUSTAINED_MS overrides the per-phase
+//     duration (CI smoke-runs with a small value).
+//
+// Machine-readable stdout lines (scripts/run_benches.sh matches on the
+// "bench" field and lifts them into BENCH_BASELINE.json):
 //   ##GUARDNN_BENCH_JSON## {"bench":"serving_throughput","configs":[...]}
-// scripts/run_benches.sh lifts it into BENCH_BASELINE.json as the
-// `serving_throughput` block.
+//   ##GUARDNN_BENCH_JSON## {"bench":"serving_sustained","phases":[...]}
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <deque>
 #include <string>
 #include <thread>
 #include <vector>
@@ -80,43 +95,56 @@ double percentile(std::vector<double>& values, double p) {
   return values[index];
 }
 
+struct Client {
+  std::unique_ptr<host::RemoteUser> user;
+  serving::TenantId tenant = 0;
+};
+
+/// A fleet + kTenants connected-and-loaded clients (all serving the same
+/// architecture through the shared plan cache).
+struct ServerRig {
+  crypto::HmacDrbg ca_drbg{Bytes{0xb1}};
+  crypto::ManufacturerCa ca{ca_drbg};
+  std::unique_ptr<InferenceServer> server;
+  std::vector<Client> clients{kTenants};
+  FuncNetwork net = bench_net(17);
+
+  explicit ServerRig(const ServerConfig& config) {
+    server = std::make_unique<InferenceServer>(ca, config, Bytes{0xb2, 0xb3});
+    const serving::ModelHandle model = server->register_model(net);
+    for (std::size_t i = 0; i < kTenants; ++i) {
+      Client& client = clients[i];
+      client.user = std::make_unique<host::RemoteUser>(
+          ca.public_key(), Bytes{static_cast<u8>(0xc0 + i)});
+      const crypto::AffinePoint share = client.user->begin_session();
+      const auto connected = server->connect(share, /*integrity=*/true);
+      if (connected.tenant == 0 ||
+          !client.user->attest_device(server->get_pk(connected.device_index)) ||
+          !client.user->complete_session(connected.response)) {
+        std::fprintf(stderr, "connect failed for tenant %zu\n", i);
+        std::exit(1);
+      }
+      client.tenant = connected.tenant;
+      if (server->load_model(client.tenant, model,
+                             client.user->seal(model.plan->weight_blob)) !=
+          accel::DeviceStatus::kOk) {
+        std::fprintf(stderr, "load_model failed for tenant %zu\n", i);
+        std::exit(1);
+      }
+    }
+  }
+};
+
 ConfigResult run_config(std::size_t workers, std::size_t devices) {
-  crypto::HmacDrbg ca_drbg(Bytes{0xb1});
-  crypto::ManufacturerCa ca(ca_drbg);
   ServerConfig config;
   config.num_devices = devices;
   config.num_workers = workers;
   config.emulate_device_latency = true;
   config.device_latency_scale = kLatencyScale;
-  InferenceServer server(ca, config, Bytes{0xb2, 0xb3});
-
-  struct Client {
-    std::unique_ptr<host::RemoteUser> user;
-    serving::TenantId tenant = 0;
-  };
-  std::vector<Client> clients(kTenants);
-  const FuncNetwork net = bench_net(17);
-  const serving::ModelHandle model = server.register_model(net);
-  for (std::size_t i = 0; i < kTenants; ++i) {
-    Client& client = clients[i];
-    client.user = std::make_unique<host::RemoteUser>(
-        ca.public_key(), Bytes{static_cast<u8>(0xc0 + i)});
-    const crypto::AffinePoint share = client.user->begin_session();
-    const auto connected = server.connect(share, /*integrity=*/true);
-    if (connected.tenant == 0 ||
-        !client.user->attest_device(server.get_pk(connected.device_index)) ||
-        !client.user->complete_session(connected.response)) {
-      std::fprintf(stderr, "connect failed for tenant %zu\n", i);
-      std::exit(1);
-    }
-    client.tenant = connected.tenant;
-    if (server.load_model(client.tenant, model,
-                          client.user->seal(model.plan->weight_blob)) !=
-        accel::DeviceStatus::kOk) {
-      std::fprintf(stderr, "load_model failed for tenant %zu\n", i);
-      std::exit(1);
-    }
-  }
+  ServerRig rig(config);
+  InferenceServer& server = *rig.server;
+  std::vector<Client>& clients = rig.clients;
+  const FuncNetwork& net = rig.net;
 
   const Bytes input(static_cast<std::size_t>(net.in_c) * net.in_h * net.in_w, 0x2a);
   std::vector<std::vector<double>> latencies(kTenants);
@@ -168,6 +196,161 @@ ConfigResult run_config(std::size_t workers, std::size_t devices) {
   return result;
 }
 
+// --- Sustained open-loop mode ----------------------------------------------
+
+using Clock = std::chrono::steady_clock;
+
+struct SustainedResult {
+  std::string phase;
+  double offered_req_s = 0;
+  double wall_s = 0;
+  u64 arrivals = 0;
+  u64 completed = 0;
+  u64 rejected_submits = 0;  ///< Client-observed kQueueFull/kBackpressure.
+  u64 backlog_left = 0;      ///< Arrivals never admitted within the window.
+  double admitted_req_s = 0;
+  double p50_ms = 0, p99_ms = 0, p999_ms = 0;
+  /// max/min completed requests across tenants (1.0 = perfectly fair).
+  double fairness_spread = 0;
+  u64 server_rejected = 0;
+  u64 server_backpressured = 0;
+};
+
+struct SustainedTenant {
+  u64 arrivals = 0;
+  u64 completed = 0;
+  u64 rejected_submits = 0;
+  u64 backlog_left = 0;
+  std::vector<double> sojourn_ms;  ///< arrival -> sealed output, admitted only.
+};
+
+/// One tenant's open-loop arrival process: Poisson arrivals at
+/// `rate_per_s`; each arrival seals a record into a local backlog, then the
+/// backlog head is submitted until the server rejects (the head is retried —
+/// same record — at the next tick, preserving channel sequence order).
+void sustained_tenant_loop(InferenceServer& server, Client& client,
+                           const Bytes& input, double rate_per_s,
+                           Clock::time_point start, Clock::time_point deadline,
+                           u64 seed, SustainedTenant& out) {
+  struct Queued {
+    crypto::SealedRecord record;
+    Clock::time_point arrival;
+  };
+  struct InFlight {
+    std::future<InferenceResult> future;
+    double backlog_wait_ms = 0;
+  };
+  std::deque<Queued> backlog;
+  std::vector<InFlight> inflight;
+  Xoshiro256 rng(seed);
+  auto arrival_at = start;
+  for (;;) {
+    const double gap_s = -std::log(1.0 - rng.next_double()) / rate_per_s;
+    arrival_at += std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(gap_s));
+    if (arrival_at >= deadline) break;
+    std::this_thread::sleep_until(arrival_at);  // no-op when running behind
+    backlog.push_back({client.user->seal(input), Clock::now()});
+    ++out.arrivals;
+
+    while (!backlog.empty()) {
+      std::future<InferenceResult> future =
+          server.submit_async(client.tenant, backlog.front().record);
+      // Rejections resolve immediately; admitted requests stay pending for
+      // at least the emulated device time.
+      if (future.wait_for(std::chrono::seconds(0)) ==
+          std::future_status::ready) {
+        const InferenceResult result = future.get();
+        if (result.outcome == RequestOutcome::kQueueFull ||
+            result.outcome == RequestOutcome::kBackpressure) {
+          ++out.rejected_submits;
+          break;  // head stays; retried verbatim at the next arrival tick
+        }
+        if (result.outcome == RequestOutcome::kOk) {
+          ++out.completed;
+          out.sojourn_ms.push_back(result.queue_ms + result.service_ms);
+        }
+        backlog.pop_front();
+        continue;
+      }
+      const double waited_ms = std::chrono::duration<double, std::milli>(
+                                   Clock::now() - backlog.front().arrival)
+                                   .count();
+      inflight.push_back({std::move(future), waited_ms});
+      backlog.pop_front();
+    }
+  }
+  out.backlog_left = backlog.size();
+  for (InFlight& entry : inflight) {
+    const InferenceResult result = entry.future.get();
+    if (result.outcome != RequestOutcome::kOk) continue;
+    ++out.completed;
+    out.sojourn_ms.push_back(entry.backlog_wait_ms + result.queue_ms +
+                             result.service_ms);
+  }
+}
+
+SustainedResult run_sustained(const char* phase, double offered_req_s,
+                              double duration_ms) {
+  ServerConfig config;
+  config.num_devices = 4;
+  config.num_workers = 4;
+  config.max_pending_per_tenant = 64;
+  config.emulate_device_latency = true;
+  config.device_latency_scale = kLatencyScale;
+  ServerRig rig(config);
+  const Bytes input(
+      static_cast<std::size_t>(rig.net.in_c) * rig.net.in_h * rig.net.in_w,
+      0x2a);
+
+  std::vector<SustainedTenant> tenants(kTenants);
+  const auto start = Clock::now();
+  const auto deadline =
+      start + std::chrono::duration_cast<Clock::duration>(
+                  std::chrono::duration<double, std::milli>(duration_ms));
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kTenants);
+    for (std::size_t i = 0; i < kTenants; ++i)
+      threads.emplace_back([&, i] {
+        sustained_tenant_loop(*rig.server, rig.clients[i], input,
+                              offered_req_s / static_cast<double>(kTenants),
+                              start, deadline, 0x5eed + i, tenants[i]);
+      });
+    for (auto& thread : threads) thread.join();
+  }
+  const double wall_s =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  SustainedResult result;
+  result.phase = phase;
+  result.offered_req_s = offered_req_s;
+  result.wall_s = wall_s;
+  std::vector<double> sojourns;
+  u64 min_completed = ~0ull, max_completed = 0;
+  for (const SustainedTenant& tenant : tenants) {
+    result.arrivals += tenant.arrivals;
+    result.completed += tenant.completed;
+    result.rejected_submits += tenant.rejected_submits;
+    result.backlog_left += tenant.backlog_left;
+    min_completed = std::min(min_completed, tenant.completed);
+    max_completed = std::max(max_completed, tenant.completed);
+    sojourns.insert(sojourns.end(), tenant.sojourn_ms.begin(),
+                    tenant.sojourn_ms.end());
+  }
+  result.admitted_req_s = static_cast<double>(result.completed) / wall_s;
+  result.p50_ms = percentile(sojourns, 0.50);
+  result.p99_ms = percentile(sojourns, 0.99);
+  result.p999_ms = percentile(sojourns, 0.999);
+  result.fairness_spread =
+      min_completed ? static_cast<double>(max_completed) /
+                          static_cast<double>(min_completed)
+                    : 0;
+  result.server_rejected = rig.server->stats().rejected;
+  result.server_backpressured = rig.server->stats().backpressured;
+  return result;
+}
+
 }  // namespace
 
 int main() {
@@ -212,5 +395,62 @@ int main() {
   }
   json += "]}";
   std::printf("##GUARDNN_BENCH_JSON## %s\n", json.c_str());
+
+  // --- Sustained open-loop mode: below capacity, then far past it. ---------
+  const char* duration_env = std::getenv("GUARDNN_BENCH_SUSTAINED_MS");
+  const double duration_ms = duration_env ? std::atof(duration_env) : 2000.0;
+  const double capacity = results.back().req_per_s;  // 4w/4d closed-loop rate
+  std::printf("\n=== Sustained open-loop serving: Poisson arrivals, 4 workers "
+              "x 4 devices ===\n");
+  std::printf("phase duration %.0f ms (GUARDNN_BENCH_SUSTAINED_MS overrides); "
+              "per-tenant quota %zu requests\n\n",
+              duration_ms, static_cast<std::size_t>(64));
+  std::printf("%10s %10s %10s %9s %9s %9s %9s %9s %9s %9s\n", "phase",
+              "offered/s", "admit/s", "arrivals", "rejects", "p50_ms",
+              "p99_ms", "p999_ms", "fairness", "backlog");
+
+  const SustainedResult phases[] = {
+      run_sustained("steady", 0.7 * capacity, duration_ms),
+      run_sustained("overload", 3.0 * capacity, duration_ms),
+  };
+  for (const SustainedResult& r : phases)
+    std::printf("%10s %10.1f %10.1f %9llu %9llu %9.2f %9.2f %9.2f %9.2f %9llu\n",
+                r.phase.c_str(), r.offered_req_s, r.admitted_req_s,
+                static_cast<unsigned long long>(r.arrivals),
+                static_cast<unsigned long long>(r.rejected_submits), r.p50_ms,
+                r.p99_ms, r.p999_ms, r.fairness_spread,
+                static_cast<unsigned long long>(r.backlog_left));
+
+  const SustainedResult& overload = phases[1];
+  std::printf("\nsaturation throughput (overload admitted rate): %.1f req/s "
+              "(closed-loop 4w/4d: %.1f req/s)\n",
+              overload.admitted_req_s, capacity);
+
+  std::string sustained_json =
+      "{\"bench\":\"serving_sustained\",\"tenants\":" + std::to_string(kTenants) +
+      ",\"duration_ms\":" + std::to_string(duration_ms) +
+      ",\"latency_scale\":" + std::to_string(kLatencyScale) +
+      ",\"closed_loop_req_per_s\":" + std::to_string(capacity) +
+      ",\"saturation_req_per_s\":" + std::to_string(overload.admitted_req_s) +
+      ",\"phases\":[";
+  for (std::size_t i = 0; i < 2; ++i) {
+    const SustainedResult& r = phases[i];
+    if (i) sustained_json += ",";
+    sustained_json +=
+        "{\"phase\":\"" + r.phase + "\",\"offered_req_per_s\":" +
+        std::to_string(r.offered_req_s) + ",\"admitted_req_per_s\":" +
+        std::to_string(r.admitted_req_s) + ",\"arrivals\":" +
+        std::to_string(r.arrivals) + ",\"completed\":" +
+        std::to_string(r.completed) + ",\"rejected_submits\":" +
+        std::to_string(r.rejected_submits) + ",\"backlog_left\":" +
+        std::to_string(r.backlog_left) + ",\"server_rejected\":" +
+        std::to_string(r.server_rejected) + ",\"server_backpressured\":" +
+        std::to_string(r.server_backpressured) + ",\"p50_ms\":" +
+        std::to_string(r.p50_ms) + ",\"p99_ms\":" + std::to_string(r.p99_ms) +
+        ",\"p999_ms\":" + std::to_string(r.p999_ms) + ",\"fairness_spread\":" +
+        std::to_string(r.fairness_spread) + "}";
+  }
+  sustained_json += "]}";
+  std::printf("##GUARDNN_BENCH_JSON## %s\n", sustained_json.c_str());
   return 0;
 }

@@ -110,21 +110,33 @@ def crypto_throughput():
             out[key] = backend
     return out
 
-# Structured serving throughput pulled out of bench_serving_throughput's
-# ##GUARDNN_BENCH_JSON## marker line (req/s, p50/p99 ms per workers x devices
-# config, plus the multi-worker speedup the acceptance gate tracks).
-def marker_json(bench_name):
+# Structured results pulled out of ##GUARDNN_BENCH_JSON## marker lines. A
+# binary may emit several markers (bench_serving_throughput emits both the
+# closed-loop sweep and the sustained open-loop block), so selection matches
+# on the embedded "bench" field, not just the first marker found.
+def marker_json(bench_name, marker=None):
     entry = benches.get(bench_name, {})
     for line in entry.get("stdout", "").splitlines():
-        if line.startswith("##GUARDNN_BENCH_JSON## "):
-            try:
-                return json.loads(line.split(" ", 1)[1])
-            except json.JSONDecodeError:
-                return None
+        if not line.startswith("##GUARDNN_BENCH_JSON## "):
+            continue
+        try:
+            parsed = json.loads(line.split(" ", 1)[1])
+        except json.JSONDecodeError:
+            continue
+        if marker is None or parsed.get("bench") == marker:
+            return parsed
     return None
 
+# Closed-loop serving sweep (req/s, p50/p99 ms per workers x devices config,
+# plus the multi-worker speedup the acceptance gate tracks).
 def serving_throughput():
-    return marker_json("bench_serving_throughput")
+    return marker_json("bench_serving_throughput", "serving_throughput")
+
+# Sustained open-loop serving: Poisson arrivals below and far above fleet
+# capacity — saturation req/s, p50/p99/p999 sojourn, admission rejections and
+# per-tenant fairness spread under overload.
+def serving_sustained():
+    return marker_json("bench_serving_throughput", "serving_sustained")
 
 # Sealed model store: SealModel/UnsealModel GB/s (steady + cold through the
 # fused pipeline) and cross-device replication latency (p50/p99 of the
@@ -164,6 +176,7 @@ doc = {
     "failed": sorted(n for n, e in benches.items() if e["exit_code"] != 0),
     "crypto_throughput_gbps": crypto_throughput(),
     "serving_throughput": serving_throughput(),
+    "serving_sustained": serving_sustained(),
     "model_store": model_store(),
     "benches": benches,
 }

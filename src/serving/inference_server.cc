@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "accel/microcontroller.h"
 #include "host/model_codec.h"
 
 namespace guardnn::serving {
@@ -13,14 +14,33 @@ const char* outcome_name(RequestOutcome outcome) {
     case RequestOutcome::kNoTenant: return "no-tenant";
     case RequestOutcome::kNoModel: return "no-model";
     case RequestOutcome::kQueueFull: return "queue-full";
+    case RequestOutcome::kBackpressure: return "backpressure";
     case RequestOutcome::kShutdown: return "shutdown";
   }
   return "unknown";
 }
 
+std::size_t InferenceServer::derived_shard_count(const ServerConfig& config) {
+  if (config.num_shards) return config.num_shards;
+  const std::size_t workers = std::max<std::size_t>(1, config.num_workers);
+  return std::max<std::size_t>(16, 4 * workers);
+}
+
+std::size_t InferenceServer::derived_byte_budget(const ServerConfig& config) {
+  if (config.max_pending_bytes) return config.max_pending_bytes;
+  // Wire the fleet budget to the modeled device ingest bandwidth: queued
+  // sealed inputs are exactly what the MicroBlaze import path must move.
+  const accel::MicrocontrollerModel model;
+  return AdmissionController::derive_byte_budget(
+      std::max<std::size_t>(1, config.num_devices), model.import_gbs,
+      config.backpressure_window_ms);
+}
+
 InferenceServer::InferenceServer(const crypto::ManufacturerCa& ca,
                                  const ServerConfig& config, BytesView entropy)
     : config_(config),
+      table_(derived_shard_count(config)),
+      admission_(config.max_pending_per_tenant, derived_byte_budget(config)),
       model_store_(config.model_store_dir.empty()
                        ? nullptr
                        : std::make_unique<store::DirectoryBackend>(
@@ -39,27 +59,36 @@ InferenceServer::InferenceServer(const crypto::ManufacturerCa& ca,
   }
   workers_.reserve(n_workers);
   for (std::size_t i = 0; i < n_workers; ++i)
-    workers_.emplace_back([this](std::stop_token stop) { worker_loop(stop); });
+    workers_.emplace_back(
+        [this, i](std::stop_token stop) { worker_loop(stop, i); });
 }
 
 InferenceServer::~InferenceServer() {
   for (auto& worker : workers_) worker.request_stop();
-  cv_.notify_all();
+  // One wake token per worker so every blocked acquire() returns.
+  work_sem_.release(static_cast<std::ptrdiff_t>(workers_.size()));
   workers_.clear();  // joins
 
   // Fail whatever the workers never picked up. Disconnected tenants are no
-  // longer in tenants_ but may still sit in ready_ with queued requests.
-  std::lock_guard<std::mutex> lock(mu_);
-  auto drain = [](Tenant& tenant) {
-    for (Request& request : tenant.pending) {
-      InferenceResult result;
-      result.outcome = RequestOutcome::kShutdown;
-      request.promise.set_value(std::move(result));
-    }
-    tenant.pending.clear();
-  };
-  for (auto& [id, tenant] : tenants_) drain(*tenant);
-  for (auto& tenant : ready_) drain(*tenant);
+  // longer in the shard maps but may still sit in ready queues with queued
+  // requests; resolve_all clears the deque, so a tenant reachable both ways
+  // is drained once.
+  table_.for_each_shard_locked([](Shard& shard) {
+    for (auto& [id, tenant] : shard.tenants)
+      resolve_all(tenant->pending, RequestOutcome::kShutdown);
+    for (auto& tenant : shard.ready)
+      resolve_all(tenant->pending, RequestOutcome::kShutdown);
+  });
+}
+
+void InferenceServer::resolve_all(std::deque<Request>& requests,
+                                  RequestOutcome outcome) {
+  for (Request& request : requests) {
+    InferenceResult result;
+    result.outcome = outcome;
+    request.promise.set_value(std::move(result));
+  }
+  requests.clear();
 }
 
 accel::GetPkResponse InferenceServer::get_pk(std::size_t device_index) {
@@ -71,13 +100,12 @@ accel::GetPkResponse InferenceServer::get_pk(std::size_t device_index) {
 InferenceServer::ConnectResult InferenceServer::connect(
     const crypto::AffinePoint& user_ephemeral, bool integrity) {
   ConnectResult result;
-  // Least-loaded placement across the fleet.
+  // Least-loaded placement across the fleet (atomic load counters — no lock).
   std::size_t best = 0;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    for (std::size_t i = 1; i < devices_.size(); ++i)
-      if (devices_[i]->tenant_count < devices_[best]->tenant_count) best = i;
-  }
+  for (std::size_t i = 1; i < devices_.size(); ++i)
+    if (devices_[i]->tenant_count.load(std::memory_order_relaxed) <
+        devices_[best]->tenant_count.load(std::memory_order_relaxed))
+      best = i;
   DeviceNode& node = *devices_[best];
   result.device_index = best;
   // InitSession and tenant registration happen under one hold of the
@@ -93,11 +121,15 @@ InferenceServer::ConnectResult InferenceServer::connect(
       std::lock_guard<std::mutex> busy(node.busy);
       result.response = node.device.init_session(user_ephemeral, integrity);
       if (result.response.status == accel::DeviceStatus::kOk) {
-        std::lock_guard<std::mutex> lock(mu_);
-        const TenantId id = next_tenant_++;
-        tenants_.emplace(id, std::make_shared<Tenant>(
-                                 node.device, best, result.response.session_id));
-        node.tenant_count += 1;
+        const TenantId id = next_tenant_.fetch_add(1, std::memory_order_relaxed);
+        auto tenant = std::make_shared<Tenant>(id, node.device, best,
+                                               result.response.session_id);
+        Shard& shard = table_.shard_for(id);
+        {
+          std::lock_guard<std::mutex> lock(shard.mu);
+          shard.tenants.emplace(id, std::move(tenant));
+        }
+        node.tenant_count.fetch_add(1, std::memory_order_relaxed);
         result.tenant = id;
         return result;
       }
@@ -109,31 +141,34 @@ InferenceServer::ConnectResult InferenceServer::connect(
 }
 
 accel::DeviceStatus InferenceServer::disconnect(TenantId tenant) {
+  Shard& shard = table_.shard_for(tenant);
   std::shared_ptr<Tenant> entry;
+  std::deque<Request> orphaned;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = tenants_.find(tenant);
-    if (it == tenants_.end() || !it->second->open)
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.tenants.find(tenant);
+    if (it == shard.tenants.end() || !it->second->open)
       return accel::DeviceStatus::kNoSession;
     entry = it->second;
     entry->open = false;
-    devices_[entry->device_index]->tenant_count -= 1;
+    shard.tenants.erase(it);
+    // Queued work: a worker that owns the tenant (scheduled) observes
+    // open == false at its next pickup and drains everything as kNoTenant.
+    // An unscheduled tenant will never be visited — drain it here so no
+    // promise is left dangling and the admission counters return.
+    if (!entry->scheduled) orphaned.swap(entry->pending);
   }
+  devices_[entry->device_index]->tenant_count.fetch_sub(
+      1, std::memory_order_relaxed);
+  std::size_t orphaned_bytes = 0;
+  for (const Request& request : orphaned) orphaned_bytes += request.charged_bytes;
+  admission_.release(orphaned.size(), orphaned_bytes);
+  resolve_all(orphaned, RequestOutcome::kNoTenant);
   // CloseSession waits for any in-flight batch (device busy lock), then
-  // zeroizes the slot's keys. Requests still queued behind it resolve as
-  // kNoSession device errors.
+  // zeroizes the slot's keys.
   DeviceNode& node = *devices_[entry->device_index];
-  accel::DeviceStatus status;
-  {
-    std::lock_guard<std::mutex> busy(node.busy);
-    status = node.device.close_session(entry->session);
-  }
-  // Retire the tenant entry so session churn cannot grow tenants_ without
-  // bound; a worker that still owns the tenant keeps it alive via its
-  // shared_ptr and drains the remaining requests as device errors.
-  std::lock_guard<std::mutex> lock(mu_);
-  tenants_.erase(tenant);
-  return status;
+  std::lock_guard<std::mutex> busy(node.busy);
+  return node.device.close_session(entry->session);
 }
 
 crypto::Sha256Digest InferenceServer::model_hash(const host::FuncNetwork& net) {
@@ -215,18 +250,27 @@ ModelHandle InferenceServer::register_model(const host::FuncNetwork& net) {
   return handle;
 }
 
+std::shared_ptr<InferenceServer::Tenant> InferenceServer::find_tenant(
+    TenantId tenant) {
+  Shard& shard = table_.shard_for(tenant);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.tenants.find(tenant);
+  if (it == shard.tenants.end() || !it->second->open) return nullptr;
+  return it->second;
+}
+
+void InferenceServer::touch(const std::shared_ptr<Tenant>& tenant) {
+  Shard& shard = table_.shard_for(tenant->id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  tenant->last_activity = Clock::now();
+}
+
 accel::DeviceStatus InferenceServer::load_model(
     TenantId tenant, const ModelHandle& model,
     const crypto::SealedRecord& sealed_weights) {
   if (!model.valid()) return accel::DeviceStatus::kBadOperand;
-  std::shared_ptr<Tenant> entry;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = tenants_.find(tenant);
-    if (it == tenants_.end() || !it->second->open)
-      return accel::DeviceStatus::kNoSession;
-    entry = it->second;
-  }
+  const std::shared_ptr<Tenant> entry = find_tenant(tenant);
+  if (!entry) return accel::DeviceStatus::kNoSession;
   const std::shared_ptr<const host::ExecutionPlan> plan =
       resolve_plan(model, entry->device_index);
   if (!plan) return accel::DeviceStatus::kBadOperand;
@@ -238,7 +282,8 @@ accel::DeviceStatus InferenceServer::load_model(
                                     plan->weight_base);
   }
   if (status != accel::DeviceStatus::kOk) return status;
-  std::lock_guard<std::mutex> lock(mu_);
+  Shard& shard = table_.shard_for(tenant);
+  std::lock_guard<std::mutex> lock(shard.mu);
   entry->plan = plan;
   entry->last_activity = Clock::now();
   return status;
@@ -246,14 +291,12 @@ accel::DeviceStatus InferenceServer::load_model(
 
 accel::DeviceStatus InferenceServer::seal_tenant_model(
     TenantId tenant, BytesView descriptor, store::ContentId& content_out) {
-  std::shared_ptr<Tenant> entry;
+  const std::shared_ptr<Tenant> entry = find_tenant(tenant);
+  if (!entry) return accel::DeviceStatus::kNoSession;
   std::shared_ptr<const host::ExecutionPlan> plan;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = tenants_.find(tenant);
-    if (it == tenants_.end() || !it->second->open)
-      return accel::DeviceStatus::kNoSession;
-    entry = it->second;
+    Shard& shard = table_.shard_for(tenant);
+    std::lock_guard<std::mutex> lock(shard.mu);
     plan = entry->plan;
   }
   if (!plan) return accel::DeviceStatus::kBadOperand;
@@ -270,18 +313,13 @@ accel::DeviceStatus InferenceServer::seal_tenant_model(
   const std::optional<store::ContentId> content = model_store_.put(blob);
   if (!content) return accel::DeviceStatus::kBadOperand;
   content_out = *content;
-  std::lock_guard<std::mutex> lock(mu_);
-  entry->last_activity = Clock::now();
+  touch(entry);
   return accel::DeviceStatus::kOk;
 }
 
 accel::DeviceStatus InferenceServer::replicate_model(
     const store::ContentId& content, std::size_t target_device) {
   if (target_device >= devices_.size()) return accel::DeviceStatus::kBadOperand;
-  // One re-wrap handshake at a time: a device holds a single pending
-  // provisioning ephemeral, so interleaved replications would clobber it.
-  std::lock_guard<std::mutex> provision(provision_mu_);
-
   DeviceNode& target = *devices_[target_device];
   if (model_store_.contains(content, target.device.store_binding()))
     return accel::DeviceStatus::kOk;
@@ -297,6 +335,17 @@ accel::DeviceStatus InferenceServer::replicate_model(
   }
   if (source_device == devices_.size()) return accel::DeviceStatus::kBadOperand;
   DeviceNode& source = *devices_[source_device];
+
+  // One re-wrap handshake at a time *per device*: each device holds a single
+  // pending provisioning ephemeral, so interleaved replications touching the
+  // same device would clobber it — but disjoint device pairs are
+  // independent and proceed concurrently (std::scoped_lock avoids deadlock
+  // for any acquisition order of the two mutexes).
+  std::scoped_lock provision(target.provision_mu, source.provision_mu);
+  // Re-check under the exclusion: a racing replication to the same target
+  // may have completed while we waited.
+  if (model_store_.contains(content, target.device.store_binding()))
+    return accel::DeviceStatus::kOk;
   const std::optional<store::SealedBlob> blob =
       model_store_.get(content, source.device.store_binding());
   if (!blob) return accel::DeviceStatus::kBadOperand;
@@ -325,22 +374,15 @@ accel::DeviceStatus InferenceServer::replicate_model(
     if (status != accel::DeviceStatus::kOk) return status;
   }
   if (!model_store_.put(rebound)) return accel::DeviceStatus::kBadOperand;
-  std::lock_guard<std::mutex> lock(mu_);
-  stats_.replications += 1;
+  stats_.replications.fetch_add(1, std::memory_order_relaxed);
   return accel::DeviceStatus::kOk;
 }
 
 accel::DeviceStatus InferenceServer::load_model_from_store(
     TenantId tenant, const store::ContentId& content, const ModelHandle& model) {
   if (!model.valid()) return accel::DeviceStatus::kBadOperand;
-  std::shared_ptr<Tenant> entry;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = tenants_.find(tenant);
-    if (it == tenants_.end() || !it->second->open)
-      return accel::DeviceStatus::kNoSession;
-    entry = it->second;
-  }
+  const std::shared_ptr<Tenant> entry = find_tenant(tenant);
+  if (!entry) return accel::DeviceStatus::kNoSession;
   DeviceNode& node = *devices_[entry->device_index];
 
   // Hot-model replication on demand: a tenant placed on a device that does
@@ -389,7 +431,8 @@ accel::DeviceStatus InferenceServer::load_model_from_store(
   }
   if (!matches) return accel::DeviceStatus::kBadOperand;
 
-  std::lock_guard<std::mutex> lock(mu_);
+  Shard& shard = table_.shard_for(tenant);
+  std::lock_guard<std::mutex> lock(shard.mu);
   entry->plan = plan;
   entry->last_activity = Clock::now();
   return status;
@@ -399,27 +442,36 @@ accel::DeviceStatus InferenceServer::reset_device(std::size_t index) {
   if (index >= devices_.size()) return accel::DeviceStatus::kBadOperand;
   DeviceNode& node = *devices_[index];
   accel::DeviceStatus status;
+  std::deque<Request> orphaned;
   {
     // busy is held across both the tenant purge and the device reset, and
     // connect() registers tenants under the same lock — so no tenant can be
-    // admitted in between and survive with a wiped session. (busy -> mu_
+    // admitted in between and survive with a wiped session. (busy -> shard
     // nesting is the sanctioned order; nothing acquires busy while holding
-    // mu_.) Purged tenants' queued requests drain as device errors.
+    // a shard mutex.) Purged tenants' queued requests resolve kNoTenant:
+    // worker-owned ones at the worker's next pickup, unowned ones here.
     std::lock_guard<std::mutex> busy(node.busy);
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      for (auto it = tenants_.begin(); it != tenants_.end();) {
+    table_.for_each_shard_locked([&](Shard& shard) {
+      for (auto it = shard.tenants.begin(); it != shard.tenants.end();) {
         if (it->second->device_index == index) {
           it->second->open = false;
-          it = tenants_.erase(it);
+          if (!it->second->scheduled)
+            for (Request& request : it->second->pending)
+              orphaned.push_back(std::move(request));
+          it->second->pending.clear();
+          it = shard.tenants.erase(it);
         } else {
           ++it;
         }
       }
-      node.tenant_count = 0;
-    }
+    });
+    node.tenant_count.store(0, std::memory_order_relaxed);
     status = node.device.reset();
   }
+  std::size_t orphaned_bytes = 0;
+  for (const Request& request : orphaned) orphaned_bytes += request.charged_bytes;
+  admission_.release(orphaned.size(), orphaned_bytes);
+  resolve_all(orphaned, RequestOutcome::kNoTenant);
   // Prune plans no device generation can reach any more, so periodic resets
   // do not accumulate dead (hash, generation) entries — each one pins a full
   // packed-weight-blob copy.
@@ -435,28 +487,44 @@ accel::DeviceStatus InferenceServer::reset_device(std::size_t index) {
 }
 
 bool InferenceServer::evict_idle_tenant(std::size_t device_index) {
-  std::shared_ptr<Tenant> victim;
-  TenantId victim_id = 0;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    for (const auto& [id, tenant] : tenants_) {
-      if (tenant->device_index != device_index || !tenant->open) continue;
-      if (!tenant->pending.empty() || tenant->scheduled) continue;  // busy
-      if (!victim || tenant->last_activity < victim->last_activity) {
-        victim = tenant;
-        victim_id = id;
-      }
+  // Bounded retry: between picking the LRU candidate and re-locking its
+  // shard, the candidate may have been submitted to, evicted by a racing
+  // connect, or disconnected.
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    std::shared_ptr<Tenant> victim;
+    {
+      // Scan one stripe at a time for the least-recently-active idle tenant
+      // on this device. Cross-shard LRU is a snapshot, not a transaction —
+      // good enough for an eviction heuristic.
+      table_.for_each_shard_locked([&](Shard& shard) {
+        for (const auto& [id, tenant] : shard.tenants) {
+          if (tenant->device_index != device_index || !tenant->open) continue;
+          if (!tenant->pending.empty() || tenant->scheduled) continue;  // busy
+          if (!victim || tenant->last_activity < victim->last_activity)
+            victim = tenant;
+        }
+      });
     }
     if (!victim) return false;
-    victim->open = false;
-    tenants_.erase(victim_id);
-    devices_[device_index]->tenant_count -= 1;
-    stats_.evicted += 1;
+    {
+      Shard& shard = table_.shard_for(victim->id);
+      std::lock_guard<std::mutex> lock(shard.mu);
+      auto it = shard.tenants.find(victim->id);
+      if (it == shard.tenants.end() || it->second != victim || !victim->open ||
+          !victim->pending.empty() || victim->scheduled)
+        continue;  // raced — rescan
+      victim->open = false;
+      shard.tenants.erase(it);
+    }
+    devices_[device_index]->tenant_count.fetch_sub(1,
+                                                   std::memory_order_relaxed);
+    stats_.evicted.fetch_add(1, std::memory_order_relaxed);
+    DeviceNode& node = *devices_[device_index];
+    std::lock_guard<std::mutex> busy(node.busy);
+    node.device.close_session(victim->session);
+    return true;
   }
-  DeviceNode& node = *devices_[device_index];
-  std::lock_guard<std::mutex> busy(node.busy);
-  node.device.close_session(victim->session);
-  return true;
+  return false;
 }
 
 std::future<InferenceResult> InferenceServer::immediate_result(
@@ -470,32 +538,44 @@ std::future<InferenceResult> InferenceServer::immediate_result(
 
 std::future<InferenceResult> InferenceServer::submit_async(
     TenantId tenant, crypto::SealedRecord sealed_input, bool attest) {
+  // Hot path: exactly one shard mutex, two atomic RMWs (admission), one
+  // semaphore release. No process-global lock.
+  Shard& shard = table_.shard_for(tenant);
   std::future<InferenceResult> future;
+  bool wake = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = tenants_.find(tenant);
-    if (it == tenants_.end() || !it->second->open)
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.tenants.find(tenant);
+    if (it == shard.tenants.end() || !it->second->open)
       return immediate_result(RequestOutcome::kNoTenant);
     Tenant& entry = *it->second;
     if (!entry.plan) return immediate_result(RequestOutcome::kNoModel);
-    if (pending_count_ >= config_.max_pending) {
-      stats_.rejected += 1;
-      return immediate_result(RequestOutcome::kQueueFull);
+    const std::size_t bytes = sealed_input.ciphertext.size();
+    switch (admission_.try_admit(entry.pending.size(), bytes)) {
+      case AdmissionController::Decision::kTenantQuota:
+        stats_.rejected.fetch_add(1, std::memory_order_relaxed);
+        return immediate_result(RequestOutcome::kQueueFull);
+      case AdmissionController::Decision::kBackpressure:
+        stats_.backpressured.fetch_add(1, std::memory_order_relaxed);
+        return immediate_result(RequestOutcome::kBackpressure);
+      case AdmissionController::Decision::kAdmit:
+        break;
     }
     Request request;
     request.sealed_input = std::move(sealed_input);
     request.attest = attest;
+    request.charged_bytes = bytes;
     request.enqueued = Clock::now();
     entry.last_activity = request.enqueued;
     future = request.promise.get_future();
     entry.pending.push_back(std::move(request));
-    pending_count_ += 1;
     if (!entry.scheduled) {
       entry.scheduled = true;
-      ready_.push_back(it->second);
+      shard.ready.push_back(it->second);
+      wake = true;
     }
   }
-  cv_.notify_one();
+  if (wake) work_sem_.release();
   return future;
 }
 
@@ -524,79 +604,151 @@ void InferenceServer::process_one(Tenant& tenant, DeviceNode& node,
                        : RequestOutcome::kDeviceError;
 }
 
-void InferenceServer::worker_loop(std::stop_token stop) {
-  std::unique_lock<std::mutex> lock(mu_);
+void InferenceServer::worker_loop(std::stop_token stop,
+                                  std::size_t worker_index) {
+  const std::size_t n_shards = table_.shard_count();
+  // Workers start their steal scan at different stripes so an idle pool
+  // fans out instead of stampeding shard 0.
+  const std::size_t n_workers = std::max<std::size_t>(1, config_.num_workers);
+  std::size_t scan_start = (worker_index * n_shards) / n_workers;
   while (true) {
-    if (!cv_.wait(lock, stop, [&] { return !ready_.empty(); })) break;
+    // One token == one tenant sitting in some shard's ready queue (or a
+    // shutdown wake). The scan below is guaranteed to find an entry
+    // eventually: pushes happen-before their release(), and every consumer
+    // holds a token of its own.
+    work_sem_.acquire();
+    if (stop.stop_requested()) break;
+    std::shared_ptr<Tenant> tenant;
+    while (!tenant) {
+      for (std::size_t k = 0; k < n_shards && !tenant; ++k) {
+        Shard& shard = table_.shard_at((scan_start + k) % n_shards);
+        std::lock_guard<std::mutex> lock(shard.mu);
+        if (!shard.ready.empty()) {
+          tenant = std::move(shard.ready.front());
+          shard.ready.pop_front();
+        }
+      }
+      if (!tenant) {
+        if (stop.stop_requested()) return;
+        std::this_thread::yield();
+      }
+    }
+    scan_start = (scan_start + 1) % n_shards;
+    run_batch(tenant);
+  }
+}
 
-    std::shared_ptr<Tenant> tenant = std::move(ready_.front());
-    ready_.pop_front();
-
+void InferenceServer::run_batch(const std::shared_ptr<Tenant>& tenant) {
+  Shard& shard = table_.shard_for(tenant->id);
+  std::vector<Request> batch;
+  std::shared_ptr<const host::ExecutionPlan> plan;
+  bool open;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    open = tenant->open;
     // Cross-tenant batching: drain up to max_batch of this tenant's FIFO in
     // one wakeup. The tenant stays "scheduled" (owned by this worker) so no
-    // other worker can reorder its secure-channel sequence numbers.
-    std::vector<Request> batch;
-    const std::size_t limit = std::max<std::size_t>(1, config_.max_batch);
+    // other worker can reorder its secure-channel sequence numbers. A
+    // torn-down tenant (disconnect/reset while we sat in the ready queue)
+    // is drained whole — every promise resolves kNoTenant below.
+    const std::size_t limit =
+        open ? std::max<std::size_t>(1, config_.max_batch)
+             : tenant->pending.size();
     while (!tenant->pending.empty() && batch.size() < limit) {
       batch.push_back(std::move(tenant->pending.front()));
       tenant->pending.pop_front();
     }
-    pending_count_ -= batch.size();
-    stats_.batches += 1;
-    stats_.requests += batch.size();
-    // Snapshot the plan under mu_: load_model may swap it concurrently, and
-    // the batch must execute against one coherent plan.
-    const std::shared_ptr<const host::ExecutionPlan> plan = tenant->plan;
-    lock.unlock();
+    // Snapshot the plan under the shard lock: load_model may swap it
+    // concurrently, and the batch must execute against one coherent plan.
+    plan = tenant->plan;
+  }
+  std::size_t batch_bytes = 0;
+  for (const Request& request : batch) batch_bytes += request.charged_bytes;
+  admission_.release(batch.size(), batch_bytes);
+  if (!batch.empty()) {
+    stats_.batches.fetch_add(1, std::memory_order_relaxed);
+    stats_.requests.fetch_add(batch.size(), std::memory_order_relaxed);
+  }
 
-    const Clock::time_point picked_up = Clock::now();
-    std::vector<InferenceResult> results(batch.size());
-    DeviceNode& node = *devices_[tenant->device_index];
-    {
-      // The accelerator executes one command stream at a time.
-      std::lock_guard<std::mutex> busy(node.busy);
-      const double modeled_before = node.device.elapsed_ms();
-      for (std::size_t i = 0; i < batch.size(); ++i)
-        process_one(*tenant, node, *plan, batch[i], results[i]);
-      if (config_.emulate_device_latency) {
-        const double modeled_ms =
-            (node.device.elapsed_ms() - modeled_before) *
-            config_.device_latency_scale;
-        if (modeled_ms > 0)
-          std::this_thread::sleep_for(
-              std::chrono::duration<double, std::milli>(modeled_ms));
-      }
+  if (!open) {
+    for (Request& request : batch) {
+      InferenceResult result;
+      result.outcome = RequestOutcome::kNoTenant;
+      request.promise.set_value(std::move(result));
     }
+    std::lock_guard<std::mutex> lock(shard.mu);
+    tenant->scheduled = false;
+    return;
+  }
 
-    const Clock::time_point done = Clock::now();
-    for (std::size_t i = 0; i < batch.size(); ++i) {
-      using MsDouble = std::chrono::duration<double, std::milli>;
-      results[i].queue_ms = MsDouble(picked_up - batch[i].enqueued).count();
-      results[i].service_ms = MsDouble(done - picked_up).count();
-      batch[i].promise.set_value(std::move(results[i]));
+  const Clock::time_point picked_up = Clock::now();
+  std::vector<InferenceResult> results(batch.size());
+  DeviceNode& node = *devices_[tenant->device_index];
+  {
+    // The accelerator executes one command stream at a time.
+    std::lock_guard<std::mutex> busy(node.busy);
+    const double modeled_before = node.device.elapsed_ms();
+    for (std::size_t i = 0; i < batch.size(); ++i)
+      process_one(*tenant, node, *plan, batch[i], results[i]);
+    if (config_.emulate_device_latency) {
+      const double modeled_ms = (node.device.elapsed_ms() - modeled_before) *
+                                config_.device_latency_scale;
+      if (modeled_ms > 0)
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(modeled_ms));
     }
+  }
 
-    lock.lock();
+  const Clock::time_point done = Clock::now();
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    using MsDouble = std::chrono::duration<double, std::milli>;
+    results[i].queue_ms = MsDouble(picked_up - batch[i].enqueued).count();
+    results[i].service_ms = MsDouble(done - picked_up).count();
+    batch[i].promise.set_value(std::move(results[i]));
+  }
+
+  std::deque<Request> orphaned;
+  bool wake = false;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
     tenant->last_activity = done;
-    if (!tenant->pending.empty()) {
-      ready_.push_back(std::move(tenant));
-      cv_.notify_one();
+    if (!tenant->open) {
+      orphaned.swap(tenant->pending);
+      tenant->scheduled = false;
+    } else if (!tenant->pending.empty()) {
+      shard.ready.push_back(tenant);
+      wake = true;
     } else {
       tenant->scheduled = false;
     }
   }
+  if (wake) work_sem_.release();
+  if (!orphaned.empty()) {
+    std::size_t orphaned_bytes = 0;
+    for (const Request& request : orphaned)
+      orphaned_bytes += request.charged_bytes;
+    admission_.release(orphaned.size(), orphaned_bytes);
+    resolve_all(orphaned, RequestOutcome::kNoTenant);
+  }
 }
 
 ServerStats InferenceServer::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  ServerStats out;
+  out.requests = stats_.requests.load(std::memory_order_relaxed);
+  out.batches = stats_.batches.load(std::memory_order_relaxed);
+  out.rejected = stats_.rejected.load(std::memory_order_relaxed);
+  out.backpressured = stats_.backpressured.load(std::memory_order_relaxed);
+  out.evicted = stats_.evicted.load(std::memory_order_relaxed);
+  out.replications = stats_.replications.load(std::memory_order_relaxed);
+  return out;
 }
 
 std::pair<std::size_t, accel::SessionId> InferenceServer::tenant_session(
     TenantId tenant) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = tenants_.find(tenant);
-  if (it == tenants_.end()) return {0, accel::kInvalidSession};
+  const auto& shard = table_.shard_for(tenant);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.tenants.find(tenant);
+  if (it == shard.tenants.end()) return {0, accel::kInvalidSession};
   return {it->second->device_index, it->second->session};
 }
 

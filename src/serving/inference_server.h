@@ -9,15 +9,26 @@
 // partitions, remote attestation) no matter how the server schedules work.
 //
 // Architecture:
-//   * a device fleet (each device owns its UntrustedMemory and a lock that
-//     models "the accelerator executes one batch at a time");
-//   * per-tenant FIFOs + a ready queue of tenants, drained by a pool of
-//     std::jthread workers — one tenant is owned by at most one worker at a
-//     time, so each tenant's secure-channel sequence numbers stay in order
-//     while different tenants run concurrently;
+//   * a device fleet (each device owns its UntrustedMemory, a busy lock that
+//     models "the accelerator executes one batch at a time", and a
+//     provisioning lock scoping the one-pending-ephemeral re-wrap handshake
+//     to that device — disjoint device pairs replicate concurrently);
+//   * a striped session/routing table (shard_table.h): tenants hash to one
+//     of a power-of-two set of shards, each with its own mutex, tenant map
+//     and ready queue — submit_async takes exactly one shard lock, never a
+//     process-global one, so disjoint tenants enqueue without contention;
+//   * a worker pool (std::jthread) woken through a counting semaphore (one
+//     token per tenant-became-ready transition); a worker drains its
+//     preferred stripe and steals from the others. One tenant is owned by at
+//     most one worker at a time, so each tenant's secure-channel sequence
+//     numbers stay in order while different tenants run concurrently;
 //   * cross-tenant batching: a worker drains up to `max_batch` queued
 //     requests per wakeup, amortizing queue/wake overhead; the per-request
 //     data path is PR 2's batched encrypt_blocks() burst pipeline;
+//   * two-level admission control (admission.h): a per-tenant queue quota
+//     (hard kQueueFull — noisy neighbors only starve themselves) plus a
+//     fleet-wide queued-byte budget derived from the modeled device ingest
+//     bandwidth (soft kBackpressure — retry the same sealed record later);
 //   * an ExecutionPlan cache keyed by model hash, so tenants serving the
 //     same architecture share one compiled plan;
 //   * optional device-latency emulation: the functional model computes on
@@ -28,31 +39,44 @@
 //     CPU time.
 #pragma once
 
+#include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <deque>
 #include <future>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <semaphore>
 #include <thread>
 #include <vector>
 
 #include "host/scheduler.h"
 #include "host/user_client.h"
+#include "serving/admission.h"
+#include "serving/shard_table.h"
 #include "store/model_store.h"
 
 namespace guardnn::serving {
-
-using TenantId = u64;
 
 struct ServerConfig {
   std::size_t num_devices = 1;
   std::size_t num_workers = 1;
   /// Max requests a worker drains from one tenant per wakeup.
   std::size_t max_batch = 8;
-  /// Global cap on queued-but-unprocessed requests (admission control).
-  std::size_t max_pending = 4096;
+  /// Shard count for the tenant/routing table, rounded up to a power of
+  /// two. 0 derives max(16, 4 × num_workers) so stripes outnumber workers.
+  std::size_t num_shards = 0;
+  /// Per-tenant cap on queued-but-unprocessed requests. A tenant at its
+  /// quota is rejected with kQueueFull; no other tenant is affected.
+  std::size_t max_pending_per_tenant = 64;
+  /// Fleet-wide budget of queued sealed-input bytes. 0 derives it from the
+  /// modeled per-device ingest bandwidth (accel::MicrocontrollerModel
+  /// import path) over `backpressure_window_ms`. Crossing the budget
+  /// answers kBackpressure — a soft signal, distinct from kQueueFull.
+  std::size_t max_pending_bytes = 0;
+  /// Window the derived byte budget covers: the fleet admits at most the
+  /// bytes it can ingest within this many modeled milliseconds.
+  double backpressure_window_ms = 5.0;
   /// Sleep off the modeled device time while holding the device lock (see
   /// file header). OFF for tests; benches turn it on.
   bool emulate_device_latency = false;
@@ -70,11 +94,13 @@ struct ServerConfig {
 
 enum class RequestOutcome : u8 {
   kOk,
-  kDeviceError,  ///< The device refused an instruction; see device_status.
-  kNoTenant,     ///< Unknown or disconnected tenant.
-  kNoModel,      ///< Tenant never loaded a model.
-  kQueueFull,    ///< Admission control rejected the request.
-  kShutdown,     ///< Server destroyed while the request was queued.
+  kDeviceError,    ///< The device refused an instruction; see device_status.
+  kNoTenant,       ///< Unknown, disconnected, or torn-down tenant.
+  kNoModel,        ///< Tenant never loaded a model.
+  kQueueFull,      ///< The tenant's own queue quota is exhausted (hard).
+  kBackpressure,   ///< Fleet byte budget exhausted (soft — retry the same
+                   ///< sealed record; re-sealing would gap the channel).
+  kShutdown,       ///< Server destroyed while the request was queued.
 };
 
 const char* outcome_name(RequestOutcome outcome);
@@ -109,27 +135,32 @@ struct ModelHandle {
 };
 
 struct ServerStats {
-  u64 requests = 0;      ///< Requests processed by workers.
-  u64 batches = 0;       ///< Worker wakeups that processed >= 1 request.
-  u64 rejected = 0;      ///< Admission-control rejections.
-  u64 evicted = 0;       ///< Idle sessions evicted to admit a new tenant.
-  u64 replications = 0;  ///< Cross-device model re-wraps performed.
+  u64 requests = 0;       ///< Requests processed by workers.
+  u64 batches = 0;        ///< Worker wakeups that processed >= 1 request.
+  u64 rejected = 0;       ///< Hard per-tenant-quota rejections (kQueueFull).
+  u64 backpressured = 0;  ///< Soft fleet-budget rejections (kBackpressure).
+  u64 evicted = 0;        ///< Idle sessions evicted to admit a new tenant.
+  u64 replications = 0;   ///< Cross-device model re-wraps performed.
 };
 
 /// Multi-tenant secure inference server (see the file header for the
 /// architecture).
 ///
 /// Thread safety: every public method may be called from any thread
-/// concurrently. Control-plane calls serialize on internal mutexes plus the
-/// per-device busy lock; data-plane submissions enqueue and are executed by
-/// the worker pool (per-tenant FIFO order is preserved, cross-tenant
-/// execution is concurrent). Introspection accessors return references to
-/// device-owned state and are meant for single-threaded test drivers.
+/// concurrently. Control-plane calls serialize on the tenant's table shard
+/// plus the per-device busy/provisioning locks; data-plane submissions
+/// enqueue under one shard lock and are executed by the worker pool
+/// (per-tenant FIFO order is preserved, cross-tenant execution is
+/// concurrent). No process-global mutex exists on the submit path.
+/// Introspection accessors return references to device-owned state and are
+/// meant for single-threaded test drivers.
 ///
 /// Error model: control-plane methods return the accel::DeviceStatus of the
 /// underlying device instruction (kNoSession for unknown/disconnected
 /// tenants, kBadOperand for invalid indices/handles); data-plane results
-/// carry a RequestOutcome plus the failing DeviceStatus.
+/// carry a RequestOutcome plus the failing DeviceStatus. Requests still
+/// queued when their tenant is torn down (disconnect, eviction, device
+/// reset) resolve with kNoTenant — never silently dropped.
 class InferenceServer {
  public:
   /// Builds the device fleet ("fabrication": each device gets an identity
@@ -175,7 +206,9 @@ class InferenceServer {
                         bool integrity);
 
   /// CloseSession for the tenant's session (keys zeroized device-side) and
-  /// retire the tenant. Queued requests fail with kNoSession/kNoTenant.
+  /// retire the tenant. Requests still queued and not yet owned by a worker
+  /// resolve with kNoTenant immediately; a worker that owns the tenant
+  /// drains the remainder as kNoTenant at its next pickup.
   ///
   /// Returns kNoSession for an unknown or already-disconnected tenant;
   /// otherwise the device's CloseSession status.
@@ -221,6 +254,10 @@ class InferenceServer {
   /// Ensures `target_device` holds a device-bound replica of `content`,
   /// re-wrapping from any fleet device that already has one. kOk when the
   /// replica already exists; kBadOperand when no device holds the model.
+  ///
+  /// The exclusion is scoped to the two devices involved (a device holds
+  /// one pending provisioning ephemeral): replications between disjoint
+  /// device pairs proceed concurrently.
   accel::DeviceStatus replicate_model(const store::ContentId& content,
                                       std::size_t target_device);
 
@@ -237,15 +274,19 @@ class InferenceServer {
   }
 
   /// Admin: reset one device ("reboot"). Every tenant on it is disconnected
-  /// (queued work fails with device errors), the device's sessions are
-  /// zeroized and its generation bumps — cached plans for the old generation
-  /// are never reused.
+  /// (queued work resolves kNoTenant), the device's sessions are zeroized
+  /// and its generation bumps — cached plans for the old generation are
+  /// never reused.
   accel::DeviceStatus reset_device(std::size_t index);
 
   // --- Data plane ----------------------------------------------------------
 
   /// Queues one inference (sealed input → sealed output). Per-tenant FIFO
   /// order; cross-tenant concurrency up to the worker/device fleet size.
+  ///
+  /// Hot path: one shard mutex + two atomic RMWs + a semaphore release —
+  /// no process-global lock. Admission failures (kQueueFull/kBackpressure)
+  /// do not consume the record: retry the same SealedRecord later.
   std::future<InferenceResult> submit_async(TenantId tenant,
                                             crypto::SealedRecord sealed_input,
                                             bool attest = false);
@@ -272,12 +313,23 @@ class InferenceServer {
   /// The tenant's device index and session id (kInvalidSession if unknown).
   std::pair<std::size_t, accel::SessionId> tenant_session(TenantId tenant) const;
 
+  /// Routing-table stripes (power of two; see ServerConfig::num_shards).
+  std::size_t shard_count() const { return table_.shard_count(); }
+  /// Requests admitted but not yet picked up by a worker, fleet-wide.
+  std::size_t pending_requests() const { return admission_.pending_requests(); }
+  /// Queued sealed-input bytes counted against the fleet byte budget.
+  std::size_t pending_bytes() const { return admission_.pending_bytes(); }
+  /// The fleet byte budget in force (configured or bandwidth-derived).
+  std::size_t admission_byte_budget() const { return admission_.byte_budget(); }
+
  private:
   using Clock = std::chrono::steady_clock;
 
   struct Request {
     crypto::SealedRecord sealed_input;
     bool attest = false;
+    /// Ciphertext bytes charged against the fleet byte budget at admission.
+    std::size_t charged_bytes = 0;
     std::promise<InferenceResult> promise;
     Clock::time_point enqueued;
   };
@@ -288,7 +340,12 @@ class InferenceServer {
     /// Held while a batch executes: the accelerator runs one command stream
     /// at a time, and emulated device latency is slept off under it.
     std::mutex busy;
-    std::size_t tenant_count = 0;
+    /// Scopes the attested re-wrap handshake to this device: it holds one
+    /// pending provisioning ephemeral, so two replications touching it
+    /// serialize — but pairs of *other* devices do not (std::scoped_lock
+    /// over source+target; see replicate_model).
+    std::mutex provision_mu;
+    std::atomic<std::size_t> tenant_count{0};
 
     DeviceNode(std::string id, const crypto::ManufacturerCa& ca,
                BytesView entropy)
@@ -296,31 +353,44 @@ class InferenceServer {
   };
 
   struct Tenant {
+    TenantId id = 0;
     std::size_t device_index = 0;
     accel::SessionId session = accel::kInvalidSession;
     /// Per-tenant VN mirror + instruction issue, bound to the session.
     host::HostScheduler scheduler;
     std::shared_ptr<const host::ExecutionPlan> plan;
     std::deque<Request> pending;
-    bool scheduled = false;  ///< In ready_ or owned by a worker.
+    bool scheduled = false;  ///< In a shard's ready queue or worker-owned.
     bool open = true;
     /// Last time this tenant touched the server (connect, load, submit,
     /// batch completion) — the LRU clock for idle eviction.
     Clock::time_point last_activity;
 
-    Tenant(accel::GuardNnDevice& device, std::size_t dev_index,
-           accel::SessionId sid)
-        : device_index(dev_index),
+    Tenant(TenantId tenant_id, accel::GuardNnDevice& device,
+           std::size_t dev_index, accel::SessionId sid)
+        : id(tenant_id),
+          device_index(dev_index),
           session(sid),
           scheduler(device, sid),
           last_activity(Clock::now()) {}
   };
 
-  void worker_loop(std::stop_token stop);
+  using Shard = TableShard<Tenant>;
+
+  void worker_loop(std::stop_token stop, std::size_t worker_index);
+  void run_batch(const std::shared_ptr<Tenant>& tenant);
   void process_one(Tenant& tenant, DeviceNode& node,
                    const host::ExecutionPlan& plan, Request& request,
                    InferenceResult& result);
   static std::future<InferenceResult> immediate_result(RequestOutcome outcome);
+  /// Resolves a drained request queue with `outcome` (no device involved).
+  static void resolve_all(std::deque<Request>& requests,
+                          RequestOutcome outcome);
+
+  /// Looks up a live tenant (shard lock taken and released inside).
+  std::shared_ptr<Tenant> find_tenant(TenantId tenant);
+  /// Stamps the LRU clock under the tenant's shard lock.
+  void touch(const std::shared_ptr<Tenant>& tenant);
 
   /// Evicts the least-recently-active idle tenant on `device_index` (session
   /// closed + zeroized device-side). False when every tenant there is busy.
@@ -336,16 +406,28 @@ class InferenceServer {
   std::shared_ptr<const host::ExecutionPlan> resolve_plan(
       const ModelHandle& model, std::size_t device_index);
 
+  static std::size_t derived_shard_count(const ServerConfig& config);
+  static std::size_t derived_byte_budget(const ServerConfig& config);
+
   ServerConfig config_;
   std::vector<std::unique_ptr<DeviceNode>> devices_;
 
-  mutable std::mutex mu_;
-  std::condition_variable_any cv_;
-  std::map<TenantId, std::shared_ptr<Tenant>> tenants_;
-  std::deque<std::shared_ptr<Tenant>> ready_;
-  std::size_t pending_count_ = 0;
-  TenantId next_tenant_ = 1;
-  ServerStats stats_;
+  /// Striped tenant/routing table — the only lock a submit takes.
+  ShardedTable<Tenant> table_;
+  AdmissionController admission_;
+  /// One token per tenant-became-ready transition; workers block here.
+  std::counting_semaphore<> work_sem_{0};
+  std::atomic<TenantId> next_tenant_{1};
+
+  struct AtomicStats {
+    std::atomic<u64> requests{0};
+    std::atomic<u64> batches{0};
+    std::atomic<u64> rejected{0};
+    std::atomic<u64> backpressured{0};
+    std::atomic<u64> evicted{0};
+    std::atomic<u64> replications{0};
+  };
+  AtomicStats stats_;
 
   std::mutex plan_mu_;
   /// Keyed on (model hash, device generation): a device reset invalidates
@@ -359,9 +441,6 @@ class InferenceServer {
   std::map<crypto::Sha256Digest, std::shared_ptr<const host::FuncNetwork>>
       net_cache_;
 
-  /// Serializes the three-step re-wrap protocol: the target device holds one
-  /// pending provisioning handshake at a time.
-  std::mutex provision_mu_;
   store::ModelStore model_store_;
 
   std::vector<std::jthread> workers_;  // last member: joins before teardown

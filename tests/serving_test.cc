@@ -6,6 +6,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
+#include <atomic>
+#include <chrono>
 #include <future>
 #include <mutex>
 #include <string>
@@ -13,6 +16,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "host/model_codec.h"
 #include "serving/inference_server.h"
 
 namespace guardnn::serving {
@@ -114,11 +118,11 @@ struct ServerFixture {
   crypto::ManufacturerCa ca{ca_drbg};
 
   InferenceServer make(std::size_t devices, std::size_t workers,
-                       std::size_t max_pending = 4096) {
+                       std::size_t per_tenant_quota = 4096) {
     ServerConfig config;
     config.num_devices = devices;
     config.num_workers = workers;
-    config.max_pending = max_pending;
+    config.max_pending_per_tenant = per_tenant_quota;
     return InferenceServer(ca, config, Bytes{0x92, 0x93});
   }
 };
@@ -283,9 +287,9 @@ TEST(Serving, ErrorPathsAreCoarse) {
 
 TEST(Serving, AdmissionControlRejectsWhenQueueFull) {
   ServerFixture fx;
-  // max_pending = 0: every request is rejected before it queues — the
-  // deterministic version of an overloaded server.
-  InferenceServer server = fx.make(1, 1, /*max_pending=*/0);
+  // A zero per-tenant quota: every request is rejected before it queues —
+  // the deterministic version of a tenant that overran its own budget.
+  InferenceServer server = fx.make(1, 1, /*per_tenant_quota=*/0);
   TenantClient client;
   ASSERT_TRUE(client.connect(server, fx.ca.public_key(), 62, false));
   ASSERT_TRUE(client.load(server, small_cnn(620)));
@@ -484,6 +488,92 @@ TEST(SessionEviction, DisabledEvictionStillRefusesWhenFull) {
   EXPECT_EQ(connected.tenant, 0u);
   EXPECT_EQ(connected.response.status, DeviceStatus::kNoResources);
   EXPECT_EQ(server.stats().evicted, 0u);
+}
+
+TEST(FleetProvisioning, DisjointDevicePairsReplicateConcurrently) {
+  // Regression: the provisioning exclusion used to be one server-global
+  // mutex, so a replication stalled behind a busy target device blocked
+  // every other replication in the fleet — even between a disjoint pair of
+  // devices. The exclusion is now scoped to the two devices involved
+  // (source + target each hold one pending provisioning ephemeral).
+  //
+  // Setup: 4 devices. Device 1 is pinned busy by an in-flight batch whose
+  // emulated device time is ~2.4 s. Thread A replicates content held on
+  // device 0 to device 1 (pair {0,1}) and blocks on device 1's busy lock.
+  // Thread B replicates content held on device 2 to device 3 (pair {2,3}):
+  // it must complete while A is still blocked.
+  ServerFixture fx;
+  ServerConfig config;
+  config.num_devices = 4;
+  config.num_workers = 1;
+  config.emulate_device_latency = true;
+  // One small_cnn request models ~0.12 ms of device time; scaled, the batch
+  // holds device 1's busy lock for roughly 2.4 s of wall time.
+  config.device_latency_scale = 20000.0;
+  InferenceServer server(fx.ca, config, Bytes{0x92, 0x93});
+
+  const FuncNetwork net_a = small_cnn(900);
+  const FuncNetwork net_b = small_cnn(901);
+
+  // Least-loaded placement spreads four tenants across the four devices;
+  // index them by the device they landed on.
+  std::array<std::size_t, 4> by_device{};
+  std::array<TenantClient, 4> clients;
+  for (std::size_t i = 0; i < clients.size(); ++i) {
+    ASSERT_TRUE(clients[i].connect(server, fx.ca.public_key(), 910 + i, true));
+    ASSERT_LT(clients[i].device_index, 4u);
+    by_device[clients[i].device_index] = i;
+  }
+  TenantClient& on_dev0 = clients[by_device[0]];
+  TenantClient& on_dev1 = clients[by_device[1]];
+  TenantClient& on_dev2 = clients[by_device[2]];
+  ASSERT_TRUE(on_dev0.load(server, net_a));
+  ASSERT_TRUE(on_dev1.load(server, net_a));
+  ASSERT_TRUE(on_dev2.load(server, net_b));
+
+  store::ContentId content_a{}, content_b{};
+  ASSERT_EQ(server.seal_tenant_model(on_dev0.tenant,
+                                     host::serialize_descriptor(net_a),
+                                     content_a),
+            DeviceStatus::kOk);
+  ASSERT_EQ(server.seal_tenant_model(on_dev2.tenant,
+                                     host::serialize_descriptor(net_b),
+                                     content_b),
+            DeviceStatus::kOk);
+
+  // Pin device 1: one queued request, then wait for the worker to own it
+  // (pending drops to zero at pickup; the emulated sleep runs under busy).
+  const functional::Tensor input = random_input(net_a, 920);
+  std::future<InferenceResult> busy_batch = server.submit_async(
+      on_dev1.tenant, on_dev1.user->seal(tensor_bytes(input)));
+  while (server.pending_requests() != 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+  std::atomic<bool> a_done{false};
+  DeviceStatus status_a = DeviceStatus::kOk;
+  std::thread replicate_a([&] {
+    status_a = server.replicate_model(content_a, /*target_device=*/1);
+    a_done.store(true);
+  });
+  // Let A reach the provisioning exclusion before B starts, so the
+  // pre-sharding global-mutex regression would make B queue behind it.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  const DeviceStatus status_b = server.replicate_model(content_b, 3);
+  EXPECT_EQ(status_b, DeviceStatus::kOk);
+  EXPECT_FALSE(a_done.load())
+      << "replication {2,3} waited for the stalled replication {0,1}: the "
+         "provisioning exclusion is not per-device-pair";
+  // Guard against mis-calibration: device 1 must still be inside the
+  // emulated batch when B finishes, or the overlap proves nothing.
+  ASSERT_NE(busy_batch.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready)
+      << "device 1 went idle too early; raise device_latency_scale";
+
+  replicate_a.join();
+  EXPECT_EQ(status_a, DeviceStatus::kOk);
+  EXPECT_EQ(server.stats().replications, 2u);
+  EXPECT_EQ(busy_batch.get().outcome, RequestOutcome::kOk);
 }
 
 TEST(PlanCacheGeneration, DeviceResetInvalidatesCachedPlans) {
