@@ -10,7 +10,7 @@
 // gap between device time and simulation CPU time so scheduling effects
 // dominate on small CI machines.
 //
-// Two workloads:
+// Three workloads:
 //   * closed-loop sweep — each tenant keeps a fixed async window in flight,
 //     measuring best-case pipeline throughput as workers/devices scale;
 //   * sustained open-loop mode — Poisson arrivals at a fixed offered rate
@@ -20,12 +20,17 @@
 //     submission is retried with the *same* sealed record at the next
 //     arrival tick (the secure channel's strict sequence numbers forbid
 //     re-sealing). GUARDNN_BENCH_SUSTAINED_MS overrides the per-phase
-//     duration (CI smoke-runs with a small value).
+//     duration (CI smoke-runs with a small value);
+//   * chaos mode — 16 tenants across a 4-device fleet, one device killed
+//     fail-stop mid-run: recovery time (kill → first completion on a
+//     survivor), p99 before vs after, admission-budget rescale, and a hard
+//     zero-hangs gate (a future that never resolves fails the bench).
 //
 // Machine-readable stdout lines (scripts/run_benches.sh matches on the
 // "bench" field and lifts them into BENCH_BASELINE.json):
 //   ##GUARDNN_BENCH_JSON## {"bench":"serving_throughput","configs":[...]}
 //   ##GUARDNN_BENCH_JSON## {"bench":"serving_sustained","phases":[...]}
+//   ##GUARDNN_BENCH_JSON## {"bench":"serving_chaos",...}
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -37,6 +42,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "host/model_codec.h"
 #include "serving/inference_server.h"
 
 namespace {
@@ -100,19 +106,21 @@ struct Client {
   serving::TenantId tenant = 0;
 };
 
-/// A fleet + kTenants connected-and-loaded clients (all serving the same
-/// architecture through the shared plan cache).
+/// A fleet + `tenant_count` connected-and-loaded clients (all serving the
+/// same architecture through the shared plan cache).
 struct ServerRig {
   crypto::HmacDrbg ca_drbg{Bytes{0xb1}};
   crypto::ManufacturerCa ca{ca_drbg};
   std::unique_ptr<InferenceServer> server;
-  std::vector<Client> clients{kTenants};
+  std::vector<Client> clients;
   FuncNetwork net = bench_net(17);
 
-  explicit ServerRig(const ServerConfig& config) {
+  explicit ServerRig(const ServerConfig& config,
+                     std::size_t tenant_count = kTenants)
+      : clients(tenant_count) {
     server = std::make_unique<InferenceServer>(ca, config, Bytes{0xb2, 0xb3});
     const serving::ModelHandle model = server->register_model(net);
-    for (std::size_t i = 0; i < kTenants; ++i) {
+    for (std::size_t i = 0; i < tenant_count; ++i) {
       Client& client = clients[i];
       client.user = std::make_unique<host::RemoteUser>(
           ca.public_key(), Bytes{static_cast<u8>(0xc0 + i)});
@@ -351,6 +359,265 @@ SustainedResult run_sustained(const char* phase, double offered_req_s,
   return result;
 }
 
+// --- Chaos mode: kill one device mid-run -------------------------------------
+// 16 tenants in a closed loop across a 4-device fleet; one device is killed
+// (fail-stop, scripted through the server's FaultInjector) a third of the way
+// in. Every tenant's model has a sealed replica on every device beforehand,
+// so victims re-provision onto survivors through reconnect(). Measured: time
+// from the kill to each victim's first completed request on its new device
+// (recovery), p99 latency before vs after the kill (the failover tax on
+// bystanders), the admission-budget rescale, and — the invariant the whole
+// fault layer exists for — that every in-flight future resolves: a hang is a
+// bench failure, not a data point.
+
+struct ChaosTenant {
+  u64 completed = 0;
+  u64 failed_over = 0;  ///< kDeviceFailover / kNoTenant observations.
+  u64 discarded = 0;    ///< Timed-out / rejected submissions re-tried or dropped.
+  u64 hangs = 0;        ///< Futures not ready after the grace timeout. Must be 0.
+  bool wounded = false;
+  bool resumed = false;
+  double recovery_ms = 0;  ///< kill -> first kOk after the wound.
+  std::vector<double> before_ms, after_ms;
+};
+
+struct ChaosResult {
+  std::size_t tenants = 0;
+  double duration_ms = 0;
+  double kill_at_ms = 0;
+  u64 completed_before = 0, completed_after = 0;
+  u64 hangs = 0;
+  std::size_t wounded_tenants = 0, resumed_tenants = 0;
+  double recovery_ms_mean = 0, recovery_ms_max = 0;
+  double p99_before_ms = 0, p99_after_ms = 0;
+  std::size_t budget_before = 0, budget_after = 0;
+  std::size_t routable_before = 0, routable_after = 0;
+  u64 server_failovers = 0, server_timeouts = 0;
+};
+
+void chaos_tenant_loop(InferenceServer& server, Client& client,
+                       const Bytes& input, Clock::time_point kill_at,
+                       Clock::time_point deadline, ChaosTenant& out) {
+  struct InFlight {
+    crypto::SealedRecord record;
+    std::future<InferenceResult> future;
+  };
+  std::deque<InFlight> window;
+
+  auto note_ok = [&](const InferenceResult& result) {
+    ++out.completed;
+    const auto now = Clock::now();
+    auto& bucket = now < kill_at ? out.before_ms : out.after_ms;
+    bucket.push_back(result.queue_ms + result.service_ms);
+    if (out.wounded && !out.resumed) {
+      out.resumed = true;
+      out.recovery_ms =
+          std::chrono::duration<double, std::milli>(now - kill_at).count();
+    }
+  };
+
+  // Fresh ECDHE + attested re-provision onto a survivor. The worker resolves
+  // the wounded futures *before* the failover record is registered, so wait
+  // (bounded) for failover_pending first. The sealed replica makes
+  // model_restored true; a failed reconnect parks the tenant.
+  auto reconnect = [&] {
+    for (int i = 0; i < 2000 && !server.failover_pending(client.tenant); ++i)
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    const auto resumed =
+        server.reconnect(client.tenant, client.user->begin_session(), true);
+    if (!(resumed.tenant == client.tenant &&
+          client.user->attest_device(server.get_pk(resumed.device_index)) &&
+          client.user->complete_session(resumed.response) &&
+          resumed.model_restored))
+      return false;
+    // Synchronous probe: recovery time is defined as kill -> first completed
+    // request on the survivor, so measure it now even if the storm window is
+    // about to close.
+    const crypto::SealedRecord probe = client.user->seal(input);
+    for (int attempt = 0; attempt < 8 && !out.resumed; ++attempt) {
+      const InferenceResult r = server.submit(client.tenant, probe);
+      if (r.outcome == RequestOutcome::kOk) {
+        note_ok(r);
+      } else if (r.outcome != RequestOutcome::kTimeout &&
+                 r.outcome != RequestOutcome::kQueueFull &&
+                 r.outcome != RequestOutcome::kBackpressure) {
+        return false;  // same record retried on those three; anything else parks
+      }
+    }
+    return true;
+  };
+
+  // Drains the whole window (promises resolve in FIFO order per tenant).
+  // Unconsumed records (timeouts/rejections) are re-submitted in order to
+  // preserve the channel sequence; a failover wound invalidates the channel
+  // itself, so the remaining records are discarded with it.
+  auto drain_window = [&](bool resubmit) {
+    bool channel_lost = false;
+    std::vector<crypto::SealedRecord> unconsumed;
+    while (!window.empty()) {
+      InFlight entry = std::move(window.front());
+      window.pop_front();
+      if (entry.future.wait_for(std::chrono::seconds(30)) !=
+          std::future_status::ready) {
+        ++out.hangs;
+        continue;
+      }
+      const InferenceResult result = entry.future.get();
+      switch (result.outcome) {
+        case RequestOutcome::kOk:
+          note_ok(result);
+          break;
+        case RequestOutcome::kDeviceFailover:
+        case RequestOutcome::kNoTenant:
+          out.wounded = true;
+          ++out.failed_over;
+          channel_lost = true;
+          unconsumed.clear();
+          break;
+        default:  // kTimeout / kQueueFull / kBackpressure: record unconsumed
+          ++out.discarded;
+          if (!channel_lost) unconsumed.push_back(std::move(entry.record));
+      }
+    }
+    if (channel_lost && !reconnect()) return false;
+    if (resubmit && !channel_lost)
+      for (auto& record : unconsumed)
+        window.push_back({record, server.submit_async(client.tenant, record)});
+    return true;
+  };
+
+  bool parked = false;
+  while (Clock::now() < deadline && !parked) {
+    while (window.size() < kAsyncWindow) {
+      crypto::SealedRecord record = client.user->seal(input);
+      std::future<InferenceResult> future =
+          server.submit_async(client.tenant, record);
+      window.push_back({std::move(record), std::move(future)});
+    }
+    InFlight head = std::move(window.front());
+    window.pop_front();
+    if (head.future.wait_for(std::chrono::seconds(30)) !=
+        std::future_status::ready) {
+      ++out.hangs;
+      continue;
+    }
+    const InferenceResult result = head.future.get();
+    if (result.outcome == RequestOutcome::kOk) {
+      note_ok(result);
+    } else if (result.outcome == RequestOutcome::kDeviceFailover ||
+               result.outcome == RequestOutcome::kNoTenant) {
+      // Channel lost with the device: the queued window resolves the same
+      // way (drain discards its records), then re-provision on a survivor.
+      out.wounded = true;
+      ++out.failed_over;
+      if (!drain_window(/*resubmit=*/false)) parked = true;
+      if (!parked && !out.resumed && server.failover_pending(client.tenant) &&
+          !reconnect())
+        parked = true;
+    } else {
+      // Timeout / rejection: the head's record was never consumed — retry
+      // it first (channel order), then drain the rest the same way.
+      ++out.discarded;
+      window.push_front({head.record,
+                         server.submit_async(client.tenant, head.record)});
+      if (!drain_window(/*resubmit=*/true)) parked = true;
+    }
+  }
+  if (!drain_window(/*resubmit=*/false)) parked = true;
+  (void)parked;
+}
+
+ChaosResult run_chaos(double duration_ms) {
+  constexpr std::size_t kChaosTenants = 16;
+  constexpr std::size_t kVictim = 0;
+  ServerConfig config;
+  config.num_devices = 4;
+  config.num_workers = 4;
+  config.max_pending_per_tenant = 64;
+  config.emulate_device_latency = true;
+  config.device_latency_scale = kLatencyScale;
+  ServerRig rig(config, kChaosTenants);
+  InferenceServer& server = *rig.server;
+  const Bytes input(
+      static_cast<std::size_t>(rig.net.in_c) * rig.net.in_h * rig.net.in_w,
+      0x2a);
+
+  // Sealed replica on every device before the storm: failover re-provisions
+  // from a surviving replica (the attested 3-step re-wrap), never from the
+  // user. Every tenant seals (the content-addressed store dedups the
+  // identical weights) so every victim is restorable, not just one.
+  store::ContentId content{};
+  for (const Client& client : rig.clients)
+    if (server.seal_tenant_model(client.tenant,
+                                 host::serialize_descriptor(rig.net),
+                                 content) != accel::DeviceStatus::kOk) {
+      std::fprintf(stderr, "chaos: seal_tenant_model failed\n");
+      std::exit(1);
+    }
+  for (std::size_t d = 0; d < config.num_devices; ++d)
+    if (server.replicate_model(content, d) != accel::DeviceStatus::kOk) {
+      std::fprintf(stderr, "chaos: replicate_model to device %zu failed\n", d);
+      std::exit(1);
+    }
+
+  ChaosResult result;
+  result.tenants = kChaosTenants;
+  result.duration_ms = duration_ms;
+  result.kill_at_ms = duration_ms / 3.0;
+  result.budget_before = server.admission_byte_budget();
+  result.routable_before = server.routable_device_count();
+
+  std::vector<ChaosTenant> tenants(kChaosTenants);
+  const auto start = Clock::now();
+  const auto kill_at = start + std::chrono::duration_cast<Clock::duration>(
+                                   std::chrono::duration<double, std::milli>(
+                                       result.kill_at_ms));
+  const auto deadline =
+      start + std::chrono::duration_cast<Clock::duration>(
+                  std::chrono::duration<double, std::milli>(duration_ms));
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kChaosTenants);
+    for (std::size_t i = 0; i < kChaosTenants; ++i)
+      threads.emplace_back([&, i] {
+        chaos_tenant_loop(server, rig.clients[i], input, kill_at, deadline,
+                          tenants[i]);
+      });
+    std::this_thread::sleep_until(kill_at);
+    server.faults().kill(kVictim);
+    for (auto& thread : threads) thread.join();
+  }
+
+  std::vector<double> before, after;
+  double recovery_sum = 0;
+  for (const ChaosTenant& tenant : tenants) {
+    result.hangs += tenant.hangs;
+    before.insert(before.end(), tenant.before_ms.begin(),
+                  tenant.before_ms.end());
+    after.insert(after.end(), tenant.after_ms.begin(), tenant.after_ms.end());
+    if (tenant.wounded) ++result.wounded_tenants;
+    if (tenant.wounded && tenant.resumed) {
+      ++result.resumed_tenants;
+      recovery_sum += tenant.recovery_ms;
+      result.recovery_ms_max =
+          std::max(result.recovery_ms_max, tenant.recovery_ms);
+    }
+  }
+  result.completed_before = before.size();
+  result.completed_after = after.size();
+  result.recovery_ms_mean =
+      result.resumed_tenants
+          ? recovery_sum / static_cast<double>(result.resumed_tenants)
+          : 0;
+  result.p99_before_ms = percentile(before, 0.99);
+  result.p99_after_ms = percentile(after, 0.99);
+  result.budget_after = server.admission_byte_budget();
+  result.routable_after = server.routable_device_count();
+  result.server_failovers = server.stats().failovers;
+  result.server_timeouts = server.stats().timeouts;
+  return result;
+}
+
 }  // namespace
 
 int main() {
@@ -452,5 +719,68 @@ int main() {
   }
   sustained_json += "]}";
   std::printf("##GUARDNN_BENCH_JSON## %s\n", sustained_json.c_str());
+
+  // --- Chaos mode: kill 1 of 4 devices under sustained load. ---------------
+  const double chaos_ms = std::max(3.0 * duration_ms / 2.0, 300.0);
+  std::printf("\n=== Chaos: fail-stop kill 1 of 4 devices mid-run, 16 tenants "
+              "===\n");
+  std::printf("run %.0f ms, kill at %.0f ms; sealed replicas on every device "
+              "beforehand\n\n",
+              chaos_ms, chaos_ms / 3.0);
+  const ChaosResult chaos = run_chaos(chaos_ms);
+  std::printf("completed before/after kill: %llu / %llu   hangs: %llu\n",
+              static_cast<unsigned long long>(chaos.completed_before),
+              static_cast<unsigned long long>(chaos.completed_after),
+              static_cast<unsigned long long>(chaos.hangs));
+  std::printf("wounded tenants: %zu, resumed on survivors: %zu "
+              "(recovery mean %.2f ms, max %.2f ms)\n",
+              chaos.wounded_tenants, chaos.resumed_tenants,
+              chaos.recovery_ms_mean, chaos.recovery_ms_max);
+  std::printf("p99 before %.2f ms -> after %.2f ms; admission budget %zu -> "
+              "%zu bytes (routable %zu -> %zu)\n",
+              chaos.p99_before_ms, chaos.p99_after_ms, chaos.budget_before,
+              chaos.budget_after, chaos.routable_before, chaos.routable_after);
+
+  std::string chaos_json =
+      "{\"bench\":\"serving_chaos\",\"tenants\":" +
+      std::to_string(chaos.tenants) + ",\"devices\":4,\"duration_ms\":" +
+      std::to_string(chaos.duration_ms) + ",\"kill_at_ms\":" +
+      std::to_string(chaos.kill_at_ms) + ",\"completed_before\":" +
+      std::to_string(chaos.completed_before) + ",\"completed_after\":" +
+      std::to_string(chaos.completed_after) + ",\"hangs\":" +
+      std::to_string(chaos.hangs) + ",\"wounded_tenants\":" +
+      std::to_string(chaos.wounded_tenants) + ",\"resumed_tenants\":" +
+      std::to_string(chaos.resumed_tenants) + ",\"recovery_ms_mean\":" +
+      std::to_string(chaos.recovery_ms_mean) + ",\"recovery_ms_max\":" +
+      std::to_string(chaos.recovery_ms_max) + ",\"p99_before_ms\":" +
+      std::to_string(chaos.p99_before_ms) + ",\"p99_after_ms\":" +
+      std::to_string(chaos.p99_after_ms) + ",\"admission_budget_before\":" +
+      std::to_string(chaos.budget_before) + ",\"admission_budget_after\":" +
+      std::to_string(chaos.budget_after) + ",\"routable_before\":" +
+      std::to_string(chaos.routable_before) + ",\"routable_after\":" +
+      std::to_string(chaos.routable_after) + ",\"server_failovers\":" +
+      std::to_string(chaos.server_failovers) + ",\"server_timeouts\":" +
+      std::to_string(chaos.server_timeouts) + "}";
+  std::printf("##GUARDNN_BENCH_JSON## %s\n", chaos_json.c_str());
+
+  // The acceptance invariants, enforced: a hang or a fleet that didn't
+  // observably shrink-and-rescale is a failed bench run, not a number.
+  if (chaos.hangs != 0) {
+    std::fprintf(stderr, "chaos: %llu futures hung\n",
+                 static_cast<unsigned long long>(chaos.hangs));
+    return 1;
+  }
+  if (chaos.routable_after != 3 ||
+      chaos.budget_after >= chaos.budget_before) {
+    std::fprintf(stderr,
+                 "chaos: fleet did not shrink/rescale (routable %zu, budget "
+                 "%zu -> %zu)\n",
+                 chaos.routable_after, chaos.budget_before, chaos.budget_after);
+    return 1;
+  }
+  if (chaos.wounded_tenants != 0 && chaos.resumed_tenants == 0) {
+    std::fprintf(stderr, "chaos: no wounded tenant resumed on a survivor\n");
+    return 1;
+  }
   return 0;
 }

@@ -138,6 +138,11 @@ def serving_throughput():
 def serving_sustained():
     return marker_json("bench_serving_throughput", "serving_sustained")
 
+# Chaos mode: one device of four killed fail-stop mid-run — recovery time,
+# p99 before/after the kill, admission-budget rescale, zero-hangs gate.
+def serving_chaos():
+    return marker_json("bench_serving_throughput", "serving_chaos")
+
 # Sealed model store: SealModel/UnsealModel GB/s (steady + cold through the
 # fused pipeline) and cross-device replication latency (p50/p99 of the
 # attested 3-step re-wrap).
@@ -177,6 +182,7 @@ doc = {
     "crypto_throughput_gbps": crypto_throughput(),
     "serving_throughput": serving_throughput(),
     "serving_sustained": serving_sustained(),
+    "serving_chaos": serving_chaos(),
     "model_store": model_store(),
     "benches": benches,
 }

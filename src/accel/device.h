@@ -73,6 +73,11 @@ enum class DeviceStatus : u8 {
   kIntegrityFailure, ///< Off-chip integrity verification failed; session dead.
   kBadOperand,
   kNoResources,      ///< Session table full (InitSession).
+  kUnavailable,      ///< Device did not respond (fail-stop death, wedged, or
+                     ///< quarantined by the serving health monitor). Never
+                     ///< produced by the device itself — the host-side fault
+                     ///< boundary answers it when a command cannot be
+                     ///< delivered or its completion never arrives.
 };
 
 /// InitSession response: the allocated SessionId plus the device's ephemeral

@@ -11,7 +11,10 @@
 //     the budget is the number of bytes the fleet can ingest within
 //     `backpressure_window_ms`. Crossing it is *backpressure* — a soft,
 //     retryable signal distinct from the hard per-tenant reject, telling
-//     clients the fleet (not their own queue) is saturated.
+//     clients the fleet (not their own queue) is saturated. The budget is
+//     *live*: the health monitor rescales it to the surviving device count
+//     when devices die or are quarantined (set_byte_budget), so admission
+//     never over-admits against ingest bandwidth that no longer exists.
 //
 // Both counters are atomics: the admission decision adds nothing but two
 // relaxed RMWs to the submit hot path, which otherwise takes only its
@@ -62,7 +65,8 @@ class AdmissionController {
         pending_bytes_.fetch_add(bytes, std::memory_order_relaxed);
     // Progress guarantee: an empty fleet always admits, even a single
     // request bigger than the whole budget.
-    if (before != 0 && before + bytes > byte_budget_) {
+    if (before != 0 &&
+        before + bytes > byte_budget_.load(std::memory_order_relaxed)) {
       pending_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
       return Decision::kBackpressure;
     }
@@ -84,11 +88,20 @@ class AdmissionController {
     return pending_bytes_.load(std::memory_order_relaxed);
   }
   std::size_t per_tenant_quota() const { return per_tenant_quota_; }
-  std::size_t byte_budget() const { return byte_budget_; }
+  std::size_t byte_budget() const {
+    return byte_budget_.load(std::memory_order_relaxed);
+  }
+
+  /// Rescales the fleet byte budget in place (health monitor: a device died
+  /// or was quarantined, or came back). Already-admitted bytes are not
+  /// revoked — the queue drains through the new, smaller gate.
+  void set_byte_budget(std::size_t budget) {
+    byte_budget_.store(budget < 1 ? 1 : budget, std::memory_order_relaxed);
+  }
 
  private:
   const std::size_t per_tenant_quota_;
-  const std::size_t byte_budget_;
+  std::atomic<std::size_t> byte_budget_;
   std::atomic<std::size_t> pending_requests_{0};
   std::atomic<std::size_t> pending_bytes_{0};
 };

@@ -1,0 +1,213 @@
+#include "serving/fault.h"
+
+#include <cstdlib>
+
+namespace guardnn::serving {
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kDeath: return "death";
+    case FaultKind::kIntegrity: return "integrity";
+    case FaultKind::kLatency: return "latency";
+    case FaultKind::kDrop: return "drop";
+  }
+  return "unknown";
+}
+
+FaultInjector::FaultInjector(std::size_t num_devices) {
+  devices_.reserve(num_devices);
+  for (std::size_t i = 0; i < num_devices; ++i)
+    devices_.push_back(std::make_unique<PerDevice>());
+}
+
+void FaultInjector::set_armed(PerDevice& dev) {
+  // Caller holds dev.mu. `armed` is a hint for the fast path; it stays set
+  // while any script or probability remains.
+  const bool armed = dev.kill_countdown || dev.integrity_left ||
+                     dev.drop_left || dev.latency_left || dev.random_armed;
+  dev.armed.store(armed, std::memory_order_release);
+}
+
+void FaultInjector::kill(std::size_t device) {
+  devices_[device]->dead.store(true, std::memory_order_release);
+  injected_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void FaultInjector::kill_after(std::size_t device, u64 calls) {
+  PerDevice& dev = *devices_[device];
+  std::lock_guard<std::mutex> lock(dev.mu);
+  dev.kill_countdown = calls ? calls : 1;
+  set_armed(dev);
+}
+
+void FaultInjector::revive(std::size_t device) {
+  devices_[device]->dead.store(false, std::memory_order_release);
+}
+
+void FaultInjector::script_integrity_burst(std::size_t device, u64 count) {
+  PerDevice& dev = *devices_[device];
+  std::lock_guard<std::mutex> lock(dev.mu);
+  dev.integrity_left += count;
+  set_armed(dev);
+}
+
+void FaultInjector::script_drop(std::size_t device, u64 count) {
+  PerDevice& dev = *devices_[device];
+  std::lock_guard<std::mutex> lock(dev.mu);
+  dev.drop_left += count;
+  set_armed(dev);
+}
+
+void FaultInjector::script_latency(std::size_t device, double ms, u64 count) {
+  PerDevice& dev = *devices_[device];
+  std::lock_guard<std::mutex> lock(dev.mu);
+  dev.latency_left += count;
+  dev.latency_ms = ms;
+  set_armed(dev);
+}
+
+void FaultInjector::arm_random(std::size_t device, const Probabilities& p,
+                               u64 seed) {
+  PerDevice& dev = *devices_[device];
+  std::lock_guard<std::mutex> lock(dev.mu);
+  dev.prob = p;
+  dev.rng = Xoshiro256(seed);
+  dev.random_armed =
+      p.death > 0 || p.integrity > 0 || p.drop > 0 || p.latency > 0;
+  set_armed(dev);
+}
+
+void FaultInjector::clear(std::size_t device) {
+  PerDevice& dev = *devices_[device];
+  std::lock_guard<std::mutex> lock(dev.mu);
+  dev.kill_countdown = 0;
+  dev.integrity_left = 0;
+  dev.drop_left = 0;
+  dev.latency_left = 0;
+  dev.random_armed = false;
+  set_armed(dev);
+}
+
+FaultInjector::Decision FaultInjector::on_call(std::size_t device) {
+  PerDevice& dev = *devices_[device];
+  if (dev.dead.load(std::memory_order_acquire))
+    return Decision{FaultKind::kDeath, 0.0};
+  if (!dev.armed.load(std::memory_order_acquire)) return Decision{};
+
+  Decision decision;
+  {
+    std::lock_guard<std::mutex> lock(dev.mu);
+    if (dev.kill_countdown && --dev.kill_countdown == 0) {
+      decision.kind = FaultKind::kDeath;
+    } else if (dev.integrity_left) {
+      --dev.integrity_left;
+      decision.kind = FaultKind::kIntegrity;
+    } else if (dev.drop_left) {
+      --dev.drop_left;
+      decision.kind = FaultKind::kDrop;
+    } else if (dev.latency_left) {
+      --dev.latency_left;
+      decision.kind = FaultKind::kLatency;
+      decision.latency_ms = dev.latency_ms;
+    } else if (dev.random_armed) {
+      const double roll = dev.rng.next_double();
+      if (roll < dev.prob.death) {
+        decision.kind = FaultKind::kDeath;
+      } else if (roll < dev.prob.death + dev.prob.drop) {
+        decision.kind = FaultKind::kDrop;
+      } else if (roll < dev.prob.death + dev.prob.drop + dev.prob.integrity) {
+        decision.kind = FaultKind::kIntegrity;
+      } else if (roll <
+                 dev.prob.death + dev.prob.drop + dev.prob.integrity +
+                     dev.prob.latency) {
+        decision.kind = FaultKind::kLatency;
+        decision.latency_ms = dev.prob.latency_ms;
+      }
+    }
+    set_armed(dev);
+  }
+  if (decision.kind == FaultKind::kDeath)
+    dev.dead.store(true, std::memory_order_release);
+  if (decision.kind != FaultKind::kNone)
+    injected_.fetch_add(1, std::memory_order_relaxed);
+  return decision;
+}
+
+bool FaultInjector::arm_from_env() {
+  const char* plan = std::getenv("GUARDNN_FAULT_PLAN");
+  if (!plan || !*plan) return false;
+  return arm_plan(plan);
+}
+
+u64 FaultInjector::env_seed(u64 fallback) {
+  const char* env = std::getenv("GUARDNN_FAULT_SEED");
+  if (!env || !*env) return fallback;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(env, &end, 0);
+  if (end == env || (end && *end != '\0')) return fallback;
+  return static_cast<u64>(parsed);
+}
+
+bool FaultInjector::arm_plan(const std::string& plan) {
+  // Grammar: entry(";"entry)*, entry = kind":"device[":"count[":"ms]].
+  // kill's optional third field is a call countdown, not a count.
+  std::size_t pos = 0;
+  bool ok = true;
+  while (pos <= plan.size()) {
+    const std::size_t end = std::min(plan.find(';', pos), plan.size());
+    const std::string entry = plan.substr(pos, end - pos);
+    pos = end + 1;
+    if (entry.empty()) {
+      if (end == plan.size()) break;
+      continue;
+    }
+    std::size_t c1 = entry.find(':');
+    if (c1 == std::string::npos) {
+      ok = false;
+      continue;
+    }
+    const std::string kind = entry.substr(0, c1);
+    std::size_t c2 = entry.find(':', c1 + 1);
+    std::size_t c3 = c2 == std::string::npos ? std::string::npos
+                                             : entry.find(':', c2 + 1);
+    auto field = [&](std::size_t from, std::size_t to) {
+      return entry.substr(from, to == std::string::npos ? std::string::npos
+                                                        : to - from);
+    };
+    char* parse_end = nullptr;
+    const std::string dev_str = field(c1 + 1, c2);
+    const std::size_t device =
+        static_cast<std::size_t>(std::strtoull(dev_str.c_str(), &parse_end, 0));
+    if (parse_end == dev_str.c_str() || *parse_end != '\0') {
+      ok = false;
+      continue;
+    }
+    if (device >= devices_.size()) continue;  // plan reused across fleet sizes
+    double arg2 = 0, arg3 = 0;
+    if (c2 != std::string::npos)
+      arg2 = std::strtod(field(c2 + 1, c3).c_str(), nullptr);
+    if (c3 != std::string::npos)
+      arg3 = std::strtod(entry.substr(c3 + 1).c_str(), nullptr);
+
+    if (kind == "kill") {
+      if (arg2 > 0)
+        kill_after(device, static_cast<u64>(arg2));
+      else
+        kill(device);
+    } else if (kind == "integrity") {
+      script_integrity_burst(device, arg2 > 0 ? static_cast<u64>(arg2) : 1);
+    } else if (kind == "drop") {
+      script_drop(device, arg2 > 0 ? static_cast<u64>(arg2) : 1);
+    } else if (kind == "latency") {
+      script_latency(device, arg3 > 0 ? arg3 : 1.0,
+                     arg2 > 0 ? static_cast<u64>(arg2) : 1);
+    } else {
+      ok = false;
+    }
+    if (end == plan.size()) break;
+  }
+  return ok;
+}
+
+}  // namespace guardnn::serving

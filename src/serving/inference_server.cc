@@ -16,6 +16,18 @@ const char* outcome_name(RequestOutcome outcome) {
     case RequestOutcome::kQueueFull: return "queue-full";
     case RequestOutcome::kBackpressure: return "backpressure";
     case RequestOutcome::kShutdown: return "shutdown";
+    case RequestOutcome::kTimeout: return "timeout";
+    case RequestOutcome::kDeviceFailover: return "device-failover";
+  }
+  return "unknown";
+}
+
+const char* health_name(DeviceHealth health) {
+  switch (health) {
+    case DeviceHealth::kHealthy: return "healthy";
+    case DeviceHealth::kDegraded: return "degraded";
+    case DeviceHealth::kQuarantined: return "quarantined";
+    case DeviceHealth::kDead: return "dead";
   }
   return "unknown";
 }
@@ -41,6 +53,7 @@ InferenceServer::InferenceServer(const crypto::ManufacturerCa& ca,
     : config_(config),
       table_(derived_shard_count(config)),
       admission_(config.max_pending_per_tenant, derived_byte_budget(config)),
+      faults_(std::max<std::size_t>(1, config.num_devices)),
       model_store_(config.model_store_dir.empty()
                        ? nullptr
                        : std::make_unique<store::DirectoryBackend>(
@@ -57,6 +70,10 @@ InferenceServer::InferenceServer(const crypto::ManufacturerCa& ca,
     devices_.push_back(std::make_unique<DeviceNode>(
         "serve-dev-" + std::to_string(i), ca, seed));
   }
+  // Env-driven fault plans (deep-fuzz / chaos CI): opt-in, a no-op when
+  // GUARDNN_FAULT_PLAN is unset.
+  faults_.arm_from_env();
+  monitor_ = std::jthread([this](std::stop_token stop) { monitor_loop(stop); });
   workers_.reserve(n_workers);
   for (std::size_t i = 0; i < n_workers; ++i)
     workers_.emplace_back(
@@ -64,6 +81,10 @@ InferenceServer::InferenceServer(const crypto::ManufacturerCa& ca,
 }
 
 InferenceServer::~InferenceServer() {
+  // Stop the monitor before draining: no failover may run concurrently with
+  // the kShutdown sweep below, or a promise could be claimed twice.
+  monitor_.request_stop();
+  if (monitor_.joinable()) monitor_.join();
   for (auto& worker : workers_) worker.request_stop();
   // One wake token per worker so every blocked acquire() returns.
   work_sem_.release(static_cast<std::ptrdiff_t>(workers_.size()));
@@ -86,6 +107,8 @@ void InferenceServer::resolve_all(std::deque<Request>& requests,
   for (Request& request : requests) {
     InferenceResult result;
     result.outcome = outcome;
+    if (outcome == RequestOutcome::kDeviceFailover)
+      result.device_status = accel::DeviceStatus::kUnavailable;
     request.promise.set_value(std::move(result));
   }
   requests.clear();
@@ -100,14 +123,8 @@ accel::GetPkResponse InferenceServer::get_pk(std::size_t device_index) {
 InferenceServer::ConnectResult InferenceServer::connect(
     const crypto::AffinePoint& user_ephemeral, bool integrity) {
   ConnectResult result;
-  // Least-loaded placement across the fleet (atomic load counters — no lock).
-  std::size_t best = 0;
-  for (std::size_t i = 1; i < devices_.size(); ++i)
-    if (devices_[i]->tenant_count.load(std::memory_order_relaxed) <
-        devices_[best]->tenant_count.load(std::memory_order_relaxed))
-      best = i;
-  DeviceNode& node = *devices_[best];
-  result.device_index = best;
+  // Least-loaded placement across the *routable* fleet (atomic counters —
+  // no lock). Quarantined and dead devices never receive new tenants.
   // InitSession and tenant registration happen under one hold of the
   // device's busy lock, so reset_device (which purges tenants and wipes the
   // session table under the same lock) can never interleave between "session
@@ -115,10 +132,26 @@ InferenceServer::ConnectResult InferenceServer::connect(
   // a zeroized session. The eviction retry loops because a concurrent
   // connect may steal a freed slot; each iteration evicts another idle
   // tenant, so it is bounded by the table size and stops when no victim
-  // remains (ROADMAP "session eviction policy").
+  // remains (ROADMAP "session eviction policy"). A device that dies under
+  // us (fault gate answers kUnavailable and it is no longer routable)
+  // re-picks a surviving device instead of failing the connect.
   while (true) {
+    const std::size_t best = pick_routable_device();
+    if (best == devices_.size()) {
+      result.response.status = accel::DeviceStatus::kUnavailable;
+      return result;
+    }
+    DeviceNode& node = *devices_[best];
+    result.device_index = best;
     {
       std::lock_guard<std::mutex> busy(node.busy);
+      const accel::DeviceStatus gate = fault_gate(best);
+      if (gate != accel::DeviceStatus::kOk) {
+        result.response.status = gate;
+        if (gate == accel::DeviceStatus::kUnavailable && !routable(best))
+          continue;  // died under us — try a surviving device
+        return result;
+      }
       result.response = node.device.init_session(user_ephemeral, integrity);
       if (result.response.status == accel::DeviceStatus::kOk) {
         const TenantId id = next_tenant_.fetch_add(1, std::memory_order_relaxed);
@@ -140,6 +173,102 @@ InferenceServer::ConnectResult InferenceServer::connect(
   }
 }
 
+InferenceServer::ConnectResult InferenceServer::reconnect(
+    TenantId tenant, const crypto::AffinePoint& user_ephemeral,
+    bool integrity) {
+  ConnectResult result;
+  FailoverRecord record;
+  {
+    std::lock_guard<std::mutex> lock(failover_mu_);
+    auto it = failovers_.find(tenant);
+    if (it == failovers_.end()) {
+      result.response.status = accel::DeviceStatus::kNoSession;
+      return result;
+    }
+    record = it->second;
+  }
+  // Prefer the device the failover pre-provisioned the model replica to;
+  // fall back to least-loaded routable placement when it has since gone
+  // down too.
+  const std::size_t target =
+      record.has_target && record.preferred_device < devices_.size() &&
+              routable(record.preferred_device)
+          ? record.preferred_device
+          : pick_routable_device();
+  if (target == devices_.size()) {
+    result.response.status = accel::DeviceStatus::kUnavailable;
+    return result;
+  }
+  DeviceNode& node = *devices_[target];
+  result.device_index = target;
+  // Same registration discipline as connect(): InitSession + tenant
+  // registration under one busy hold, with the bounded idle-eviction retry.
+  while (true) {
+    {
+      std::lock_guard<std::mutex> busy(node.busy);
+      const accel::DeviceStatus gate = fault_gate(target);
+      if (gate != accel::DeviceStatus::kOk) {
+        result.response.status = gate;
+        return result;  // retryable: call reconnect() again
+      }
+      result.response = node.device.init_session(user_ephemeral, integrity);
+      if (result.response.status == accel::DeviceStatus::kOk) {
+        auto entry = std::make_shared<Tenant>(tenant, node.device, target,
+                                              result.response.session_id);
+        entry->has_model_hash = record.has_model;
+        entry->model_hash = record.model_hash;
+        if (record.has_content) entry->model_content = record.content;
+        Shard& shard = table_.shard_for(tenant);
+        bool inserted;
+        {
+          std::lock_guard<std::mutex> lock(shard.mu);
+          inserted = shard.tenants.emplace(tenant, entry).second;
+        }
+        if (!inserted) {
+          // A concurrent reconnect for the same id won the race; give its
+          // session back and report the id as already live.
+          node.device.close_session(result.response.session_id);
+          result.response = accel::InitSessionResponse{};
+          result.response.status = accel::DeviceStatus::kNoSession;
+          return result;
+        }
+        node.tenant_count.fetch_add(1, std::memory_order_relaxed);
+        result.tenant = tenant;
+      }
+    }
+    if (result.tenant) break;
+    if (result.response.status != accel::DeviceStatus::kNoResources ||
+        !config_.evict_idle_sessions || !evict_idle_tenant(target))
+      return result;
+  }
+  // Server-side model restore: when the tenant had a sealed replica, load it
+  // into the fresh session (auto-replicating to `target` if the failover's
+  // pre-provisioning didn't finish). Weights never cross the user link.
+  if (record.has_content && record.has_model) {
+    std::shared_ptr<const host::FuncNetwork> net;
+    {
+      std::lock_guard<std::mutex> lock(plan_mu_);
+      auto it = net_cache_.find(record.model_hash);
+      if (it != net_cache_.end()) net = it->second;
+    }
+    if (net) {
+      ModelHandle handle;
+      handle.hash = record.model_hash;
+      handle.net = net;
+      handle.generation = node.device.device_generation();
+      handle.plan = plan_for(handle.hash, *net, handle.generation);
+      result.model_restored =
+          load_model_from_store(tenant, record.content, handle) ==
+          accel::DeviceStatus::kOk;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(failover_mu_);
+    failovers_.erase(tenant);
+  }
+  return result;
+}
+
 accel::DeviceStatus InferenceServer::disconnect(TenantId tenant) {
   Shard& shard = table_.shard_for(tenant);
   std::shared_ptr<Tenant> entry;
@@ -147,16 +276,23 @@ accel::DeviceStatus InferenceServer::disconnect(TenantId tenant) {
   {
     std::lock_guard<std::mutex> lock(shard.mu);
     auto it = shard.tenants.find(tenant);
-    if (it == shard.tenants.end() || !it->second->open)
-      return accel::DeviceStatus::kNoSession;
-    entry = it->second;
-    entry->open = false;
-    shard.tenants.erase(it);
-    // Queued work: a worker that owns the tenant (scheduled) observes
-    // open == false at its next pickup and drains everything as kNoTenant.
-    // An unscheduled tenant will never be visited — drain it here so no
-    // promise is left dangling and the admission counters return.
-    if (!entry->scheduled) orphaned.swap(entry->pending);
+    if (it != shard.tenants.end() && it->second->open) {
+      entry = it->second;
+      entry->open = false;
+      shard.tenants.erase(it);
+      // Queued work: a worker that owns the tenant (scheduled) observes
+      // open == false at its next pickup and drains everything as kNoTenant.
+      // An unscheduled tenant will never be visited — drain it here so no
+      // promise is left dangling and the admission counters return.
+      if (!entry->scheduled) orphaned.swap(entry->pending);
+    }
+  }
+  if (!entry) {
+    // Not in the table — possibly torn down by failover. Disconnecting a
+    // failover-pending tenant abandons the pending reconnect.
+    std::lock_guard<std::mutex> lock(failover_mu_);
+    failovers_.erase(tenant);
+    return accel::DeviceStatus::kNoSession;
   }
   devices_[entry->device_index]->tenant_count.fetch_sub(
       1, std::memory_order_relaxed);
@@ -165,7 +301,10 @@ accel::DeviceStatus InferenceServer::disconnect(TenantId tenant) {
   admission_.release(orphaned.size(), orphaned_bytes);
   resolve_all(orphaned, RequestOutcome::kNoTenant);
   // CloseSession waits for any in-flight batch (device busy lock), then
-  // zeroizes the slot's keys.
+  // zeroizes the slot's keys. A dead device cannot be reached — its keys
+  // died with it, which is just as final.
+  if (faults_.dead(entry->device_index))
+    return accel::DeviceStatus::kUnavailable;
   DeviceNode& node = *devices_[entry->device_index];
   std::lock_guard<std::mutex> busy(node.busy);
   return node.device.close_session(entry->session);
@@ -278,13 +417,17 @@ accel::DeviceStatus InferenceServer::load_model(
   accel::DeviceStatus status;
   {
     std::lock_guard<std::mutex> busy(node.busy);
-    status = node.device.set_weight(entry->session, sealed_weights,
-                                    plan->weight_base);
+    status = fault_gate(entry->device_index);
+    if (status == accel::DeviceStatus::kOk)
+      status = node.device.set_weight(entry->session, sealed_weights,
+                                      plan->weight_base);
   }
   if (status != accel::DeviceStatus::kOk) return status;
   Shard& shard = table_.shard_for(tenant);
   std::lock_guard<std::mutex> lock(shard.mu);
   entry->plan = plan;
+  entry->has_model_hash = true;
+  entry->model_hash = model.hash;
   entry->last_activity = Clock::now();
   return status;
 }
@@ -306,14 +449,24 @@ accel::DeviceStatus InferenceServer::seal_tenant_model(
   accel::DeviceStatus status;
   {
     std::lock_guard<std::mutex> busy(node.busy);
-    status = node.device.seal_model(entry->session, plan->weight_base,
-                                    plan->weight_blob.size(), descriptor, blob);
+    status = fault_gate(entry->device_index);
+    if (status == accel::DeviceStatus::kOk)
+      status = node.device.seal_model(entry->session, plan->weight_base,
+                                      plan->weight_blob.size(), descriptor,
+                                      blob);
   }
   if (status != accel::DeviceStatus::kOk) return status;
   const std::optional<store::ContentId> content = model_store_.put(blob);
   if (!content) return accel::DeviceStatus::kBadOperand;
   content_out = *content;
-  touch(entry);
+  {
+    // Remember the replica: this is what failover restores from (a tenant
+    // without one loses its model with the device and must re-upload).
+    Shard& shard = table_.shard_for(tenant);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    entry->model_content = *content;
+    entry->last_activity = Clock::now();
+  }
   return accel::DeviceStatus::kOk;
 }
 
@@ -324,10 +477,12 @@ accel::DeviceStatus InferenceServer::replicate_model(
   if (model_store_.contains(content, target.device.store_binding()))
     return accel::DeviceStatus::kOk;
 
-  // Find any fleet device that already holds a replica.
+  // Find any *routable* fleet device that already holds a replica: a dead
+  // device's replica is cryptographically stranded (the export path needs
+  // the device's store key), and a quarantined one is not trusted to answer.
   std::size_t source_device = devices_.size();
   for (std::size_t i = 0; i < devices_.size(); ++i) {
-    if (i != target_device &&
+    if (i != target_device && routable(i) &&
         model_store_.contains(content, devices_[i]->device.store_binding())) {
       source_device = i;
       break;
@@ -355,22 +510,26 @@ accel::DeviceStatus InferenceServer::replicate_model(
   accel::ProvisionRequest request;
   {
     std::lock_guard<std::mutex> busy(target.busy);
-    const accel::DeviceStatus status = target.device.provision_begin(request);
+    accel::DeviceStatus status = fault_gate(target_device);
+    if (status == accel::DeviceStatus::kOk)
+      status = target.device.provision_begin(request);
     if (status != accel::DeviceStatus::kOk) return status;
   }
   store::SealedBlob wrapped;
   accel::ProvisionGrant grant;
   {
     std::lock_guard<std::mutex> busy(source.busy);
-    const accel::DeviceStatus status =
-        source.device.export_for_device(*blob, request, wrapped, grant);
+    accel::DeviceStatus status = fault_gate(source_device);
+    if (status == accel::DeviceStatus::kOk)
+      status = source.device.export_for_device(*blob, request, wrapped, grant);
     if (status != accel::DeviceStatus::kOk) return status;
   }
   store::SealedBlob rebound;
   {
     std::lock_guard<std::mutex> busy(target.busy);
-    const accel::DeviceStatus status =
-        target.device.provision_finish(wrapped, grant, rebound);
+    accel::DeviceStatus status = fault_gate(target_device);
+    if (status == accel::DeviceStatus::kOk)
+      status = target.device.provision_finish(wrapped, grant, rebound);
     if (status != accel::DeviceStatus::kOk) return status;
   }
   if (!model_store_.put(rebound)) return accel::DeviceStatus::kBadOperand;
@@ -404,8 +563,10 @@ accel::DeviceStatus InferenceServer::load_model_from_store(
   accel::DeviceStatus status;
   {
     std::lock_guard<std::mutex> busy(node.busy);
-    status = node.device.unseal_model(entry->session, *blob, plan->weight_base,
-                                      descriptor);
+    status = fault_gate(entry->device_index);
+    if (status == accel::DeviceStatus::kOk)
+      status = node.device.unseal_model(entry->session, *blob,
+                                        plan->weight_base, descriptor);
   }
   if (status != accel::DeviceStatus::kOk) return status;
 
@@ -434,6 +595,9 @@ accel::DeviceStatus InferenceServer::load_model_from_store(
   Shard& shard = table_.shard_for(tenant);
   std::lock_guard<std::mutex> lock(shard.mu);
   entry->plan = plan;
+  entry->has_model_hash = true;
+  entry->model_hash = model.hash;
+  entry->model_content = content;
   entry->last_activity = Clock::now();
   return status;
 }
@@ -537,43 +701,68 @@ std::future<InferenceResult> InferenceServer::immediate_result(
 }
 
 std::future<InferenceResult> InferenceServer::submit_async(
-    TenantId tenant, crypto::SealedRecord sealed_input, bool attest) {
+    TenantId tenant, crypto::SealedRecord sealed_input, bool attest,
+    double deadline_ms) {
   // Hot path: exactly one shard mutex, two atomic RMWs (admission), one
-  // semaphore release. No process-global lock.
+  // semaphore release. No process-global lock. (The failover map is only
+  // consulted on a tenant miss — never on the hot path — and never while
+  // the shard lock is held.)
   Shard& shard = table_.shard_for(tenant);
   std::future<InferenceResult> future;
   bool wake = false;
+  bool miss = false;
   {
     std::lock_guard<std::mutex> lock(shard.mu);
     auto it = shard.tenants.find(tenant);
-    if (it == shard.tenants.end() || !it->second->open)
-      return immediate_result(RequestOutcome::kNoTenant);
-    Tenant& entry = *it->second;
-    if (!entry.plan) return immediate_result(RequestOutcome::kNoModel);
-    const std::size_t bytes = sealed_input.ciphertext.size();
-    switch (admission_.try_admit(entry.pending.size(), bytes)) {
-      case AdmissionController::Decision::kTenantQuota:
-        stats_.rejected.fetch_add(1, std::memory_order_relaxed);
-        return immediate_result(RequestOutcome::kQueueFull);
-      case AdmissionController::Decision::kBackpressure:
-        stats_.backpressured.fetch_add(1, std::memory_order_relaxed);
-        return immediate_result(RequestOutcome::kBackpressure);
-      case AdmissionController::Decision::kAdmit:
-        break;
+    if (it == shard.tenants.end() || !it->second->open) {
+      miss = true;
+    } else {
+      Tenant& entry = *it->second;
+      if (!entry.plan) return immediate_result(RequestOutcome::kNoModel);
+      const std::size_t bytes = sealed_input.ciphertext.size();
+      switch (admission_.try_admit(entry.pending.size(), bytes)) {
+        case AdmissionController::Decision::kTenantQuota:
+          stats_.rejected.fetch_add(1, std::memory_order_relaxed);
+          return immediate_result(RequestOutcome::kQueueFull);
+        case AdmissionController::Decision::kBackpressure:
+          stats_.backpressured.fetch_add(1, std::memory_order_relaxed);
+          return immediate_result(RequestOutcome::kBackpressure);
+        case AdmissionController::Decision::kAdmit:
+          break;
+      }
+      Request request;
+      request.sealed_input = std::move(sealed_input);
+      request.attest = attest;
+      request.charged_bytes = bytes;
+      request.enqueued = Clock::now();
+      const double effective =
+          deadline_ms == 0.0 ? config_.default_deadline_ms : deadline_ms;
+      if (effective > 0.0) {
+        request.has_deadline = true;
+        request.deadline =
+            request.enqueued +
+            std::chrono::duration_cast<Clock::duration>(
+                std::chrono::duration<double, std::milli>(effective));
+      }
+      entry.last_activity = request.enqueued;
+      future = request.promise.get_future();
+      entry.pending.push_back(std::move(request));
+      if (!entry.scheduled) {
+        entry.scheduled = true;
+        shard.ready.push_back(it->second);
+        wake = true;
+      }
     }
-    Request request;
-    request.sealed_input = std::move(sealed_input);
-    request.attest = attest;
-    request.charged_bytes = bytes;
-    request.enqueued = Clock::now();
-    entry.last_activity = request.enqueued;
-    future = request.promise.get_future();
-    entry.pending.push_back(std::move(request));
-    if (!entry.scheduled) {
-      entry.scheduled = true;
-      shard.ready.push_back(it->second);
-      wake = true;
+  }
+  if (miss) {
+    // Distinguish "who?" from "your device died": a failover-pending tenant
+    // gets the retryable outcome that tells it to reconnect().
+    {
+      std::lock_guard<std::mutex> lock(failover_mu_);
+      if (failovers_.count(tenant))
+        return immediate_result(RequestOutcome::kDeviceFailover);
     }
+    return immediate_result(RequestOutcome::kNoTenant);
   }
   if (wake) work_sem_.release();
   return future;
@@ -671,25 +860,123 @@ void InferenceServer::run_batch(const std::shared_ptr<Tenant>& tenant) {
   }
 
   if (!open) {
+    // Torn down while we sat in the ready queue. teardown_outcome says why:
+    // kNoTenant (disconnect/eviction/reset) or kDeviceFailover (the health
+    // monitor failed the tenant over) — either way every promise resolves.
+    RequestOutcome outcome;
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      outcome = tenant->teardown_outcome;
+      tenant->scheduled = false;
+    }
     for (Request& request : batch) {
       InferenceResult result;
-      result.outcome = RequestOutcome::kNoTenant;
+      result.outcome = outcome;
+      if (outcome == RequestOutcome::kDeviceFailover)
+        result.device_status = accel::DeviceStatus::kUnavailable;
       request.promise.set_value(std::move(result));
     }
-    std::lock_guard<std::mutex> lock(shard.mu);
-    tenant->scheduled = false;
     return;
   }
 
   const Clock::time_point picked_up = Clock::now();
   std::vector<InferenceResult> results(batch.size());
   DeviceNode& node = *devices_[tenant->device_index];
+  const std::size_t dev = tenant->device_index;
+  // When the loop below aborts, [abort_from, batch.size()) and — for
+  // kTimeout/kDeviceFailover — everything still queued behind the batch
+  // resolve with abort_outcome, keeping the per-tenant FIFO gapless (the
+  // secure channel's strict sequence numbers forbid skipping a request).
+  RequestOutcome abort_outcome = RequestOutcome::kOk;
+  accel::DeviceStatus abort_status = accel::DeviceStatus::kOk;
+  std::size_t abort_from = batch.size();
+  bool wound = false;  // device died / completion lost → tenant fails over
   {
     // The accelerator executes one command stream at a time.
     std::lock_guard<std::mutex> busy(node.busy);
     const double modeled_before = node.device.elapsed_ms();
-    for (std::size_t i = 0; i < batch.size(); ++i)
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (batch[i].expired(Clock::now())) {
+        abort_outcome = RequestOutcome::kTimeout;
+        abort_from = i;
+        break;
+      }
+      FaultInjector::Decision decision = faults_.on_call(dev);
+      // Transient-fault retry: the record was never consumed, so retrying
+      // the *same* record is sequence-safe. Bounded attempts with doubling
+      // backoff; a still-failing device costs the client kTimeout, not a
+      // wedged worker.
+      std::size_t attempt = 0;
+      bool transient_gave_up = false;
+      while (decision.kind == FaultKind::kIntegrity) {
+        record_device_failure(dev);
+        if (attempt >= config_.transient_retries ||
+            batch[i].expired(Clock::now())) {
+          transient_gave_up = true;
+          break;
+        }
+        ++attempt;
+        stats_.retries.fetch_add(1, std::memory_order_relaxed);
+        const double backoff_ms =
+            config_.retry_backoff_ms *
+            static_cast<double>(u64{1} << (attempt - 1));
+        if (backoff_ms > 0)
+          std::this_thread::sleep_for(
+              std::chrono::duration<double, std::milli>(backoff_ms));
+        decision = faults_.on_call(dev);
+      }
+      if (transient_gave_up) {
+        abort_outcome = RequestOutcome::kTimeout;
+        abort_status = accel::DeviceStatus::kIntegrityFailure;
+        abort_from = i;
+        break;
+      }
+      if (decision.kind == FaultKind::kDeath) {
+        // Fail-stop: the session keys died with the SRAM. Nothing queued on
+        // this tenant can ever execute — fail the whole FIFO over.
+        note_device_dead(dev);
+        abort_outcome = RequestOutcome::kDeviceFailover;
+        abort_status = accel::DeviceStatus::kUnavailable;
+        abort_from = i;
+        wound = true;
+        break;
+      }
+      if (decision.kind == FaultKind::kLatency && decision.latency_ms > 0) {
+        // Injected wedge: sleep it off, but never past the deadline — a
+        // wedged device resolves kTimeout instead of blocking the worker
+        // for the full wedge.
+        const auto delay = std::chrono::duration_cast<Clock::duration>(
+            std::chrono::duration<double, std::milli>(decision.latency_ms));
+        const Clock::time_point now = Clock::now();
+        if (batch[i].has_deadline && now + delay >= batch[i].deadline)
+          std::this_thread::sleep_until(batch[i].deadline);
+        else
+          std::this_thread::sleep_for(delay);
+        if (batch[i].expired(Clock::now())) {
+          abort_outcome = RequestOutcome::kTimeout;
+          abort_from = i;
+          break;
+        }
+      }
+      if (decision.kind == FaultKind::kDrop) {
+        // The device executes the command but the completion is lost: its
+        // to_user sender sequence advanced on an output nobody can ever
+        // open, so the session is wounded even though the device survives.
+        InferenceResult discarded;
+        process_one(*tenant, node, *plan, batch[i], discarded);
+        record_device_failure(dev);
+        abort_outcome = RequestOutcome::kDeviceFailover;
+        abort_status = accel::DeviceStatus::kUnavailable;
+        abort_from = i;
+        wound = true;
+        break;
+      }
       process_one(*tenant, node, *plan, batch[i], results[i]);
+      if (results[i].outcome == RequestOutcome::kOk)
+        record_device_success(dev);
+      else
+        record_device_failure(dev);
+    }
     if (config_.emulate_device_latency) {
       const double modeled_ms = (node.device.elapsed_ms() - modeled_before) *
                                 config_.device_latency_scale;
@@ -700,20 +987,47 @@ void InferenceServer::run_batch(const std::shared_ptr<Tenant>& tenant) {
   }
 
   const Clock::time_point done = Clock::now();
-  for (std::size_t i = 0; i < batch.size(); ++i) {
+  for (std::size_t i = 0; i < abort_from; ++i) {
     using MsDouble = std::chrono::duration<double, std::milli>;
     results[i].queue_ms = MsDouble(picked_up - batch[i].enqueued).count();
     results[i].service_ms = MsDouble(done - picked_up).count();
     batch[i].promise.set_value(std::move(results[i]));
   }
+  if (abort_from < batch.size()) {
+    for (std::size_t i = abort_from; i < batch.size(); ++i) {
+      InferenceResult result;
+      result.outcome = abort_outcome;
+      result.device_status = abort_status;
+      using MsDouble = std::chrono::duration<double, std::milli>;
+      result.queue_ms = MsDouble(picked_up - batch[i].enqueued).count();
+      result.service_ms = MsDouble(done - picked_up).count();
+      batch[i].promise.set_value(std::move(result));
+    }
+    if (abort_outcome == RequestOutcome::kTimeout)
+      stats_.timeouts.fetch_add(batch.size() - abort_from,
+                                std::memory_order_relaxed);
+  }
+  // A wounded session tears the tenant down before the tail below, so the
+  // drain resolves with teardown_outcome == kDeviceFailover and a failover
+  // record is registered for reconnect().
+  if (wound) fail_over_tenant(tenant);
 
   std::deque<Request> orphaned;
+  RequestOutcome orphan_outcome = RequestOutcome::kNoTenant;
   bool wake = false;
   {
     std::lock_guard<std::mutex> lock(shard.mu);
     tenant->last_activity = done;
     if (!tenant->open) {
       orphaned.swap(tenant->pending);
+      orphan_outcome = tenant->teardown_outcome;
+      tenant->scheduled = false;
+    } else if (abort_outcome == RequestOutcome::kTimeout) {
+      // Deadline/retry-budget expiry drains the tenant's whole FIFO: the
+      // channel stays gapless and the client retries the same records in
+      // order.
+      orphaned.swap(tenant->pending);
+      orphan_outcome = RequestOutcome::kTimeout;
       tenant->scheduled = false;
     } else if (!tenant->pending.empty()) {
       shard.ready.push_back(tenant);
@@ -728,8 +1042,271 @@ void InferenceServer::run_batch(const std::shared_ptr<Tenant>& tenant) {
     for (const Request& request : orphaned)
       orphaned_bytes += request.charged_bytes;
     admission_.release(orphaned.size(), orphaned_bytes);
-    resolve_all(orphaned, RequestOutcome::kNoTenant);
+    if (orphan_outcome == RequestOutcome::kTimeout)
+      stats_.timeouts.fetch_add(orphaned.size(), std::memory_order_relaxed);
+    resolve_all(orphaned, orphan_outcome);
   }
+}
+
+// --- Fault tolerance / health ------------------------------------------------
+
+std::size_t InferenceServer::pick_routable_device() const {
+  std::size_t best = devices_.size();
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    if (!routable(i)) continue;
+    if (best == devices_.size() ||
+        devices_[i]->tenant_count.load(std::memory_order_relaxed) <
+            devices_[best]->tenant_count.load(std::memory_order_relaxed))
+      best = i;
+  }
+  return best;
+}
+
+std::size_t InferenceServer::routable_device_count() const {
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < devices_.size(); ++i)
+    if (routable(i)) ++count;
+  return count;
+}
+
+bool InferenceServer::failover_pending(TenantId tenant) const {
+  std::lock_guard<std::mutex> lock(failover_mu_);
+  return failovers_.count(tenant) != 0;
+}
+
+accel::DeviceStatus InferenceServer::fault_gate(std::size_t device_index) {
+  const FaultInjector::Decision decision = faults_.on_call(device_index);
+  switch (decision.kind) {
+    case FaultKind::kNone:
+      return accel::DeviceStatus::kOk;
+    case FaultKind::kDeath:
+      note_device_dead(device_index);
+      return accel::DeviceStatus::kUnavailable;
+    case FaultKind::kDrop:
+      // Control-plane command lost in flight: it never executed (there is
+      // no session state to wound), the caller just never hears back.
+      record_device_failure(device_index);
+      return accel::DeviceStatus::kUnavailable;
+    case FaultKind::kIntegrity:
+      record_device_failure(device_index);
+      return accel::DeviceStatus::kIntegrityFailure;
+    case FaultKind::kLatency:
+      if (decision.latency_ms > 0)
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(decision.latency_ms));
+      return accel::DeviceStatus::kOk;
+  }
+  return accel::DeviceStatus::kOk;
+}
+
+void InferenceServer::record_device_success(std::size_t device_index) {
+  DeviceNode& node = *devices_[device_index];
+  node.consecutive_failures.store(0, std::memory_order_relaxed);
+  // A degraded device heals itself on success; quarantined/dead ones only
+  // come back through reinstate_device().
+  u8 expected = static_cast<u8>(DeviceHealth::kDegraded);
+  node.health.compare_exchange_strong(
+      expected, static_cast<u8>(DeviceHealth::kHealthy),
+      std::memory_order_acq_rel, std::memory_order_relaxed);
+}
+
+void InferenceServer::record_device_failure(std::size_t device_index) {
+  DeviceNode& node = *devices_[device_index];
+  const u32 failures =
+      node.consecutive_failures.fetch_add(1, std::memory_order_relaxed) + 1;
+  u8 current = node.health.load(std::memory_order_acquire);
+  if (current == static_cast<u8>(DeviceHealth::kDead) ||
+      current == static_cast<u8>(DeviceHealth::kQuarantined))
+    return;
+  if (config_.quarantine_after &&
+      failures >= static_cast<u32>(config_.quarantine_after)) {
+    // Only the transition's winner counts the quarantine and hands the
+    // device to the monitor (down_pending) — racing failures are no-ops.
+    if (node.health.compare_exchange_strong(
+            current, static_cast<u8>(DeviceHealth::kQuarantined),
+            std::memory_order_acq_rel, std::memory_order_relaxed)) {
+      stats_.quarantines.fetch_add(1, std::memory_order_relaxed);
+      node.down_pending.store(true, std::memory_order_release);
+    }
+  } else if (failures >= static_cast<u32>(config_.degrade_after) &&
+             current == static_cast<u8>(DeviceHealth::kHealthy)) {
+    node.health.compare_exchange_strong(
+        current, static_cast<u8>(DeviceHealth::kDegraded),
+        std::memory_order_acq_rel, std::memory_order_relaxed);
+  }
+}
+
+void InferenceServer::note_device_dead(std::size_t device_index) {
+  DeviceNode& node = *devices_[device_index];
+  const u8 previous = node.health.exchange(
+      static_cast<u8>(DeviceHealth::kDead), std::memory_order_acq_rel);
+  if (previous != static_cast<u8>(DeviceHealth::kDead))
+    node.down_pending.store(true, std::memory_order_release);
+}
+
+bool InferenceServer::fail_over_tenant(const std::shared_ptr<Tenant>& tenant) {
+  FailoverRecord record;
+  std::deque<Request> orphaned;
+  std::size_t device_index;
+  accel::SessionId session;
+  {
+    Shard& shard = table_.shard_for(tenant->id);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (!tenant->open) return false;  // raced with disconnect/reset/failover
+    tenant->open = false;
+    tenant->teardown_outcome = RequestOutcome::kDeviceFailover;
+    // A worker that owns the tenant (scheduled) drains the remainder with
+    // teardown_outcome at its next pickup; an unowned queue drains here.
+    if (!tenant->scheduled) orphaned.swap(tenant->pending);
+    shard.tenants.erase(tenant->id);
+    record.has_model = tenant->has_model_hash;
+    record.model_hash = tenant->model_hash;
+    record.has_content = tenant->model_content.has_value();
+    if (record.has_content) record.content = *tenant->model_content;
+    device_index = tenant->device_index;
+    session = tenant->session;
+  }
+  devices_[device_index]->tenant_count.fetch_sub(1, std::memory_order_relaxed);
+  std::size_t orphaned_bytes = 0;
+  for (const Request& request : orphaned)
+    orphaned_bytes += request.charged_bytes;
+  admission_.release(orphaned.size(), orphaned_bytes);
+  resolve_all(orphaned, RequestOutcome::kDeviceFailover);
+  {
+    std::lock_guard<std::mutex> lock(failover_mu_);
+    failovers_.emplace(tenant->id, record);
+  }
+  stats_.failovers.fetch_add(1, std::memory_order_relaxed);
+  // A quarantined (still answering) device gets its slot zeroized; a dead
+  // one took the keys down with its SRAM.
+  if (!faults_.dead(device_index)) {
+    DeviceNode& node = *devices_[device_index];
+    std::lock_guard<std::mutex> busy(node.busy);
+    node.device.close_session(session);
+  }
+  // Pre-provision the sealed replica onto a surviving device so the
+  // tenant's reconnect() finds its model already resident. Best-effort: a
+  // model whose only replica lived on the dead device is unrecoverable
+  // (that is the honest fail-stop story — see docs).
+  if (record.has_content) {
+    const std::size_t target = pick_routable_device();
+    if (target < devices_.size() &&
+        replicate_model(record.content, target) == accel::DeviceStatus::kOk) {
+      std::lock_guard<std::mutex> lock(failover_mu_);
+      auto it = failovers_.find(tenant->id);
+      if (it != failovers_.end()) {
+        it->second.preferred_device = target;
+        it->second.has_target = true;
+      }
+    }
+  }
+  return true;
+}
+
+void InferenceServer::handle_device_down(std::size_t device_index) {
+  // Multi-pass by design (the lock-ordering rule in the header): collect
+  // victims under shard locks, then tear each down with no lock held.
+  std::vector<std::shared_ptr<Tenant>> victims;
+  table_.for_each_shard_locked([&](Shard& shard) {
+    for (const auto& [id, tenant] : shard.tenants)
+      if (tenant->device_index == device_index && tenant->open)
+        victims.push_back(tenant);
+  });
+  for (const auto& tenant : victims) fail_over_tenant(tenant);
+  rescale_admission();
+  // Prune plans compiled for generations no routable device can reach:
+  // the quarantined/dead device's generations would otherwise pin full
+  // packed-weight-blob copies until a reset.
+  u64 min_generation = ~u64{0};
+  for (std::size_t i = 0; i < devices_.size(); ++i)
+    if (routable(i))
+      min_generation =
+          std::min(min_generation, devices_[i]->device.device_generation());
+  if (min_generation == ~u64{0}) return;  // no routable device left
+  std::lock_guard<std::mutex> lock(plan_mu_);
+  for (auto it = plan_cache_.begin(); it != plan_cache_.end();) {
+    it = it->first.second < min_generation ? plan_cache_.erase(it)
+                                           : std::next(it);
+  }
+}
+
+void InferenceServer::rescale_admission() {
+  const std::size_t total = devices_.size();
+  const std::size_t routable_count = routable_device_count();
+  std::size_t budget;
+  if (config_.max_pending_bytes) {
+    // Explicit budget: scale by the surviving fraction of the fleet.
+    budget = total ? config_.max_pending_bytes * routable_count / total : 1;
+  } else {
+    // Derived budget: recompute for the surviving device count.
+    const accel::MicrocontrollerModel model;
+    budget = AdmissionController::derive_byte_budget(
+        routable_count, model.import_gbs, config_.backpressure_window_ms);
+  }
+  admission_.set_byte_budget(budget);
+}
+
+void InferenceServer::reap_deadlines() {
+  const Clock::time_point now = Clock::now();
+  std::deque<Request> orphaned;
+  table_.for_each_shard_locked([&](Shard& shard) {
+    for (const auto& [id, tenant] : shard.tenants) {
+      // Scheduled tenants are owned: their worker runs the same deadline
+      // check at pickup. Only unowned queues are reaped here. The whole
+      // FIFO drains with the expired head — skipping just the head would
+      // gap the channel sequence.
+      if (!tenant->open || tenant->scheduled || tenant->pending.empty())
+        continue;
+      if (!tenant->pending.front().expired(now)) continue;
+      for (Request& request : tenant->pending)
+        orphaned.push_back(std::move(request));
+      tenant->pending.clear();
+    }
+  });
+  if (orphaned.empty()) return;
+  std::size_t orphaned_bytes = 0;
+  for (const Request& request : orphaned)
+    orphaned_bytes += request.charged_bytes;
+  admission_.release(orphaned.size(), orphaned_bytes);
+  stats_.timeouts.fetch_add(orphaned.size(), std::memory_order_relaxed);
+  resolve_all(orphaned, RequestOutcome::kTimeout);
+}
+
+void InferenceServer::monitor_loop(std::stop_token stop) {
+  const auto interval = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double, std::milli>(
+          config_.monitor_interval_ms > 0 ? config_.monitor_interval_ms : 1.0));
+  while (!stop.stop_requested()) {
+    std::this_thread::sleep_for(interval);
+    if (stop.stop_requested()) break;
+    for (std::size_t i = 0; i < devices_.size(); ++i) {
+      // Fail-stop detection: a device the injector killed outside any call
+      // (faults().kill(i)) is noticed here even if nothing touched it since.
+      if (faults_.dead(i) &&
+          device_health(i) != DeviceHealth::kDead)
+        note_device_dead(i);
+      if (devices_[i]->down_pending.exchange(false, std::memory_order_acq_rel))
+        handle_device_down(i);
+    }
+    reap_deadlines();
+  }
+}
+
+accel::DeviceStatus InferenceServer::reinstate_device(std::size_t index) {
+  if (index >= devices_.size()) return accel::DeviceStatus::kBadOperand;
+  if (faults_.dead(index)) return accel::DeviceStatus::kUnavailable;
+  // Reset like a replaced card: generation bump, session table zeroized,
+  // stale tenants purged — a plan or session from before the failure can
+  // never leak into the reinstated device.
+  const accel::DeviceStatus status = reset_device(index);
+  if (status != accel::DeviceStatus::kOk) return status;
+  DeviceNode& node = *devices_[index];
+  node.consecutive_failures.store(0, std::memory_order_relaxed);
+  node.down_pending.store(false, std::memory_order_relaxed);
+  node.health.store(static_cast<u8>(DeviceHealth::kHealthy),
+                    std::memory_order_release);
+  rescale_admission();
+  return accel::DeviceStatus::kOk;
 }
 
 ServerStats InferenceServer::stats() const {
@@ -740,6 +1317,10 @@ ServerStats InferenceServer::stats() const {
   out.backpressured = stats_.backpressured.load(std::memory_order_relaxed);
   out.evicted = stats_.evicted.load(std::memory_order_relaxed);
   out.replications = stats_.replications.load(std::memory_order_relaxed);
+  out.failovers = stats_.failovers.load(std::memory_order_relaxed);
+  out.quarantines = stats_.quarantines.load(std::memory_order_relaxed);
+  out.retries = stats_.retries.load(std::memory_order_relaxed);
+  out.timeouts = stats_.timeouts.load(std::memory_order_relaxed);
   return out;
 }
 

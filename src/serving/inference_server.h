@@ -36,7 +36,27 @@
 //     (LatencyAccumulator) is the *hardware* time — emulation sleeps it off
 //     while holding the device lock, so benches measure serving-layer
 //     scheduling against realistic device occupancy instead of simulation
-//     CPU time.
+//     CPU time;
+//   * a fault-tolerance layer (fault.h + the health monitor below): every
+//     device call crosses a FaultInjector gate, per-device health degrades
+//     on consecutive failures (healthy → degraded → quarantined, or dead on
+//     fail-stop), a monitor thread reaps per-request deadlines and fails
+//     tenants over off dead/quarantined devices — every promise resolves,
+//     the admission byte budget rescales to the surviving fleet, and sealed
+//     model replicas are pre-provisioned to healthy devices so a
+//     reconnecting tenant resumes without re-uploading weights.
+//
+// Failure model (docs/ARCHITECTURE.md "Failure model & recovery" has the
+// full walkthrough): GuardNN sessions are fail-stop and their keys live in
+// device SRAM, so fail-stop death is cryptographically unrecoverable — no
+// server can decrypt a tenant's queued sealed records on another device,
+// because the channel keys died with the session. What *is* recoverable
+// without user involvement is the model: a sealed replica re-wraps to a
+// healthy device over the PR 4 attested handshake. Failover therefore
+// resolves every affected future with the retryable kDeviceFailover, moves
+// the model replica, and lets the tenant resume with one reconnect() — a
+// fresh ECDHE handshake, after which new submissions flow on the surviving
+// device against the already-provisioned weights.
 #pragma once
 
 #include <atomic>
@@ -50,9 +70,13 @@
 #include <thread>
 #include <vector>
 
+#include <optional>
+#include <unordered_map>
+
 #include "host/scheduler.h"
 #include "host/user_client.h"
 #include "serving/admission.h"
+#include "serving/fault.h"
 #include "serving/shard_table.h"
 #include "store/model_store.h"
 
@@ -90,7 +114,44 @@ struct ServerConfig {
   /// Non-empty: back the server's sealed-model store with this directory
   /// (blobs survive a restart). Empty: in-memory store.
   std::string model_store_dir;
+
+  // --- Fault tolerance / health (see the file-header failure model) --------
+
+  /// Consecutive device-call failures before a device is marked degraded
+  /// (still routable, but new tenants prefer healthy devices).
+  std::size_t degrade_after = 2;
+  /// Consecutive failures before the device is quarantined: removed from
+  /// routing, its tenants failed over, the admission budget rescaled, and
+  /// its plan-cache generations pruned. 0 disables quarantine.
+  std::size_t quarantine_after = 6;
+  /// Bounded same-record retry budget for transient device faults (the
+  /// record was never consumed, so the channel sequence is intact).
+  std::size_t transient_retries = 3;
+  /// Base backoff between transient retries; doubles per attempt.
+  double retry_backoff_ms = 0.2;
+  /// Default per-request deadline, enqueue → completion. An expired request
+  /// resolves kTimeout *before* its sealed record is consumed, together
+  /// with everything queued behind it (retry the same records, in order).
+  /// 0 = no deadline; submit_async can override per request.
+  double default_deadline_ms = 0.0;
+  /// Health-monitor period: deadline reaping, fail-stop detection, and
+  /// tenant failover all run on this cadence.
+  double monitor_interval_ms = 1.0;
 };
+
+/// Per-device health as seen by the serving control plane. Healthy and
+/// degraded devices are routable; quarantined and dead ones are not.
+enum class DeviceHealth : u8 {
+  kHealthy,
+  kDegraded,     ///< Consecutive failures crossed degrade_after.
+  kQuarantined,  ///< Crossed quarantine_after: out of routing, tenants
+                 ///< failed over. Admin may reinstate_device().
+  kDead,         ///< Fail-stop: the device stopped answering. Session keys
+                 ///< are gone with the SRAM; only reinstate after replacing
+                 ///< ("reviving") the device.
+};
+
+const char* health_name(DeviceHealth health);
 
 enum class RequestOutcome : u8 {
   kOk,
@@ -101,6 +162,16 @@ enum class RequestOutcome : u8 {
   kBackpressure,   ///< Fleet byte budget exhausted (soft — retry the same
                    ///< sealed record; re-sealing would gap the channel).
   kShutdown,       ///< Server destroyed while the request was queued.
+  kTimeout,        ///< Deadline expired (or the bounded transient-fault
+                   ///< retry budget ran out) before the device consumed the
+                   ///< record. The tenant's whole queue drains this way so
+                   ///< the channel stays gapless: retry the same sealed
+                   ///< records, in order.
+  kDeviceFailover, ///< The tenant's device died (or its session was wounded
+                   ///< by a lost completion). The session keys are gone;
+                   ///< retryable via reconnect(): re-handshake, then re-seal
+                   ///< under the new session. A sealed model replica is
+                   ///< restored server-side — weights need no re-upload.
 };
 
 const char* outcome_name(RequestOutcome outcome);
@@ -141,6 +212,14 @@ struct ServerStats {
   u64 backpressured = 0;  ///< Soft fleet-budget rejections (kBackpressure).
   u64 evicted = 0;        ///< Idle sessions evicted to admit a new tenant.
   u64 replications = 0;   ///< Cross-device model re-wraps performed.
+  // Failure-side counters. Each is an independent atomic, so the snapshot
+  // is per-field coherent (monotonic, never torn) under concurrent failover.
+  u64 failovers = 0;      ///< Tenants torn down with kDeviceFailover and
+                          ///< registered for reconnect().
+  u64 quarantines = 0;    ///< Devices that crossed the quarantine threshold.
+  u64 retries = 0;        ///< Bounded same-record retries of transient faults.
+  u64 timeouts = 0;       ///< Requests resolved kTimeout (deadline or retry
+                          ///< budget exhausted; record never consumed).
 };
 
 /// Multi-tenant secure inference server (see the file header for the
@@ -194,16 +273,36 @@ class InferenceServer {
     TenantId tenant = 0;  ///< 0 when the connect failed.
     std::size_t device_index = 0;
     accel::InitSessionResponse response;
+    /// reconnect() only: the tenant's sealed model replica was provisioned
+    /// to the new device and loaded — submissions work without re-upload.
+    bool model_restored = false;
   };
 
-  /// Runs InitSession on the least-loaded device and registers a tenant.
-  /// The caller forwards `response` to the user's complete_session().
+  /// Runs InitSession on the least-loaded *routable* (healthy or degraded)
+  /// device and registers a tenant. The caller forwards `response` to the
+  /// user's complete_session().
   ///
   /// Returns `tenant == 0` with `response.status` set when every session
-  /// table is full (after idle eviction, when enabled) or the device
-  /// rejects the handshake; no tenant is registered in that case.
+  /// table is full (after idle eviction, when enabled), the device rejects
+  /// the handshake, or no routable device remains (kUnavailable); no tenant
+  /// is registered in that case.
   ConnectResult connect(const crypto::AffinePoint& user_ephemeral,
                         bool integrity);
+
+  /// Failover resume: re-admits a tenant whose device died or was
+  /// quarantined (its futures resolved kDeviceFailover). Establishes a
+  /// fresh session on a surviving device — `user_ephemeral` is the user's
+  /// *new* ECDHE share; the old channel keys died with the device — and,
+  /// when the tenant's model had a sealed replica, provisions + loads it so
+  /// `model_restored` comes back true and submissions immediately work.
+  /// The TenantId is preserved.
+  ///
+  /// Returns `tenant == 0` with `response.status` kNoSession when no
+  /// failover is pending for this id, or kUnavailable when no routable
+  /// device remains.
+  ConnectResult reconnect(TenantId tenant,
+                          const crypto::AffinePoint& user_ephemeral,
+                          bool integrity);
 
   /// CloseSession for the tenant's session (keys zeroized device-side) and
   /// retire the tenant. Requests still queued and not yet owned by a worker
@@ -279,6 +378,30 @@ class InferenceServer {
   /// never reused.
   accel::DeviceStatus reset_device(std::size_t index);
 
+  // --- Fault tolerance / health --------------------------------------------
+
+  /// The fault-injection boundary in front of every device (tests, chaos
+  /// benches and the deep-fuzz job script faults through it; see fault.h).
+  FaultInjector& faults() { return faults_; }
+
+  DeviceHealth device_health(std::size_t index) const {
+    return static_cast<DeviceHealth>(
+        devices_[index]->health.load(std::memory_order_acquire));
+  }
+  /// Devices currently routable (healthy or degraded, and answering).
+  std::size_t routable_device_count() const;
+
+  /// Admin: return a quarantined (or revived) device to rotation. The
+  /// device is reset first — generation bump, sessions zeroized — exactly
+  /// like a replaced card; the admission budget rescales back up.
+  /// Returns kUnavailable while the device is still dead (revive it via
+  /// faults() first — or physically, in a real fleet).
+  accel::DeviceStatus reinstate_device(std::size_t index);
+
+  /// True while `tenant` is torn down awaiting reconnect() (its device died
+  /// or was quarantined).
+  bool failover_pending(TenantId tenant) const;
+
   // --- Data plane ----------------------------------------------------------
 
   /// Queues one inference (sealed input → sealed output). Per-tenant FIFO
@@ -287,14 +410,22 @@ class InferenceServer {
   /// Hot path: one shard mutex + two atomic RMWs + a semaphore release —
   /// no process-global lock. Admission failures (kQueueFull/kBackpressure)
   /// do not consume the record: retry the same SealedRecord later.
+  ///
+  /// `deadline_ms` bounds enqueue → completion: 0 uses
+  /// ServerConfig::default_deadline_ms, negative disables the deadline for
+  /// this request. Expiry resolves kTimeout before the record is consumed
+  /// (see RequestOutcome::kTimeout), so a wedged device costs the client a
+  /// bounded wait, never a hung future.
   std::future<InferenceResult> submit_async(TenantId tenant,
                                             crypto::SealedRecord sealed_input,
-                                            bool attest = false);
+                                            bool attest = false,
+                                            double deadline_ms = 0.0);
 
   /// Synchronous convenience wrapper.
   InferenceResult submit(TenantId tenant, crypto::SealedRecord sealed_input,
-                         bool attest = false) {
-    return submit_async(tenant, std::move(sealed_input), attest).get();
+                         bool attest = false, double deadline_ms = 0.0) {
+    return submit_async(tenant, std::move(sealed_input), attest, deadline_ms)
+        .get();
   }
 
   ServerStats stats() const;
@@ -332,6 +463,13 @@ class InferenceServer {
     std::size_t charged_bytes = 0;
     std::promise<InferenceResult> promise;
     Clock::time_point enqueued;
+    /// Absolute deadline; meaningful only when has_deadline.
+    Clock::time_point deadline;
+    bool has_deadline = false;
+
+    bool expired(Clock::time_point now) const {
+      return has_deadline && now >= deadline;
+    }
   };
 
   struct DeviceNode {
@@ -346,6 +484,13 @@ class InferenceServer {
     /// over source+target; see replicate_model).
     std::mutex provision_mu;
     std::atomic<std::size_t> tenant_count{0};
+    /// DeviceHealth, advanced lock-free by whoever observes a device call's
+    /// result; the monitor thread does the heavyweight transition work.
+    std::atomic<u8> health{static_cast<u8>(DeviceHealth::kHealthy)};
+    std::atomic<u32> consecutive_failures{0};
+    /// Set on the transition to quarantined/dead; the monitor consumes it
+    /// (tenant failover, budget rescale, plan-cache prune).
+    std::atomic<bool> down_pending{false};
 
     DeviceNode(std::string id, const crypto::ManufacturerCa& ca,
                BytesView entropy)
@@ -362,6 +507,17 @@ class InferenceServer {
     std::deque<Request> pending;
     bool scheduled = false;  ///< In a shard's ready queue or worker-owned.
     bool open = true;
+    /// Outcome the worker uses when draining a closed tenant's queue.
+    /// kNoTenant for ordinary teardown (disconnect, eviction, reset);
+    /// kDeviceFailover when the health monitor tore the tenant down.
+    RequestOutcome teardown_outcome = RequestOutcome::kNoTenant;
+    /// Model bookkeeping for failover: what the tenant had loaded, and the
+    /// sealed replica (if any) a failover can restore from. Written under
+    /// the shard lock by load_model / load_model_from_store /
+    /// seal_tenant_model.
+    bool has_model_hash = false;
+    crypto::Sha256Digest model_hash{};
+    std::optional<store::ContentId> model_content;
     /// Last time this tenant touched the server (connect, load, submit,
     /// batch completion) — the LRU clock for idle eviction.
     Clock::time_point last_activity;
@@ -409,6 +565,56 @@ class InferenceServer {
   static std::size_t derived_shard_count(const ServerConfig& config);
   static std::size_t derived_byte_budget(const ServerConfig& config);
 
+  // --- Fault tolerance internals -------------------------------------------
+  // Lock ordering: the failover map mutex, any shard mutex, and plan_mu_ are
+  // never held together (busy → shard nesting is the one sanctioned pair,
+  // inherited from run_batch). handle_device_down works in passes: collect
+  // victims under shard locks, register failover records under failover_mu_,
+  // then drain/resolve with no lock held.
+
+  /// What reconnect() needs to resume a failed-over tenant.
+  struct FailoverRecord {
+    std::size_t preferred_device = 0;  ///< Pre-provisioned target (if any).
+    bool has_target = false;
+    bool has_content = false;
+    store::ContentId content{};  ///< Sealed model replica in the store.
+    bool has_model = false;
+    crypto::Sha256Digest model_hash{};
+  };
+
+  /// Monitor thread: fail-stop detection, down-device handling (tenant
+  /// failover + budget rescale + plan prune) and deadline reaping.
+  void monitor_loop(std::stop_token stop);
+  void record_device_success(std::size_t device_index);
+  void record_device_failure(std::size_t device_index);
+  /// Marks a device dead (fail-stop observed); the monitor does the rest.
+  void note_device_dead(std::size_t device_index);
+  /// Tears down every tenant on a dead/quarantined device: futures resolve
+  /// kDeviceFailover, failover records are registered, sealed replicas are
+  /// pre-provisioned to a healthy device, the budget rescales.
+  void handle_device_down(std::size_t device_index);
+  /// One tenant's failover teardown (open → closed, pending drained with
+  /// kDeviceFailover, record registered, replica pre-provisioned). Safe to
+  /// race — only the caller that flips `open` does the bookkeeping. Returns
+  /// whether this call did the transition. Caller must hold no lock.
+  bool fail_over_tenant(const std::shared_ptr<Tenant>& tenant);
+  /// Rescales the admission byte budget to the routable device count and
+  /// prunes plan-cache generations no routable device can reach.
+  void rescale_admission();
+  /// Resolves expired deadlines of tenants no worker currently owns.
+  void reap_deadlines();
+  bool routable(std::size_t device_index) const {
+    const auto h = device_health(device_index);
+    return (h == DeviceHealth::kHealthy || h == DeviceHealth::kDegraded) &&
+           !faults_.dead(device_index);
+  }
+  /// Least-loaded routable device; devices_.size() when none remains.
+  std::size_t pick_routable_device() const;
+  /// The control-plane fault gate: one injector decision before a device
+  /// call. kOk = proceed; kUnavailable = death/drop (command lost);
+  /// kIntegrityFailure = transient fault (record not consumed).
+  accel::DeviceStatus fault_gate(std::size_t device_index);
+
   ServerConfig config_;
   std::vector<std::unique_ptr<DeviceNode>> devices_;
 
@@ -426,8 +632,18 @@ class InferenceServer {
     std::atomic<u64> backpressured{0};
     std::atomic<u64> evicted{0};
     std::atomic<u64> replications{0};
+    std::atomic<u64> failovers{0};
+    std::atomic<u64> quarantines{0};
+    std::atomic<u64> retries{0};
+    std::atomic<u64> timeouts{0};
   };
   AtomicStats stats_;
+
+  FaultInjector faults_;
+  /// Tenants torn down by failover, awaiting reconnect(). Guarded by
+  /// failover_mu_; never held together with a shard lock or plan_mu_.
+  mutable std::mutex failover_mu_;
+  std::unordered_map<TenantId, FailoverRecord> failovers_;
 
   std::mutex plan_mu_;
   /// Keyed on (model hash, device generation): a device reset invalidates
@@ -443,6 +659,10 @@ class InferenceServer {
 
   store::ModelStore model_store_;
 
+  /// Health monitor (see monitor_loop). The destructor stops and joins it
+  /// explicitly before draining the workers, so no failover runs while the
+  /// shutdown drain resolves queues.
+  std::jthread monitor_;
   std::vector<std::jthread> workers_;  // last member: joins before teardown
 };
 

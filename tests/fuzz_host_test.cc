@@ -15,6 +15,8 @@
 #include "common/rng.h"
 #include "host/scheduler.h"
 #include "host/user_client.h"
+#include "serving/fault.h"
+#include "serving/inference_server.h"
 
 namespace guardnn::host {
 namespace {
@@ -412,6 +414,139 @@ TEST_P(SealedBlobFuzzTest, MutatedBlobsNeverUnsealOrLeak) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SealedBlobFuzzTest,
                          ::testing::Values(3001, 3002));
+
+// --- Fault-injected serving fuzzing ------------------------------------------
+// The serving fleet under probabilistic fault injection: transient integrity
+// failures, latency spikes and dropped completions roll on every device call
+// while two tenants keep submitting. The invariants are liveness-shaped, not
+// value-shaped: every synchronous submit returns a *named* outcome (never a
+// crash, never a hang past the deadline), successful outcomes still decrypt
+// to the reference result, a failed-over tenant can always reconnect, and
+// the admission counters drain to zero at the end. GUARDNN_FAULT_SEED
+// reseeds the roll without touching code.
+
+TEST(ServingFaultFuzz, RandomFaultsAlwaysResolveToNamedOutcomes) {
+  crypto::HmacDrbg ca_drbg{Bytes{0x91}};
+  crypto::ManufacturerCa ca{ca_drbg};
+  serving::ServerConfig config;
+  config.num_devices = 2;
+  config.num_workers = 2;
+  config.default_deadline_ms = 200.0;
+  config.transient_retries = 2;
+  config.retry_backoff_ms = 0.05;
+  serving::InferenceServer server(ca, config, Bytes{0x92, 0x93});
+
+  const u64 seed = serving::FaultInjector::env_seed(0xfa17);
+
+  FuncNetwork net;
+  net.in_c = 3;
+  net.in_h = 8;
+  net.in_w = 8;
+  Xoshiro256 weight_rng(0xfa170001);
+  Bytes weights(4 * 3 * 3 * 3);
+  weight_rng.fill(weights);
+  for (auto& b : weights) b = static_cast<u8>(static_cast<i8>(b) / 2);
+  net.layers.push_back(FuncLayer{ForwardOp::Kind::kConv, 4, 3, 1, 1, 4, weights});
+  net.layers.push_back(FuncLayer{ForwardOp::Kind::kRelu, 0, 0, 1, 0, 0, {}});
+
+  struct FuzzTenant {
+    std::unique_ptr<RemoteUser> user;
+    serving::TenantId tenant = 0;
+    std::size_t device_index = 0;
+    bool alive = false;
+  };
+  auto open_tenant = [&](FuzzTenant& t, u64 user_seed) {
+    t.user = std::make_unique<RemoteUser>(ca.public_key(),
+                                          Bytes{static_cast<u8>(user_seed)});
+    const auto connected = server.connect(t.user->begin_session(), true);
+    if (connected.tenant == 0) return false;
+    t.tenant = connected.tenant;
+    t.device_index = connected.device_index;
+    if (!t.user->attest_device(server.get_pk(t.device_index))) return false;
+    if (!t.user->complete_session(connected.response)) return false;
+    const serving::ModelHandle model = server.register_model(net);
+    if (!model.valid()) return false;
+    t.alive = server.load_model(t.tenant, model,
+                                t.user->seal(model.plan->weight_blob)) ==
+              DeviceStatus::kOk;
+    return t.alive;
+  };
+
+  FuzzTenant tenants[2];
+  ASSERT_TRUE(open_tenant(tenants[0], 0x94));
+  ASSERT_TRUE(open_tenant(tenants[1], 0x95));
+
+  // Arm faults only after setup: session establishment and the initial model
+  // load are the controlled baseline; the fuzz rolls start with the traffic.
+  serving::FaultInjector::Probabilities p;
+  p.integrity = 0.04;
+  p.drop = 0.01;
+  p.latency = 0.04;
+  p.latency_ms = 0.5;
+  server.faults().arm_random(0, p, seed);
+  server.faults().arm_random(1, p, seed + 1);
+  // One scripted burst so the plan provably fires even at tiny step counts.
+  server.faults().script_integrity_burst(0, 1);
+
+  Xoshiro256 rng(seed ^ 0xfu);
+  const int steps = fuzz_steps();
+  for (int step = 0; step < steps; ++step) {
+    FuzzTenant& t = tenants[rng.next_below(2)];
+    if (!t.alive) continue;
+    functional::Tensor input(net.in_c, net.in_h, net.in_w, net.bits);
+    for (auto& v : input.data())
+      v = static_cast<i8>(static_cast<int>(rng.next_below(256)) - 128);
+    const Bytes plain(input.bytes().begin(), input.bytes().end());
+    const crypto::SealedRecord record = t.user->seal(plain);
+    // Retry kTimeout with the *same* record: deadline expiry never consumes
+    // it, so resubmitting preserves the channel's strict sequence numbers.
+    serving::InferenceResult result;
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      result = server.submit(t.tenant, record);
+      if (result.outcome != serving::RequestOutcome::kTimeout) break;
+    }
+    switch (result.outcome) {
+      case serving::RequestOutcome::kOk: {
+        const auto output = t.user->open_output(result.sealed_output);
+        ASSERT_TRUE(output.has_value()) << "seed " << seed << " step " << step;
+        ASSERT_EQ(*output, reference_run(net, input))
+            << "seed " << seed << " step " << step;
+        break;
+      }
+      case serving::RequestOutcome::kTimeout:
+        // Still timing out after 8 attempts — park the tenant; liveness of
+        // the *server* is what this fuzzer checks.
+        break;
+      case serving::RequestOutcome::kDeviceFailover:
+      case serving::RequestOutcome::kNoTenant: {
+        // Wounded session (dropped completion): reconnect and resume.
+        const auto resumed =
+            server.reconnect(t.tenant, t.user->begin_session(), true);
+        t.alive = resumed.tenant == t.tenant &&
+                  t.user->attest_device(server.get_pk(resumed.device_index)) &&
+                  t.user->complete_session(resumed.response);
+        if (!t.alive) break;
+        t.device_index = resumed.device_index;
+        if (!resumed.model_restored) {
+          // No sealed replica in this fuzzer — reload over the fresh channel.
+          const serving::ModelHandle model = server.register_model(net);
+          t.alive = model.valid() &&
+                    server.load_model(t.tenant, model,
+                                      t.user->seal(model.plan->weight_blob)) ==
+                        DeviceStatus::kOk;
+        }
+        break;
+      }
+      default:
+        FAIL() << "unnamed outcome " << serving::outcome_name(result.outcome)
+               << " (seed " << seed << " step " << step << ")";
+    }
+  }
+
+  EXPECT_GT(server.faults().injected_count(), 0u);
+  EXPECT_EQ(server.pending_requests(), 0u);
+  EXPECT_EQ(server.pending_bytes(), 0u);
+}
 
 }  // namespace
 }  // namespace guardnn::host
