@@ -19,8 +19,8 @@
 #include <algorithm>
 #include <chrono>
 #include <iostream>
-#include <vector>
 
+#include "bench/bench_util.h"
 #include "common/rng.h"
 #include "crypto/mem_mac.h"
 #include "host/user_client.h"
@@ -32,14 +32,6 @@ using Clock = std::chrono::steady_clock;
 
 double ms_since(Clock::time_point start) {
   return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
-}
-
-double percentile(std::vector<double> values, double p) {
-  std::sort(values.begin(), values.end());
-  if (values.empty()) return 0.0;
-  const std::size_t index = static_cast<std::size_t>(
-      p * static_cast<double>(values.size() - 1) + 0.5);
-  return values[index];
 }
 
 }  // namespace
@@ -142,9 +134,9 @@ int run() {
   }
   const double unseal_gbps = gbps(unseal_ms);
 
-  // Replication latency: full begin -> export_for_device -> finish rounds.
-  std::vector<double> replicate_ms;
-  replicate_ms.reserve(kReplicateIters);
+  // Replication latency: full begin -> export_for_device -> finish rounds,
+  // collected into the telemetry-grade latency histogram (bench_util.h).
+  bench::LatencyHist replicate_ms;
   for (int i = 0; i < kReplicateIters; ++i) {
     start = Clock::now();
     accel::ProvisionRequest request;
@@ -157,10 +149,10 @@ int run() {
     store::SealedBlob rebound;
     if (b.provision_finish(wrapped, grant, rebound) != accel::DeviceStatus::kOk)
       return 1;
-    replicate_ms.push_back(ms_since(start));
+    replicate_ms.record(ms_since(start));
   }
-  const double p50 = percentile(replicate_ms, 0.50);
-  const double p99 = percentile(replicate_ms, 0.99);
+  const double p50 = replicate_ms.percentile(0.50);
+  const double p99 = replicate_ms.percentile(0.99);
 
   std::cout << "  seal       " << seal_gbps << " GB/s steady ("
             << seal_ms << " ms per " << (kWeightBytes >> 20)

@@ -37,12 +37,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <deque>
+#include <map>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "common/rng.h"
 #include "host/model_codec.h"
+#include "obs/export.h"
 #include "serving/inference_server.h"
 
 namespace {
@@ -92,14 +95,9 @@ struct ConfigResult {
   u64 batches = 0;
 };
 
-double percentile(std::vector<double>& values, double p) {
-  if (values.empty()) return 0;
-  std::sort(values.begin(), values.end());
-  const std::size_t index = std::min(
-      values.size() - 1,
-      static_cast<std::size_t>(p * static_cast<double>(values.size() - 1)));
-  return values[index];
-}
+// Latency percentiles come from bench::LatencyHist (bench_util.h) — the same
+// log-bucketed obs::Histogram the server's telemetry() exports, shared across
+// tenant threads without any per-thread vector merge.
 
 struct Client {
   std::unique_ptr<host::RemoteUser> user;
@@ -155,7 +153,7 @@ ConfigResult run_config(std::size_t workers, std::size_t devices) {
   const FuncNetwork& net = rig.net;
 
   const Bytes input(static_cast<std::size_t>(net.in_c) * net.in_h * net.in_w, 0x2a);
-  std::vector<std::vector<double>> latencies(kTenants);
+  bench::LatencyHist latencies;  // lock-free: shared across tenant threads
   const auto start = std::chrono::steady_clock::now();
   {
     std::vector<std::thread> threads;
@@ -172,7 +170,7 @@ ConfigResult run_config(std::size_t workers, std::size_t devices) {
                          serving::outcome_name(result.outcome));
             std::exit(1);
           }
-          latencies[i].push_back(result.queue_ms + result.service_ms);
+          latencies.record(result.queue_ms + result.service_ms);
         };
         for (std::size_t r = 0; r < kRequestsPerTenant; ++r) {
           window.push_back(
@@ -188,18 +186,14 @@ ConfigResult run_config(std::size_t workers, std::size_t devices) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
 
-  std::vector<double> all_latencies;
-  for (auto& per_tenant : latencies)
-    all_latencies.insert(all_latencies.end(), per_tenant.begin(), per_tenant.end());
-
   ConfigResult result;
   result.workers = workers;
   result.devices = devices;
   result.wall_s = wall_s;
   result.req_per_s =
       static_cast<double>(kTenants * kRequestsPerTenant) / wall_s;
-  result.p50_ms = percentile(all_latencies, 0.50);
-  result.p99_ms = percentile(all_latencies, 0.99);
+  result.p50_ms = latencies.percentile(0.50);
+  result.p99_ms = latencies.percentile(0.99);
   result.batches = server.stats().batches;
   return result;
 }
@@ -222,6 +216,10 @@ struct SustainedResult {
   double fairness_spread = 0;
   u64 server_rejected = 0;
   u64 server_backpressured = 0;
+  /// Server-exported serving_e2e_ms histogram (from telemetry()), so the
+  /// baseline records percentiles straight off the exported telemetry, next
+  /// to the client-observed ones.
+  obs::HistogramSnapshot server_e2e;
 };
 
 struct SustainedTenant {
@@ -229,7 +227,6 @@ struct SustainedTenant {
   u64 completed = 0;
   u64 rejected_submits = 0;
   u64 backlog_left = 0;
-  std::vector<double> sojourn_ms;  ///< arrival -> sealed output, admitted only.
 };
 
 /// One tenant's open-loop arrival process: Poisson arrivals at
@@ -239,7 +236,8 @@ struct SustainedTenant {
 void sustained_tenant_loop(InferenceServer& server, Client& client,
                            const Bytes& input, double rate_per_s,
                            Clock::time_point start, Clock::time_point deadline,
-                           u64 seed, SustainedTenant& out) {
+                           u64 seed, SustainedTenant& out,
+                           bench::LatencyHist& sojourn_ms) {
   struct Queued {
     crypto::SealedRecord record;
     Clock::time_point arrival;
@@ -276,7 +274,7 @@ void sustained_tenant_loop(InferenceServer& server, Client& client,
         }
         if (result.outcome == RequestOutcome::kOk) {
           ++out.completed;
-          out.sojourn_ms.push_back(result.queue_ms + result.service_ms);
+          sojourn_ms.record(result.queue_ms + result.service_ms);
         }
         backlog.pop_front();
         continue;
@@ -293,8 +291,8 @@ void sustained_tenant_loop(InferenceServer& server, Client& client,
     const InferenceResult result = entry.future.get();
     if (result.outcome != RequestOutcome::kOk) continue;
     ++out.completed;
-    out.sojourn_ms.push_back(entry.backlog_wait_ms + result.queue_ms +
-                             result.service_ms);
+    sojourn_ms.record(entry.backlog_wait_ms + result.queue_ms +
+                      result.service_ms);
   }
 }
 
@@ -312,6 +310,7 @@ SustainedResult run_sustained(const char* phase, double offered_req_s,
       0x2a);
 
   std::vector<SustainedTenant> tenants(kTenants);
+  bench::LatencyHist sojourns;  // arrival -> sealed output, admitted only
   const auto start = Clock::now();
   const auto deadline =
       start + std::chrono::duration_cast<Clock::duration>(
@@ -323,7 +322,8 @@ SustainedResult run_sustained(const char* phase, double offered_req_s,
       threads.emplace_back([&, i] {
         sustained_tenant_loop(*rig.server, rig.clients[i], input,
                               offered_req_s / static_cast<double>(kTenants),
-                              start, deadline, 0x5eed + i, tenants[i]);
+                              start, deadline, 0x5eed + i, tenants[i],
+                              sojourns);
       });
     for (auto& thread : threads) thread.join();
   }
@@ -334,7 +334,6 @@ SustainedResult run_sustained(const char* phase, double offered_req_s,
   result.phase = phase;
   result.offered_req_s = offered_req_s;
   result.wall_s = wall_s;
-  std::vector<double> sojourns;
   u64 min_completed = ~0ull, max_completed = 0;
   for (const SustainedTenant& tenant : tenants) {
     result.arrivals += tenant.arrivals;
@@ -343,19 +342,22 @@ SustainedResult run_sustained(const char* phase, double offered_req_s,
     result.backlog_left += tenant.backlog_left;
     min_completed = std::min(min_completed, tenant.completed);
     max_completed = std::max(max_completed, tenant.completed);
-    sojourns.insert(sojourns.end(), tenant.sojourn_ms.begin(),
-                    tenant.sojourn_ms.end());
   }
   result.admitted_req_s = static_cast<double>(result.completed) / wall_s;
-  result.p50_ms = percentile(sojourns, 0.50);
-  result.p99_ms = percentile(sojourns, 0.99);
-  result.p999_ms = percentile(sojourns, 0.999);
+  result.p50_ms = sojourns.percentile(0.50);
+  result.p99_ms = sojourns.percentile(0.99);
+  result.p999_ms = sojourns.percentile(0.999);
   result.fairness_spread =
       min_completed ? static_cast<double>(max_completed) /
                           static_cast<double>(min_completed)
                     : 0;
   result.server_rejected = rig.server->stats().rejected;
   result.server_backpressured = rig.server->stats().backpressured;
+  // Server-side view of the same phase, straight from the exported telemetry.
+  const obs::TelemetrySnapshot telemetry = rig.server->telemetry();
+  if (const obs::MetricSample* e2e =
+          obs::find_metric(telemetry, "serving_e2e_ms"))
+    result.server_e2e = e2e->hist;
   return result;
 }
 
@@ -378,7 +380,6 @@ struct ChaosTenant {
   bool wounded = false;
   bool resumed = false;
   double recovery_ms = 0;  ///< kill -> first kOk after the wound.
-  std::vector<double> before_ms, after_ms;
 };
 
 struct ChaosResult {
@@ -393,11 +394,20 @@ struct ChaosResult {
   std::size_t budget_before = 0, budget_after = 0;
   std::size_t routable_before = 0, routable_after = 0;
   u64 server_failovers = 0, server_timeouts = 0;
+  /// Span-chain audit over the trace ring (tracing armed for the whole run):
+  /// a chain whose kSubmit span is still in the ring must end in kResolve —
+  /// for every outcome, failover and timeout included. incomplete != 0 fails
+  /// the bench.
+  u64 spans_recorded = 0;
+  u64 traced_chains = 0;
+  u64 incomplete_chains = 0;
 };
 
 void chaos_tenant_loop(InferenceServer& server, Client& client,
                        const Bytes& input, Clock::time_point kill_at,
-                       Clock::time_point deadline, ChaosTenant& out) {
+                       Clock::time_point deadline, ChaosTenant& out,
+                       bench::LatencyHist& before_ms,
+                       bench::LatencyHist& after_ms) {
   struct InFlight {
     crypto::SealedRecord record;
     std::future<InferenceResult> future;
@@ -407,8 +417,8 @@ void chaos_tenant_loop(InferenceServer& server, Client& client,
   auto note_ok = [&](const InferenceResult& result) {
     ++out.completed;
     const auto now = Clock::now();
-    auto& bucket = now < kill_at ? out.before_ms : out.after_ms;
-    bucket.push_back(result.queue_ms + result.service_ms);
+    auto& bucket = now < kill_at ? before_ms : after_ms;
+    bucket.record(result.queue_ms + result.service_ms);
     if (out.wounded && !out.resumed) {
       out.resumed = true;
       out.recovery_ms =
@@ -538,6 +548,10 @@ ChaosResult run_chaos(double duration_ms) {
   config.device_latency_scale = kLatencyScale;
   ServerRig rig(config, kChaosTenants);
   InferenceServer& server = *rig.server;
+  // Arm request tracing for the storm: the span-chain audit below proves
+  // every request minted during the chaos window resolved — the tracing
+  // acceptance gate for the failure path (kDeviceFailover/kTimeout included).
+  server.trace().set_enabled(true);
   const Bytes input(
       static_cast<std::size_t>(rig.net.in_c) * rig.net.in_h * rig.net.in_w,
       0x2a);
@@ -568,6 +582,7 @@ ChaosResult run_chaos(double duration_ms) {
   result.routable_before = server.routable_device_count();
 
   std::vector<ChaosTenant> tenants(kChaosTenants);
+  bench::LatencyHist before, after;
   const auto start = Clock::now();
   const auto kill_at = start + std::chrono::duration_cast<Clock::duration>(
                                    std::chrono::duration<double, std::milli>(
@@ -581,20 +596,16 @@ ChaosResult run_chaos(double duration_ms) {
     for (std::size_t i = 0; i < kChaosTenants; ++i)
       threads.emplace_back([&, i] {
         chaos_tenant_loop(server, rig.clients[i], input, kill_at, deadline,
-                          tenants[i]);
+                          tenants[i], before, after);
       });
     std::this_thread::sleep_until(kill_at);
     server.faults().kill(kVictim);
     for (auto& thread : threads) thread.join();
   }
 
-  std::vector<double> before, after;
   double recovery_sum = 0;
   for (const ChaosTenant& tenant : tenants) {
     result.hangs += tenant.hangs;
-    before.insert(before.end(), tenant.before_ms.begin(),
-                  tenant.before_ms.end());
-    after.insert(after.end(), tenant.after_ms.begin(), tenant.after_ms.end());
     if (tenant.wounded) ++result.wounded_tenants;
     if (tenant.wounded && tenant.resumed) {
       ++result.resumed_tenants;
@@ -603,14 +614,33 @@ ChaosResult run_chaos(double duration_ms) {
           std::max(result.recovery_ms_max, tenant.recovery_ms);
     }
   }
-  result.completed_before = before.size();
-  result.completed_after = after.size();
+  result.completed_before = before.count();
+  result.completed_after = after.count();
   result.recovery_ms_mean =
       result.resumed_tenants
           ? recovery_sum / static_cast<double>(result.resumed_tenants)
           : 0;
-  result.p99_before_ms = percentile(before, 0.99);
-  result.p99_after_ms = percentile(after, 0.99);
+  result.p99_before_ms = before.percentile(0.99);
+  result.p99_after_ms = after.percentile(0.99);
+
+  // Span-chain audit: every thread is joined and every future resolved, so
+  // each surviving chain must be terminal. A submit span is the oldest span
+  // of its chain — if it is still in the ring, the whole chain is, and the
+  // chain must end in a kResolve span whatever the outcome was.
+  const obs::TelemetrySnapshot telemetry = server.telemetry();
+  result.spans_recorded = telemetry.spans_recorded;
+  std::map<u64, std::pair<bool, bool>> chains;  // trace -> (submit, resolve)
+  for (const obs::SpanRecord& span : telemetry.spans) {
+    auto& [has_submit, has_resolve] = chains[span.trace_id];
+    has_submit |= span.kind == obs::SpanKind::kSubmit;
+    has_resolve |= span.kind == obs::SpanKind::kResolve;
+  }
+  for (const auto& entry : chains) {
+    const auto& [has_submit, has_resolve] = entry.second;
+    if (!has_submit) continue;  // submit already aged out of the ring
+    ++result.traced_chains;
+    if (!has_resolve) ++result.incomplete_chains;
+  }
   result.budget_after = server.admission_byte_budget();
   result.routable_after = server.routable_device_count();
   result.server_failovers = server.stats().failovers;
@@ -715,7 +745,14 @@ int main() {
         std::to_string(r.server_backpressured) + ",\"p50_ms\":" +
         std::to_string(r.p50_ms) + ",\"p99_ms\":" + std::to_string(r.p99_ms) +
         ",\"p999_ms\":" + std::to_string(r.p999_ms) + ",\"fairness_spread\":" +
-        std::to_string(r.fairness_spread) + "}";
+        std::to_string(r.fairness_spread) +
+        // Percentiles as the server itself exports them (serving_e2e_ms from
+        // telemetry()): device-path sojourn of kOk requests, excluding the
+        // client-side backlog wait the numbers above include.
+        ",\"server_e2e_count\":" + std::to_string(r.server_e2e.count) +
+        ",\"server_e2e_p50_ms\":" + std::to_string(r.server_e2e.p50) +
+        ",\"server_e2e_p99_ms\":" + std::to_string(r.server_e2e.p99) +
+        ",\"server_e2e_p999_ms\":" + std::to_string(r.server_e2e.p999) + "}";
   }
   sustained_json += "]}";
   std::printf("##GUARDNN_BENCH_JSON## %s\n", sustained_json.c_str());
@@ -740,6 +777,11 @@ int main() {
               "%zu bytes (routable %zu -> %zu)\n",
               chaos.p99_before_ms, chaos.p99_after_ms, chaos.budget_before,
               chaos.budget_after, chaos.routable_before, chaos.routable_after);
+  std::printf("trace: %llu spans recorded, %llu chains audited, %llu "
+              "incomplete (must be 0)\n",
+              static_cast<unsigned long long>(chaos.spans_recorded),
+              static_cast<unsigned long long>(chaos.traced_chains),
+              static_cast<unsigned long long>(chaos.incomplete_chains));
 
   std::string chaos_json =
       "{\"bench\":\"serving_chaos\",\"tenants\":" +
@@ -760,7 +802,10 @@ int main() {
       std::to_string(chaos.routable_before) + ",\"routable_after\":" +
       std::to_string(chaos.routable_after) + ",\"server_failovers\":" +
       std::to_string(chaos.server_failovers) + ",\"server_timeouts\":" +
-      std::to_string(chaos.server_timeouts) + "}";
+      std::to_string(chaos.server_timeouts) + ",\"spans_recorded\":" +
+      std::to_string(chaos.spans_recorded) + ",\"traced_chains\":" +
+      std::to_string(chaos.traced_chains) + ",\"incomplete_chains\":" +
+      std::to_string(chaos.incomplete_chains) + "}";
   std::printf("##GUARDNN_BENCH_JSON## %s\n", chaos_json.c_str());
 
   // The acceptance invariants, enforced: a hang or a fleet that didn't
@@ -780,6 +825,14 @@ int main() {
   }
   if (chaos.wounded_tenants != 0 && chaos.resumed_tenants == 0) {
     std::fprintf(stderr, "chaos: no wounded tenant resumed on a survivor\n");
+    return 1;
+  }
+  if (chaos.traced_chains == 0 || chaos.incomplete_chains != 0) {
+    std::fprintf(stderr,
+                 "chaos: span-chain audit failed (%llu chains, %llu without a "
+                 "resolve span)\n",
+                 static_cast<unsigned long long>(chaos.traced_chains),
+                 static_cast<unsigned long long>(chaos.incomplete_chains));
     return 1;
   }
   return 0;

@@ -1,0 +1,336 @@
+// Fleet telemetry dashboard: a live text view of a multi-tenant GuardNN
+// serving fleet rendered ENTIRELY from InferenceServer::telemetry() — the
+// same snapshot an ops agent would scrape. Nothing here reads server
+// internals; if the dashboard can show it, the exported telemetry carries it.
+//
+//   1. a 3-device fleet serves 6 tenants under closed-loop load, request
+//      tracing armed;
+//   2. every tenant's model is sealed and replicated to every device (the
+//      failover precondition);
+//   3. halfway through, one device is killed fail-stop via the fault
+//      injector — wounded tenants reconnect onto survivors and the
+//      dashboard shows the health transition, the failover events and the
+//      admission-budget rescale as they land in the telemetry;
+//   4. each tick prints a dashboard frame plus a machine-readable
+//      ##GUARDNN_TELEMETRY_JSON## line (scripts/check_telemetry_schema.py
+//      validates the schema and counter monotonicity across ticks);
+//   5. at exit the span ring is audited: every traced request chain that
+//      still has its submit span must end in a resolve span — failover and
+//      timeout outcomes included. Any incomplete chain fails the example.
+//
+// GUARDNN_DASHBOARD_MS overrides the run length (default 1500 ms).
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "host/model_codec.h"
+#include "obs/export.h"
+#include "serving/inference_server.h"
+
+using namespace guardnn;
+using host::FuncLayer;
+using host::FuncNetwork;
+using serving::InferenceResult;
+using serving::InferenceServer;
+using serving::RequestOutcome;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr std::size_t kDevices = 3;
+constexpr std::size_t kTenants = 6;
+
+void require(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "FAILED: %s\n", what);
+    std::exit(1);
+  }
+}
+
+Bytes random_weights(std::size_t n, u64 seed) {
+  Xoshiro256 rng(seed);
+  Bytes out(n);
+  for (auto& b : out)
+    b = static_cast<u8>(static_cast<i8>(static_cast<int>(rng.next_below(256)) - 128));
+  return out;
+}
+
+FuncNetwork make_model(u64 seed) {
+  FuncNetwork net;
+  net.in_c = 3;
+  net.in_h = 8;
+  net.in_w = 8;
+  net.layers.push_back(FuncLayer{accel::ForwardOp::Kind::kConv, 4, 3, 1, 1, 4,
+                                 random_weights(4 * 3 * 3 * 3, seed)});
+  net.layers.push_back(FuncLayer{accel::ForwardOp::Kind::kRelu, 0, 0, 1, 0, 0, {}});
+  net.layers.push_back(FuncLayer{accel::ForwardOp::Kind::kMaxPool, 0, 2, 2, 0, 0, {}});
+  net.layers.push_back(FuncLayer{accel::ForwardOp::Kind::kFc, 10, 0, 1, 0, 5,
+                                 random_weights(10 * 4 * 4 * 4, seed + 1)});
+  return net;
+}
+
+struct Tenant {
+  std::unique_ptr<host::RemoteUser> user;
+  serving::TenantId id = 0;
+  u64 completed = 0;
+  u64 failovers = 0;
+};
+
+/// Closed-loop load with failover handling: rejected/timed-out submissions
+/// retry the same sealed record (strict channel sequence numbers); a
+/// kDeviceFailover/kNoTenant wound re-keys through reconnect() and resumes
+/// on the survivor the server picked.
+void tenant_loop(InferenceServer& server, Tenant& tenant, const Bytes& input,
+                 Clock::time_point deadline) {
+  while (Clock::now() < deadline) {
+    crypto::SealedRecord record = tenant.user->seal(input);
+    bool consumed = false;
+    while (!consumed && Clock::now() < deadline) {
+      const InferenceResult result = server.submit(tenant.id, record);
+      switch (result.outcome) {
+        case RequestOutcome::kOk:
+          ++tenant.completed;
+          consumed = true;
+          break;
+        case RequestOutcome::kQueueFull:
+        case RequestOutcome::kBackpressure:
+        case RequestOutcome::kTimeout:
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          break;  // same record, next attempt
+        case RequestOutcome::kDeviceFailover:
+        case RequestOutcome::kNoTenant: {
+          ++tenant.failovers;
+          for (int i = 0; i < 2000 && !server.failover_pending(tenant.id); ++i)
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          const auto resumed =
+              server.reconnect(tenant.id, tenant.user->begin_session(), true);
+          require(resumed.tenant == tenant.id, "reconnect tenant id");
+          require(tenant.user->attest_device(
+                      server.get_pk(resumed.device_index)),
+                  "reconnect attestation");
+          require(tenant.user->complete_session(resumed.response),
+                  "reconnect session");
+          require(resumed.model_restored, "sealed replica restored");
+          consumed = true;  // channel re-keyed: the old record died with it
+          break;
+        }
+        default:
+          std::fprintf(stderr,
+                       "FAILED: unexpected submit outcome %s (status %d)\n",
+                       serving::outcome_name(result.outcome),
+                       static_cast<int>(result.device_status));
+          std::exit(1);
+      }
+    }
+  }
+}
+
+u64 counter_of(const obs::TelemetrySnapshot& snap, const char* name,
+               obs::Labels labels = {}) {
+  const obs::MetricSample* sample =
+      obs::find_metric(snap, name, std::move(labels));
+  return sample ? sample->counter : 0;
+}
+
+double gauge_of(const obs::TelemetrySnapshot& snap, const char* name,
+                obs::Labels labels = {}) {
+  const obs::MetricSample* sample =
+      obs::find_metric(snap, name, std::move(labels));
+  return sample ? sample->gauge : 0.0;
+}
+
+/// One dashboard frame, rendered from the telemetry snapshot alone.
+void render(const obs::TelemetrySnapshot& snap, double t_s) {
+  const obs::MetricSample* e2e = obs::find_metric(snap, "serving_e2e_ms");
+  std::printf("\n--- fleet @ %5.2f s ---\n", t_s);
+  std::printf("requests %llu (admitted %llu, queue_full %llu, backpressure "
+              "%llu) timeouts %llu failovers %llu\n",
+              static_cast<unsigned long long>(
+                  counter_of(snap, "serving_requests_total")),
+              static_cast<unsigned long long>(counter_of(
+                  snap, "serving_admission_total", {{"decision", "admit"}})),
+              static_cast<unsigned long long>(
+                  counter_of(snap, "serving_admission_total",
+                             {{"decision", "queue_full"}})),
+              static_cast<unsigned long long>(
+                  counter_of(snap, "serving_admission_total",
+                             {{"decision", "backpressure"}})),
+              static_cast<unsigned long long>(
+                  counter_of(snap, "serving_timeouts_total")),
+              static_cast<unsigned long long>(
+                  counter_of(snap, "serving_failovers_total")));
+  if (e2e && e2e->hist.count)
+    std::printf("e2e p50 %.2f ms  p99 %.2f ms over %llu ok-requests; "
+                "plan cache hit %llu / miss %llu\n",
+                e2e->hist.p50, e2e->hist.p99,
+                static_cast<unsigned long long>(e2e->hist.count),
+                static_cast<unsigned long long>(counter_of(
+                    snap, "serving_plan_cache_total", {{"result", "hit"}})),
+                static_cast<unsigned long long>(counter_of(
+                    snap, "serving_plan_cache_total", {{"result", "miss"}})));
+  std::printf("routable %zu/%zu devices, admission budget %.0f bytes, "
+              "pending %.0f requests\n",
+              static_cast<std::size_t>(
+                  gauge_of(snap, "serving_routable_devices")),
+              kDevices, gauge_of(snap, "serving_admission_byte_budget"),
+              gauge_of(snap, "serving_pending_requests"));
+  for (std::size_t d = 0; d < kDevices; ++d) {
+    const obs::Labels labels{{"device", std::to_string(d)}};
+    const auto health = static_cast<serving::DeviceHealth>(
+        static_cast<int>(gauge_of(snap, "device_health", labels)));
+    std::printf("  device %zu: %-11s tenants %.0f  mpu encrypted %.1f MiB, "
+                "mac'd %.1f MiB\n",
+                d, serving::health_name(health),
+                gauge_of(snap, "device_tenants", labels),
+                gauge_of(snap, "device_mpu_encrypted_bytes", labels) /
+                    (1024.0 * 1024.0),
+                gauge_of(snap, "device_mpu_macd_bytes", labels) /
+                    (1024.0 * 1024.0));
+  }
+  const std::size_t shown = snap.events.size() < 3 ? snap.events.size() : 3;
+  for (std::size_t i = snap.events.size() - shown; i < snap.events.size(); ++i)
+    std::printf("  event [%8.1f ms] %s: %s\n", snap.events[i].t_ms,
+                snap.events[i].kind.c_str(), snap.events[i].detail.c_str());
+  std::printf("##GUARDNN_TELEMETRY_JSON## %s\n",
+              obs::to_json(snap, /*max_spans=*/0).c_str());
+}
+
+}  // namespace
+
+int main() {
+  const char* ms_env = std::getenv("GUARDNN_DASHBOARD_MS");
+  const double duration_ms = ms_env ? std::atof(ms_env) : 1500.0;
+
+  std::printf("=== GuardNN fleet dashboard: %zu tenants on %zu devices, one "
+              "mid-run device kill ===\n",
+              kTenants, kDevices);
+  std::printf("run %.0f ms (GUARDNN_DASHBOARD_MS overrides), kill at %.0f "
+              "ms; dashboard reads telemetry() only\n",
+              duration_ms, duration_ms / 2.0);
+
+  crypto::HmacDrbg ca_drbg(Bytes{0xda});
+  crypto::ManufacturerCa ca(ca_drbg);
+  serving::ServerConfig config;
+  config.num_devices = kDevices;
+  config.num_workers = kDevices;
+  config.emulate_device_latency = true;
+  config.device_latency_scale = 4.0;
+  InferenceServer server(ca, config, Bytes{0xdb, 0xdc});
+  server.trace().set_enabled(true);  // or GUARDNN_TRACE=1 in the environment
+
+  const FuncNetwork net = make_model(42);
+  const serving::ModelHandle model = server.register_model(net);
+  const Bytes input(static_cast<std::size_t>(net.in_c) * net.in_h * net.in_w,
+                    0x2a);
+
+  std::vector<Tenant> tenants(kTenants);
+  std::size_t victim = 0;  // the device tenant 0 lands on
+  for (std::size_t i = 0; i < kTenants; ++i) {
+    Tenant& tenant = tenants[i];
+    tenant.user = std::make_unique<host::RemoteUser>(
+        ca.public_key(), Bytes{static_cast<u8>(0xe0 + i)});
+    const auto connected = server.connect(tenant.user->begin_session(), true);
+    require(connected.tenant != 0, "connect");
+    require(tenant.user->attest_device(server.get_pk(connected.device_index)),
+            "attestation");
+    require(tenant.user->complete_session(connected.response), "session");
+    tenant.id = connected.tenant;
+    if (i == 0) victim = connected.device_index;
+    require(server.load_model(tenant.id, model,
+                              tenant.user->seal(model.plan->weight_blob)) ==
+                accel::DeviceStatus::kOk,
+            "load_model");
+  }
+
+  // Failover precondition: a sealed replica of every tenant's model on every
+  // device (the content-addressed store dedups the identical weights).
+  store::ContentId content{};
+  for (const Tenant& tenant : tenants)
+    require(server.seal_tenant_model(tenant.id,
+                                     host::serialize_descriptor(net),
+                                     content) == accel::DeviceStatus::kOk,
+            "seal_tenant_model");
+  for (std::size_t d = 0; d < kDevices; ++d)
+    require(server.replicate_model(content, d) == accel::DeviceStatus::kOk,
+            "replicate_model");
+
+  const auto start = Clock::now();
+  const auto kill_at = start + std::chrono::duration_cast<Clock::duration>(
+                                   std::chrono::duration<double, std::milli>(
+                                       duration_ms / 2.0));
+  const auto deadline =
+      start + std::chrono::duration_cast<Clock::duration>(
+                  std::chrono::duration<double, std::milli>(duration_ms));
+
+  std::vector<std::thread> threads;
+  threads.reserve(kTenants);
+  for (std::size_t i = 0; i < kTenants; ++i)
+    threads.emplace_back(
+        [&, i] { tenant_loop(server, tenants[i], input, deadline); });
+
+  // Dashboard ticks on the main thread; the kill lands between two ticks.
+  bool killed = false;
+  while (Clock::now() < deadline) {
+    const auto tick_end = Clock::now() + std::chrono::milliseconds(250);
+    if (!killed && Clock::now() >= kill_at) {
+      std::printf("\n!!! fail-stop: killing device %zu\n", victim);
+      server.faults().kill(victim);
+      killed = true;
+    }
+    render(server.telemetry(),
+           std::chrono::duration<double>(Clock::now() - start).count());
+    std::this_thread::sleep_until(tick_end < deadline ? tick_end : deadline);
+    if (!killed && Clock::now() >= kill_at) {
+      std::printf("\n!!! fail-stop: killing device %zu\n", victim);
+      server.faults().kill(victim);
+      killed = true;
+    }
+  }
+  if (!killed) server.faults().kill(victim);
+  for (auto& thread : threads) thread.join();
+
+  // Final frame + span-chain audit from the same telemetry surface.
+  const obs::TelemetrySnapshot final_snap = server.telemetry();
+  render(final_snap,
+         std::chrono::duration<double>(Clock::now() - start).count());
+
+  u64 total_completed = 0, total_failovers = 0;
+  for (const Tenant& tenant : tenants) {
+    total_completed += tenant.completed;
+    total_failovers += tenant.failovers;
+  }
+  std::map<u64, std::pair<bool, bool>> chains;  // trace -> (submit, resolve)
+  for (const obs::SpanRecord& span : final_snap.spans) {
+    auto& [has_submit, has_resolve] = chains[span.trace_id];
+    has_submit |= span.kind == obs::SpanKind::kSubmit;
+    has_resolve |= span.kind == obs::SpanKind::kResolve;
+  }
+  u64 audited = 0, incomplete = 0;
+  for (const auto& entry : chains) {
+    if (!entry.second.first) continue;  // submit span aged out of the ring
+    ++audited;
+    if (!entry.second.second) ++incomplete;
+  }
+  std::printf("\ncompleted %llu requests across %zu tenants (%llu failover "
+              "wounds); %llu span chains audited, %llu incomplete\n",
+              static_cast<unsigned long long>(total_completed), kTenants,
+              static_cast<unsigned long long>(total_failovers),
+              static_cast<unsigned long long>(audited),
+              static_cast<unsigned long long>(incomplete));
+
+  require(total_completed > 0, "some requests completed");
+  require(audited > 0, "span chains were traced");
+  require(incomplete == 0, "every traced chain reached resolve");
+  require(static_cast<std::size_t>(gauge_of(
+              final_snap, "serving_routable_devices")) == kDevices - 1,
+          "fleet shrank by exactly the killed device");
+  std::printf("PASS\n");
+  return 0;
+}

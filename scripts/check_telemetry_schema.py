@@ -1,0 +1,189 @@
+#!/usr/bin/env python3
+"""Telemetry schema gate: validates the guardnn-telemetry/1 JSON export.
+
+Runs the fleet_dashboard example (multi-tenant load with one injected device
+kill), captures every ##GUARDNN_TELEMETRY_JSON## marker line it prints — one
+full TelemetrySnapshot per dashboard tick — and validates:
+
+  * every snapshot is valid JSON with schema "guardnn-telemetry/1" and the
+    counters / gauges / histograms / events / trace sections;
+  * counters are non-negative integers and MONOTONIC across snapshots: a
+    (name, labels) series never decreases between ticks;
+  * histogram invariants: bucket counts sum to `count`, bucket lower bounds
+    strictly ascend, quantiles are ordered p50 <= p90 <= p99 <= p999, and
+    min <= max whenever the histogram is non-empty;
+  * event timestamps are non-decreasing within a snapshot;
+  * the trace section always carries a non-negative `recorded` count.
+
+Stdlib only — runs anywhere the build tree exists.
+
+Usage: scripts/check_telemetry_schema.py [BINARY]
+       (BINARY defaults to build/examples/fleet_dashboard)
+"""
+import json
+import os
+import pathlib
+import subprocess
+import sys
+
+MARKER = "##GUARDNN_TELEMETRY_JSON## "
+SCHEMA = "guardnn-telemetry/1"
+QUANTILE_KEYS = ("p50", "p90", "p99", "p999")
+
+errors = []
+
+
+def fail(snapshot_index, message):
+    errors.append(f"snapshot {snapshot_index}: {message}")
+
+
+def series_key(sample):
+    labels = sample.get("labels", {})
+    if not isinstance(labels, dict):
+        return None
+    return (sample.get("name"), tuple(sorted(labels.items())))
+
+
+def check_counter(i, sample):
+    value = sample.get("value")
+    if not isinstance(value, int) or value < 0:
+        fail(i, f"counter {sample.get('name')} value {value!r} is not a "
+                "non-negative integer")
+
+
+def check_gauge(i, sample):
+    value = sample.get("value")
+    if not isinstance(value, (int, float)):
+        fail(i, f"gauge {sample.get('name')} value {value!r} is not numeric")
+
+
+def check_histogram(i, sample):
+    name = sample.get("name")
+    count = sample.get("count")
+    if not isinstance(count, int) or count < 0:
+        fail(i, f"histogram {name} count {count!r} invalid")
+        return
+    buckets = sample.get("buckets")
+    if not isinstance(buckets, list):
+        fail(i, f"histogram {name} has no bucket list")
+        return
+    total = 0
+    last_lower = None
+    for bucket in buckets:
+        if (not isinstance(bucket, list) or len(bucket) != 2
+                or not isinstance(bucket[1], int)):
+            fail(i, f"histogram {name} malformed bucket {bucket!r}")
+            return
+        lower, n = bucket
+        if last_lower is not None and lower <= last_lower:
+            fail(i, f"histogram {name} bucket lower bounds not ascending")
+        last_lower = lower
+        total += n
+    if total != count:
+        fail(i, f"histogram {name} bucket sum {total} != count {count}")
+    quantiles = [sample.get(key) for key in QUANTILE_KEYS]
+    if any(not isinstance(q, (int, float)) for q in quantiles):
+        fail(i, f"histogram {name} quantiles not numeric: {quantiles!r}")
+        return
+    if count == 0:
+        if sample.get("sum") != 0 or any(quantiles):
+            fail(i, f"histogram {name} is empty but reports nonzero stats")
+        return
+    for a, b in zip(QUANTILE_KEYS, QUANTILE_KEYS[1:]):
+        if sample[a] > sample[b]:
+            fail(i, f"histogram {name} {a}={sample[a]} > {b}={sample[b]}")
+    if sample.get("min", 0) > sample.get("max", 0):
+        fail(i, f"histogram {name} min > max")
+
+
+def check_snapshot(i, snap):
+    if snap.get("schema") != SCHEMA:
+        fail(i, f"schema is {snap.get('schema')!r}, want {SCHEMA!r}")
+    for section in ("counters", "gauges", "histograms", "events"):
+        if not isinstance(snap.get(section), list):
+            fail(i, f"missing section {section!r}")
+            return
+    for sample in snap["counters"]:
+        check_counter(i, sample)
+    for sample in snap["gauges"]:
+        check_gauge(i, sample)
+    for sample in snap["histograms"]:
+        check_histogram(i, sample)
+    last_t = None
+    for event in snap["events"]:
+        t = event.get("t_ms")
+        if not isinstance(t, (int, float)) or not event.get("kind"):
+            fail(i, f"malformed event {event!r}")
+            continue
+        if last_t is not None and t < last_t:
+            fail(i, "event timestamps decrease")
+        last_t = t
+    trace = snap.get("trace")
+    if (not isinstance(trace, dict)
+            or not isinstance(trace.get("recorded"), int)
+            or trace["recorded"] < 0):
+        fail(i, "trace section missing or recorded count invalid")
+
+
+def check_monotonic(snapshots):
+    last = {}
+    for i, snap in enumerate(snapshots):
+        for sample in snap.get("counters", []):
+            key = series_key(sample)
+            value = sample.get("value")
+            if key is None or not isinstance(value, int):
+                continue  # already reported by check_counter
+            if key in last and value < last[key]:
+                fail(i, f"counter {key[0]}{dict(key[1])} went backwards: "
+                        f"{last[key]} -> {value}")
+            last[key] = value
+
+
+def main():
+    repo_root = pathlib.Path(__file__).resolve().parent.parent
+    binary = pathlib.Path(
+        sys.argv[1] if len(sys.argv) > 1
+        else repo_root / "build" / "examples" / "fleet_dashboard")
+    if not binary.exists():
+        print(f"error: {binary} not found — build with "
+              "-DGUARDNN_BUILD_EXAMPLES=ON first", file=sys.stderr)
+        return 1
+
+    env = dict(os.environ)
+    env.setdefault("GUARDNN_DASHBOARD_MS", "900")
+    proc = subprocess.run([str(binary)], capture_output=True, text=True,
+                          env=env, timeout=300)
+    if proc.returncode != 0:
+        print(f"error: {binary.name} exited {proc.returncode}",
+              file=sys.stderr)
+        sys.stderr.write(proc.stderr)
+        return 1
+
+    snapshots = []
+    for line in proc.stdout.splitlines():
+        if not line.startswith(MARKER):
+            continue
+        try:
+            snapshots.append(json.loads(line[len(MARKER):]))
+        except json.JSONDecodeError as err:
+            errors.append(f"snapshot {len(snapshots)}: invalid JSON: {err}")
+    if len(snapshots) < 2:
+        errors.append(f"only {len(snapshots)} snapshot(s) captured — need at "
+                      "least 2 for the monotonicity check")
+
+    for i, snap in enumerate(snapshots):
+        check_snapshot(i, snap)
+    check_monotonic(snapshots)
+
+    if errors:
+        for error in errors:
+            print(f"FAIL: {error}", file=sys.stderr)
+        return 1
+    counters = sum(len(s.get("counters", [])) for s in snapshots)
+    print(f"telemetry schema OK: {len(snapshots)} snapshots, "
+          f"{counters} counter samples validated, schema {SCHEMA}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -194,6 +194,7 @@ InitSessionResponse GuardNnDevice::init_session(
       memprot::VnGenerator{},
       slot_index * kSessionDramBytes,
       {}, {}, {}, AttestationChain{}, false, SealHashCache{}});
+  slot.session->mpu.set_byte_counters(&mpu_counters_);
   slot.session->chain.reset();
 
   const SessionId sid = make_id(slot_index, slot.generation);

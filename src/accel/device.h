@@ -327,6 +327,11 @@ class GuardNnDevice {
   /// True while the slot holds an open session with live (non-zero) keys.
   bool slot_keys_live(std::size_t slot) const;
 
+  /// Lifetime MPU traffic across every session this device ever opened:
+  /// bytes through the AES-CTR engine and bytes CMAC'd. Monotonic; the
+  /// serving telemetry surface samples these per device.
+  const MpuByteCounters& mpu_byte_counters() const { return mpu_counters_; }
+
  private:
   /// Cached content id of a session's weight region — the expensive SHA-256
   /// over (descriptor || weights) that SealModel otherwise recomputes per
@@ -448,6 +453,9 @@ class GuardNnDevice {
   u64 generation_ = 1;
   UntrustedMemory& memory_;
   LatencyAccumulator latency_;
+  /// Device-lifetime MPU byte counters; each session's MPU is pointed at
+  /// this right after construction (see InitSession).
+  MpuByteCounters mpu_counters_;
   std::array<Slot, kMaxSessions> slots_;
   /// Atomic so the lock-free legacy wrappers can read it while InitSession
   /// publishes a new id under mu_ (the id is validated under the lock anyway).

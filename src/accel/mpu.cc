@@ -36,6 +36,7 @@ void MemoryProtectionUnit::write_chunks(u64 address, BytesView plaintext,
     std::memcpy(scratch, plaintext.data() + off, n);
     crypto::memory_xcrypt(enc_, group_addr / crypto::kAesBlockBytes, version,
                           MutBytesView(scratch, n));
+    count_crypt(n);
     memory_.write(group_addr, BytesView(scratch, n));
 
     if (integrity_enabled_) {
@@ -43,6 +44,7 @@ void MemoryProtectionUnit::write_chunks(u64 address, BytesView plaintext,
       crypto::memory_mac_many(mac_, mac_subkeys_, group_addr, version,
                               kChunkBytes, BytesView(scratch, n), tags,
                               n_chunks);
+      count_mac(n);
       // The group's MAC slots are contiguous: store the tags with one
       // memory write (trace still records each slot).
       u8 tag_bytes[kGroupChunks * 8];
@@ -78,6 +80,7 @@ bool MemoryProtectionUnit::verify_chunks(u64 address, BytesView data,
     crypto::memory_mac_many(mac_, mac_subkeys_, address + off, version,
                             kChunkBytes, BytesView(data.data() + off, n), tags,
                             n_chunks);
+    count_mac(n);
     // The group's MAC slots are contiguous: fetch the stored tags with one
     // memory read (trace still records each slot, and a mismatch stops the
     // walk at its chunk like the chunk-at-a-time path did).
@@ -109,6 +112,7 @@ bool MemoryProtectionUnit::read(u64 address, MutBytesView out, u64 version) {
   if (integrity_enabled_ && !verify_chunks(address, out, version)) return false;
 
   crypto::memory_xcrypt(enc_, address / crypto::kAesBlockBytes, version, out);
+  count_crypt(out.size());
   return true;
 }
 
@@ -144,6 +148,7 @@ bool MpuExportStream::fill_carry() {
     return false;
   crypto::memory_xcrypt(mpu_.enc_, chunk_addr_ / crypto::kAesBlockBytes,
                         version_, MutBytesView(dst, n));
+  mpu_.count_crypt(n);
   chunk_addr_ += n;
   carry_len_ = n;
   carry_off_ = 0;
@@ -189,6 +194,7 @@ bool MpuExportStream::next(MutBytesView out) {
         }
         crypto::memory_xcrypt(mpu_.enc_, chunk_addr_ / crypto::kAesBlockBytes,
                               version_, dst);
+        mpu_.count_crypt(tile);
         chunk_addr_ += tile;
         done += tile;
       }

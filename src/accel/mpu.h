@@ -15,6 +15,7 @@
 // host supply CTR_F,R.
 #pragma once
 
+#include <atomic>
 #include <vector>
 
 #include "accel/memory.h"
@@ -25,6 +26,17 @@ namespace guardnn::accel {
 
 class MpuExportStream;
 class MpuImportStream;
+
+/// Monotonic byte counters at the MPU seam, for the ops/telemetry surface:
+/// how many bytes went through the AES-CTR engine (encrypt *and* decrypt —
+/// keystream work is symmetric) and how many were CMAC'd (tag generation and
+/// verification). Owned by the device (one per accelerator, shared by every
+/// session's MPU on it); increments are relaxed atomics on the bulk path —
+/// one fetch_add per chunk group, never per byte.
+struct MpuByteCounters {
+  std::atomic<u64> bytes_encrypted{0};
+  std::atomic<u64> bytes_macd{0};
+};
 
 class MemoryProtectionUnit {
  public:
@@ -71,6 +83,11 @@ class MemoryProtectionUnit {
   const std::vector<std::pair<u64, bool>>& access_trace() const { return trace_; }
   void clear_trace() { trace_.clear(); }
 
+  /// Attaches the device-owned telemetry counters (nullptr detaches). Set
+  /// once right after session construction, before any traffic; the MPU does
+  /// not own the struct.
+  void set_byte_counters(MpuByteCounters* counters) { counters_ = counters; }
+
  private:
   friend class MpuExportStream;
   friend class MpuImportStream;
@@ -90,6 +107,15 @@ class MemoryProtectionUnit {
   /// MACs. Factored out of write() so the import stream shares one code path.
   void write_chunks(u64 address, BytesView plaintext, u64 version);
 
+  void count_crypt(std::size_t n) {
+    if (counters_ != nullptr)
+      counters_->bytes_encrypted.fetch_add(n, std::memory_order_relaxed);
+  }
+  void count_mac(std::size_t n) {
+    if (counters_ != nullptr)
+      counters_->bytes_macd.fetch_add(n, std::memory_order_relaxed);
+  }
+
   UntrustedMemory& memory_;
   crypto::Aes128 enc_;
   crypto::Aes128 mac_;
@@ -98,6 +124,7 @@ class MemoryProtectionUnit {
   crypto::CmacSubkeys mac_subkeys_;
   bool integrity_enabled_;
   bool poisoned_ = false;
+  MpuByteCounters* counters_ = nullptr;
   std::vector<std::pair<u64, bool>> trace_;
 };
 

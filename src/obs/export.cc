@@ -1,0 +1,278 @@
+#include "obs/export.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace guardnn::obs {
+namespace {
+
+void append_escaped(std::string& out, std::string_view text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+// JSON has no Infinity/NaN literals; histograms never export them (min/max
+// are zeroed when empty) but gauges could be fed anything.
+void append_number(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "0";
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  out += buf;
+}
+
+void append_labels_json(std::string& out, const Labels& labels) {
+  out += '{';
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    append_escaped(out, key);
+    out += "\":\"";
+    append_escaped(out, value);
+    out += '"';
+  }
+  out += '}';
+}
+
+void append_labels_prometheus(std::string& out, const Labels& labels,
+                              const char* extra_key = nullptr,
+                              const char* extra_value = nullptr) {
+  if (labels.empty() && extra_key == nullptr) return;
+  out += '{';
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += key;
+    out += "=\"";
+    append_escaped(out, value);
+    out += '"';
+  }
+  if (extra_key != nullptr) {
+    if (!first) out += ',';
+    out += extra_key;
+    out += "=\"";
+    out += extra_value;
+    out += '"';
+  }
+  out += '}';
+}
+
+}  // namespace
+
+std::string to_json(const TelemetrySnapshot& snapshot, std::size_t max_spans) {
+  std::string out;
+  out.reserve(4096);
+  out += "{\"schema\":\"guardnn-telemetry/1\",\"counters\":[";
+  bool first = true;
+  for (const auto& sample : snapshot.metrics) {
+    if (sample.kind != MetricKind::kCounter) continue;
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"";
+    append_escaped(out, sample.name);
+    out += "\",\"labels\":";
+    append_labels_json(out, sample.labels);
+    out += ",\"value\":";
+    out += std::to_string(sample.counter);
+    out += '}';
+  }
+  out += "],\"gauges\":[";
+  first = true;
+  for (const auto& sample : snapshot.metrics) {
+    if (sample.kind != MetricKind::kGauge) continue;
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"";
+    append_escaped(out, sample.name);
+    out += "\",\"labels\":";
+    append_labels_json(out, sample.labels);
+    out += ",\"value\":";
+    append_number(out, sample.gauge);
+    out += '}';
+  }
+  out += "],\"histograms\":[";
+  first = true;
+  for (const auto& sample : snapshot.metrics) {
+    if (sample.kind != MetricKind::kHistogram) continue;
+    if (!first) out += ',';
+    first = false;
+    const auto& hist = sample.hist;
+    out += "{\"name\":\"";
+    append_escaped(out, sample.name);
+    out += "\",\"labels\":";
+    append_labels_json(out, sample.labels);
+    out += ",\"count\":";
+    out += std::to_string(hist.count);
+    out += ",\"sum\":";
+    append_number(out, hist.sum);
+    out += ",\"min\":";
+    append_number(out, hist.min);
+    out += ",\"max\":";
+    append_number(out, hist.max);
+    out += ",\"p50\":";
+    append_number(out, hist.p50);
+    out += ",\"p90\":";
+    append_number(out, hist.p90);
+    out += ",\"p99\":";
+    append_number(out, hist.p99);
+    out += ",\"p999\":";
+    append_number(out, hist.p999);
+    out += ",\"buckets\":[";
+    bool first_bucket = true;
+    for (const auto& [lower, count] : hist.buckets) {
+      if (!first_bucket) out += ',';
+      first_bucket = false;
+      out += '[';
+      append_number(out, lower);
+      out += ',';
+      out += std::to_string(count);
+      out += ']';
+    }
+    out += "]}";
+  }
+  out += "],\"events\":[";
+  first = true;
+  for (const auto& event : snapshot.events) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"t_ms\":";
+    append_number(out, event.t_ms);
+    out += ",\"kind\":\"";
+    append_escaped(out, event.kind);
+    out += "\",\"detail\":\"";
+    append_escaped(out, event.detail);
+    out += "\"}";
+  }
+  out += "],\"trace\":{\"recorded\":";
+  out += std::to_string(snapshot.spans_recorded);
+  out += ",\"spans\":[";
+  const std::size_t span_count = std::min(max_spans, snapshot.spans.size());
+  const std::size_t span_first = snapshot.spans.size() - span_count;
+  for (std::size_t i = span_first; i < snapshot.spans.size(); ++i) {
+    const auto& span = snapshot.spans[i];
+    if (i != span_first) out += ',';
+    out += "{\"trace\":";
+    out += std::to_string(span.trace_id);
+    out += ",\"t_ns\":";
+    out += std::to_string(span.t_ns);
+    out += ",\"kind\":\"";
+    out += span_kind_name(span.kind);
+    out += "\",\"tenant\":";
+    out += std::to_string(span.tenant);
+    out += ",\"device\":";
+    out += span.device == kSpanNoDevice ? std::string("-1")
+                                        : std::to_string(span.device);
+    out += ",\"code\":";
+    out += std::to_string(span.code);
+    out += '}';
+  }
+  out += "]}}";
+  return out;
+}
+
+std::string to_prometheus(const TelemetrySnapshot& snapshot) {
+  std::string out;
+  out.reserve(4096);
+  std::string_view last_name;
+  for (const auto& sample : snapshot.metrics) {
+    if (sample.name != last_name) {
+      last_name = sample.name;
+      out += "# TYPE ";
+      out += sample.name;
+      switch (sample.kind) {
+        case MetricKind::kCounter:
+          out += " counter\n";
+          break;
+        case MetricKind::kGauge:
+          out += " gauge\n";
+          break;
+        case MetricKind::kHistogram:
+          out += " summary\n";
+          break;
+      }
+    }
+    switch (sample.kind) {
+      case MetricKind::kCounter:
+        out += sample.name;
+        append_labels_prometheus(out, sample.labels);
+        out += ' ';
+        out += std::to_string(sample.counter);
+        out += '\n';
+        break;
+      case MetricKind::kGauge:
+        out += sample.name;
+        append_labels_prometheus(out, sample.labels);
+        out += ' ';
+        append_number(out, sample.gauge);
+        out += '\n';
+        break;
+      case MetricKind::kHistogram: {
+        const auto& hist = sample.hist;
+        const std::pair<const char*, double> quantiles[] = {
+            {"0.5", hist.p50}, {"0.9", hist.p90}, {"0.99", hist.p99},
+            {"0.999", hist.p999}};
+        for (const auto& [q, v] : quantiles) {
+          out += sample.name;
+          append_labels_prometheus(out, sample.labels, "quantile", q);
+          out += ' ';
+          append_number(out, v);
+          out += '\n';
+        }
+        out += sample.name;
+        out += "_count";
+        append_labels_prometheus(out, sample.labels);
+        out += ' ';
+        out += std::to_string(hist.count);
+        out += '\n';
+        out += sample.name;
+        out += "_sum";
+        append_labels_prometheus(out, sample.labels);
+        out += ' ';
+        append_number(out, hist.sum);
+        out += '\n';
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+const MetricSample* find_metric(const TelemetrySnapshot& snapshot,
+                                std::string_view name, Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  for (const auto& sample : snapshot.metrics) {
+    if (sample.name == name && sample.labels == labels) return &sample;
+  }
+  return nullptr;
+}
+
+}  // namespace guardnn::obs

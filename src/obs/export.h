@@ -1,0 +1,52 @@
+// Telemetry export: one snapshot struct, two text encodings.
+//
+// TelemetrySnapshot is what InferenceServer::telemetry() returns — metrics,
+// control-plane events, and (when tracing is armed) the span ring. The JSON
+// encoding (`schema: "guardnn-telemetry/1"`) is what the bench harness and
+// scripts/check_telemetry_schema.py consume; the Prometheus text encoding is
+// for scraping by a stock agent (histograms are emitted as summaries:
+// quantile series + _count/_sum).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace guardnn::obs {
+
+struct TelemetrySnapshot {
+  std::vector<MetricSample> metrics;
+  std::vector<EventRecord> events;
+  std::vector<SpanRecord> spans;
+  u64 spans_recorded = 0;  ///< Total ever; > spans.size() once the ring wrapped.
+};
+
+/// JSON object, schema "guardnn-telemetry/1":
+///   {"schema":"guardnn-telemetry/1",
+///    "counters":[{"name":..,"labels":{..},"value":N}],
+///    "gauges":[{"name":..,"labels":{..},"value":X}],
+///    "histograms":[{"name":..,"labels":{..},"count":N,"sum":X,"min":X,
+///                   "max":X,"p50":X,"p90":X,"p99":X,"p999":X,
+///                   "buckets":[[lower,count],..]}],
+///    "events":[{"t_ms":X,"kind":..,"detail":..}],
+///    "trace":{"recorded":N,"spans":[{"trace":N,"t_ns":N,"kind":..,
+///              "tenant":N,"device":N,"code":N}]}}
+/// At most `max_spans` of the newest spans are inlined (0 = none; the
+/// "recorded" count is always present).
+std::string to_json(const TelemetrySnapshot& snapshot,
+                    std::size_t max_spans = 0);
+
+/// Prometheus text exposition format. Counters/gauges map directly;
+/// histograms become summaries (`name{quantile="0.5"}`, `name_count`,
+/// `name_sum`). Events and spans are not representable and are omitted.
+std::string to_prometheus(const TelemetrySnapshot& snapshot);
+
+/// The sample matching (name, labels) exactly, or nullptr. Labels are
+/// canonicalized before comparing, mirroring MetricRegistry.
+const MetricSample* find_metric(const TelemetrySnapshot& snapshot,
+                                std::string_view name, Labels labels = {});
+
+}  // namespace guardnn::obs

@@ -1,0 +1,82 @@
+#include "obs/trace.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace guardnn::obs {
+
+const char* span_kind_name(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kSubmit:
+      return "submit";
+    case SpanKind::kAdmit:
+      return "admit";
+    case SpanKind::kPickup:
+      return "pickup";
+    case SpanKind::kUnseal:
+      return "unseal";
+    case SpanKind::kDevice:
+      return "device";
+    case SpanKind::kSeal:
+      return "seal";
+    case SpanKind::kResolve:
+      return "resolve";
+  }
+  return "?";
+}
+
+TraceCollector::TraceCollector(std::size_t capacity)
+    : epoch_(Clock::now()), ring_(capacity ? capacity : 1) {}
+
+bool TraceCollector::arm_from_env() {
+  const char* env = std::getenv("GUARDNN_TRACE");
+  if (env != nullptr) {
+    const bool on = std::strcmp(env, "1") == 0 || std::strcmp(env, "on") == 0 ||
+                    std::strcmp(env, "true") == 0;
+    set_enabled(on);
+  }
+  return enabled();
+}
+
+u64 TraceCollector::begin_trace() {
+  if (!enabled()) return 0;
+  return next_trace_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void TraceCollector::record(u64 trace_id, SpanKind kind, u64 tenant,
+                            u32 device, u8 code) {
+  if (trace_id == 0) return;
+  if (!enabled()) return;
+  SpanRecord span;
+  span.trace_id = trace_id;
+  span.t_ns = static_cast<u64>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           epoch_)
+          .count());
+  span.tenant = tenant;
+  span.device = device;
+  span.kind = kind;
+  span.code = code;
+  std::lock_guard lock(mu_);
+  ring_[head_ % ring_.size()] = span;
+  ++head_;
+}
+
+std::vector<SpanRecord> TraceCollector::snapshot() const {
+  std::lock_guard lock(mu_);
+  std::vector<SpanRecord> out;
+  const std::size_t size = ring_.size();
+  const std::size_t live = head_ < size ? static_cast<std::size_t>(head_) : size;
+  out.reserve(live);
+  const u64 first = head_ - live;
+  for (u64 i = first; i < head_; ++i)
+    out.push_back(ring_[i % size]);
+  return out;
+}
+
+u64 TraceCollector::recorded() const {
+  std::lock_guard lock(mu_);
+  return head_;
+}
+
+}  // namespace guardnn::obs

@@ -53,6 +53,9 @@ InferenceServer::InferenceServer(const crypto::ManufacturerCa& ca,
     : config_(config),
       table_(derived_shard_count(config)),
       admission_(config.max_pending_per_tenant, derived_byte_budget(config)),
+      trace_(std::max<std::size_t>(1, config.trace_capacity)),
+      events_(std::max<std::size_t>(1, config.event_log_capacity)),
+      ins_(make_instruments(metrics_)),
       faults_(std::max<std::size_t>(1, config.num_devices)),
       model_store_(config.model_store_dir.empty()
                        ? nullptr
@@ -70,6 +73,26 @@ InferenceServer::InferenceServer(const crypto::ManufacturerCa& ca,
     devices_.push_back(std::make_unique<DeviceNode>(
         "serve-dev-" + std::to_string(i), ca, seed));
   }
+  // Per-shard queue histograms and per-device request counters: the labeled
+  // handles are resolved once here so the worker hot path never touches the
+  // registry mutex (one relaxed RMW per record, like every other counter).
+  const std::size_t n_shards = table_.shard_count();
+  shard_depth_.reserve(n_shards);
+  shard_sojourn_.reserve(n_shards);
+  for (std::size_t k = 0; k < n_shards; ++k) {
+    const obs::Labels labels{{"shard", std::to_string(k)}};
+    shard_depth_.push_back(&metrics_.histogram("serving_shard_depth", labels));
+    shard_sojourn_.push_back(
+        &metrics_.histogram("serving_shard_sojourn_ms", labels));
+  }
+  device_requests_.reserve(n_devices);
+  for (std::size_t i = 0; i < n_devices; ++i)
+    device_requests_.push_back(&metrics_.counter(
+        "serving_device_requests_total", {{"device", std::to_string(i)}}));
+  model_store_.bind_metrics(metrics_);
+  // Request tracing is armed by GUARDNN_TRACE=1 (or trace().set_enabled());
+  // disabled, each submit pays one relaxed load.
+  trace_.arm_from_env();
   // Env-driven fault plans (deep-fuzz / chaos CI): opt-in, a no-op when
   // GUARDNN_FAULT_PLAN is unset.
   faults_.arm_from_env();
@@ -94,12 +117,44 @@ InferenceServer::~InferenceServer() {
   // longer in the shard maps but may still sit in ready queues with queued
   // requests; resolve_all clears the deque, so a tenant reachable both ways
   // is drained once.
-  table_.for_each_shard_locked([](Shard& shard) {
+  table_.for_each_shard_locked([this](Shard& shard) {
     for (auto& [id, tenant] : shard.tenants)
       resolve_all(tenant->pending, RequestOutcome::kShutdown);
     for (auto& tenant : shard.ready)
       resolve_all(tenant->pending, RequestOutcome::kShutdown);
   });
+}
+
+InferenceServer::Instruments InferenceServer::make_instruments(
+    obs::MetricRegistry& registry) {
+  return Instruments{
+      registry.counter("serving_requests_total"),
+      registry.counter("serving_batches_total"),
+      registry.counter("serving_admission_total", {{"decision", "admit"}}),
+      registry.counter("serving_admission_total", {{"decision", "queue_full"}}),
+      registry.counter("serving_admission_total",
+                       {{"decision", "backpressure"}}),
+      registry.counter("serving_evicted_total"),
+      registry.counter("serving_replications_total"),
+      registry.counter("serving_failovers_total"),
+      registry.counter("serving_quarantines_total"),
+      registry.counter("serving_retries_total"),
+      registry.counter("serving_timeouts_total"),
+      registry.counter("serving_plan_cache_total", {{"result", "hit"}}),
+      registry.counter("serving_plan_cache_total", {{"result", "miss"}}),
+      registry.histogram("serving_queue_ms"),
+      registry.histogram("serving_service_ms"),
+      registry.histogram("serving_e2e_ms"),
+      registry.histogram("serving_batch_size"),
+      registry.histogram("serving_failover_ms"),
+      registry.histogram("serving_reconnect_ms"),
+  };
+}
+
+void InferenceServer::resolve_one(Request& request, InferenceResult result) {
+  trace_.record(request.trace_id, obs::SpanKind::kResolve, /*tenant=*/0,
+                obs::kSpanNoDevice, static_cast<u8>(result.outcome));
+  request.promise.set_value(std::move(result));
 }
 
 void InferenceServer::resolve_all(std::deque<Request>& requests,
@@ -109,7 +164,7 @@ void InferenceServer::resolve_all(std::deque<Request>& requests,
     result.outcome = outcome;
     if (outcome == RequestOutcome::kDeviceFailover)
       result.device_status = accel::DeviceStatus::kUnavailable;
-    request.promise.set_value(std::move(result));
+    resolve_one(request, std::move(result));
   }
   requests.clear();
 }
@@ -157,6 +212,10 @@ InferenceServer::ConnectResult InferenceServer::connect(
         const TenantId id = next_tenant_.fetch_add(1, std::memory_order_relaxed);
         auto tenant = std::make_shared<Tenant>(id, node.device, best,
                                                result.response.session_id);
+        // Resolve the labeled per-tenant counter once, on the control plane,
+        // so the worker hot path is one relaxed increment.
+        tenant->requests_counter = &metrics_.counter(
+            "serving_tenant_requests_total", {{"tenant", std::to_string(id)}});
         Shard& shard = table_.shard_for(id);
         {
           std::lock_guard<std::mutex> lock(shard.mu);
@@ -176,6 +235,7 @@ InferenceServer::ConnectResult InferenceServer::connect(
 InferenceServer::ConnectResult InferenceServer::reconnect(
     TenantId tenant, const crypto::AffinePoint& user_ephemeral,
     bool integrity) {
+  const Clock::time_point start = Clock::now();
   ConnectResult result;
   FailoverRecord record;
   {
@@ -215,6 +275,9 @@ InferenceServer::ConnectResult InferenceServer::reconnect(
       if (result.response.status == accel::DeviceStatus::kOk) {
         auto entry = std::make_shared<Tenant>(tenant, node.device, target,
                                               result.response.session_id);
+        entry->requests_counter =
+            &metrics_.counter("serving_tenant_requests_total",
+                              {{"tenant", std::to_string(tenant)}});
         entry->has_model_hash = record.has_model;
         entry->model_hash = record.model_hash;
         if (record.has_content) entry->model_content = record.content;
@@ -266,6 +329,13 @@ InferenceServer::ConnectResult InferenceServer::reconnect(
     std::lock_guard<std::mutex> lock(failover_mu_);
     failovers_.erase(tenant);
   }
+  ins_.reconnect_ms.record(
+      std::chrono::duration<double, std::milli>(Clock::now() - start).count());
+  events_.record("reconnect", "tenant " + std::to_string(tenant) +
+                                  " on device " +
+                                  std::to_string(result.device_index) +
+                                  (result.model_restored ? " (model restored)"
+                                                         : ""));
   return result;
 }
 
@@ -343,8 +413,12 @@ std::shared_ptr<const host::ExecutionPlan> InferenceServer::plan_for(
   {
     std::lock_guard<std::mutex> lock(plan_mu_);
     auto it = plan_cache_.find(key);
-    if (it != plan_cache_.end()) return it->second;
+    if (it != plan_cache_.end()) {
+      ins_.plan_hits.inc();
+      return it->second;
+    }
   }
+  ins_.plan_misses.inc();
   // Compile outside the cache lock; a racing duplicate compile is harmless
   // (first insert wins, both plans are identical).
   auto plan = std::make_shared<const host::ExecutionPlan>(
@@ -533,7 +607,7 @@ accel::DeviceStatus InferenceServer::replicate_model(
     if (status != accel::DeviceStatus::kOk) return status;
   }
   if (!model_store_.put(rebound)) return accel::DeviceStatus::kBadOperand;
-  stats_.replications.fetch_add(1, std::memory_order_relaxed);
+  ins_.replications.inc();
   return accel::DeviceStatus::kOk;
 }
 
@@ -682,7 +756,7 @@ bool InferenceServer::evict_idle_tenant(std::size_t device_index) {
     }
     devices_[device_index]->tenant_count.fetch_sub(1,
                                                    std::memory_order_relaxed);
-    stats_.evicted.fetch_add(1, std::memory_order_relaxed);
+    ins_.evicted.inc();
     DeviceNode& node = *devices_[device_index];
     std::lock_guard<std::mutex> busy(node.busy);
     node.device.close_session(victim->session);
@@ -692,10 +766,12 @@ bool InferenceServer::evict_idle_tenant(std::size_t device_index) {
 }
 
 std::future<InferenceResult> InferenceServer::immediate_result(
-    RequestOutcome outcome) {
+    u64 trace_id, TenantId tenant, RequestOutcome outcome) {
   std::promise<InferenceResult> promise;
   InferenceResult result;
   result.outcome = outcome;
+  trace_.record(trace_id, obs::SpanKind::kResolve, tenant, obs::kSpanNoDevice,
+                static_cast<u8>(outcome));
   promise.set_value(std::move(result));
   return promise.get_future();
 }
@@ -706,8 +782,13 @@ std::future<InferenceResult> InferenceServer::submit_async(
   // Hot path: exactly one shard mutex, two atomic RMWs (admission), one
   // semaphore release. No process-global lock. (The failover map is only
   // consulted on a tenant miss — never on the hot path — and never while
-  // the shard lock is held.)
-  Shard& shard = table_.shard_for(tenant);
+  // the shard lock is held. Tracing disabled adds one relaxed load; every
+  // obs counter below is one relaxed RMW.)
+  const u64 trace_id = trace_.begin_trace();
+  trace_.record(trace_id, obs::SpanKind::kSubmit, tenant, obs::kSpanNoDevice,
+                0);
+  const std::size_t shard_index = table_.shard_index(tenant);
+  Shard& shard = table_.shard_at(shard_index);
   std::future<InferenceResult> future;
   bool wake = false;
   bool miss = false;
@@ -718,22 +799,32 @@ std::future<InferenceResult> InferenceServer::submit_async(
       miss = true;
     } else {
       Tenant& entry = *it->second;
-      if (!entry.plan) return immediate_result(RequestOutcome::kNoModel);
+      if (!entry.plan)
+        return immediate_result(trace_id, tenant, RequestOutcome::kNoModel);
       const std::size_t bytes = sealed_input.ciphertext.size();
+      const u32 dev = static_cast<u32>(entry.device_index);
       switch (admission_.try_admit(entry.pending.size(), bytes)) {
         case AdmissionController::Decision::kTenantQuota:
-          stats_.rejected.fetch_add(1, std::memory_order_relaxed);
-          return immediate_result(RequestOutcome::kQueueFull);
+          ins_.rejected.inc();
+          trace_.record(trace_id, obs::SpanKind::kAdmit, tenant, dev,
+                        static_cast<u8>(RequestOutcome::kQueueFull));
+          return immediate_result(trace_id, tenant, RequestOutcome::kQueueFull);
         case AdmissionController::Decision::kBackpressure:
-          stats_.backpressured.fetch_add(1, std::memory_order_relaxed);
-          return immediate_result(RequestOutcome::kBackpressure);
+          ins_.backpressured.inc();
+          trace_.record(trace_id, obs::SpanKind::kAdmit, tenant, dev,
+                        static_cast<u8>(RequestOutcome::kBackpressure));
+          return immediate_result(trace_id, tenant,
+                                  RequestOutcome::kBackpressure);
         case AdmissionController::Decision::kAdmit:
+          ins_.admitted.inc();
+          trace_.record(trace_id, obs::SpanKind::kAdmit, tenant, dev, 0);
           break;
       }
       Request request;
       request.sealed_input = std::move(sealed_input);
       request.attest = attest;
       request.charged_bytes = bytes;
+      request.trace_id = trace_id;
       request.enqueued = Clock::now();
       const double effective =
           deadline_ms == 0.0 ? config_.default_deadline_ms : deadline_ms;
@@ -747,6 +838,8 @@ std::future<InferenceResult> InferenceServer::submit_async(
       entry.last_activity = request.enqueued;
       future = request.promise.get_future();
       entry.pending.push_back(std::move(request));
+      shard_depth_[shard_index]->record(
+          static_cast<double>(entry.pending.size()));
       if (!entry.scheduled) {
         entry.scheduled = true;
         shard.ready.push_back(it->second);
@@ -760,9 +853,10 @@ std::future<InferenceResult> InferenceServer::submit_async(
     {
       std::lock_guard<std::mutex> lock(failover_mu_);
       if (failovers_.count(tenant))
-        return immediate_result(RequestOutcome::kDeviceFailover);
+        return immediate_result(trace_id, tenant,
+                                RequestOutcome::kDeviceFailover);
     }
-    return immediate_result(RequestOutcome::kNoTenant);
+    return immediate_result(trace_id, tenant, RequestOutcome::kNoTenant);
   }
   if (wake) work_sem_.release();
   return future;
@@ -773,16 +867,25 @@ void InferenceServer::process_one(Tenant& tenant, DeviceNode& node,
                                   Request& request, InferenceResult& result) {
   accel::GuardNnDevice& device = node.device;
   const accel::SessionId sid = tenant.session;
+  const u64 tid = request.trace_id;
+  const u32 dev = static_cast<u32>(tenant.device_index);
 
   accel::DeviceStatus status =
       device.set_input(sid, request.sealed_input, plan.input_addr);
+  trace_.record(tid, obs::SpanKind::kUnseal, tenant.id, dev,
+                static_cast<u8>(status));
   if (status == accel::DeviceStatus::kOk) {
     tenant.scheduler.note_input();
     status = tenant.scheduler.execute(plan);
+    trace_.record(tid, obs::SpanKind::kDevice, tenant.id, dev,
+                  static_cast<u8>(status));
   }
-  if (status == accel::DeviceStatus::kOk)
+  if (status == accel::DeviceStatus::kOk) {
     status = device.export_output(sid, plan.output_addr, plan.output_bytes,
                                   result.sealed_output);
+    trace_.record(tid, obs::SpanKind::kSeal, tenant.id, dev,
+                  static_cast<u8>(status));
+  }
   if (status == accel::DeviceStatus::kOk && request.attest) {
     status = device.sign_output(sid, result.report);
     result.attested = status == accel::DeviceStatus::kOk;
@@ -855,8 +958,10 @@ void InferenceServer::run_batch(const std::shared_ptr<Tenant>& tenant) {
   for (const Request& request : batch) batch_bytes += request.charged_bytes;
   admission_.release(batch.size(), batch_bytes);
   if (!batch.empty()) {
-    stats_.batches.fetch_add(1, std::memory_order_relaxed);
-    stats_.requests.fetch_add(batch.size(), std::memory_order_relaxed);
+    ins_.batches.inc();
+    ins_.requests.inc(batch.size());
+    ins_.batch_size.record(static_cast<double>(batch.size()));
+    if (tenant->requests_counter) tenant->requests_counter->inc(batch.size());
   }
 
   if (!open) {
@@ -874,7 +979,7 @@ void InferenceServer::run_batch(const std::shared_ptr<Tenant>& tenant) {
       result.outcome = outcome;
       if (outcome == RequestOutcome::kDeviceFailover)
         result.device_status = accel::DeviceStatus::kUnavailable;
-      request.promise.set_value(std::move(result));
+      resolve_one(request, std::move(result));
     }
     return;
   }
@@ -883,6 +988,19 @@ void InferenceServer::run_batch(const std::shared_ptr<Tenant>& tenant) {
   std::vector<InferenceResult> results(batch.size());
   DeviceNode& node = *devices_[tenant->device_index];
   const std::size_t dev = tenant->device_index;
+  if (!batch.empty()) {
+    device_requests_[dev]->inc(batch.size());
+    // Per-shard sojourn (enqueue → pickup) + the pickup span for each traced
+    // request in the batch.
+    const std::size_t shard_index = table_.shard_index(tenant->id);
+    using MsDouble = std::chrono::duration<double, std::milli>;
+    for (const Request& request : batch) {
+      shard_sojourn_[shard_index]->record(
+          MsDouble(picked_up - request.enqueued).count());
+      trace_.record(request.trace_id, obs::SpanKind::kPickup, tenant->id,
+                    static_cast<u32>(dev), 0);
+    }
+  }
   // When the loop below aborts, [abort_from, batch.size()) and — for
   // kTimeout/kDeviceFailover — everything still queued behind the batch
   // resolve with abort_outcome, keeping the per-tenant FIFO gapless (the
@@ -916,7 +1034,7 @@ void InferenceServer::run_batch(const std::shared_ptr<Tenant>& tenant) {
           break;
         }
         ++attempt;
-        stats_.retries.fetch_add(1, std::memory_order_relaxed);
+        ins_.retries.inc();
         const double backoff_ms =
             config_.retry_backoff_ms *
             static_cast<double>(u64{1} << (attempt - 1));
@@ -991,7 +1109,11 @@ void InferenceServer::run_batch(const std::shared_ptr<Tenant>& tenant) {
     using MsDouble = std::chrono::duration<double, std::milli>;
     results[i].queue_ms = MsDouble(picked_up - batch[i].enqueued).count();
     results[i].service_ms = MsDouble(done - picked_up).count();
-    batch[i].promise.set_value(std::move(results[i]));
+    ins_.queue_ms.record(results[i].queue_ms);
+    ins_.service_ms.record(results[i].service_ms);
+    if (results[i].outcome == RequestOutcome::kOk)
+      ins_.e2e_ms.record(results[i].queue_ms + results[i].service_ms);
+    resolve_one(batch[i], std::move(results[i]));
   }
   if (abort_from < batch.size()) {
     for (std::size_t i = abort_from; i < batch.size(); ++i) {
@@ -1001,11 +1123,10 @@ void InferenceServer::run_batch(const std::shared_ptr<Tenant>& tenant) {
       using MsDouble = std::chrono::duration<double, std::milli>;
       result.queue_ms = MsDouble(picked_up - batch[i].enqueued).count();
       result.service_ms = MsDouble(done - picked_up).count();
-      batch[i].promise.set_value(std::move(result));
+      resolve_one(batch[i], std::move(result));
     }
     if (abort_outcome == RequestOutcome::kTimeout)
-      stats_.timeouts.fetch_add(batch.size() - abort_from,
-                                std::memory_order_relaxed);
+      ins_.timeouts.inc(batch.size() - abort_from);
   }
   // A wounded session tears the tenant down before the tail below, so the
   // drain resolves with teardown_outcome == kDeviceFailover and a failover
@@ -1043,7 +1164,7 @@ void InferenceServer::run_batch(const std::shared_ptr<Tenant>& tenant) {
       orphaned_bytes += request.charged_bytes;
     admission_.release(orphaned.size(), orphaned_bytes);
     if (orphan_outcome == RequestOutcome::kTimeout)
-      stats_.timeouts.fetch_add(orphaned.size(), std::memory_order_relaxed);
+      ins_.timeouts.inc(orphaned.size());
     resolve_all(orphaned, orphan_outcome);
   }
 }
@@ -1105,9 +1226,11 @@ void InferenceServer::record_device_success(std::size_t device_index) {
   // A degraded device heals itself on success; quarantined/dead ones only
   // come back through reinstate_device().
   u8 expected = static_cast<u8>(DeviceHealth::kDegraded);
-  node.health.compare_exchange_strong(
-      expected, static_cast<u8>(DeviceHealth::kHealthy),
-      std::memory_order_acq_rel, std::memory_order_relaxed);
+  if (node.health.compare_exchange_strong(
+          expected, static_cast<u8>(DeviceHealth::kHealthy),
+          std::memory_order_acq_rel, std::memory_order_relaxed))
+    note_health_transition(device_index, DeviceHealth::kDegraded,
+                           DeviceHealth::kHealthy, "call succeeded");
 }
 
 void InferenceServer::record_device_failure(std::size_t device_index) {
@@ -1125,14 +1248,20 @@ void InferenceServer::record_device_failure(std::size_t device_index) {
     if (node.health.compare_exchange_strong(
             current, static_cast<u8>(DeviceHealth::kQuarantined),
             std::memory_order_acq_rel, std::memory_order_relaxed)) {
-      stats_.quarantines.fetch_add(1, std::memory_order_relaxed);
+      ins_.quarantines.inc();
+      note_health_transition(device_index,
+                             static_cast<DeviceHealth>(current),
+                             DeviceHealth::kQuarantined,
+                             "consecutive failures");
       node.down_pending.store(true, std::memory_order_release);
     }
   } else if (failures >= static_cast<u32>(config_.degrade_after) &&
              current == static_cast<u8>(DeviceHealth::kHealthy)) {
-    node.health.compare_exchange_strong(
-        current, static_cast<u8>(DeviceHealth::kDegraded),
-        std::memory_order_acq_rel, std::memory_order_relaxed);
+    if (node.health.compare_exchange_strong(
+            current, static_cast<u8>(DeviceHealth::kDegraded),
+            std::memory_order_acq_rel, std::memory_order_relaxed))
+      note_health_transition(device_index, DeviceHealth::kHealthy,
+                             DeviceHealth::kDegraded, "consecutive failures");
   }
 }
 
@@ -1140,11 +1269,15 @@ void InferenceServer::note_device_dead(std::size_t device_index) {
   DeviceNode& node = *devices_[device_index];
   const u8 previous = node.health.exchange(
       static_cast<u8>(DeviceHealth::kDead), std::memory_order_acq_rel);
-  if (previous != static_cast<u8>(DeviceHealth::kDead))
+  if (previous != static_cast<u8>(DeviceHealth::kDead)) {
+    note_health_transition(device_index, static_cast<DeviceHealth>(previous),
+                           DeviceHealth::kDead, "fail-stop");
     node.down_pending.store(true, std::memory_order_release);
+  }
 }
 
 bool InferenceServer::fail_over_tenant(const std::shared_ptr<Tenant>& tenant) {
+  const Clock::time_point start = Clock::now();
   FailoverRecord record;
   std::deque<Request> orphaned;
   std::size_t device_index;
@@ -1176,7 +1309,10 @@ bool InferenceServer::fail_over_tenant(const std::shared_ptr<Tenant>& tenant) {
     std::lock_guard<std::mutex> lock(failover_mu_);
     failovers_.emplace(tenant->id, record);
   }
-  stats_.failovers.fetch_add(1, std::memory_order_relaxed);
+  ins_.failovers.inc();
+  events_.record("failover", "tenant " + std::to_string(tenant->id) +
+                                 " off device " +
+                                 std::to_string(device_index));
   // A quarantined (still answering) device gets its slot zeroized; a dead
   // one took the keys down with its SRAM.
   if (!faults_.dead(device_index)) {
@@ -1200,6 +1336,8 @@ bool InferenceServer::fail_over_tenant(const std::shared_ptr<Tenant>& tenant) {
       }
     }
   }
+  ins_.failover_ms.record(
+      std::chrono::duration<double, std::milli>(Clock::now() - start).count());
   return true;
 }
 
@@ -1268,7 +1406,7 @@ void InferenceServer::reap_deadlines() {
   for (const Request& request : orphaned)
     orphaned_bytes += request.charged_bytes;
   admission_.release(orphaned.size(), orphaned_bytes);
-  stats_.timeouts.fetch_add(orphaned.size(), std::memory_order_relaxed);
+  ins_.timeouts.inc(orphaned.size());
   resolve_all(orphaned, RequestOutcome::kTimeout);
 }
 
@@ -1303,24 +1441,80 @@ accel::DeviceStatus InferenceServer::reinstate_device(std::size_t index) {
   DeviceNode& node = *devices_[index];
   node.consecutive_failures.store(0, std::memory_order_relaxed);
   node.down_pending.store(false, std::memory_order_relaxed);
-  node.health.store(static_cast<u8>(DeviceHealth::kHealthy),
-                    std::memory_order_release);
+  const u8 previous = node.health.exchange(
+      static_cast<u8>(DeviceHealth::kHealthy), std::memory_order_acq_rel);
+  if (previous != static_cast<u8>(DeviceHealth::kHealthy))
+    note_health_transition(index, static_cast<DeviceHealth>(previous),
+                           DeviceHealth::kHealthy, "reinstated");
   rescale_admission();
   return accel::DeviceStatus::kOk;
 }
 
 ServerStats InferenceServer::stats() const {
+  // Reads the same obs::Counter cells the data plane increments and
+  // telemetry() exports — one source of truth, two views.
   ServerStats out;
-  out.requests = stats_.requests.load(std::memory_order_relaxed);
-  out.batches = stats_.batches.load(std::memory_order_relaxed);
-  out.rejected = stats_.rejected.load(std::memory_order_relaxed);
-  out.backpressured = stats_.backpressured.load(std::memory_order_relaxed);
-  out.evicted = stats_.evicted.load(std::memory_order_relaxed);
-  out.replications = stats_.replications.load(std::memory_order_relaxed);
-  out.failovers = stats_.failovers.load(std::memory_order_relaxed);
-  out.quarantines = stats_.quarantines.load(std::memory_order_relaxed);
-  out.retries = stats_.retries.load(std::memory_order_relaxed);
-  out.timeouts = stats_.timeouts.load(std::memory_order_relaxed);
+  out.requests = ins_.requests.value();
+  out.batches = ins_.batches.value();
+  out.rejected = ins_.rejected.value();
+  out.backpressured = ins_.backpressured.value();
+  out.evicted = ins_.evicted.value();
+  out.replications = ins_.replications.value();
+  out.failovers = ins_.failovers.value();
+  out.quarantines = ins_.quarantines.value();
+  out.retries = ins_.retries.value();
+  out.timeouts = ins_.timeouts.value();
+  return out;
+}
+
+void InferenceServer::note_health_transition(std::size_t device_index,
+                                             DeviceHealth from,
+                                             DeviceHealth to,
+                                             const char* cause) {
+  // Rare control-plane event: the registry-mutex lookup is fine here.
+  metrics_
+      .counter("serving_health_transitions_total",
+               {{"device", std::to_string(device_index)},
+                {"to", health_name(to)}})
+      .inc();
+  events_.record("health", "device " + std::to_string(device_index) + ": " +
+                               health_name(from) + " -> " + health_name(to) +
+                               " (" + cause + ")");
+}
+
+obs::TelemetrySnapshot InferenceServer::telemetry() const {
+  // Live gauges are sampled into the registry at export time; everything
+  // else (counters, histograms) is already there, incremented by the data
+  // plane.
+  metrics_.gauge("serving_pending_requests")
+      .set(static_cast<double>(admission_.pending_requests()));
+  metrics_.gauge("serving_pending_bytes")
+      .set(static_cast<double>(admission_.pending_bytes()));
+  metrics_.gauge("serving_admission_byte_budget")
+      .set(static_cast<double>(admission_.byte_budget()));
+  metrics_.gauge("serving_routable_devices")
+      .set(static_cast<double>(routable_device_count()));
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    const obs::Labels labels{{"device", std::to_string(i)}};
+    const DeviceNode& node = *devices_[i];
+    metrics_.gauge("device_health", labels)
+        .set(static_cast<double>(node.health.load(std::memory_order_relaxed)));
+    metrics_.gauge("device_tenants", labels)
+        .set(static_cast<double>(
+            node.tenant_count.load(std::memory_order_relaxed)));
+    const accel::MpuByteCounters& mpu = node.device.mpu_byte_counters();
+    metrics_.gauge("device_mpu_encrypted_bytes", labels)
+        .set(static_cast<double>(
+            mpu.bytes_encrypted.load(std::memory_order_relaxed)));
+    metrics_.gauge("device_mpu_macd_bytes", labels)
+        .set(static_cast<double>(
+            mpu.bytes_macd.load(std::memory_order_relaxed)));
+  }
+  obs::TelemetrySnapshot out;
+  out.metrics = metrics_.snapshot();
+  out.events = events_.snapshot();
+  out.spans = trace_.snapshot();
+  out.spans_recorded = trace_.recorded();
   return out;
 }
 

@@ -75,6 +75,9 @@
 
 #include "host/scheduler.h"
 #include "host/user_client.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serving/admission.h"
 #include "serving/fault.h"
 #include "serving/shard_table.h"
@@ -137,6 +140,15 @@ struct ServerConfig {
   /// Health-monitor period: deadline reaping, fail-stop detection, and
   /// tenant failover all run on this cadence.
   double monitor_interval_ms = 1.0;
+
+  // --- Observability -------------------------------------------------------
+
+  /// Span ring capacity for request tracing (obs/trace.h). Tracing is armed
+  /// by GUARDNN_TRACE=1 or trace().set_enabled(true); while disabled the
+  /// per-request cost is one relaxed load.
+  std::size_t trace_capacity = 1 << 17;
+  /// Bounded health/failover event log (obs::EventLog) capacity.
+  std::size_t event_log_capacity = 1024;
 };
 
 /// Per-device health as seen by the serving control plane. Healthy and
@@ -205,6 +217,11 @@ struct ModelHandle {
   bool valid() const { return plan != nullptr; }
 };
 
+/// Snapshot view over the server's metric registry (the registry is the
+/// single source of truth: stats() reads the same obs::Counter cells that
+/// telemetry() exports, so the two can never drift). Each field is an
+/// independent relaxed load — per-field coherent (monotonic, never torn)
+/// under concurrent failover, not a cross-field transaction.
 struct ServerStats {
   u64 requests = 0;       ///< Requests processed by workers.
   u64 batches = 0;        ///< Worker wakeups that processed >= 1 request.
@@ -212,8 +229,6 @@ struct ServerStats {
   u64 backpressured = 0;  ///< Soft fleet-budget rejections (kBackpressure).
   u64 evicted = 0;        ///< Idle sessions evicted to admit a new tenant.
   u64 replications = 0;   ///< Cross-device model re-wraps performed.
-  // Failure-side counters. Each is an independent atomic, so the snapshot
-  // is per-field coherent (monotonic, never torn) under concurrent failover.
   u64 failovers = 0;      ///< Tenants torn down with kDeviceFailover and
                           ///< registered for reconnect().
   u64 quarantines = 0;    ///< Devices that crossed the quarantine threshold.
@@ -430,6 +445,27 @@ class InferenceServer {
 
   ServerStats stats() const;
 
+  // --- Observability -------------------------------------------------------
+
+  /// One coherent telemetry export: every registry metric (with live gauges
+  /// — pending bytes/requests, per-device health and MPU byte counters,
+  /// store size — sampled at the moment of the call), the health/failover
+  /// event log, and the span ring. Feed it to obs::to_json /
+  /// obs::to_prometheus; docs/ARCHITECTURE.md §8 catalogs the metric names.
+  obs::TelemetrySnapshot telemetry() const;
+
+  /// The request-trace collector. Armed from GUARDNN_TRACE at construction;
+  /// benches/tests may set_enabled(true) at runtime. Only requests submitted
+  /// *while enabled* record spans (a request minted under disabled tracing
+  /// carries trace id 0 for its whole life).
+  obs::TraceCollector& trace() { return trace_; }
+  const obs::TraceCollector& trace() const { return trace_; }
+
+  /// The server's metric registry (private to this server instance so
+  /// several fleets in one process never collide; use find_metric over
+  /// telemetry() for reads).
+  obs::MetricRegistry& metrics() { return metrics_; }
+
   // --- Introspection (trusted-side / adversarial test hooks) ---------------
 
   /// The raw device — the isolation tests drive it directly, playing the
@@ -461,6 +497,10 @@ class InferenceServer {
     bool attest = false;
     /// Ciphertext bytes charged against the fleet byte budget at admission.
     std::size_t charged_bytes = 0;
+    /// Nonzero only when tracing was enabled at submit (obs/trace.h); rides
+    /// the request so every stage (pickup, device, resolve) spans under the
+    /// same id.
+    u64 trace_id = 0;
     std::promise<InferenceResult> promise;
     Clock::time_point enqueued;
     /// Absolute deadline; meaningful only when has_deadline.
@@ -521,6 +561,9 @@ class InferenceServer {
     /// Last time this tenant touched the server (connect, load, submit,
     /// batch completion) — the LRU clock for idle eviction.
     Clock::time_point last_activity;
+    /// Per-tenant request counter (serving_tenant_requests_total{tenant=N}),
+    /// created once at connect so the worker hot path is one relaxed inc.
+    obs::Counter* requests_counter = nullptr;
 
     Tenant(TenantId tenant_id, accel::GuardNnDevice& device,
            std::size_t dev_index, accel::SessionId sid)
@@ -538,10 +581,14 @@ class InferenceServer {
   void process_one(Tenant& tenant, DeviceNode& node,
                    const host::ExecutionPlan& plan, Request& request,
                    InferenceResult& result);
-  static std::future<InferenceResult> immediate_result(RequestOutcome outcome);
+  /// Records the terminal resolve span (when traced) and fulfills the
+  /// promise. Every promise the server resolves goes through here, so a
+  /// traced request always ends in exactly one kResolve span.
+  void resolve_one(Request& request, InferenceResult result);
+  std::future<InferenceResult> immediate_result(u64 trace_id, TenantId tenant,
+                                                RequestOutcome outcome);
   /// Resolves a drained request queue with `outcome` (no device involved).
-  static void resolve_all(std::deque<Request>& requests,
-                          RequestOutcome outcome);
+  void resolve_all(std::deque<Request>& requests, RequestOutcome outcome);
 
   /// Looks up a live tenant (shard lock taken and released inside).
   std::shared_ptr<Tenant> find_tenant(TenantId tenant);
@@ -625,19 +672,56 @@ class InferenceServer {
   std::counting_semaphore<> work_sem_{0};
   std::atomic<TenantId> next_tenant_{1};
 
-  struct AtomicStats {
-    std::atomic<u64> requests{0};
-    std::atomic<u64> batches{0};
-    std::atomic<u64> rejected{0};
-    std::atomic<u64> backpressured{0};
-    std::atomic<u64> evicted{0};
-    std::atomic<u64> replications{0};
-    std::atomic<u64> failovers{0};
-    std::atomic<u64> quarantines{0};
-    std::atomic<u64> retries{0};
-    std::atomic<u64> timeouts{0};
+  // --- Observability state ---------------------------------------------------
+  // metrics_ is declared before ins_ (references into it) and before
+  // model_store_ (bound to it in the ctor). Mutable: telemetry() is const
+  // but samples live gauges into the registry at export time.
+
+  mutable obs::MetricRegistry metrics_;
+  obs::TraceCollector trace_;
+  /// Timestamped health/failover edges (healthy→degraded→quarantined→dead,
+  /// reinstatements, failovers); exported via telemetry().
+  obs::EventLog events_;
+
+  /// Stable handles into metrics_ for everything the data plane increments —
+  /// resolved once at construction so the hot path never touches the
+  /// registry mutex. ServerStats is a snapshot view over these same cells.
+  struct Instruments {
+    obs::Counter& requests;
+    obs::Counter& batches;
+    obs::Counter& admitted;
+    obs::Counter& rejected;
+    obs::Counter& backpressured;
+    obs::Counter& evicted;
+    obs::Counter& replications;
+    obs::Counter& failovers;
+    obs::Counter& quarantines;
+    obs::Counter& retries;
+    obs::Counter& timeouts;
+    obs::Counter& plan_hits;
+    obs::Counter& plan_misses;
+    obs::Histogram& queue_ms;     ///< enqueue → worker pickup
+    obs::Histogram& service_ms;   ///< pickup → completion
+    obs::Histogram& e2e_ms;       ///< enqueue → completion (ok requests)
+    obs::Histogram& batch_size;   ///< requests per worker batch
+    obs::Histogram& failover_ms;  ///< fail_over_tenant teardown duration
+    obs::Histogram& reconnect_ms; ///< successful reconnect() duration
   };
-  AtomicStats stats_;
+  static Instruments make_instruments(obs::MetricRegistry& registry);
+  Instruments ins_;
+
+  /// Per-shard queue-depth / sojourn-time histograms
+  /// (serving_shard_{depth,sojourn_ms}{shard=K}), indexed by shard, created
+  /// at construction. Pointers into metrics_-owned storage.
+  std::vector<obs::Histogram*> shard_depth_;
+  std::vector<obs::Histogram*> shard_sojourn_;
+  /// Per-device request counters (serving_device_requests_total{device=K}).
+  std::vector<obs::Counter*> device_requests_;
+
+  /// Counts the transition edge and appends it to the event log. `cause` is
+  /// a short reason ("call failed", "fail-stop", "reinstate", ...).
+  void note_health_transition(std::size_t device_index, DeviceHealth from,
+                              DeviceHealth to, const char* cause);
 
   FaultInjector faults_;
   /// Tenants torn down by failover, awaiting reconnect(). Guarded by

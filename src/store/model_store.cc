@@ -162,6 +162,7 @@ std::optional<ContentId> ModelStore::put(const SealedBlob& blob) {
   auto it = replicas.find(blob.header.binding_id);
   if (it != replicas.end()) {
     stats_.dedup_hits += 1;
+    if (metrics_.dedup_hits) metrics_.dedup_hits->inc();
     return blob.header.content_id;
   }
   const std::string key = key_for(blob.header.content_id, blob.header.binding_id);
@@ -172,19 +173,31 @@ std::optional<ContentId> ModelStore::put(const SealedBlob& blob) {
   replicas[blob.header.binding_id] = key;
   stats_.puts += 1;
   stats_.bytes_stored += bytes.size();
+  if (metrics_.puts) metrics_.puts->inc();
+  if (metrics_.stored_bytes)
+    metrics_.stored_bytes->set(static_cast<double>(stats_.bytes_stored));
   return blob.header.content_id;
 }
 
 std::optional<SealedBlob> ModelStore::get(const ContentId& content,
                                           const BindingId& binding) const {
   std::lock_guard<std::mutex> lock(mu_);
+  const auto miss = [this]() -> std::optional<SealedBlob> {
+    stats_.get_misses += 1;
+    if (metrics_.get_misses) metrics_.get_misses->inc();
+    return std::nullopt;
+  };
   auto it = index_.find(content);
-  if (it == index_.end()) return std::nullopt;
+  if (it == index_.end()) return miss();
   auto replica = it->second.find(binding);
-  if (replica == it->second.end()) return std::nullopt;
+  if (replica == it->second.end()) return miss();
   const std::optional<Bytes> bytes = backend_->load(replica->second);
-  if (!bytes) return std::nullopt;
-  return SealedBlob::deserialize(*bytes);
+  if (!bytes) return miss();
+  std::optional<SealedBlob> blob = SealedBlob::deserialize(*bytes);
+  if (!blob) return miss();
+  stats_.get_hits += 1;
+  if (metrics_.get_hits) metrics_.get_hits->inc();
+  return blob;
 }
 
 bool ModelStore::contains(const ContentId& content,
@@ -221,6 +234,8 @@ bool ModelStore::erase(const ContentId& content, const BindingId& binding) {
   if (const std::optional<Bytes> bytes = backend_->load(replica->second)) {
     stats_.bytes_stored -=
         std::min<u64>(stats_.bytes_stored, bytes->size());
+    if (metrics_.stored_bytes)
+      metrics_.stored_bytes->set(static_cast<double>(stats_.bytes_stored));
   }
   backend_->remove(replica->second);
   it->second.erase(replica);
@@ -238,6 +253,17 @@ std::size_t ModelStore::replica_count() const {
 StoreStats ModelStore::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   return stats_;
+}
+
+void ModelStore::bind_metrics(obs::MetricRegistry& registry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  metrics_.puts = &registry.counter("store_puts_total");
+  metrics_.dedup_hits = &registry.counter("store_dedup_hits_total");
+  metrics_.get_hits = &registry.counter("store_get_hits_total");
+  metrics_.get_misses = &registry.counter("store_get_misses_total");
+  metrics_.stored_bytes = &registry.gauge("store_stored_bytes");
+  // Re-opened stores (directory backend) start with indexed bytes.
+  metrics_.stored_bytes->set(static_cast<double>(stats_.bytes_stored));
 }
 
 }  // namespace guardnn::store

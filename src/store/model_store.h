@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "store/sealed_blob.h"
 
 namespace guardnn::store {
@@ -77,6 +78,8 @@ class DirectoryBackend final : public StoreBackend {
 struct StoreStats {
   u64 puts = 0;        ///< put() calls that stored a new replica.
   u64 dedup_hits = 0;  ///< put() calls answered by an existing replica.
+  u64 get_hits = 0;    ///< get() calls that returned a replica.
+  u64 get_misses = 0;  ///< get() calls that found nothing (or a bad blob).
   u64 bytes_stored = 0;
 };
 
@@ -111,6 +114,14 @@ class ModelStore {
   std::size_t replica_count() const;
   StoreStats stats() const;
 
+  /// Mirrors this store's counters into `registry` (store_puts_total,
+  /// store_dedup_hits_total, store_get_hits_total, store_get_misses_total
+  /// counters and a store_stored_bytes gauge), incremented at the same
+  /// points as StoreStats so the exported numbers can never drift from
+  /// stats(). Call before concurrent use; the registry must outlive the
+  /// store.
+  void bind_metrics(obs::MetricRegistry& registry);
+
  private:
   static std::string key_for(const ContentId& content, const BindingId& binding);
   void reindex_locked();
@@ -119,7 +130,17 @@ class ModelStore {
   std::unique_ptr<StoreBackend> backend_;
   /// (content → binding → backend key), rebuilt from the backend on open.
   std::map<ContentId, std::map<BindingId, std::string>> index_;
-  StoreStats stats_;
+  /// Mutable: get() is logically const but counts its hit/miss.
+  mutable StoreStats stats_;
+
+  struct BoundMetrics {
+    obs::Counter* puts = nullptr;
+    obs::Counter* dedup_hits = nullptr;
+    obs::Counter* get_hits = nullptr;
+    obs::Counter* get_misses = nullptr;
+    obs::Gauge* stored_bytes = nullptr;
+  };
+  BoundMetrics metrics_;
 };
 
 }  // namespace guardnn::store

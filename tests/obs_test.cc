@@ -1,0 +1,328 @@
+// Tests for the obs telemetry subsystem: metric registry concurrency,
+// histogram bucket math and percentile fidelity, trace ring semantics, event
+// log bounds, and the JSON/Prometheus exporters.
+//
+// The registry/histogram concurrency tests run under ThreadSanitizer in CI
+// (the GUARDNN_SANITIZE=TSAN job lists this binary), pinning the "record is
+// a relaxed fetch_add, the mutex only guards creation/snapshot" contract.
+// The disabled-tracing path is pinned to ZERO heap allocations with the same
+// operator-new counter crypto_backend_test uses for the MPU hot path.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "obs/export.h"
+
+// --- Global allocation counter ----------------------------------------------
+// Counts every operator-new in this binary so tests can assert that a code
+// region performs no heap allocation. Thin replacement: malloc + counter, so
+// ASan still sees every allocation.
+
+namespace {
+std::atomic<std::size_t> g_alloc_count{0};
+
+void* counted_alloc(std::size_t size) {
+  ++g_alloc_count;
+  void* p = std::malloc(size ? size : 1);
+  if (!p) throw std::bad_alloc();
+  return p;
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace guardnn::obs {
+namespace {
+
+// --- Histogram bucket math ---------------------------------------------------
+
+TEST(ObsHistogram, BucketBoundariesAreExact) {
+  // A value exactly on a bucket's lower bound lands in that bucket, and the
+  // value just below it lands in the previous one — for EVERY finite bucket.
+  for (int i = 1; i < Histogram::kBucketCount - 1; ++i) {
+    const double lower = Histogram::bucket_lower(i);
+    EXPECT_EQ(Histogram::bucket_index(lower), i) << "lower bound of " << i;
+    const double below = std::nextafter(lower, 0.0);
+    EXPECT_EQ(Histogram::bucket_index(below), i - 1) << "just below " << i;
+    EXPECT_EQ(Histogram::bucket_upper(i - 1), lower);
+    EXPECT_LT(lower, Histogram::bucket_upper(i));
+  }
+}
+
+TEST(ObsHistogram, UnderAndOverflowBuckets) {
+  EXPECT_EQ(Histogram::bucket_index(0.0), 0);
+  EXPECT_EQ(Histogram::bucket_index(-3.5), 0);
+  EXPECT_EQ(Histogram::bucket_index(std::nan("")), 0);
+  // Values at or below the finest resolution collapse into underflow.
+  EXPECT_EQ(Histogram::bucket_index(std::ldexp(1.0, Histogram::kMinExp - 3)),
+            0);
+  // 2^kMinExp is the lower bound of the first real bucket.
+  EXPECT_EQ(Histogram::bucket_index(std::ldexp(1.0, Histogram::kMinExp)), 1);
+  // >= 2^kMaxExp overflows.
+  EXPECT_EQ(Histogram::bucket_index(std::ldexp(1.0, Histogram::kMaxExp)),
+            Histogram::kBucketCount - 1);
+  EXPECT_EQ(Histogram::bucket_index(1e300), Histogram::kBucketCount - 1);
+  EXPECT_TRUE(std::isinf(Histogram::bucket_upper(Histogram::kBucketCount - 1)));
+}
+
+TEST(ObsHistogram, CountSumMinMaxAreExact) {
+  Histogram hist;
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_EQ(hist.percentile(0.5), 0.0);
+  for (double v : {4.0, 1.0, 16.0, 2.0, 8.0}) hist.record(v);
+  const HistogramSnapshot snap = hist.snapshot();
+  EXPECT_EQ(snap.count, 5u);
+  EXPECT_DOUBLE_EQ(snap.sum, 31.0);
+  EXPECT_DOUBLE_EQ(snap.min, 1.0);
+  EXPECT_DOUBLE_EQ(snap.max, 16.0);
+  EXPECT_DOUBLE_EQ(snap.mean(), 31.0 / 5.0);
+  // All five values are exact powers of two: each sits alone in its own
+  // bucket, so every percentile is that bucket's midpoint.
+  u64 bucket_total = 0;
+  for (const auto& [lower, n] : snap.buckets) bucket_total += n;
+  EXPECT_EQ(bucket_total, 5u);
+  EXPECT_EQ(snap.buckets.size(), 5u);
+}
+
+TEST(ObsHistogram, PercentileMatchesSortedVectorOracle) {
+  // The acceptance cross-check: exact-rank bucket walk vs the sorted-vector
+  // answer over log-uniform samples. The histogram reports the bucket
+  // midpoint of the TRUE rank element, so the answer must lie in the same
+  // bucket as the oracle (≤ ~3.2% relative width).
+  Histogram hist;
+  std::vector<double> values;
+  Xoshiro256 rng(0x0b5);
+  for (int i = 0; i < 20000; ++i) {
+    const double v =
+        std::ldexp(1.0 + rng.next_double(), static_cast<int>(rng.next_below(18)) - 4);
+    values.push_back(v);
+    hist.record(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (double p : {0.25, 0.5, 0.9, 0.99, 0.999}) {
+    const std::size_t rank = static_cast<std::size_t>(
+        std::ceil(p * static_cast<double>(values.size())));
+    const double oracle = values[rank - 1];
+    const double answer = hist.percentile(p);
+    const int oracle_bucket = Histogram::bucket_index(oracle);
+    EXPECT_GE(answer, Histogram::bucket_lower(oracle_bucket)) << "p=" << p;
+    EXPECT_LT(answer, Histogram::bucket_upper(oracle_bucket)) << "p=" << p;
+    EXPECT_NEAR(answer / oracle, 1.0, 0.04) << "p=" << p;
+  }
+}
+
+// --- Registry ----------------------------------------------------------------
+
+TEST(ObsRegistry, LabelsAreCanonicalized) {
+  MetricRegistry registry;
+  Counter& ab = registry.counter("x_total", {{"a", "1"}, {"b", "2"}});
+  Counter& ba = registry.counter("x_total", {{"b", "2"}, {"a", "1"}});
+  EXPECT_EQ(&ab, &ba);  // label order must not fork the series
+  Counter& other = registry.counter("x_total", {{"a", "1"}, {"b", "3"}});
+  EXPECT_NE(&ab, &other);
+  ab.inc(3);
+  const std::vector<MetricSample> snap = registry.snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].counter + snap[1].counter, 3u);
+}
+
+TEST(ObsRegistry, EightThreadCreateAndIncrement) {
+  // The TSan acceptance workload: 8 threads race metric *creation* (registry
+  // mutex) and *updates* (relaxed atomics) on shared and per-thread series.
+  constexpr int kThreads = 8;
+  constexpr int kIters = 20000;
+  MetricRegistry registry;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&registry, t] {
+      Counter& shared = registry.counter("shared_total");
+      Counter& mine =
+          registry.counter("per_thread_total", {{"t", std::to_string(t)}});
+      Histogram& hist = registry.histogram("latency_ms");
+      Gauge& gauge = registry.gauge("depth");
+      for (int i = 0; i < kIters; ++i) {
+        shared.inc();
+        mine.inc();
+        hist.record(static_cast<double>(1 + (i & 7)));
+        gauge.set(static_cast<double>(i));
+        if ((i & 1023) == 0) (void)registry.snapshot();  // reader vs writers
+      }
+    });
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(registry.counter("shared_total").value(),
+            static_cast<u64>(kThreads) * kIters);
+  for (int t = 0; t < kThreads; ++t)
+    EXPECT_EQ(
+        registry.counter("per_thread_total", {{"t", std::to_string(t)}}).value(),
+        static_cast<u64>(kIters));
+  EXPECT_EQ(registry.histogram("latency_ms").count(),
+            static_cast<u64>(kThreads) * kIters);
+}
+
+// --- Trace collector ---------------------------------------------------------
+
+TEST(ObsTrace, DisabledByDefaultAndMintsZero) {
+  TraceCollector trace(16);
+  EXPECT_FALSE(trace.enabled());
+  EXPECT_EQ(trace.begin_trace(), 0u);
+  trace.record(0, SpanKind::kSubmit, 1, 0, 0);  // no-op
+  EXPECT_EQ(trace.recorded(), 0u);
+  EXPECT_TRUE(trace.snapshot().empty());
+}
+
+TEST(ObsTrace, RingWrapsKeepingNewestSpans) {
+  constexpr std::size_t kCapacity = 8;
+  TraceCollector trace(kCapacity);
+  trace.set_enabled(true);
+  std::vector<u64> ids;
+  for (int i = 0; i < 20; ++i) {
+    const u64 id = trace.begin_trace();
+    ASSERT_NE(id, 0u);
+    ids.push_back(id);
+    trace.record(id, SpanKind::kSubmit, /*tenant=*/7, /*device=*/2,
+                 static_cast<u8>(i));
+  }
+  EXPECT_EQ(trace.recorded(), 20u);
+  const std::vector<SpanRecord> spans = trace.snapshot();
+  ASSERT_EQ(spans.size(), kCapacity);
+  // Oldest → newest: exactly the last kCapacity spans, in record order.
+  for (std::size_t i = 0; i < kCapacity; ++i) {
+    EXPECT_EQ(spans[i].trace_id, ids[20 - kCapacity + i]);
+    EXPECT_EQ(spans[i].tenant, 7u);
+    EXPECT_EQ(spans[i].device, 2u);
+    if (i) {
+      EXPECT_GE(spans[i].t_ns, spans[i - 1].t_ns);
+    }
+  }
+}
+
+TEST(ObsTrace, DisabledPathAllocatesNothing) {
+  // The serving submit path runs this on EVERY request when tracing is off:
+  // one relaxed load, no lock, no timestamp, and — pinned here — no heap.
+  TraceCollector trace(64);
+  MetricRegistry registry;
+  Counter& counter = registry.counter("hot_total");
+  Histogram& hist = registry.histogram("hot_ms");
+  const std::size_t before = g_alloc_count.load();
+  for (int i = 0; i < 1000; ++i) {
+    const u64 id = trace.begin_trace();
+    trace.record(id, SpanKind::kSubmit, 1, 0, 0);
+    trace.record(id, SpanKind::kResolve, 1, 0, 0);
+    counter.inc();
+    hist.record(3.5);
+  }
+  EXPECT_EQ(g_alloc_count.load(), before)
+      << "disabled tracing / metric updates must not allocate";
+  EXPECT_EQ(trace.recorded(), 0u);
+  EXPECT_EQ(counter.value(), 1000u);
+}
+
+TEST(ObsTrace, MidFlightArmingNeverHalfRecordsAChain) {
+  // A request minted while disabled keeps trace id 0 forever: enabling
+  // tracing mid-flight must not produce a chain missing its submit span.
+  TraceCollector trace(64);
+  const u64 stale = trace.begin_trace();  // 0: minted while disabled
+  trace.set_enabled(true);
+  trace.record(stale, SpanKind::kDevice, 1, 0, 0);  // still a no-op
+  EXPECT_EQ(trace.recorded(), 0u);
+  const u64 fresh = trace.begin_trace();
+  EXPECT_NE(fresh, 0u);
+  trace.record(fresh, SpanKind::kSubmit, 1, 0, 0);
+  EXPECT_EQ(trace.recorded(), 1u);
+}
+
+// --- Event log ---------------------------------------------------------------
+
+TEST(ObsEventLog, BoundedOldestFirst) {
+  EventLog log(4);
+  for (int i = 0; i < 10; ++i)
+    log.record("health", "event " + std::to_string(i));
+  EXPECT_EQ(log.recorded(), 10u);
+  const std::vector<EventRecord> events = log.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[static_cast<std::size_t>(i)].detail,
+              "event " + std::to_string(6 + i));
+    EXPECT_EQ(events[static_cast<std::size_t>(i)].kind, "health");
+  }
+  EXPECT_GE(events.back().t_ms, events.front().t_ms);
+}
+
+// --- Export ------------------------------------------------------------------
+
+TelemetrySnapshot sample_snapshot() {
+  static MetricRegistry registry;  // static: handles must outlive snapshot
+  registry.counter("requests_total", {{"tenant", "3"}}).inc(42);
+  registry.gauge("depth").set(7.5);
+  Histogram& hist = registry.histogram("e2e_ms");
+  for (double v : {1.0, 2.0, 4.0}) hist.record(v);
+
+  static EventLog events(8);
+  events.record("failover", "tenant 3 off device 0");
+
+  static TraceCollector trace(8);
+  trace.set_enabled(true);
+  const u64 id = trace.begin_trace();
+  trace.record(id, SpanKind::kSubmit, 3, kSpanNoDevice, 0);
+  trace.record(id, SpanKind::kResolve, 3, 0, 0);
+
+  return TelemetrySnapshot{registry.snapshot(), events.snapshot(),
+                           trace.snapshot(), trace.recorded()};
+}
+
+TEST(ObsExport, JsonCarriesSchemaAndSeries) {
+  const TelemetrySnapshot snapshot = sample_snapshot();
+  const std::string json = to_json(snapshot, /*max_spans=*/16);
+  EXPECT_NE(json.find("\"schema\":\"guardnn-telemetry/1\""), std::string::npos);
+  EXPECT_NE(json.find("\"requests_total\""), std::string::npos);
+  EXPECT_NE(json.find("\"tenant\":\"3\""), std::string::npos);
+  EXPECT_NE(json.find("\"e2e_ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+  EXPECT_NE(json.find("\"failover\""), std::string::npos);
+  EXPECT_NE(json.find("\"submit\""), std::string::npos);
+  // max_spans=0 keeps the recorded count but inlines no spans.
+  const std::string lean = to_json(snapshot, 0);
+  EXPECT_EQ(lean.find("\"submit\""), std::string::npos);
+  EXPECT_NE(lean.find("\"recorded\""), std::string::npos);
+}
+
+TEST(ObsExport, PrometheusEncodesSummaries) {
+  const std::string text = to_prometheus(sample_snapshot());
+  EXPECT_NE(text.find("requests_total"), std::string::npos);
+  EXPECT_NE(text.find("quantile=\"0.99\""), std::string::npos);
+  EXPECT_NE(text.find("e2e_ms_count"), std::string::npos);
+  EXPECT_NE(text.find("e2e_ms_sum"), std::string::npos);
+}
+
+TEST(ObsExport, FindMetricCanonicalizesLabels) {
+  const TelemetrySnapshot snapshot = sample_snapshot();
+  const MetricSample* found =
+      find_metric(snapshot, "requests_total", {{"tenant", "3"}});
+  ASSERT_NE(found, nullptr);
+  EXPECT_GE(found->counter, 42u);
+  EXPECT_EQ(find_metric(snapshot, "requests_total", {{"tenant", "9"}}),
+            nullptr);
+  EXPECT_EQ(find_metric(snapshot, "no_such_metric"), nullptr);
+  const MetricSample* hist = find_metric(snapshot, "e2e_ms");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->kind, MetricKind::kHistogram);
+  EXPECT_GE(hist->hist.count, 3u);
+}
+
+}  // namespace
+}  // namespace guardnn::obs
