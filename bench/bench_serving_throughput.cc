@@ -648,6 +648,221 @@ ChaosResult run_chaos(double duration_ms) {
   return result;
 }
 
+// --- Migration mode: live moves under load -----------------------------------
+// 8 tenants on a 4-device fleet; after a baseline half, 4 of them ("movers")
+// repeatedly live-migrate themselves between devices with their async window
+// hot while the other 4 ("bystanders") serve uninterrupted closed-loop
+// traffic. Measured: the server's own drain/blackout histograms
+// (serving_migration_drain_ms / serving_migration_blackout_ms), the
+// client-observed blackout (migrate call + re-key), and the bystanders' p99
+// during the storm vs the baseline half (the migration tax on neighbours).
+// Hard gates: zero hangs and every submitted future resolved — a migration
+// that loses a request is a failed bench run, not a number.
+
+struct MigrationTenant {
+  u64 submitted = 0;
+  u64 resolved = 0;
+  u64 ok = 0;
+  u64 hangs = 0;      ///< Futures not ready after the grace timeout. Must be 0.
+  u64 migrations = 0;
+  u64 migration_failures = 0;  ///< Aborted/degraded moves (tenant kept serving).
+  bool parked = false;
+};
+
+struct MigrationResult {
+  std::size_t tenants = 0;
+  std::size_t movers = 0;
+  double duration_ms = 0;
+  u64 submitted = 0, resolved = 0, ok = 0, hangs = 0;
+  u64 migrations = 0, migration_failures = 0;
+  u64 server_migrations = 0, server_aborted = 0, server_degraded = 0;
+  double client_blackout_p50_ms = 0, client_blackout_p99_ms = 0;
+  /// Server-exported drain (mark -> FIFO claimed) and blackout (mark ->
+  /// routing flip) histograms.
+  obs::HistogramSnapshot drain_ms, blackout_ms;
+  double bystander_p50_baseline_ms = 0, bystander_p99_baseline_ms = 0;
+  double bystander_p50_storm_ms = 0, bystander_p99_storm_ms = 0;
+};
+
+void migration_mover_loop(InferenceServer& server, Client& client,
+                          const Bytes& input, Clock::time_point storm_from,
+                          Clock::time_point deadline, MigrationTenant& out,
+                          bench::LatencyHist& client_blackout_ms) {
+  std::vector<std::future<InferenceResult>> window;
+  auto drain = [&] {
+    for (auto& future : window) {
+      if (future.wait_for(std::chrono::seconds(30)) !=
+          std::future_status::ready) {
+        ++out.hangs;
+        continue;
+      }
+      ++out.resolved;
+      if (future.get().outcome == RequestOutcome::kOk) ++out.ok;
+    }
+    window.clear();
+  };
+  std::size_t round = 0;
+  while (Clock::now() < deadline && !out.parked) {
+    for (std::size_t r = 0; r < kAsyncWindow; ++r) {
+      window.push_back(
+          server.submit_async(client.tenant, client.user->seal(input)));
+      ++out.submitted;
+    }
+    if (Clock::now() >= storm_from) {
+      // Migrate with the window hot: the replay resolves every parked
+      // record on the source before the call returns, so the outstanding
+      // futures are harvested under the old channel keys, then the client
+      // re-keys to the target.
+      const std::size_t here = server.tenant_session(client.tenant).first;
+      const std::size_t target = (here + 1 + round % 3) % 4;
+      const auto migrate_start = Clock::now();
+      const auto moved = server.migrate_tenant(
+          client.tenant, target, client.user->begin_session(), true);
+      drain();
+      if (moved.tenant == client.tenant) {
+        if (!client.user->attest_device(server.get_pk(moved.device_index)) ||
+            !client.user->complete_session(moved.response)) {
+          out.parked = true;
+          break;
+        }
+        ++out.migrations;
+        client_blackout_ms.record(std::chrono::duration<double, std::milli>(
+                                      Clock::now() - migrate_start)
+                                      .count());
+      } else {
+        // Aborted with the source alive: the old keys (and session) still
+        // stand, so the tenant just keeps serving where it was.
+        ++out.migration_failures;
+      }
+    } else {
+      drain();
+    }
+    ++round;
+  }
+  drain();
+}
+
+void migration_bystander_loop(InferenceServer& server, Client& client,
+                              const Bytes& input, Clock::time_point storm_from,
+                              Clock::time_point deadline, MigrationTenant& out,
+                              bench::LatencyHist& baseline_ms,
+                              bench::LatencyHist& storm_ms) {
+  std::deque<std::future<InferenceResult>> window;
+  auto consume = [&](std::future<InferenceResult> future) {
+    if (future.wait_for(std::chrono::seconds(30)) !=
+        std::future_status::ready) {
+      ++out.hangs;
+      return;
+    }
+    ++out.resolved;
+    const InferenceResult result = future.get();
+    if (result.outcome != RequestOutcome::kOk) return;
+    ++out.ok;
+    auto& bucket = Clock::now() < storm_from ? baseline_ms : storm_ms;
+    bucket.record(result.queue_ms + result.service_ms);
+  };
+  while (Clock::now() < deadline) {
+    while (window.size() < kAsyncWindow) {
+      window.push_back(
+          server.submit_async(client.tenant, client.user->seal(input)));
+      ++out.submitted;
+    }
+    consume(std::move(window.front()));
+    window.pop_front();
+  }
+  while (!window.empty()) {
+    consume(std::move(window.front()));
+    window.pop_front();
+  }
+}
+
+MigrationResult run_migration(double duration_ms) {
+  constexpr std::size_t kMovers = 4;
+  ServerConfig config;
+  config.num_devices = 4;
+  config.num_workers = 4;
+  config.max_pending_per_tenant = 64;
+  config.emulate_device_latency = true;
+  config.device_latency_scale = kLatencyScale;
+  ServerRig rig(config);
+  InferenceServer& server = *rig.server;
+  const Bytes input(
+      static_cast<std::size_t>(rig.net.in_c) * rig.net.in_h * rig.net.in_w,
+      0x2a);
+
+  // Sealed replicas everywhere up front: migrations re-wrap from the
+  // recorded replica (a dedup hit) instead of re-sealing per move.
+  store::ContentId content{};
+  for (const Client& client : rig.clients)
+    if (server.seal_tenant_model(client.tenant,
+                                 host::serialize_descriptor(rig.net),
+                                 content) != accel::DeviceStatus::kOk) {
+      std::fprintf(stderr, "migration: seal_tenant_model failed\n");
+      std::exit(1);
+    }
+  for (std::size_t d = 0; d < config.num_devices; ++d)
+    if (server.replicate_model(content, d) != accel::DeviceStatus::kOk) {
+      std::fprintf(stderr, "migration: replicate_model to device %zu failed\n",
+                   d);
+      std::exit(1);
+    }
+
+  MigrationResult result;
+  result.tenants = kTenants;
+  result.movers = kMovers;
+  result.duration_ms = duration_ms;
+
+  std::vector<MigrationTenant> tenants(kTenants);
+  bench::LatencyHist client_blackout, baseline, storm;
+  const auto start = Clock::now();
+  const auto storm_from = start + std::chrono::duration_cast<Clock::duration>(
+                                      std::chrono::duration<double, std::milli>(
+                                          duration_ms / 2.0));
+  const auto deadline =
+      start + std::chrono::duration_cast<Clock::duration>(
+                  std::chrono::duration<double, std::milli>(duration_ms));
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kTenants);
+    for (std::size_t i = 0; i < kTenants; ++i)
+      threads.emplace_back([&, i] {
+        if (i < kMovers)
+          migration_mover_loop(server, rig.clients[i], input, storm_from,
+                               deadline, tenants[i], client_blackout);
+        else
+          migration_bystander_loop(server, rig.clients[i], input, storm_from,
+                                   deadline, tenants[i], baseline, storm);
+      });
+    for (auto& thread : threads) thread.join();
+  }
+
+  for (const MigrationTenant& tenant : tenants) {
+    result.submitted += tenant.submitted;
+    result.resolved += tenant.resolved;
+    result.ok += tenant.ok;
+    result.hangs += tenant.hangs;
+    result.migrations += tenant.migrations;
+    result.migration_failures += tenant.migration_failures;
+  }
+  result.client_blackout_p50_ms = client_blackout.percentile(0.50);
+  result.client_blackout_p99_ms = client_blackout.percentile(0.99);
+  result.bystander_p50_baseline_ms = baseline.percentile(0.50);
+  result.bystander_p99_baseline_ms = baseline.percentile(0.99);
+  result.bystander_p50_storm_ms = storm.percentile(0.50);
+  result.bystander_p99_storm_ms = storm.percentile(0.99);
+  result.server_migrations = server.stats().migrations;
+  result.server_aborted = server.stats().migrations_aborted;
+  result.server_degraded = server.stats().migrations_degraded;
+  const obs::TelemetrySnapshot telemetry = server.telemetry();
+  if (const obs::MetricSample* drain =
+          obs::find_metric(telemetry, "serving_migration_drain_ms"))
+    result.drain_ms = drain->hist;
+  if (const obs::MetricSample* blackout =
+          obs::find_metric(telemetry, "serving_migration_blackout_ms"))
+    result.blackout_ms = blackout->hist;
+  return result;
+}
+
 }  // namespace
 
 int main() {
@@ -833,6 +1048,83 @@ int main() {
                  "resolve span)\n",
                  static_cast<unsigned long long>(chaos.traced_chains),
                  static_cast<unsigned long long>(chaos.incomplete_chains));
+    return 1;
+  }
+
+  // --- Migration storm: live moves under load. -----------------------------
+  const double migration_ms = std::max(duration_ms, 400.0);
+  std::printf("\n=== Migration: 4 of 8 tenants live-migrating across 4 devices "
+              "===\n");
+  std::printf("run %.0f ms, baseline half then migration storm half\n\n",
+              migration_ms);
+  const MigrationResult migration = run_migration(migration_ms);
+  std::printf("migrations: %llu completed (client), %llu aborted/degraded; "
+              "server ok/aborted/degraded %llu/%llu/%llu\n",
+              static_cast<unsigned long long>(migration.migrations),
+              static_cast<unsigned long long>(migration.migration_failures),
+              static_cast<unsigned long long>(migration.server_migrations),
+              static_cast<unsigned long long>(migration.server_aborted),
+              static_cast<unsigned long long>(migration.server_degraded));
+  std::printf("drain p50/p99: %.2f / %.2f ms   blackout (server) p50/p99: "
+              "%.2f / %.2f ms   blackout (client, incl. re-key) p50/p99: "
+              "%.2f / %.2f ms\n",
+              migration.drain_ms.p50, migration.drain_ms.p99,
+              migration.blackout_ms.p50, migration.blackout_ms.p99,
+              migration.client_blackout_p50_ms, migration.client_blackout_p99_ms);
+  std::printf("bystander p50/p99: baseline %.2f / %.2f ms -> storm %.2f / "
+              "%.2f ms\n",
+              migration.bystander_p50_baseline_ms,
+              migration.bystander_p99_baseline_ms,
+              migration.bystander_p50_storm_ms,
+              migration.bystander_p99_storm_ms);
+  std::printf("futures: %llu submitted, %llu resolved, %llu hangs (must be "
+              "0/0 lost)\n",
+              static_cast<unsigned long long>(migration.submitted),
+              static_cast<unsigned long long>(migration.resolved),
+              static_cast<unsigned long long>(migration.hangs));
+
+  std::string migration_json =
+      "{\"bench\":\"serving_migration\",\"tenants\":" +
+      std::to_string(migration.tenants) + ",\"movers\":" +
+      std::to_string(migration.movers) + ",\"devices\":4,\"duration_ms\":" +
+      std::to_string(migration.duration_ms) + ",\"migrations\":" +
+      std::to_string(migration.server_migrations) + ",\"migrations_aborted\":" +
+      std::to_string(migration.server_aborted) + ",\"migrations_degraded\":" +
+      std::to_string(migration.server_degraded) + ",\"drain_p50_ms\":" +
+      std::to_string(migration.drain_ms.p50) + ",\"drain_p99_ms\":" +
+      std::to_string(migration.drain_ms.p99) + ",\"blackout_p50_ms\":" +
+      std::to_string(migration.blackout_ms.p50) + ",\"blackout_p99_ms\":" +
+      std::to_string(migration.blackout_ms.p99) +
+      ",\"client_blackout_p50_ms\":" +
+      std::to_string(migration.client_blackout_p50_ms) +
+      ",\"client_blackout_p99_ms\":" +
+      std::to_string(migration.client_blackout_p99_ms) +
+      ",\"bystander_p50_baseline_ms\":" +
+      std::to_string(migration.bystander_p50_baseline_ms) +
+      ",\"bystander_p99_baseline_ms\":" +
+      std::to_string(migration.bystander_p99_baseline_ms) +
+      ",\"bystander_p50_storm_ms\":" +
+      std::to_string(migration.bystander_p50_storm_ms) +
+      ",\"bystander_p99_storm_ms\":" +
+      std::to_string(migration.bystander_p99_storm_ms) + ",\"submitted\":" +
+      std::to_string(migration.submitted) + ",\"resolved\":" +
+      std::to_string(migration.resolved) + ",\"hangs\":" +
+      std::to_string(migration.hangs) + "}";
+  std::printf("##GUARDNN_BENCH_JSON## %s\n", migration_json.c_str());
+
+  // Hard gates: a migration storm may never lose a future, and a run that
+  // completed no migration measured nothing.
+  if (migration.hangs != 0 || migration.resolved != migration.submitted) {
+    std::fprintf(stderr,
+                 "migration: lost futures (%llu submitted, %llu resolved, "
+                 "%llu hangs)\n",
+                 static_cast<unsigned long long>(migration.submitted),
+                 static_cast<unsigned long long>(migration.resolved),
+                 static_cast<unsigned long long>(migration.hangs));
+    return 1;
+  }
+  if (migration.server_migrations == 0) {
+    std::fprintf(stderr, "migration: no live migration completed\n");
     return 1;
   }
   return 0;

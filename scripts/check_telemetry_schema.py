@@ -13,7 +13,10 @@ full TelemetrySnapshot per dashboard tick — and validates:
     strictly ascend, quantiles are ordered p50 <= p90 <= p99 <= p999, and
     min <= max whenever the histogram is non-empty;
   * event timestamps are non-decreasing within a snapshot;
-  * the trace section always carries a non-negative `recorded` count.
+  * the trace section always carries a non-negative `recorded` count;
+  * the serving layer's migration / spare-pool series are present (they
+    register at server construction, so they must appear in every export
+    even when no migration ran).
 
 Stdlib only — runs anywhere the build tree exists.
 
@@ -125,6 +128,28 @@ def check_snapshot(i, snap):
         fail(i, "trace section missing or recorded count invalid")
 
 
+# Series every InferenceServer registers unconditionally — absence means the
+# export surface regressed, not that the event never happened.
+REQUIRED_SERIES = {
+    "counters": ("serving_migrations_total", "spare_promotions_total"),
+    "gauges": ("serving_standby_devices",),
+    "histograms": ("serving_migration_drain_ms",
+                   "serving_migration_blackout_ms"),
+}
+
+
+def check_required_series(snapshots):
+    if not snapshots:
+        return
+    final = snapshots[-1]
+    for section, names in REQUIRED_SERIES.items():
+        present = {s.get("name") for s in final.get(section, [])}
+        for name in names:
+            if name not in present:
+                fail(len(snapshots) - 1,
+                     f"required {section} series {name!r} missing from export")
+
+
 def check_monotonic(snapshots):
     last = {}
     for i, snap in enumerate(snapshots):
@@ -174,6 +199,7 @@ def main():
     for i, snap in enumerate(snapshots):
         check_snapshot(i, snap)
     check_monotonic(snapshots)
+    check_required_series(snapshots)
 
     if errors:
         for error in errors:

@@ -143,6 +143,11 @@ def serving_sustained():
 def serving_chaos():
     return marker_json("bench_serving_throughput", "serving_chaos")
 
+# Migration storm: live tenant moves under load — server/client blackout
+# percentiles, bystander p99 baseline vs storm, zero-lost-futures gate.
+def serving_migration():
+    return marker_json("bench_serving_throughput", "serving_migration")
+
 # Sealed model store: SealModel/UnsealModel GB/s (steady + cold through the
 # fused pipeline) and cross-device replication latency (p50/p99 of the
 # attested 3-step re-wrap).
@@ -183,6 +188,7 @@ doc = {
     "serving_throughput": serving_throughput(),
     "serving_sustained": serving_sustained(),
     "serving_chaos": serving_chaos(),
+    "serving_migration": serving_migration(),
     "model_store": model_store(),
     "benches": benches,
 }

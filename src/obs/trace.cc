@@ -21,6 +21,8 @@ const char* span_kind_name(SpanKind kind) {
       return "seal";
     case SpanKind::kResolve:
       return "resolve";
+    case SpanKind::kMigrate:
+      return "migrate";
   }
   return "?";
 }

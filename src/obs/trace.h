@@ -46,6 +46,9 @@ enum class SpanKind : u8 {
   kDevice,       ///< device execution finished; code = DeviceStatus.
   kSeal,         ///< output sealed + signed; code = DeviceStatus.
   kResolve,      ///< promise resolved; code = RequestOutcome. Terminal.
+  kMigrate,      ///< live-migration phase edge (control plane, not part of a
+                 ///< request chain); code = migration phase. Audits that walk
+                 ///< request chains key on kSubmit roots and ignore these.
 };
 
 const char* span_kind_name(SpanKind kind);

@@ -56,12 +56,17 @@ InferenceServer::InferenceServer(const crypto::ManufacturerCa& ca,
       trace_(std::max<std::size_t>(1, config.trace_capacity)),
       events_(std::max<std::size_t>(1, config.event_log_capacity)),
       ins_(make_instruments(metrics_)),
-      faults_(std::max<std::size_t>(1, config.num_devices)),
+      faults_(std::max<std::size_t>(1, config.num_devices) +
+              config.num_spare_devices),
       model_store_(config.model_store_dir.empty()
                        ? nullptr
                        : std::make_unique<store::DirectoryBackend>(
                              config.model_store_dir)) {
-  const std::size_t n_devices = std::max<std::size_t>(1, config_.num_devices);
+  const std::size_t n_primary = std::max<std::size_t>(1, config_.num_devices);
+  // Spares are fabricated like primaries (identity, DRAM partition, fault
+  // slot) but start standby: never routable until the monitor promotes them.
+  const std::size_t n_devices = n_primary + config_.num_spare_devices;
+  primary_devices_ = n_primary;
   const std::size_t n_workers = std::max<std::size_t>(1, config_.num_workers);
   devices_.reserve(n_devices);
   for (std::size_t i = 0; i < n_devices; ++i) {
@@ -72,6 +77,8 @@ InferenceServer::InferenceServer(const crypto::ManufacturerCa& ca,
     seed.push_back(static_cast<u8>(i));
     devices_.push_back(std::make_unique<DeviceNode>(
         "serve-dev-" + std::to_string(i), ca, seed));
+    if (i >= n_primary)
+      devices_.back()->standby.store(true, std::memory_order_relaxed);
   }
   // Per-shard queue histograms and per-device request counters: the labeled
   // handles are resolved once here so the worker hot path never touches the
@@ -142,12 +149,18 @@ InferenceServer::Instruments InferenceServer::make_instruments(
       registry.counter("serving_timeouts_total"),
       registry.counter("serving_plan_cache_total", {{"result", "hit"}}),
       registry.counter("serving_plan_cache_total", {{"result", "miss"}}),
+      registry.counter("serving_migrations_total", {{"result", "ok"}}),
+      registry.counter("serving_migrations_total", {{"result", "aborted"}}),
+      registry.counter("serving_migrations_total", {{"result", "failover"}}),
+      registry.counter("spare_promotions_total"),
       registry.histogram("serving_queue_ms"),
       registry.histogram("serving_service_ms"),
       registry.histogram("serving_e2e_ms"),
       registry.histogram("serving_batch_size"),
       registry.histogram("serving_failover_ms"),
       registry.histogram("serving_reconnect_ms"),
+      registry.histogram("serving_migration_drain_ms"),
+      registry.histogram("serving_migration_blackout_ms"),
   };
 }
 
@@ -339,6 +352,290 @@ InferenceServer::ConnectResult InferenceServer::reconnect(
   return result;
 }
 
+InferenceServer::ConnectResult InferenceServer::migrate_tenant(
+    TenantId tenant, std::size_t target_device,
+    const crypto::AffinePoint& user_ephemeral, bool integrity) {
+  ConnectResult result;
+  if (target_device >= devices_.size()) {
+    result.response.status = accel::DeviceStatus::kBadOperand;
+    return result;
+  }
+  if (!routable(target_device)) {
+    result.response.status = accel::DeviceStatus::kUnavailable;
+    return result;
+  }
+  Shard& shard = table_.shard_for(tenant);
+  std::shared_ptr<Tenant> entry;
+
+  // Phase 1 — mark draining. From here on submits keep admitting but park in
+  // the FIFO; workers never pick the tenant up again (submit_async and the
+  // run_batch tail both check `draining`).
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.tenants.find(tenant);
+    if (it == shard.tenants.end() || !it->second->open ||
+        it->second->draining) {
+      result.response.status = accel::DeviceStatus::kNoSession;
+      return result;
+    }
+    if (it->second->device_index == target_device) {
+      result.response.status = accel::DeviceStatus::kBadOperand;
+      return result;
+    }
+    entry = it->second;
+    entry->draining = true;
+  }
+  const Clock::time_point mark = Clock::now();
+  const std::size_t source_device = entry->device_index;
+  const u64 mtid = trace_.begin_trace();
+  trace_.record(mtid, obs::SpanKind::kMigrate, tenant,
+                static_cast<u32>(source_device), 0);
+  DeviceNode& target = *devices_[target_device];
+  accel::SessionId target_session = accel::kInvalidSession;
+
+  // Every failure path after the mark funnels through here. If the source is
+  // still alive the migration aborts cleanly: the tenant un-drains and
+  // resumes on the source with nothing lost. If the source died under us the
+  // crash machinery already tore the tenant down (fail_over_tenant /
+  // disconnect flipped `open`); we are its owner, so we drain whatever it
+  // could not and the move degrades to the PR 7 failover story.
+  const auto abort_migration =
+      [&](accel::DeviceStatus status) -> ConnectResult {
+    bool degraded = false;
+    bool wake = false;
+    std::deque<Request> orphaned;
+    RequestOutcome orphan_outcome = RequestOutcome::kNoTenant;
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      if (entry->open) {
+        entry->draining = false;
+        entry->scheduled = false;
+        if (!entry->pending.empty()) {
+          entry->scheduled = true;
+          shard.ready.push_back(entry);
+          wake = true;
+        }
+      } else {
+        degraded = true;
+        orphan_outcome = entry->teardown_outcome;
+        orphaned.swap(entry->pending);
+        entry->scheduled = false;
+      }
+    }
+    if (wake) work_sem_.release();
+    if (!orphaned.empty()) {
+      std::size_t orphaned_bytes = 0;
+      for (const Request& request : orphaned)
+        orphaned_bytes += request.charged_bytes;
+      admission_.release(orphaned.size(), orphaned_bytes);
+      resolve_all(orphaned, orphan_outcome);
+    }
+    // Give the half-built target session back (keys zeroized); a dead target
+    // took its session table down with it.
+    if (target_session != accel::kInvalidSession &&
+        !faults_.dead(target_device)) {
+      std::lock_guard<std::mutex> busy(target.busy);
+      target.device.close_session(target_session);
+    }
+    if (degraded)
+      ins_.migrations_failover.inc();
+    else
+      ins_.migrations_aborted.inc();
+    trace_.record(mtid, obs::SpanKind::kMigrate, tenant,
+                  static_cast<u32>(target_device), degraded ? 0xff : 0xfe);
+    events_.record("migrate",
+                   "tenant " + std::to_string(tenant) + " -> device " +
+                       std::to_string(target_device) +
+                       (degraded ? " degraded to failover" : " aborted"));
+    ConnectResult aborted;
+    aborted.device_index = target_device;
+    aborted.response.status =
+        degraded ? accel::DeviceStatus::kUnavailable : status;
+    return aborted;
+  };
+
+  // Phase 2 — wait for the in-flight batch, then claim the tenant exactly
+  // like a worker would. Once draining, no worker re-claims it, so from the
+  // claim onward `scheduled == true` means "the migrating thread owns it".
+  {
+    bool claimed = false;
+    bool lost = false;
+    while (!claimed && !lost) {
+      {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        if (!entry->open) {
+          lost = true;
+        } else if (!entry->scheduled) {
+          entry->scheduled = true;
+          claimed = true;
+        }
+      }
+      if (!claimed && !lost)
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+    if (lost) return abort_migration(accel::DeviceStatus::kUnavailable);
+  }
+  ins_.migration_drain_ms.record(
+      std::chrono::duration<double, std::milli>(Clock::now() - mark).count());
+
+  // Phase 3 — move the model: seal on the source (reuse the recorded replica
+  // when one exists; inference never mutates weights, so it is still
+  // current) and re-wrap it to the target over the attested handshake. A
+  // model-less tenant (plan == nullptr — its FIFO is necessarily empty,
+  // submits answer kNoModel) migrates as a pure session move.
+  std::shared_ptr<const host::ExecutionPlan> source_plan;
+  bool has_model = false;
+  crypto::Sha256Digest hash{};
+  std::optional<store::ContentId> content;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    source_plan = entry->plan;
+    has_model = entry->has_model_hash;
+    hash = entry->model_hash;
+    content = entry->model_content;
+  }
+  std::shared_ptr<const host::FuncNetwork> net;
+  if (source_plan && has_model) {
+    {
+      std::lock_guard<std::mutex> lock(plan_mu_);
+      auto it = net_cache_.find(hash);
+      if (it != net_cache_.end()) net = it->second;
+    }
+    if (!net) return abort_migration(accel::DeviceStatus::kBadOperand);
+    if (!content) {
+      store::ContentId sealed{};
+      const accel::DeviceStatus status = seal_tenant_model(
+          tenant, host::serialize_descriptor(*net), sealed);
+      if (status != accel::DeviceStatus::kOk) return abort_migration(status);
+      content = sealed;
+    }
+    trace_.record(mtid, obs::SpanKind::kMigrate, tenant,
+                  static_cast<u32>(source_device), 1);
+    const accel::DeviceStatus status =
+        replicate_model(*content, target_device);
+    if (status != accel::DeviceStatus::kOk) return abort_migration(status);
+    trace_.record(mtid, obs::SpanKind::kMigrate, tenant,
+                  static_cast<u32>(target_device), 2);
+  }
+
+  // Phase 4 — fresh session on the target with the user's *new* ECDHE share
+  // (a session cannot move between devices; its keys live in SRAM). Same
+  // bounded idle-eviction retry as connect().
+  u64 target_generation = 0;
+  while (true) {
+    {
+      std::lock_guard<std::mutex> busy(target.busy);
+      const accel::DeviceStatus gate = fault_gate(target_device);
+      if (gate != accel::DeviceStatus::kOk) return abort_migration(gate);
+      result.response = target.device.init_session(user_ephemeral, integrity);
+      if (result.response.status == accel::DeviceStatus::kOk) {
+        target_session = result.response.session_id;
+        target_generation = target.device.device_generation();
+      }
+    }
+    if (result.response.status == accel::DeviceStatus::kOk) break;
+    if (result.response.status != accel::DeviceStatus::kNoResources ||
+        !config_.evict_idle_sessions || !evict_idle_tenant(target_device))
+      return abort_migration(result.response.status);
+  }
+  trace_.record(mtid, obs::SpanKind::kMigrate, tenant,
+                static_cast<u32>(target_device), 3);
+
+  // Phase 5 — build the target-bound tenant off to the side. HostScheduler
+  // binds a device reference at construction, so the flip replaces the table
+  // entry wholesale instead of mutating the source-bound one.
+  auto fresh = std::make_shared<Tenant>(tenant, target.device, target_device,
+                                        target_session);
+  fresh->requests_counter = entry->requests_counter;
+  if (source_plan && has_model && content) {
+    const std::optional<store::SealedBlob> blob =
+        model_store_.get(*content, target.device.store_binding());
+    if (!blob) return abort_migration(accel::DeviceStatus::kBadOperand);
+    const std::shared_ptr<const host::ExecutionPlan> target_plan =
+        plan_for(hash, *net, target_generation);
+    if (!target_plan) return abort_migration(accel::DeviceStatus::kBadOperand);
+    Bytes descriptor;
+    accel::DeviceStatus status;
+    {
+      std::lock_guard<std::mutex> busy(target.busy);
+      status = fault_gate(target_device);
+      if (status == accel::DeviceStatus::kOk)
+        status = target.device.unseal_model(
+            target_session, *blob, target_plan->weight_base, descriptor);
+    }
+    if (status != accel::DeviceStatus::kOk) return abort_migration(status);
+    const std::optional<host::ParsedDescriptor> parsed =
+        host::parse_descriptor(descriptor);
+    if (!parsed || !descriptor_matches(parsed->net, *net))
+      return abort_migration(accel::DeviceStatus::kBadOperand);
+    fresh->plan = target_plan;
+    fresh->has_model_hash = true;
+    fresh->model_hash = hash;
+    fresh->model_content = *content;
+    result.model_restored = true;
+  }
+
+  // Phase 6 — replay every parked record on the *source* session, in FIFO
+  // order: parked records are sealed under the old channel keys, and only
+  // the source can open them. run_batch gives the full fault semantics
+  // (bounded transient retries, deadline expiry, kDeath → failover) for
+  // free; its draining tail returns ownership here after each batch. The
+  // flip happens in the same critical section that observes the FIFO empty
+  // AND the target still routable at the generation the session was built
+  // on — a reset/death of the target mid-move can never flip a tenant onto
+  // a zeroized session.
+  bool flipped = false;
+  bool source_lost = false;
+  while (true) {
+    bool batch_ready = false;
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      if (!entry->open) {
+        source_lost = true;
+      } else if (entry->pending.empty()) {
+        if (routable(target_device) &&
+            target.device.device_generation() == target_generation) {
+          shard.tenants[tenant] = fresh;
+          entry->open = false;
+          entry->scheduled = false;
+          entry->draining = false;
+          flipped = true;
+        }
+      } else {
+        entry->scheduled = true;
+        batch_ready = true;
+      }
+    }
+    if (!batch_ready) break;
+    run_batch(entry);
+  }
+  if (source_lost || !flipped)
+    return abort_migration(accel::DeviceStatus::kUnavailable);
+  ins_.migration_blackout_ms.record(
+      std::chrono::duration<double, std::milli>(Clock::now() - mark).count());
+
+  // Phase 7 — retire the source session (keys zeroized device-side; a dead
+  // source took them down with its SRAM) and publish the move.
+  devices_[source_device]->tenant_count.fetch_sub(1, std::memory_order_relaxed);
+  target.tenant_count.fetch_add(1, std::memory_order_relaxed);
+  if (!faults_.dead(source_device)) {
+    DeviceNode& source = *devices_[source_device];
+    std::lock_guard<std::mutex> busy(source.busy);
+    source.device.close_session(entry->session);
+  }
+  ins_.migrations_ok.inc();
+  trace_.record(mtid, obs::SpanKind::kMigrate, tenant,
+                static_cast<u32>(target_device), 4);
+  events_.record("migrate", "tenant " + std::to_string(tenant) + " device " +
+                                std::to_string(source_device) + " -> " +
+                                std::to_string(target_device) +
+                                (result.model_restored ? " (model moved)"
+                                                       : ""));
+  result.tenant = tenant;
+  result.device_index = target_device;
+  return result;
+}
+
 accel::DeviceStatus InferenceServer::disconnect(TenantId tenant) {
   Shard& shard = table_.shard_for(tenant);
   std::shared_ptr<Tenant> entry;
@@ -426,6 +723,22 @@ std::shared_ptr<const host::ExecutionPlan> InferenceServer::plan_for(
   std::lock_guard<std::mutex> lock(plan_mu_);
   auto [it, inserted] = plan_cache_.emplace(key, std::move(plan));
   return it->second;
+}
+
+bool InferenceServer::descriptor_matches(const host::FuncNetwork& got,
+                                         const host::FuncNetwork& expect) {
+  bool matches = got.in_c == expect.in_c && got.in_h == expect.in_h &&
+                 got.in_w == expect.in_w && got.bits == expect.bits &&
+                 got.layers.size() == expect.layers.size();
+  for (std::size_t i = 0; matches && i < got.layers.size(); ++i) {
+    const host::FuncLayer& a = got.layers[i];
+    const host::FuncLayer& b = expect.layers[i];
+    matches = a.kind == b.kind && a.out_c == b.out_c && a.kernel == b.kernel &&
+              a.stride == b.stride && a.pad == b.pad &&
+              a.requant_shift == b.requant_shift &&
+              a.input2_layer == b.input2_layer;
+  }
+  return matches;
 }
 
 std::shared_ptr<const host::ExecutionPlan> InferenceServer::resolve_plan(
@@ -551,15 +864,27 @@ accel::DeviceStatus InferenceServer::replicate_model(
   if (model_store_.contains(content, target.device.store_binding()))
     return accel::DeviceStatus::kOk;
 
-  // Find any *routable* fleet device that already holds a replica: a dead
+  // Find a *routable* fleet device that already holds a replica: a dead
   // device's replica is cryptographically stranded (the export path needs
   // the device's store key), and a quarantined one is not trusted to answer.
+  // Store-aware placement: the most recently touched replica's device (the
+  // one most likely warm and serving this model) is tried first.
   std::size_t source_device = devices_.size();
-  for (std::size_t i = 0; i < devices_.size(); ++i) {
+  if (const std::optional<store::BindingId> hint =
+          model_store_.preferred_binding(content)) {
+    for (std::size_t i = 0; i < devices_.size(); ++i) {
+      if (i != target_device && routable(i) &&
+          devices_[i]->device.store_binding() == *hint) {
+        source_device = i;
+        break;
+      }
+    }
+  }
+  for (std::size_t i = 0;
+       source_device == devices_.size() && i < devices_.size(); ++i) {
     if (i != target_device && routable(i) &&
         model_store_.contains(content, devices_[i]->device.store_binding())) {
       source_device = i;
-      break;
     }
   }
   if (source_device == devices_.size()) return accel::DeviceStatus::kBadOperand;
@@ -650,21 +975,8 @@ accel::DeviceStatus InferenceServer::load_model_from_store(
   // cannot silently serve garbage under a wrong-layout plan.
   const std::optional<host::ParsedDescriptor> parsed =
       host::parse_descriptor(descriptor);
-  if (!parsed || !model.net) return accel::DeviceStatus::kBadOperand;
-  const host::FuncNetwork& expect = *model.net;
-  const host::FuncNetwork& got = parsed->net;
-  bool matches = got.in_c == expect.in_c && got.in_h == expect.in_h &&
-                 got.in_w == expect.in_w && got.bits == expect.bits &&
-                 got.layers.size() == expect.layers.size();
-  for (std::size_t i = 0; matches && i < got.layers.size(); ++i) {
-    const host::FuncLayer& a = got.layers[i];
-    const host::FuncLayer& b = expect.layers[i];
-    matches = a.kind == b.kind && a.out_c == b.out_c && a.kernel == b.kernel &&
-              a.stride == b.stride && a.pad == b.pad &&
-              a.requant_shift == b.requant_shift &&
-              a.input2_layer == b.input2_layer;
-  }
-  if (!matches) return accel::DeviceStatus::kBadOperand;
+  if (!parsed || !model.net || !descriptor_matches(parsed->net, *model.net))
+    return accel::DeviceStatus::kBadOperand;
 
   Shard& shard = table_.shard_for(tenant);
   std::lock_guard<std::mutex> lock(shard.mu);
@@ -737,7 +1049,10 @@ bool InferenceServer::evict_idle_tenant(std::size_t device_index) {
       table_.for_each_shard_locked([&](Shard& shard) {
         for (const auto& [id, tenant] : shard.tenants) {
           if (tenant->device_index != device_index || !tenant->open) continue;
-          if (!tenant->pending.empty() || tenant->scheduled) continue;  // busy
+          // Busy or mid-migration tenants are never eviction victims (a
+          // draining tenant's source session must survive until the flip).
+          if (!tenant->pending.empty() || tenant->scheduled || tenant->draining)
+            continue;
           if (!victim || tenant->last_activity < victim->last_activity)
             victim = tenant;
         }
@@ -749,7 +1064,7 @@ bool InferenceServer::evict_idle_tenant(std::size_t device_index) {
       std::lock_guard<std::mutex> lock(shard.mu);
       auto it = shard.tenants.find(victim->id);
       if (it == shard.tenants.end() || it->second != victim || !victim->open ||
-          !victim->pending.empty() || victim->scheduled)
+          !victim->pending.empty() || victim->scheduled || victim->draining)
         continue;  // raced — rescan
       victim->open = false;
       shard.tenants.erase(it);
@@ -840,7 +1155,10 @@ std::future<InferenceResult> InferenceServer::submit_async(
       entry.pending.push_back(std::move(request));
       shard_depth_[shard_index]->record(
           static_cast<double>(entry.pending.size()));
-      if (!entry.scheduled) {
+      // A draining tenant keeps admitting (the request parks in the FIFO)
+      // but is never handed to a worker: the migrating thread owns the
+      // replay and flips the entry once the queue is quiescent.
+      if (!entry.scheduled && !entry.draining) {
         entry.scheduled = true;
         shard.ready.push_back(it->second);
         wake = true;
@@ -1092,7 +1410,12 @@ void InferenceServer::run_batch(const std::shared_ptr<Tenant>& tenant) {
       process_one(*tenant, node, *plan, batch[i], results[i]);
       if (results[i].outcome == RequestOutcome::kOk)
         record_device_success(dev);
-      else
+      else if (results[i].device_status != accel::DeviceStatus::kNoSession)
+        // kNoSession is the device correctly refusing a session that a
+        // concurrent disconnect/eviction closed under us — a control-plane
+        // race, not device sickness. Counting it toward the health machine
+        // could quarantine a healthy device mid-teardown-storm and fail
+        // over every innocent tenant resident on it.
         record_device_failure(dev);
     }
     if (config_.emulate_device_latency) {
@@ -1150,10 +1473,12 @@ void InferenceServer::run_batch(const std::shared_ptr<Tenant>& tenant) {
       orphaned.swap(tenant->pending);
       orphan_outcome = RequestOutcome::kTimeout;
       tenant->scheduled = false;
-    } else if (!tenant->pending.empty()) {
+    } else if (!tenant->pending.empty() && !tenant->draining) {
       shard.ready.push_back(tenant);
       wake = true;
     } else {
+      // Empty queue — or a draining tenant, whose ownership must return to
+      // the migrating thread between replay batches instead of a worker.
       tenant->scheduled = false;
     }
   }
@@ -1188,6 +1513,76 @@ std::size_t InferenceServer::routable_device_count() const {
   for (std::size_t i = 0; i < devices_.size(); ++i)
     if (routable(i)) ++count;
   return count;
+}
+
+std::size_t InferenceServer::standby_device_count() const {
+  std::size_t count = 0;
+  for (const auto& node : devices_)
+    if (node->standby.load(std::memory_order_acquire)) ++count;
+  return count;
+}
+
+void InferenceServer::maybe_promote_spares() {
+  const std::size_t floor = config_.spare_promote_floor
+                                ? config_.spare_promote_floor
+                                : primary_devices_;
+  while (routable_device_count() < floor) {
+    std::size_t spare = devices_.size();
+    for (std::size_t i = primary_devices_; i < devices_.size(); ++i) {
+      if (devices_[i]->standby.load(std::memory_order_acquire) &&
+          !faults_.dead(i) && device_health(i) == DeviceHealth::kHealthy) {
+        spare = i;
+        break;
+      }
+    }
+    if (spare == devices_.size()) return;  // no promotable spare left
+    DeviceNode& node = *devices_[spare];
+    // Pre-warm before the spare takes traffic: the displaced
+    // (failover-pending) tenants' sealed replicas first — they are who the
+    // promotion exists for — then store popularity order.
+    std::vector<store::ContentId> warm;
+    {
+      std::lock_guard<std::mutex> lock(failover_mu_);
+      for (const auto& [id, record] : failovers_)
+        if (record.has_content) warm.push_back(record.content);
+    }
+    for (const store::ContentId& content :
+         model_store_.hot_contents(config_.spare_prewarm_models))
+      warm.push_back(content);
+    std::size_t warmed = 0;
+    std::vector<store::ContentId> attempted;
+    for (const store::ContentId& content : warm) {
+      if (warmed >= config_.spare_prewarm_models) break;
+      if (std::find(attempted.begin(), attempted.end(), content) !=
+          attempted.end())
+        continue;
+      attempted.push_back(content);
+      if (replicate_model(content, spare) == accel::DeviceStatus::kOk)
+        ++warmed;
+    }
+    node.standby.store(false, std::memory_order_release);
+    ins_.spare_promotions.inc();
+    events_.record("promote", "spare device " + std::to_string(spare) +
+                                  " promoted (" + std::to_string(warmed) +
+                                  " models pre-warmed)");
+    // Point displaced tenants' reconnects at the promoted spare when their
+    // replica landed on it (store-aware placement, same as the failover
+    // pre-provisioning path).
+    {
+      std::lock_guard<std::mutex> lock(failover_mu_);
+      for (auto& [id, record] : failovers_) {
+        if (!record.has_target && record.has_content &&
+            model_store_.contains(record.content,
+                                  node.device.store_binding())) {
+          record.preferred_device = spare;
+          record.has_target = true;
+        }
+      }
+    }
+    // The spare is routable now: the byte budget climbs back toward the
+    // full-primary-fleet value.
+    rescale_admission();
+  }
 }
 
 bool InferenceServer::failover_pending(TenantId tenant) const {
@@ -1369,12 +1764,18 @@ void InferenceServer::handle_device_down(std::size_t device_index) {
 }
 
 void InferenceServer::rescale_admission() {
-  const std::size_t total = devices_.size();
+  // The denominator is the *primary* fleet, not devices_.size(): an
+  // unpromoted spare contributes no ingest bandwidth, so a full-strength
+  // fleet with spares standing by keeps its full budget, and a promoted
+  // spare restores budget a quarantine took away (capped at the configured
+  // full-strength value).
+  const std::size_t primary = std::max<std::size_t>(1, primary_devices_);
   const std::size_t routable_count = routable_device_count();
   std::size_t budget;
   if (config_.max_pending_bytes) {
-    // Explicit budget: scale by the surviving fraction of the fleet.
-    budget = total ? config_.max_pending_bytes * routable_count / total : 1;
+    // Explicit budget: scale by the routable fraction of the primary fleet.
+    budget = std::min(config_.max_pending_bytes,
+                      config_.max_pending_bytes * routable_count / primary);
   } else {
     // Derived budget: recompute for the surviving device count.
     const accel::MicrocontrollerModel model;
@@ -1426,6 +1827,7 @@ void InferenceServer::monitor_loop(std::stop_token stop) {
       if (devices_[i]->down_pending.exchange(false, std::memory_order_acq_rel))
         handle_device_down(i);
     }
+    if (config_.num_spare_devices) maybe_promote_spares();
     reap_deadlines();
   }
 }
@@ -1464,6 +1866,10 @@ ServerStats InferenceServer::stats() const {
   out.quarantines = ins_.quarantines.value();
   out.retries = ins_.retries.value();
   out.timeouts = ins_.timeouts.value();
+  out.migrations = ins_.migrations_ok.value();
+  out.migrations_aborted = ins_.migrations_aborted.value();
+  out.migrations_degraded = ins_.migrations_failover.value();
+  out.spare_promotions = ins_.spare_promotions.value();
   return out;
 }
 
@@ -1494,6 +1900,8 @@ obs::TelemetrySnapshot InferenceServer::telemetry() const {
       .set(static_cast<double>(admission_.byte_budget()));
   metrics_.gauge("serving_routable_devices")
       .set(static_cast<double>(routable_device_count()));
+  metrics_.gauge("serving_standby_devices")
+      .set(static_cast<double>(standby_device_count()));
   for (std::size_t i = 0; i < devices_.size(); ++i) {
     const obs::Labels labels{{"device", std::to_string(i)}};
     const DeviceNode& node = *devices_[i];

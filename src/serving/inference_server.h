@@ -118,6 +118,23 @@ struct ServerConfig {
   /// (blobs survive a restart). Empty: in-memory store.
   std::string model_store_dir;
 
+  // --- Live migration / hot spares -----------------------------------------
+
+  /// Standby devices fabricated *in addition to* num_devices. A spare has a
+  /// full identity and DRAM partition but carries no traffic (never
+  /// routable) until the health monitor promotes it — when quarantine drops
+  /// the routable fleet below `spare_promote_floor`. The admission byte
+  /// budget is always scaled against the primary fleet, so an unpromoted
+  /// spare costs nothing and a promoted one restores lost budget.
+  std::size_t num_spare_devices = 0;
+  /// Routable-device floor that triggers spare promotion. 0 derives
+  /// num_devices: the fleet tries to stay at full primary strength.
+  std::size_t spare_promote_floor = 0;
+  /// Sealed models a freshly promoted spare is pre-warmed with, via the
+  /// attested re-wrap: displaced (failover-pending) tenants' replicas first,
+  /// then store popularity order (ModelStore::hot_contents).
+  std::size_t spare_prewarm_models = 4;
+
   // --- Fault tolerance / health (see the file-header failure model) --------
 
   /// Consecutive device-call failures before a device is marked degraded
@@ -235,6 +252,12 @@ struct ServerStats {
   u64 retries = 0;        ///< Bounded same-record retries of transient faults.
   u64 timeouts = 0;       ///< Requests resolved kTimeout (deadline or retry
                           ///< budget exhausted; record never consumed).
+  u64 migrations = 0;           ///< Completed live migrations (zero loss).
+  u64 migrations_aborted = 0;   ///< Migrations aborted (target failed);
+                                ///< tenant resumed on the source untouched.
+  u64 migrations_degraded = 0;  ///< Migrations whose source died mid-move;
+                                ///< degraded to the crash-failover path.
+  u64 spare_promotions = 0;     ///< Standby devices promoted into routing.
 };
 
 /// Multi-tenant secure inference server (see the file header for the
@@ -275,7 +298,13 @@ class InferenceServer {
 
   // --- Control plane (synchronous) -----------------------------------------
 
+  /// Total fabricated devices: primaries + standby spares.
   std::size_t device_count() const { return devices_.size(); }
+  /// Primary fleet size (admission budgets scale against this, not the
+  /// total: an unpromoted spare contributes no ingest bandwidth).
+  std::size_t primary_device_count() const { return primary_devices_; }
+  /// Spares still standing by (fabricated spares minus promotions).
+  std::size_t standby_device_count() const;
 
   /// GetPK for the device a new tenant would land on — or any device, for a
   /// user that wants to pre-verify the fleet.
@@ -318,6 +347,48 @@ class InferenceServer {
   ConnectResult reconnect(TenantId tenant,
                           const crypto::AffinePoint& user_ephemeral,
                           bool integrity);
+
+  /// Planned, zero-loss live migration: moves `tenant` onto `target_device`
+  /// without dropping a single admitted request (contrast with the crash
+  /// path, where the session keys die and queued records are lost).
+  ///
+  /// The sequence (docs/ARCHITECTURE.md §7 "Planned migration vs crash
+  /// failover" walks it with a state diagram):
+  ///   1. mark the tenant *draining*: new submits are still admitted and
+  ///      parked in the FIFO, but workers stop being scheduled for it;
+  ///   2. wait for the in-flight batch to resolve, then claim the tenant
+  ///      like a worker would;
+  ///   3. seal the loaded model on the source (reusing the recorded replica
+  ///      when one exists — inference never mutates weights) and re-wrap it
+  ///      to the target over the attested 3-step provisioning handshake;
+  ///   4. InitSession on the target with `user_ephemeral` — the user's
+  ///      *fresh* ECDHE share (a session cannot move between devices; its
+  ///      keys live in SRAM) — and unseal the replica into it;
+  ///   5. replay every parked record on the *source* session, in FIFO
+  ///      order: parked records are sealed under the old channel keys, and
+  ///      the source session is still alive, so the channel sequence is
+  ///      preserved exactly;
+  ///   6. atomically flip the routing-table entry to the target-bound
+  ///      session in the same critical section that observes the FIFO
+  ///      empty, close the source session, and return.
+  ///
+  /// The caller must stop sealing new requests under the old keys before
+  /// calling (the old session's last records must be in flight or parked),
+  /// and feeds `response` to the user's complete_session() to derive the new
+  /// channel keys. Requests submitted after the flip execute on the target.
+  ///
+  /// Fault interplay: if the *source* dies mid-migration the tenant degrades
+  /// to the crash path (tenant == 0, parked futures resolve kDeviceFailover,
+  /// a failover record is registered for reconnect()); if the *target* dies
+  /// or rejects, the migration aborts and the tenant resumes on the source
+  /// untouched (tenant == 0, status from the failing step, no future lost).
+  ///
+  /// Errors: kNoSession (unknown tenant, or a migration already draining
+  /// it), kBadOperand (bad target index, or target == source),
+  /// kUnavailable (target not routable / died mid-move).
+  ConnectResult migrate_tenant(TenantId tenant, std::size_t target_device,
+                               const crypto::AffinePoint& user_ephemeral,
+                               bool integrity);
 
   /// CloseSession for the tenant's session (keys zeroized device-side) and
   /// retire the tenant. Requests still queued and not yet owned by a worker
@@ -531,6 +602,9 @@ class InferenceServer {
     /// Set on the transition to quarantined/dead; the monitor consumes it
     /// (tenant failover, budget rescale, plan-cache prune).
     std::atomic<bool> down_pending{false};
+    /// Hot spare, standing by: never routable until the monitor promotes it
+    /// (flips this false) because the routable fleet fell below the floor.
+    std::atomic<bool> standby{false};
 
     DeviceNode(std::string id, const crypto::ManufacturerCa& ca,
                BytesView entropy)
@@ -547,6 +621,11 @@ class InferenceServer {
     std::deque<Request> pending;
     bool scheduled = false;  ///< In a shard's ready queue or worker-owned.
     bool open = true;
+    /// Live migration in progress: submits still admit (and park in
+    /// `pending`), but the tenant is never pushed to a ready queue — the
+    /// migrating thread owns the replay. Cleared by abort; a flipped entry
+    /// is replaced wholesale, never un-drained.
+    bool draining = false;
     /// Outcome the worker uses when draining a closed tenant's queue.
     /// kNoTenant for ordinary teardown (disconnect, eviction, reset);
     /// kDeviceFailover when the health monitor tore the tenant down.
@@ -611,6 +690,11 @@ class InferenceServer {
 
   static std::size_t derived_shard_count(const ServerConfig& config);
   static std::size_t derived_byte_budget(const ServerConfig& config);
+  /// Structural equality of an unsealed (public) descriptor against the
+  /// registered network — the guard that keeps a mismatched (content,
+  /// handle) pair from serving garbage under a wrong-layout plan.
+  static bool descriptor_matches(const host::FuncNetwork& got,
+                                 const host::FuncNetwork& expect);
 
   // --- Fault tolerance internals -------------------------------------------
   // Lock ordering: the failover map mutex, any shard mutex, and plan_mu_ are
@@ -650,10 +734,14 @@ class InferenceServer {
   void rescale_admission();
   /// Resolves expired deadlines of tenants no worker currently owns.
   void reap_deadlines();
+  /// Monitor pass: while the routable fleet sits below the promotion floor
+  /// and a healthy standby exists, pre-warm and promote it into routing.
+  void maybe_promote_spares();
   bool routable(std::size_t device_index) const {
     const auto h = device_health(device_index);
     return (h == DeviceHealth::kHealthy || h == DeviceHealth::kDegraded) &&
-           !faults_.dead(device_index);
+           !faults_.dead(device_index) &&
+           !devices_[device_index]->standby.load(std::memory_order_acquire);
   }
   /// Least-loaded routable device; devices_.size() when none remains.
   std::size_t pick_routable_device() const;
@@ -664,6 +752,9 @@ class InferenceServer {
 
   ServerConfig config_;
   std::vector<std::unique_ptr<DeviceNode>> devices_;
+  /// Primary fleet size (devices_ holds primaries then spares). Admission
+  /// budgets scale against this; spares only count once promoted.
+  std::size_t primary_devices_ = 0;
 
   /// Striped tenant/routing table — the only lock a submit takes.
   ShardedTable<Tenant> table_;
@@ -700,12 +791,18 @@ class InferenceServer {
     obs::Counter& timeouts;
     obs::Counter& plan_hits;
     obs::Counter& plan_misses;
+    obs::Counter& migrations_ok;        ///< serving_migrations_total{result=ok}
+    obs::Counter& migrations_aborted;   ///< …{result=aborted}
+    obs::Counter& migrations_failover;  ///< …{result=failover}
+    obs::Counter& spare_promotions;     ///< spare_promotions_total
     obs::Histogram& queue_ms;     ///< enqueue → worker pickup
     obs::Histogram& service_ms;   ///< pickup → completion
     obs::Histogram& e2e_ms;       ///< enqueue → completion (ok requests)
     obs::Histogram& batch_size;   ///< requests per worker batch
     obs::Histogram& failover_ms;  ///< fail_over_tenant teardown duration
     obs::Histogram& reconnect_ms; ///< successful reconnect() duration
+    obs::Histogram& migration_drain_ms;    ///< mark-draining → FIFO quiescent
+    obs::Histogram& migration_blackout_ms; ///< mark-draining → routing flip
   };
   static Instruments make_instruments(obs::MetricRegistry& registry);
   Instruments ins_;

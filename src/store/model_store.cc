@@ -1,5 +1,6 @@
 #include "store/model_store.h"
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 
@@ -162,6 +163,7 @@ std::optional<ContentId> ModelStore::put(const SealedBlob& blob) {
   auto it = replicas.find(blob.header.binding_id);
   if (it != replicas.end()) {
     stats_.dedup_hits += 1;
+    touch_locked(blob.header.content_id, blob.header.binding_id);
     if (metrics_.dedup_hits) metrics_.dedup_hits->inc();
     return blob.header.content_id;
   }
@@ -173,6 +175,7 @@ std::optional<ContentId> ModelStore::put(const SealedBlob& blob) {
   replicas[blob.header.binding_id] = key;
   stats_.puts += 1;
   stats_.bytes_stored += bytes.size();
+  touch_locked(blob.header.content_id, blob.header.binding_id);
   if (metrics_.puts) metrics_.puts->inc();
   if (metrics_.stored_bytes)
     metrics_.stored_bytes->set(static_cast<double>(stats_.bytes_stored));
@@ -196,8 +199,59 @@ std::optional<SealedBlob> ModelStore::get(const ContentId& content,
   std::optional<SealedBlob> blob = SealedBlob::deserialize(*bytes);
   if (!blob) return miss();
   stats_.get_hits += 1;
+  touch_locked(content, binding);
   if (metrics_.get_hits) metrics_.get_hits->inc();
   return blob;
+}
+
+void ModelStore::touch_locked(const ContentId& content,
+                              const BindingId& binding) const {
+  AccessInfo& info = access_[content];
+  info.count += 1;
+  info.last_touch[binding] = ++access_clock_;
+}
+
+std::vector<ContentId> ModelStore::hot_contents(std::size_t limit) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Rank by access count, hottest first; contents never accessed since the
+  // store opened (reindexed checkpoints) rank last but are still eligible.
+  std::vector<std::pair<u64, ContentId>> ranked;
+  ranked.reserve(index_.size());
+  for (const auto& [content, replicas] : index_) {
+    auto it = access_.find(content);
+    ranked.emplace_back(it != access_.end() ? it->second.count : 0, content);
+  }
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::vector<ContentId> out;
+  out.reserve(std::min(limit, ranked.size()));
+  for (const auto& [count, content] : ranked) {
+    if (out.size() >= limit) break;
+    out.push_back(content);
+  }
+  return out;
+}
+
+std::optional<BindingId> ModelStore::preferred_binding(
+    const ContentId& content) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(content);
+  if (it == index_.end() || it->second.empty()) return std::nullopt;
+  const auto access = access_.find(content);
+  std::optional<BindingId> best;
+  u64 best_touch = 0;
+  for (const auto& [binding, key] : it->second) {
+    u64 touch = 0;
+    if (access != access_.end()) {
+      auto t = access->second.last_touch.find(binding);
+      if (t != access->second.last_touch.end()) touch = t->second;
+    }
+    if (!best || touch > best_touch) {
+      best = binding;
+      best_touch = touch;
+    }
+  }
+  return best;
 }
 
 bool ModelStore::contains(const ContentId& content,
@@ -239,6 +293,10 @@ bool ModelStore::erase(const ContentId& content, const BindingId& binding) {
   }
   backend_->remove(replica->second);
   it->second.erase(replica);
+  if (auto access = access_.find(content); access != access_.end()) {
+    access->second.last_touch.erase(binding);
+    if (it->second.empty()) access_.erase(access);
+  }
   if (it->second.empty()) index_.erase(it);
   return true;
 }

@@ -108,6 +108,21 @@ class ModelStore {
   /// Every distinct model in the store.
   std::vector<ContentId> contents() const;
 
+  // --- Placement hints -------------------------------------------------------
+  // The store counts per-content accesses (get() hits and put() touches) and
+  // stamps each replica with a monotonic access ordinal. The serving layer
+  // uses both as placement signals: hot_contents() is what a freshly promoted
+  // hot spare pre-warms with, preferred_binding() picks the re-wrap source a
+  // replication should read from.
+
+  /// Up to `limit` stored models ordered by access count, hottest first.
+  std::vector<ContentId> hot_contents(std::size_t limit) const;
+
+  /// The most recently touched replica binding of `content` (the device most
+  /// likely to still be healthy and serving it), or nullopt when no replica
+  /// exists.
+  std::optional<BindingId> preferred_binding(const ContentId& content) const;
+
   /// Drops one replica. Returns false when it was not present.
   bool erase(const ContentId& content, const BindingId& binding);
 
@@ -125,6 +140,8 @@ class ModelStore {
  private:
   static std::string key_for(const ContentId& content, const BindingId& binding);
   void reindex_locked();
+  /// Advances the access clock for (content, binding); caller holds mu_.
+  void touch_locked(const ContentId& content, const BindingId& binding) const;
 
   mutable std::mutex mu_;
   std::unique_ptr<StoreBackend> backend_;
@@ -132,6 +149,16 @@ class ModelStore {
   std::map<ContentId, std::map<BindingId, std::string>> index_;
   /// Mutable: get() is logically const but counts its hit/miss.
   mutable StoreStats stats_;
+
+  /// Placement-hint bookkeeping (mutable: get() touches it). `count` ranks
+  /// contents for hot_contents(); `last_touch` ordinals rank replicas for
+  /// preferred_binding(). Entries follow index_ lifetimes.
+  struct AccessInfo {
+    u64 count = 0;
+    std::map<BindingId, u64> last_touch;
+  };
+  mutable std::map<ContentId, AccessInfo> access_;
+  mutable u64 access_clock_ = 0;
 
   struct BoundMetrics {
     obs::Counter* puts = nullptr;

@@ -418,18 +418,22 @@ INSTANTIATE_TEST_SUITE_P(Seeds, SealedBlobFuzzTest,
 // --- Fault-injected serving fuzzing ------------------------------------------
 // The serving fleet under probabilistic fault injection: transient integrity
 // failures, latency spikes and dropped completions roll on every device call
-// while two tenants keep submitting. The invariants are liveness-shaped, not
-// value-shaped: every synchronous submit returns a *named* outcome (never a
-// crash, never a hang past the deadline), successful outcomes still decrypt
-// to the reference result, a failed-over tenant can always reconnect, and
-// the admission counters drain to zero at the end. GUARDNN_FAULT_SEED
-// reseeds the roll without touching code.
+// while two tenants keep submitting, randomly live-migrating themselves
+// between devices, and — halfway through — losing a primary to a fail-stop
+// death (which the standby spare may then replace). The invariants are
+// liveness-shaped, not value-shaped: every synchronous submit returns a
+// *named* outcome (never a crash, never a hang past the deadline),
+// successful outcomes still decrypt to the reference result, a failed-over
+// or degraded-migration tenant can always reconnect, and the admission
+// counters drain to zero at the end. GUARDNN_FAULT_SEED reseeds the roll
+// without touching code.
 
 TEST(ServingFaultFuzz, RandomFaultsAlwaysResolveToNamedOutcomes) {
   crypto::HmacDrbg ca_drbg{Bytes{0x91}};
   crypto::ManufacturerCa ca{ca_drbg};
   serving::ServerConfig config;
   config.num_devices = 2;
+  config.num_spare_devices = 1;  // promotion path rolls with the faults
   config.num_workers = 2;
   config.default_deadline_ms = 200.0;
   config.transient_retries = 2;
@@ -476,6 +480,26 @@ TEST(ServingFaultFuzz, RandomFaultsAlwaysResolveToNamedOutcomes) {
   ASSERT_TRUE(open_tenant(tenants[0], 0x94));
   ASSERT_TRUE(open_tenant(tenants[1], 0x95));
 
+  // Fresh handshake + resume after a wounded session, a crash failover, or a
+  // degraded migration. No sealed replica in this fuzzer — reload the model
+  // over the fresh channel when the server could not restore it.
+  auto try_reconnect = [&](FuzzTenant& t) {
+    const auto resumed =
+        server.reconnect(t.tenant, t.user->begin_session(), true);
+    t.alive = resumed.tenant == t.tenant &&
+              t.user->attest_device(server.get_pk(resumed.device_index)) &&
+              t.user->complete_session(resumed.response);
+    if (!t.alive) return;
+    t.device_index = resumed.device_index;
+    if (!resumed.model_restored) {
+      const serving::ModelHandle model = server.register_model(net);
+      t.alive = model.valid() &&
+                server.load_model(t.tenant, model,
+                                  t.user->seal(model.plan->weight_blob)) ==
+                    DeviceStatus::kOk;
+    }
+  };
+
   // Arm faults only after setup: session establishment and the initial model
   // load are the controlled baseline; the fuzz rolls start with the traffic.
   serving::FaultInjector::Probabilities p;
@@ -491,8 +515,32 @@ TEST(ServingFaultFuzz, RandomFaultsAlwaysResolveToNamedOutcomes) {
   Xoshiro256 rng(seed ^ 0xfu);
   const int steps = fuzz_steps();
   for (int step = 0; step < steps; ++step) {
+    // Half-way fail-stop: kill a random primary once. The monitor fails its
+    // tenants over, and with the routable fleet below the floor it promotes
+    // the standby spare to backfill capacity.
+    if (step == steps / 2) server.faults().kill(rng.next_below(2));
     FuzzTenant& t = tenants[rng.next_below(2)];
     if (!t.alive) continue;
+    // Roll a live migration under fire (1 in 8): any *named* result is
+    // acceptable. Success re-keys to the target; a degraded move (source
+    // died mid-replay) falls back to reconnect exactly like a crash; an
+    // abort (dead/standby target, tenant torn down) leaves the old session
+    // and channel keys untouched.
+    if (rng.next_below(8) == 0) {
+      const std::size_t target = rng.next_below(server.device_count());
+      if (target != t.device_index) {
+        const auto moved = server.migrate_tenant(t.tenant, target,
+                                                 t.user->begin_session(), true);
+        if (moved.tenant == t.tenant) {
+          t.device_index = moved.device_index;
+          t.alive = t.user->attest_device(server.get_pk(moved.device_index)) &&
+                    t.user->complete_session(moved.response);
+        } else if (server.failover_pending(t.tenant)) {
+          try_reconnect(t);
+        }
+        if (!t.alive) continue;
+      }
+    }
     functional::Tensor input(net.in_c, net.in_h, net.in_w, net.bits);
     for (auto& v : input.data())
       v = static_cast<i8>(static_cast<int>(rng.next_below(256)) - 128);
@@ -518,25 +566,10 @@ TEST(ServingFaultFuzz, RandomFaultsAlwaysResolveToNamedOutcomes) {
         // the *server* is what this fuzzer checks.
         break;
       case serving::RequestOutcome::kDeviceFailover:
-      case serving::RequestOutcome::kNoTenant: {
-        // Wounded session (dropped completion): reconnect and resume.
-        const auto resumed =
-            server.reconnect(t.tenant, t.user->begin_session(), true);
-        t.alive = resumed.tenant == t.tenant &&
-                  t.user->attest_device(server.get_pk(resumed.device_index)) &&
-                  t.user->complete_session(resumed.response);
-        if (!t.alive) break;
-        t.device_index = resumed.device_index;
-        if (!resumed.model_restored) {
-          // No sealed replica in this fuzzer — reload over the fresh channel.
-          const serving::ModelHandle model = server.register_model(net);
-          t.alive = model.valid() &&
-                    server.load_model(t.tenant, model,
-                                      t.user->seal(model.plan->weight_blob)) ==
-                        DeviceStatus::kOk;
-        }
+      case serving::RequestOutcome::kNoTenant:
+        // Wounded session (dropped completion) or crash: reconnect, resume.
+        try_reconnect(t);
         break;
-      }
       default:
         FAIL() << "unnamed outcome " << serving::outcome_name(result.outcome)
                << " (seed " << seed << " step " << step << ")";

@@ -19,6 +19,20 @@
 #include "host/model_codec.h"
 #include "serving/inference_server.h"
 
+// Sanitizers slow the real EC math inside replicate_model ~10x while emulated
+// device sleeps stay wall-clock; timing-calibrated tests widen their busy
+// windows under any sanitizer.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define GUARDNN_TEST_UNDER_SANITIZER 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define GUARDNN_TEST_UNDER_SANITIZER 1
+#endif
+#endif
+#ifndef GUARDNN_TEST_UNDER_SANITIZER
+#define GUARDNN_TEST_UNDER_SANITIZER 0
+#endif
+
 namespace guardnn::serving {
 namespace {
 
@@ -508,8 +522,10 @@ TEST(FleetProvisioning, DisjointDevicePairsReplicateConcurrently) {
   config.num_workers = 1;
   config.emulate_device_latency = true;
   // One small_cnn request models ~0.12 ms of device time; scaled, the batch
-  // holds device 1's busy lock for roughly 2.4 s of wall time.
-  config.device_latency_scale = 20000.0;
+  // holds device 1's busy lock for roughly 2.4 s of wall time (14.4 s under
+  // sanitizers, whose slowed re-wrap would otherwise outlast the window).
+  config.device_latency_scale = GUARDNN_TEST_UNDER_SANITIZER ? 120000.0
+                                                             : 20000.0;
   InferenceServer server(fx.ca, config, Bytes{0x92, 0x93});
 
   const FuncNetwork net_a = small_cnn(900);
@@ -560,17 +576,23 @@ TEST(FleetProvisioning, DisjointDevicePairsReplicateConcurrently) {
   std::this_thread::sleep_for(std::chrono::milliseconds(100));
 
   const DeviceStatus status_b = server.replicate_model(content_b, 3);
+  // Snapshot the overlap evidence first: a fatal assert before the join
+  // would destroy a joinable thread (std::terminate), so all checks run
+  // after A drains.
+  const bool a_done_when_b_finished = a_done.load();
+  const bool dev1_busy_when_b_finished =
+      busy_batch.wait_for(std::chrono::seconds(0)) !=
+      std::future_status::ready;
+  replicate_a.join();
+
   EXPECT_EQ(status_b, DeviceStatus::kOk);
-  EXPECT_FALSE(a_done.load())
+  EXPECT_FALSE(a_done_when_b_finished)
       << "replication {2,3} waited for the stalled replication {0,1}: the "
          "provisioning exclusion is not per-device-pair";
   // Guard against mis-calibration: device 1 must still be inside the
   // emulated batch when B finishes, or the overlap proves nothing.
-  ASSERT_NE(busy_batch.wait_for(std::chrono::seconds(0)),
-            std::future_status::ready)
+  EXPECT_TRUE(dev1_busy_when_b_finished)
       << "device 1 went idle too early; raise device_latency_scale";
-
-  replicate_a.join();
   EXPECT_EQ(status_a, DeviceStatus::kOk);
   EXPECT_EQ(server.stats().replications, 2u);
   EXPECT_EQ(busy_batch.get().outcome, RequestOutcome::kOk);
